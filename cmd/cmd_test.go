@@ -1,0 +1,121 @@
+// Package cmd_test smoke-tests the command-line tools end to end by
+// building and running them as real subprocesses.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one command into a temp dir and returns its path.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = ".." // the module root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestIxcheckWordProblem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	bin := buildTool(t, "ixcheck")
+
+	run := func(args ...string) (string, int) {
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return string(out), code
+	}
+
+	out, code := run("-e", "a - b", "a", "b")
+	if code != 0 || !strings.Contains(out, "complete") {
+		t.Errorf("complete word: %q (%d)", out, code)
+	}
+	out, code = run("-e", "a - b", "a")
+	if code != 0 || !strings.Contains(out, "partial") {
+		t.Errorf("partial word: %q (%d)", out, code)
+	}
+	out, code = run("-e", "a - b", "b")
+	if code != 1 || !strings.Contains(out, "illegal") {
+		t.Errorf("illegal word: %q (%d)", out, code)
+	}
+	out, code = run("-c", "-e", "all p: (call(p))*")
+	if code != 0 || !strings.Contains(out, "benign") || !strings.Contains(out, "derivation") {
+		t.Errorf("classification: %q (%d)", out, code)
+	}
+	// Parse errors exit 2 with a position.
+	out, code = run("-e", "a - ")
+	if code != 2 || !strings.Contains(out, "1:") {
+		t.Errorf("parse error: %q (%d)", out, code)
+	}
+}
+
+func TestIxcheckActionProblem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	bin := buildTool(t, "ixcheck")
+	cmd := exec.Command(bin, "-e", "(a | b - c)*", "-i")
+	cmd.Stdin = strings.NewReader("a\nc\nb\nc\n# comment\n\nzzz(\n")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	got := strings.Split(strings.TrimSpace(string(out)), "\n")
+	want := []string{"Accept.", "Reject.", "Accept.", "Accept."}
+	if len(got) < len(want) {
+		t.Fatalf("output: %q", out)
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("line %d: got %q want %q", i, got[i], w)
+		}
+	}
+	if !strings.Contains(string(out), "Error:") {
+		t.Errorf("malformed action should report an error: %q", out)
+	}
+}
+
+func TestIxgraphRendering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	bin := buildTool(t, "ixgraph")
+	out, err := exec.Command(bin, "-e", "(a | b)*").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "digraph interaction") {
+		t.Errorf("DOT output: %q", out)
+	}
+	out, err = exec.Command(bin, "-ascii", "-e", "(a | b)*").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "iter *") || !strings.Contains(string(out), "[a]") {
+		t.Errorf("ASCII output: %q", out)
+	}
+	// Expression from a file.
+	f := filepath.Join(t.TempDir(), "e.ix")
+	if err := os.WriteFile(f, []byte("a - b"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(bin, "-ascii", "-f", f).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "seq") {
+		t.Errorf("file input: %v %q", err, out)
+	}
+}

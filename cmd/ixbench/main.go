@@ -1,0 +1,58 @@
+// Command ixbench regenerates the experiment tables of EXPERIMENTS.md:
+// one section per experiment of the paper reproduction (see DESIGN.md
+// for the experiment index). Output is Markdown so the results can be
+// pasted into EXPERIMENTS.md directly.
+//
+// Usage:
+//
+//	ixbench            # run everything
+//	ixbench -run E9    # run experiments whose ID contains "E9"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// experiment is one regenerable section.
+type experiment struct {
+	id    string
+	title string
+	run   func()
+}
+
+var experiments = []experiment{
+	{"E1", "operational semantics ≡ formal semantics (randomized check)", runE1},
+	{"E3", "Fig 3 patient constraint scenario", runE3},
+	{"E6", "Fig 6 capacity restriction scenario", runE6},
+	{"E7", "Fig 7 coupling scenario", runE7},
+	{"E9", "quasi-regular expressions are harmless (state size / cost)", runE9},
+	{"E10", "uniformly quantified expressions are benign", runE10},
+	{"E11", "malignant expressions exist", runE11},
+	{"E12", "naive algorithm vs operational state model", runE12},
+	{"E13", "coordination protocol throughput", runE13},
+	{"E14", "subscription protocol fan-out", runE14},
+	{"E15", "worklist-handler vs engine adaptation message counts", runE15},
+	{"E17", "multi-manager coordination", runE17},
+}
+
+func main() {
+	sel := flag.String("run", "", "only run experiments whose ID contains this substring")
+	flag.Parse()
+	ran := 0
+	for _, ex := range experiments {
+		if *sel != "" && !strings.Contains(ex.id, *sel) {
+			continue
+		}
+		fmt.Printf("## %s — %s\n\n", ex.id, ex.title)
+		ex.run()
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ixbench: no experiment matches %q\n", *sel)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,124 @@
+// Command ixcheck solves the word problem and the action problem of
+// interaction expressions from the command line (Fig 9 of the paper).
+//
+// Usage:
+//
+//	ixcheck -e 'all p: (call(p) - perform(p))*' call(alice) perform(alice)
+//	ixcheck -f constraint.ix -i            # interactive action problem
+//	echo 'call(alice)' | ixcheck -f constraint.ix -i
+//
+// With action arguments, ixcheck classifies the word as complete,
+// partial or illegal (exit status 0, 0 and 1 respectively). With -i it
+// reads one action per line from stdin and answers Accept/Reject,
+// mirroring the action() loop of the paper.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/ix"
+)
+
+func main() {
+	var (
+		exprSrc     = flag.String("e", "", "interaction expression (text syntax)")
+		exprFile    = flag.String("f", "", "file containing the expression")
+		interactive = flag.Bool("i", false, "action problem: read actions line by line from stdin")
+		classify    = flag.Bool("c", false, "print the Sec 6 complexity classification and exit")
+		showState   = flag.Bool("s", false, "print state size after every action")
+	)
+	flag.Parse()
+
+	src := *exprSrc
+	if *exprFile != "" {
+		buf, err := os.ReadFile(*exprFile)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(buf)
+	}
+	if src == "" {
+		fmt.Fprintln(os.Stderr, "ixcheck: provide an expression with -e or -f")
+		flag.Usage()
+		os.Exit(2)
+	}
+	e, err := ix.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *classify {
+		cl, reasons := ix.Classify(e)
+		fmt.Printf("expression: %s\nclass: %v\n", e, cl)
+		for _, r := range reasons {
+			fmt.Printf("  - %s\n", r)
+		}
+		fmt.Println("\nstep-by-step derivation (Sec 6):")
+		fmt.Print(ix.Derive(e))
+		return
+	}
+
+	sys, err := ix.NewSystemErr(e)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *interactive {
+		runActionProblem(sys, *showState)
+		return
+	}
+
+	// Word problem over the argument list.
+	var word []ix.Action
+	for _, arg := range flag.Args() {
+		a, err := ix.ParseAction(arg)
+		if err != nil {
+			fatal(err)
+		}
+		word = append(word, a)
+	}
+	switch sys.Word(word) {
+	case ix.Complete:
+		fmt.Println("complete")
+	case ix.Partial:
+		fmt.Println("partial")
+	default:
+		fmt.Println("illegal")
+		os.Exit(1)
+	}
+}
+
+// runActionProblem is the action() loop of Fig 9: read, decide, apply.
+func runActionProblem(sys *ix.System, showState bool) {
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		a, err := ix.ParseAction(line)
+		if err != nil {
+			fmt.Printf("Error: %v\n", err)
+			continue
+		}
+		if err := sys.Step(a); err != nil {
+			fmt.Println("Reject.")
+		} else if showState {
+			fmt.Printf("Accept. (state size %d, final %v)\n", sys.StateSize(), sys.Final())
+		} else {
+			fmt.Println("Accept.")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ixcheck:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,55 @@
+// Command ixgraph renders an interaction expression as an interaction
+// graph (Sec 2 of the paper): Graphviz DOT on stdout by default, or an
+// ASCII tree with -ascii.
+//
+// Usage:
+//
+//	ixgraph -e '(a | b - c)*'                 | dot -Tpng > graph.png
+//	ixgraph -f constraint.ix -ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/ix"
+)
+
+func main() {
+	var (
+		exprSrc  = flag.String("e", "", "interaction expression (text syntax)")
+		exprFile = flag.String("f", "", "file containing the expression")
+		ascii    = flag.Bool("ascii", false, "render as ASCII tree instead of DOT")
+	)
+	flag.Parse()
+
+	src := *exprSrc
+	if *exprFile != "" {
+		buf, err := os.ReadFile(*exprFile)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(buf)
+	}
+	if src == "" {
+		fmt.Fprintln(os.Stderr, "ixgraph: provide an expression with -e or -f")
+		flag.Usage()
+		os.Exit(2)
+	}
+	e, err := ix.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	g := ix.GraphOf(e)
+	if *ascii {
+		fmt.Print(g.ASCII())
+	} else {
+		fmt.Print(g.DOT())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ixgraph:", err)
+	os.Exit(2)
+}

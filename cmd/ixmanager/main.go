@@ -1,0 +1,89 @@
+// Command ixmanager runs an interaction manager as a TCP server (the
+// central scheduler of Sec 7 / Fig 10).
+//
+// Usage:
+//
+//	ixmanager -e 'all p: (call(p) - perform(p))*' -addr :7431 -log actions.log
+//
+// Clients speak the JSON-lines wire protocol (see internal/manager);
+// the ix package's Dial returns a typed client. With -log the manager
+// persists confirmed actions and recovers its state from the log on
+// restart. With -multi a top-level coupling ("x @ y @ z") is split into
+// one manager per operand behind a shared router — actions are granted
+// iff every involved manager grants them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/ix"
+)
+
+func main() {
+	var (
+		exprSrc  = flag.String("e", "", "interaction expression (text syntax)")
+		exprFile = flag.String("f", "", "file containing the expression")
+		addr     = flag.String("addr", "127.0.0.1:7431", "listen address")
+		logPath  = flag.String("log", "", "action log for persistence/recovery")
+		timeout  = flag.Duration("reservation-timeout", 10*time.Second,
+			"auto-abort asks not confirmed within this duration")
+	)
+	flag.Parse()
+
+	src := *exprSrc
+	if *exprFile != "" {
+		buf, err := os.ReadFile(*exprFile)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(buf)
+	}
+	if src == "" {
+		fmt.Fprintln(os.Stderr, "ixmanager: provide an expression with -e or -f")
+		flag.Usage()
+		os.Exit(2)
+	}
+	e, err := ix.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	m, err := ix.NewManager(e, ix.ManagerOptions{
+		LogPath:            *logPath,
+		ReservationTimeout: *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer m.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := ix.NewServer(m, ln)
+	defer srv.Close()
+
+	fmt.Printf("ixmanager: serving %q on %s", e, srv.Addr())
+	if *logPath != "" {
+		fmt.Printf(" (log %s, %d actions recovered)", *logPath, m.Steps())
+	}
+	fmt.Println()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	st := m.Stats()
+	fmt.Printf("ixmanager: shutting down: %d asks, %d grants, %d denies, %d confirms, %d informs\n",
+		st.Asks, st.Grants, st.Denies, st.Confirms, st.Informs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ixmanager:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,120 @@
+// Capacity coordination over TCP: an interaction manager serves the
+// capacity restriction of Fig 6 on a loopback socket; concurrent
+// department clients compete for examination slots using the wire
+// coordination protocol of Fig 10, and a monitoring client watches a
+// subscribed action flip between permissible and non-permissible.
+//
+// Run with: go run ./examples/capacity
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/manager"
+	"repro/internal/paper"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Capacity 2 per department to make contention visible.
+	m, err := manager.New(paper.Fig6CapacityRestrictionN(2), manager.Options{
+		ReservationTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := manager.NewServer(m, ln)
+	defer srv.Close()
+	fmt.Println("interaction manager listening on", srv.Addr())
+
+	// A monitoring client subscribes to the next admission of patient
+	// "walkin" — its worklist entry appears and disappears with capacity.
+	monitor, err := manager.Dial(srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer monitor.Close()
+	watch := paper.CallAct("walkin", paper.ExamSono)
+	sub, err := monitor.Subscribe(ctx, watch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for inf := range sub.C {
+			state := "PERMISSIBLE    "
+			if !inf.Permissible {
+				state = "NOT permissible"
+			}
+			fmt.Printf("  [monitor] %s is now %s\n", inf.Action, state)
+		}
+	}()
+
+	// Five concurrent admission clients race for the two sono slots.
+	var wg sync.WaitGroup
+	results := make([]string, 5)
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := manager.Dial(srv.Addr())
+			if err != nil {
+				results[i] = err.Error()
+				return
+			}
+			defer c.Close()
+			p := paper.Patient(i)
+			tk, err := c.Ask(ctx, paper.CallAct(p, paper.ExamSono))
+			if err != nil {
+				results[i] = fmt.Sprintf("%s: denied (%v)", p, err)
+				return
+			}
+			// "Execute" the admission, then confirm.
+			time.Sleep(10 * time.Millisecond)
+			if err := c.Confirm(ctx, tk); err != nil {
+				results[i] = fmt.Sprintf("%s: confirm failed (%v)", p, err)
+				return
+			}
+			results[i] = fmt.Sprintf("%s: admitted", p)
+		}(i)
+	}
+	wg.Wait()
+	fmt.Println("\nadmission race (capacity 2):")
+	for _, r := range results {
+		fmt.Println(" ", r)
+	}
+
+	// Release one slot and watch the monitor's action flip back.
+	admitted := ""
+	for i := 0; i < 5; i++ {
+		p := paper.Patient(i)
+		ok, err := monitor.Try(ctx, paper.PerformAct(p, paper.ExamSono))
+		if err == nil && ok {
+			admitted = p
+			break
+		}
+	}
+	if admitted == "" {
+		log.Fatal("no admitted patient found")
+	}
+	fmt.Printf("\ncompleting the examination of %s frees a slot...\n", admitted)
+	if err := monitor.Request(ctx, paper.PerformAct(admitted, paper.ExamSono)); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the inform arrive
+
+	st := m.Stats()
+	fmt.Printf("\nmanager traffic: %d asks, %d grants, %d denies, %d informs\n",
+		st.Asks, st.Grants, st.Denies, st.Informs)
+}

@@ -1,0 +1,88 @@
+// Distributed coordination with recovery: the coupled constraint of
+// Fig 7 is split across multiple interaction managers (one per coupling
+// operand, as sketched at the end of Sec 7), each persisting its
+// confirmed actions to its own action log. The example then simulates a
+// crash by discarding the routers and rebuilding them from the logs,
+// showing that the recovered ensemble still enforces exactly the same
+// state.
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/manager"
+	"repro/internal/paper"
+)
+
+func main() {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "ix-distributed")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	logPath := filepath.Join(dir, "actions.log")
+
+	constraint := paper.Fig7Coupled()
+	router, err := manager.NewRouter(constraint, manager.Options{LogPath: logPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("router with %d managers (one per coupling operand)\n\n", len(router.Managers()))
+
+	request := func(r *manager.Router, a interface{ String() string }, act func() error) {
+		err := act()
+		switch {
+		case err == nil:
+			fmt.Printf("  %-22s granted by all involved managers\n", a.String())
+		case errors.Is(err, manager.ErrDenied):
+			fmt.Printf("  %-22s DENIED (reservations rolled back)\n", a.String())
+		default:
+			log.Fatalf("%s: %v", a, err)
+		}
+	}
+
+	// Fill the sono department and occupy patient 1.
+	fmt.Println("phase 1 — before the crash:")
+	for i := 1; i <= 3; i++ {
+		a := paper.CallAct(paper.Patient(i), paper.ExamSono)
+		request(router, a, func() error { return router.Request(ctx, a) })
+	}
+	a4 := paper.CallAct(paper.Patient(4), paper.ExamSono)
+	request(router, a4, func() error { return router.Request(ctx, a4) }) // capacity
+	b1 := paper.CallAct(paper.Patient(1), paper.ExamEndo)
+	request(router, b1, func() error { return router.Request(ctx, b1) }) // patient busy
+
+	// Crash: close everything, then recover from the action logs.
+	if err := router.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- simulated crash; recovering from action logs ---")
+
+	recovered, err := manager.NewRouter(constraint, manager.Options{LogPath: logPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer recovered.Close()
+
+	fmt.Println("\nphase 2 — after recovery (state must be identical):")
+	request(recovered, a4, func() error { return recovered.Request(ctx, a4) }) // still over capacity
+	request(recovered, b1, func() error { return recovered.Request(ctx, b1) }) // patient still busy
+	rel := paper.PerformAct(paper.Patient(1), paper.ExamSono)
+	request(recovered, rel, func() error { return recovered.Request(ctx, rel) })
+	request(recovered, a4, func() error { return recovered.Request(ctx, a4) }) // slot free now
+	request(recovered, b1, func() error { return recovered.Request(ctx, b1) }) // patient free now
+
+	total := 0
+	for _, m := range recovered.Managers() {
+		total += m.Steps()
+	}
+	fmt.Printf("\ncommitted transitions across managers (incl. replayed): %d\n", total)
+}

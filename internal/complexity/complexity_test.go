@@ -1,0 +1,144 @@
+package complexity
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/parse"
+)
+
+func TestClassifyQuasiRegular(t *testing.T) {
+	cases := []string{
+		"a - b | c",
+		"(a | b)* & c*",
+		"a || b || c",
+		"mult(3, a - b)",
+		"(a - b)* @ (a - c)*",
+	}
+	for _, src := range cases {
+		e := parse.MustParse(src)
+		cl, _ := Classify(e)
+		if cl != Harmless {
+			t.Errorf("%s: got %v want harmless", src, cl)
+		}
+		if !QuasiRegular(e) {
+			t.Errorf("%s: QuasiRegular should hold", src)
+		}
+	}
+}
+
+func TestClassifyBenign(t *testing.T) {
+	cases := []string{
+		"all p: (call(p) - perform(p))*",
+		"any p: call(p) - perform(p)",
+		"syncq x: (call(x) - perform(x))*",
+		// Fig 6 skeleton: nested uniform quantifiers.
+		"syncq x: mult(3, (any p: call(p,x) - perform(p,x))*)",
+	}
+	for _, src := range cases {
+		e := parse.MustParse(src)
+		cl, reasons := Classify(e)
+		if cl != Benign {
+			t.Errorf("%s: got %v (%v) want benign", src, cl, reasons)
+		}
+	}
+}
+
+func TestClassifyUnknown(t *testing.T) {
+	cases := map[string]string{
+		"(a - b)#":             "parallel iteration",
+		"all p: a - call(p)":   "non-uniform (a lacks p)",
+		"x($q) - a":            "free parameter",
+		"all p: (call(p) - b)": "non-uniform",
+	}
+	for src := range cases {
+		e := parse.MustParse(src)
+		cl, reasons := Classify(e)
+		if cl != Unknown {
+			t.Errorf("%s: got %v (%v) want unknown", src, cl, reasons)
+		}
+		if len(reasons) == 0 {
+			t.Errorf("%s: expected reasons", src)
+		}
+	}
+}
+
+func TestClassifyShadowedUniform(t *testing.T) {
+	// The inner quantifier re-binds p; atoms below it need not (and here
+	// do not) use the outer p — the outer quantifier is still uniform
+	// over its own occurrences... but the walk must not credit inner
+	// occurrences to the outer binder either.
+	e := parse.MustParse("all p: (call(p) - (any p: perform(p)))*")
+	// The atom perform(p) under the inner binder does not mention the
+	// OUTER p, but since it is shadowed the outer check skips it.
+	cl, reasons := Classify(e)
+	if cl != Benign {
+		t.Errorf("got %v (%v) want benign", cl, reasons)
+	}
+}
+
+func TestMeasureGrowthConstantForQuasiRegular(t *testing.T) {
+	e, gen := QuasiRegularExpr()
+	samples, err := Measure(e, gen, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(samples)
+	if an.Class != GrowthConstant {
+		t.Errorf("quasi-regular growth: got %v (max size %d)", an.Class, an.MaxSz)
+	}
+}
+
+func TestMeasureGrowthPolynomialForUniform(t *testing.T) {
+	e, gen := UniformExpr()
+	samples, err := Measure(e, gen, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(samples)
+	if an.Class == GrowthExponential {
+		t.Fatalf("uniformly quantified expression measured exponential (max %d)", an.MaxSz)
+	}
+	if an.Class == GrowthPolynomial && an.Degree > 2.5 {
+		t.Errorf("degree too high for a benign expression: %.2f", an.Degree)
+	}
+}
+
+func TestMeasureGrowthExponentialForMalignant(t *testing.T) {
+	e, gen := MalignantExpr()
+	samples, err := Measure(e, gen, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(samples)
+	if an.Class != GrowthExponential {
+		t.Errorf("malignant growth: got %v, sizes %v", an.Class, sizesOf(samples))
+	}
+	cl, _ := Classify(e)
+	if cl != Unknown {
+		t.Errorf("malignant expression should classify as potentially malignant, got %v", cl)
+	}
+}
+
+func TestMeasureRejectsBadWord(t *testing.T) {
+	e := parse.MustParse("a - b")
+	gen := func(i int) expr.Action { return expr.ConcreteAct("b") }
+	if _, err := Measure(e, gen, 2); err == nil {
+		t.Error("expected rejection error")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	an := Analyze(nil)
+	if an.MaxSz != 0 || an.MaxLen != 0 {
+		t.Errorf("empty analysis: %+v", an)
+	}
+}
+
+func sizesOf(ss []GrowthSample) []int {
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		out[i] = s.Size
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package complexity
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Derivation is a step-by-step benignity proof sketch for an expression,
+// the "these propositions can be used in combination to evaluate step by
+// step that a given expression is benign" methodology of Sec 6. Each
+// node records the class established for one subexpression and the rule
+// that established it.
+type Derivation struct {
+	Expr  *expr.Expr
+	Class Class
+	Rule  string
+	Kids  []*Derivation
+}
+
+// Derivation rules, in the spirit of the propositions of Sec 6. They are
+// deliberately conservative: every rule is sound for the state model of
+// this implementation (constant-size states compose to constant-size
+// states; value-indexed quantifier branches over bounded bodies grow at
+// most linearly per touched value), and anything not covered degrades to
+// "potentially malignant" rather than guessing.
+const (
+	ruleAtom       = "atoms and ε have constant states"
+	ruleQuasiComb  = "composition of harmless operands without # or quantifiers stays harmless"
+	ruleUniformQ   = "uniform quantifier over a harmless body: one bounded branch per touched value (benign)"
+	ruleUniformQB  = "uniform quantifier over a benign body: per-value branches stay polynomial (benign)"
+	ruleBenignComb = "bounded composition of benign operands stays benign (state sizes multiply/add polynomially)"
+	ruleNonUniform = "quantifier parameter missing from some atom of the body: alternative sets can build up"
+	ruleParIter    = "parallel iteration: instance multisets can grow without bound"
+	ruleOpen       = "free parameters: not completely quantified"
+	ruleSeqIterBen = "sequential iteration of a benign body: live iteration instances are bounded by the body's value-indexed states (benign)"
+)
+
+// Derive builds the derivation tree for e. The root's class equals the
+// class the step-by-step rules can establish; Classify is the coarser
+// single-shot judgment (they agree on Harmless, and Derive never claims
+// more than Classify would).
+func Derive(e *expr.Expr) *Derivation {
+	if !e.Closed() {
+		return &Derivation{Expr: e, Class: Unknown, Rule: ruleOpen}
+	}
+	return derive(e)
+}
+
+func derive(e *expr.Expr) *Derivation {
+	d := &Derivation{Expr: e}
+	for _, k := range e.Kids {
+		d.Kids = append(d.Kids, derive(k))
+	}
+	worst := Harmless
+	for _, k := range d.Kids {
+		if k.Class > worst {
+			worst = k.Class
+		}
+	}
+	switch e.Op {
+	case expr.OpAtom, expr.OpEmpty:
+		d.Class, d.Rule = Harmless, ruleAtom
+	case expr.OpParIter:
+		d.Class, d.Rule = Unknown, ruleParIter
+	case expr.OpSeqIter:
+		switch worst {
+		case Harmless:
+			d.Class, d.Rule = Harmless, ruleQuasiComb
+		case Benign:
+			// Iteration instances are states of the body; with benign
+			// (value-indexed, polynomially sized) bodies the deduplicated
+			// live-instance set stays polynomial too — completed rounds
+			// are reclaimed by ρ. Validated empirically in E10/Fig 6.
+			d.Class, d.Rule = Benign, ruleSeqIterBen
+		default:
+			d.Class, d.Rule = Unknown, "body is potentially malignant"
+		}
+	case expr.OpOption, expr.OpSeq, expr.OpPar, expr.OpOr, expr.OpAnd,
+		expr.OpSync, expr.OpMult:
+		switch worst {
+		case Harmless:
+			d.Class, d.Rule = Harmless, ruleQuasiComb
+		case Benign:
+			d.Class, d.Rule = Benign, ruleBenignComb
+		default:
+			d.Class, d.Rule = Unknown, "an operand is potentially malignant"
+		}
+	case expr.OpAnyQ, expr.OpAllQ, expr.OpSyncQ, expr.OpConQ:
+		var bad []string
+		uniform := uniformlyQuantified(e, &bad)
+		switch {
+		case !uniform:
+			d.Class, d.Rule = Unknown, ruleNonUniform
+		case worst == Harmless:
+			d.Class, d.Rule = Benign, ruleUniformQ
+		case worst == Benign:
+			// A uniform quantifier over an already-benign body keeps the
+			// per-value branches polynomial: still benign.
+			d.Class, d.Rule = Benign, ruleUniformQB
+		default:
+			d.Class, d.Rule = Unknown, "body is potentially malignant"
+		}
+	default:
+		d.Class, d.Rule = Unknown, fmt.Sprintf("unknown operator %v", e.Op)
+	}
+	return d
+}
+
+// String renders the derivation as an indented proof sketch.
+func (d *Derivation) String() string {
+	var b strings.Builder
+	d.render(&b, 0)
+	return b.String()
+}
+
+func (d *Derivation) render(b *strings.Builder, depth int) {
+	for _, k := range d.Kids {
+		k.render(b, depth+1)
+	}
+	fmt.Fprintf(b, "%s%v: `%s` — %s\n",
+		strings.Repeat("  ", depth), d.Class, truncate(d.Expr.String(), 60), d.Rule)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

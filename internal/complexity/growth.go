@@ -1,0 +1,202 @@
+package complexity
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/expr"
+	"repro/internal/state"
+)
+
+// GrowthSample is one point of a state-growth measurement: after Steps
+// actions the engine's state had the given Size.
+type GrowthSample struct {
+	Steps int
+	Size  int
+}
+
+// Measure feeds the word produced by gen(i) for i = 0..steps-1 into a
+// fresh engine for e and samples the state size after every action. The
+// generator must produce permissible actions; Measure stops early (and
+// reports how far it got) if an action is rejected.
+func Measure(e *expr.Expr, gen func(i int) expr.Action, steps int) ([]GrowthSample, error) {
+	en, err := state.NewEngine(e)
+	if err != nil {
+		return nil, err
+	}
+	samples := make([]GrowthSample, 0, steps+1)
+	samples = append(samples, GrowthSample{0, en.StateSize()})
+	for i := 0; i < steps; i++ {
+		a := gen(i)
+		if err := en.Step(a); err != nil {
+			return samples, fmt.Errorf("complexity: step %d (%s): %w", i, a, err)
+		}
+		samples = append(samples, GrowthSample{i + 1, en.StateSize()})
+	}
+	return samples, nil
+}
+
+// GrowthClass is the empirical growth behaviour of a measurement.
+type GrowthClass int
+
+const (
+	// GrowthConstant: sizes stay within a constant band.
+	GrowthConstant GrowthClass = iota
+	// GrowthPolynomial: sizes fit size ≈ c·stepsᵈ for a moderate d.
+	GrowthPolynomial
+	// GrowthExponential: sizes at least double along a constant stride.
+	GrowthExponential
+)
+
+// String names the growth class.
+func (g GrowthClass) String() string {
+	switch g {
+	case GrowthConstant:
+		return "constant"
+	case GrowthPolynomial:
+		return "polynomial"
+	case GrowthExponential:
+		return "exponential"
+	}
+	return fmt.Sprintf("GrowthClass(%d)", int(g))
+}
+
+// Analysis summarizes a growth measurement.
+type Analysis struct {
+	Class  GrowthClass
+	Degree float64 // log-log slope estimate (polynomial degree); 0 for constant
+	Ratio  float64 // average consecutive doubling ratio over the last half
+	MaxLen int     // number of actions measured
+	MaxSz  int     // largest observed state size
+}
+
+// Analyze estimates the growth class of a measurement. The thresholds are
+// deliberately coarse: the experiments separate O(1), low-degree
+// polynomial and exponential behaviour by orders of magnitude.
+func Analyze(samples []GrowthSample) Analysis {
+	an := Analysis{}
+	if len(samples) == 0 {
+		return an
+	}
+	an.MaxLen = samples[len(samples)-1].Steps
+	first := samples[0].Size
+	for _, s := range samples {
+		if s.Size > an.MaxSz {
+			an.MaxSz = s.Size
+		}
+	}
+	// Constant: never grows beyond a small additive/multiplicative band.
+	if an.MaxSz <= first+4 || float64(an.MaxSz) <= 2.0*float64(max(first, 1)) {
+		an.Class = GrowthConstant
+		return an
+	}
+	// Exponential heuristic: size at n vs size at n/2 over the tail.
+	mid := samples[len(samples)/2]
+	last := samples[len(samples)-1]
+	if mid.Size > 0 && last.Size >= 8*mid.Size && last.Size >= 64 {
+		an.Class = GrowthExponential
+		an.Ratio = float64(last.Size) / float64(mid.Size)
+		return an
+	}
+	// Polynomial: least-squares slope of log(size) against log(steps),
+	// over the second half of the samples (the asymptotic regime).
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for _, s := range samples[len(samples)/2:] {
+		if s.Steps == 0 || s.Size == 0 {
+			continue
+		}
+		x, y := math.Log(float64(s.Steps)), math.Log(float64(s.Size))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	if n >= 2 && n > 0 {
+		den := float64(n)*sxx - sx*sx
+		if den != 0 {
+			an.Degree = (float64(n)*sxy - sx*sy) / den
+		}
+	}
+	an.Class = GrowthPolynomial
+	return an
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MalignantExpr constructs the package's reference malignant expression
+// together with an adversarial word generator (Sec 6: such expressions
+// "have to be selectively constructed" along with "a suitable word for
+// which they actually behave malignant"). The expression
+//
+//	((a - b?)# - c)#
+//
+// under the word a a a ... is maximally ambiguous in two dimensions at
+// once: every a may extend any existing inner iteration of any outer
+// instance or start a new one at either level, and because neither b nor
+// c ever arrives, no alternative can be pruned. The number of reachable
+// configurations — distributions of n indistinguishable actions over a
+// two-level forest of instances — grows exponentially (measured ≈ 1.4ⁿ).
+func MalignantExpr() (*expr.Expr, func(i int) expr.Action) {
+	a := expr.AtomNamed("a")
+	b := expr.AtomNamed("b")
+	c := expr.AtomNamed("c")
+	e := expr.ParIter(expr.Seq(expr.ParIter(expr.Seq(a, expr.Option(b))), c))
+	gen := func(i int) expr.Action { return expr.ConcreteAct("a") }
+	return e, gen
+}
+
+// QuasiRegularExpr returns a representative harmless expression (iterated
+// choice with parallel composition but no # or quantifiers) and a word
+// generator driving it forever.
+func QuasiRegularExpr() (*expr.Expr, func(i int) expr.Action) {
+	a := expr.AtomNamed("a")
+	b := expr.AtomNamed("b")
+	e := expr.SeqIter(expr.Or(expr.Seq(a, b), b))
+	gen := func(i int) expr.Action {
+		if i%3 == 0 {
+			return expr.ConcreteAct("b")
+		}
+		if i%3 == 1 {
+			return expr.ConcreteAct("a")
+		}
+		return expr.ConcreteAct("b")
+	}
+	return e, gen
+}
+
+// UniformExpr returns a representative completely and uniformly
+// quantified expression — the skeleton of the paper's Fig 3 constraint —
+// and a word generator that keeps opening fresh, never-completed patient
+// branches. This is the growth-relevant workload: the state carries one
+// branch per *concurrently active* value. (Branches of completed rounds
+// are reclaimed by the ρ optimization and cost nothing; see
+// ClosedUniformGen.)
+func UniformExpr() (*expr.Expr, func(i int) expr.Action) {
+	call := expr.AtomNamed("call", expr.Prm("p"))
+	perform := expr.AtomNamed("perform", expr.Prm("p"))
+	e := expr.AllQ("p", expr.SeqIter(expr.Seq(call, perform)))
+	gen := func(i int) expr.Action {
+		return expr.ConcreteAct("call", fmt.Sprintf("pat%d", i))
+	}
+	return e, gen
+}
+
+// ClosedUniformGen generates the complementary workload for UniformExpr:
+// every opened branch is immediately completed, so ρ releases it and the
+// state stays constant no matter how long the word grows.
+func ClosedUniformGen() func(i int) expr.Action {
+	return func(i int) expr.Action {
+		v := fmt.Sprintf("pat%d", i/2)
+		if i%2 == 0 {
+			return expr.ConcreteAct("call", v)
+		}
+		return expr.ConcreteAct("perform", v)
+	}
+}

@@ -1,0 +1,162 @@
+package expr
+
+import "strings"
+
+// PatKind classifies one position of an alphabet pattern.
+type PatKind int
+
+const (
+	// PatValue matches exactly one concrete value.
+	PatValue PatKind = iota
+	// PatWild matches any concrete value. It arises from parameters that
+	// are bound by a quantifier inside the expression whose alphabet is
+	// being computed: α(any p: y) = ∪_ω α(y_ω^p), so the position ranges
+	// over all of Ω.
+	PatWild
+	// PatFree matches nothing. It arises from parameters that are free in
+	// the expression: until a surrounding quantifier substitutes a value,
+	// no concrete action can instantiate the position.
+	PatFree
+)
+
+// PatArg is one argument position of an alphabet pattern.
+type PatArg struct {
+	Kind PatKind
+	Name string // value for PatValue, parameter name for PatFree
+}
+
+// Pattern is one element of an expression alphabet α(x): an action shape
+// against which concrete actions are matched.
+type Pattern struct {
+	Name string
+	Args []PatArg
+}
+
+// Match reports whether the concrete action c is an instance of the
+// pattern.
+func (p Pattern) Match(c Action) bool {
+	if p.Name != c.Name || len(p.Args) != len(c.Args) {
+		return false
+	}
+	for i, a := range p.Args {
+		switch a.Kind {
+		case PatValue:
+			if c.Args[i].Param || c.Args[i].Name != a.Name {
+				return false
+			}
+		case PatWild:
+			if c.Args[i].Param {
+				return false
+			}
+		case PatFree:
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical identity string for the pattern.
+func (p Pattern) Key() string {
+	if len(p.Args) == 0 {
+		return p.Name
+	}
+	var b strings.Builder
+	b.WriteString(p.Name)
+	b.WriteByte('(')
+	for i, a := range p.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		switch a.Kind {
+		case PatValue:
+			b.WriteString(a.Name)
+		case PatWild:
+			b.WriteByte('*')
+		case PatFree:
+			b.WriteString("$" + a.Name)
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Alphabet is the alphabet α(x) of an expression: a set of patterns.
+type Alphabet struct {
+	pats []Pattern
+	keys map[string]bool
+}
+
+// Contains reports whether the concrete action c belongs to the alphabet,
+// i.e. matches at least one pattern.
+func (al *Alphabet) Contains(c Action) bool {
+	if al == nil {
+		return false
+	}
+	for _, p := range al.pats {
+		if p.Match(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Patterns returns the patterns of the alphabet in insertion order. The
+// returned slice must not be modified.
+func (al *Alphabet) Patterns() []Pattern {
+	if al == nil {
+		return nil
+	}
+	return al.pats
+}
+
+// Len returns the number of distinct patterns.
+func (al *Alphabet) Len() int {
+	if al == nil {
+		return 0
+	}
+	return len(al.pats)
+}
+
+func (al *Alphabet) add(p Pattern) {
+	k := p.Key()
+	if al.keys[k] {
+		return
+	}
+	al.keys[k] = true
+	al.pats = append(al.pats, p)
+}
+
+// AlphabetOf computes α(e): one pattern per atom, with argument positions
+// classified relative to e. Parameters bound by quantifiers within e become
+// wildcards; parameters free in e match nothing until substituted (last
+// column of Table 8: alphabets are unions of the operands' alphabets, and
+// quantifier alphabets are unions over all concretions of the body).
+func AlphabetOf(e *Expr) *Alphabet {
+	al := &Alphabet{keys: make(map[string]bool)}
+	collectAlphabet(e, nil, al)
+	return al
+}
+
+func collectAlphabet(e *Expr, bound []string, al *Alphabet) {
+	switch e.Op {
+	case OpAtom:
+		args := make([]PatArg, len(e.Atom.Args))
+		for i, a := range e.Atom.Args {
+			switch {
+			case !a.Param:
+				args[i] = PatArg{Kind: PatValue, Name: a.Name}
+			case contains(bound, a.Name):
+				args[i] = PatArg{Kind: PatWild}
+			default:
+				args[i] = PatArg{Kind: PatFree, Name: a.Name}
+			}
+		}
+		al.add(Pattern{Name: e.Atom.Name, Args: args})
+		return
+	case OpAnyQ, OpAllQ, OpSyncQ, OpConQ:
+		bound = append(bound, e.Param)
+	}
+	for _, k := range e.Kids {
+		collectAlphabet(k, bound, al)
+	}
+}

@@ -1,0 +1,388 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestArgString(t *testing.T) {
+	if got := Val("v").String(); got != "v" {
+		t.Errorf("Val: got %q", got)
+	}
+	if got := Prm("p").String(); got != "$p" {
+		t.Errorf("Prm: got %q", got)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	cases := []struct {
+		a    Action
+		want string
+	}{
+		{Act("a"), "a"},
+		{Act("call", Val("v7")), "call(v7)"},
+		{Act("call", Prm("p"), Val("sono")), "call($p,sono)"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("%#v: got %q want %q", c.a, got, c.want)
+		}
+	}
+}
+
+func TestActionConcrete(t *testing.T) {
+	if !Act("a", Val("x")).Concrete() {
+		t.Error("value-only action should be concrete")
+	}
+	if Act("a", Prm("p")).Concrete() {
+		t.Error("parameterized action should not be concrete")
+	}
+	if !Act("a").Concrete() {
+		t.Error("argument-free action should be concrete")
+	}
+}
+
+func TestStrictMatch(t *testing.T) {
+	cases := []struct {
+		atom, act Action
+		want      bool
+	}{
+		{Act("a"), Act("a"), true},
+		{Act("a"), Act("b"), false},
+		{Act("a", Val("v")), Act("a", Val("v")), true},
+		{Act("a", Val("v")), Act("a", Val("w")), false},
+		{Act("a", Val("v")), Act("a"), false},
+		{Act("a"), Act("a", Val("v")), false},
+		// Parameters never match strictly.
+		{Act("a", Prm("p")), Act("a", Val("v")), false},
+	}
+	for _, c := range cases {
+		if got := c.atom.StrictMatch(c.act); got != c.want {
+			t.Errorf("StrictMatch(%s, %s) = %v, want %v", c.atom, c.act, got, c.want)
+		}
+	}
+}
+
+func TestActionSubst(t *testing.T) {
+	a := Act("call", Prm("p"), Val("sono"), Prm("q"))
+	got := a.Subst("p", "v7")
+	want := Act("call", Val("v7"), Val("sono"), Prm("q"))
+	if !got.Equal(want) {
+		t.Errorf("Subst: got %s want %s", got, want)
+	}
+	// Receiver unchanged (immutability).
+	if !a.Args[0].Param {
+		t.Error("Subst mutated the receiver")
+	}
+	// No occurrence: same value back.
+	if b := a.Subst("z", "v"); !b.Equal(a) {
+		t.Error("Subst without occurrence should be identity")
+	}
+}
+
+func TestParseActionString(t *testing.T) {
+	good := map[string]string{
+		"a":              "a",
+		"call(v7)":       "call(v7)",
+		" call(v7,sono)": "call(v7,sono)",
+		"x( a , b )":     "x(a,b)",
+	}
+	for in, want := range good {
+		a, err := ParseActionString(in)
+		if err != nil {
+			t.Errorf("ParseActionString(%q): %v", in, err)
+			continue
+		}
+		if a.String() != want {
+			t.Errorf("ParseActionString(%q) = %s, want %s", in, a, want)
+		}
+	}
+	bad := []string{"", "(", "a(", "a)", "a(b", "1a", "a(b,)", "a()x", "a-b"}
+	for _, in := range bad {
+		if _, err := ParseActionString(in); err == nil {
+			t.Errorf("ParseActionString(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseActionStringEmptyParens(t *testing.T) {
+	a, err := ParseActionString("a()")
+	if err != nil {
+		t.Fatalf("a(): %v", err)
+	}
+	if a.String() != "a" || len(a.Args) != 0 {
+		t.Errorf("a() should normalize to zero-arg action, got %s", a)
+	}
+}
+
+var (
+	ea = AtomNamed("a")
+	eb = AtomNamed("b")
+	ec = AtomNamed("c")
+)
+
+func TestCanonicalStrings(t *testing.T) {
+	cases := []struct {
+		e    *Expr
+		want string
+	}{
+		{ea, "a"},
+		{Empty(), "()"},
+		{Option(ea), "a?"},
+		{Seq(ea, eb), "a - b"},
+		{Seq(ea, eb, ec), "a - b - c"},
+		{SeqIter(ea), "a*"},
+		{ParIter(ea), "a#"},
+		{Par(ea, eb), "a || b"},
+		{Or(ea, eb), "a | b"},
+		{And(ea, eb), "a & b"},
+		{Sync(ea, eb), "a @ b"},
+		{Mult(3, ea), "mult(3, a)"},
+		{SeqIter(Or(ea, eb)), "(a | b)*"},
+		{Seq(Or(ea, eb), ec), "(a | b) - c"},
+		{Or(Seq(ea, eb), ec), "a - b | c"},
+		{Par(Seq(ea, eb), ec), "a - b || c"},
+		{And(Par(ea, eb), ec), "a || b & c"},
+		{AnyQ("p", AtomNamed("x", Prm("p"))), "any p: x($p)"},
+		{AllQ("p", SeqIter(AtomNamed("x", Prm("p")))), "all p: x($p)*"},
+		{SyncQ("p", ea), "syncq p: a"},
+		{ConQ("p", ea), "conq p: a"},
+		{Option(SeqIter(ea)), "a*?"},
+		{Seq(ea, AnyQ("p", eb)), "a - (any p: b)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String: got %q want %q", got, c.want)
+		}
+	}
+}
+
+func TestNaryFlattening(t *testing.T) {
+	e1 := Seq(Seq(ea, eb), ec)
+	e2 := Seq(ea, Seq(eb, ec))
+	e3 := Seq(ea, eb, ec)
+	if e1.String() != e3.String() || e2.String() != e3.String() {
+		t.Errorf("associativity flattening failed: %q %q %q", e1, e2, e3)
+	}
+	if len(e3.Kids) != 3 {
+		t.Errorf("expected 3 kids, got %d", len(e3.Kids))
+	}
+	// Empty is the neutral element of seq and par.
+	if Seq(ea, Empty(), eb).String() != "a - b" {
+		t.Errorf("seq should drop empty: %q", Seq(ea, Empty(), eb))
+	}
+	if Par(Empty(), ea).String() != "a" {
+		t.Errorf("par should drop empty: %q", Par(Empty(), ea))
+	}
+	// But or/and/sync must keep it.
+	if Or(Empty(), ea).String() != "() | a" {
+		t.Errorf("or must keep empty: %q", Or(Empty(), ea))
+	}
+}
+
+func TestSingletonCollapse(t *testing.T) {
+	if Seq(ea) != ea {
+		t.Error("unary seq should collapse")
+	}
+	if Mult(1, ea) != ea {
+		t.Error("mult(1, y) should collapse to y")
+	}
+	if Mult(0, ea).Op != OpEmpty {
+		t.Error("mult(0, y) should be empty")
+	}
+}
+
+func TestSubstShadowing(t *testing.T) {
+	// any p: (x(p) - any p: y(p)) — the inner p is a different binder.
+	inner := AnyQ("p", AtomNamed("y", Prm("p")))
+	e := Seq(AtomNamed("x", Prm("p")), inner)
+	got := e.Subst("p", "v")
+	want := Seq(AtomNamed("x", Val("v")), inner)
+	if !got.Equal(want) {
+		t.Errorf("shadowed subst: got %s want %s", got, want)
+	}
+}
+
+func TestFreeParamsAndClosed(t *testing.T) {
+	e := AnyQ("p", Seq(AtomNamed("x", Prm("p")), AtomNamed("y", Prm("q"))))
+	free := e.FreeParams()
+	if len(free) != 1 || !free["q"] {
+		t.Errorf("FreeParams: got %v want {q}", free)
+	}
+	if e.Closed() {
+		t.Error("expression with free q should not be closed")
+	}
+	if !AnyQ("q", e).Closed() {
+		t.Error("fully quantified expression should be closed")
+	}
+}
+
+func TestSubstIdentityWhenAbsent(t *testing.T) {
+	e := Seq(ea, eb)
+	if e.Subst("p", "v") != e {
+		t.Error("Subst without free occurrence should return the receiver")
+	}
+}
+
+func TestSizeDepthWalkActions(t *testing.T) {
+	e := Seq(ea, Or(eb, ec))
+	if e.Size() != 5 { // seq + a + or + b + c
+		t.Errorf("Size: got %d want 5", e.Size())
+	}
+	if e.Depth() != 3 {
+		t.Errorf("Depth: got %d want 3", e.Depth())
+	}
+	acts := e.Actions()
+	if len(acts) != 3 {
+		t.Errorf("Actions: got %v", acts)
+	}
+	// Duplicate atoms are reported once.
+	if n := len(Seq(ea, ea).Actions()); n != 1 {
+		t.Errorf("Actions dedup: got %d", n)
+	}
+}
+
+func TestAlphabetPatterns(t *testing.T) {
+	e := AnyQ("p", Seq(
+		AtomNamed("x", Prm("p")),
+		AtomNamed("y", Val("v"), Prm("q")),
+		AtomNamed("z"),
+	))
+	al := AlphabetOf(e)
+	if al.Len() != 3 {
+		t.Fatalf("alphabet size: got %d want 3", al.Len())
+	}
+	// x(*): bound parameter → wildcard.
+	if !al.Contains(ConcreteAct("x", "anything")) {
+		t.Error("x(*) should contain x(anything)")
+	}
+	// y(v, $q): q is free → matches nothing.
+	if al.Contains(ConcreteAct("y", "v", "w")) {
+		t.Error("pattern with free parameter must match nothing")
+	}
+	// z: plain.
+	if !al.Contains(ConcreteAct("z")) {
+		t.Error("z should be in alphabet")
+	}
+	// wrong arity
+	if al.Contains(ConcreteAct("x")) {
+		t.Error("x with wrong arity should not match")
+	}
+	if al.Contains(ConcreteAct("w")) {
+		t.Error("unknown action should not match")
+	}
+}
+
+func TestAlphabetAfterSubst(t *testing.T) {
+	e := Seq(AtomNamed("x", Prm("q")))
+	if AlphabetOf(e).Contains(ConcreteAct("x", "v")) {
+		t.Error("free q should not match")
+	}
+	if !AlphabetOf(e.Subst("q", "v")).Contains(ConcreteAct("x", "v")) {
+		t.Error("after substitution the value should match")
+	}
+}
+
+func TestPatternKey(t *testing.T) {
+	e := AnyQ("p", AtomNamed("x", Prm("p"), Val("v"), Prm("q")))
+	pats := AlphabetOf(e).Patterns()
+	if len(pats) != 1 {
+		t.Fatalf("got %d patterns", len(pats))
+	}
+	if got := pats[0].Key(); got != "x(*,v,$q)" {
+		t.Errorf("pattern key: got %q", got)
+	}
+}
+
+// Property: the canonical string of a rebuilt expression is stable
+// (structural identity is well-defined).
+func TestPropertyRebuildStable(t *testing.T) {
+	f := func(seed int64) bool {
+		e := genExpr(seed, 3)
+		return e.String() == rebuildDeep(e).String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func rebuildDeep(e *Expr) *Expr {
+	if len(e.Kids) == 0 {
+		switch e.Op {
+		case OpAtom:
+			return Atom(e.Atom)
+		case OpEmpty:
+			return Empty()
+		}
+	}
+	kids := make([]*Expr, len(e.Kids))
+	for i, k := range e.Kids {
+		kids[i] = rebuildDeep(k)
+	}
+	return rebuild(e, kids)
+}
+
+// genExpr derives a deterministic pseudo-random expression from a seed —
+// shared helper for quick-check style properties.
+func genExpr(seed int64, depth int) *Expr {
+	s := uint64(seed)
+	next := func(n int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % uint64(n))
+	}
+	var gen func(d int, params []string) *Expr
+	gen = func(d int, params []string) *Expr {
+		if d == 0 || next(5) == 0 {
+			names := []string{"a", "b", "x"}
+			name := names[next(len(names))]
+			switch next(3) {
+			case 0:
+				return AtomNamed(name)
+			case 1:
+				return AtomNamed(name, Val("v"))
+			default:
+				if len(params) == 0 {
+					return AtomNamed(name)
+				}
+				return AtomNamed(name, Prm(params[next(len(params))]))
+			}
+		}
+		switch next(10) {
+		case 0:
+			return Option(gen(d-1, params))
+		case 1:
+			return Seq(gen(d-1, params), gen(d-1, params))
+		case 2:
+			return SeqIter(gen(d-1, params))
+		case 3:
+			return Par(gen(d-1, params), gen(d-1, params))
+		case 4:
+			return ParIter(gen(d-1, params))
+		case 5:
+			return Or(gen(d-1, params), gen(d-1, params))
+		case 6:
+			return And(gen(d-1, params), gen(d-1, params))
+		case 7:
+			return Sync(gen(d-1, params), gen(d-1, params))
+		case 8:
+			return Mult(2, gen(d-1, params))
+		default:
+			p := "p" + string(rune('0'+len(params)))
+			return AnyQ(p, gen(d-1, append(params, p)))
+		}
+	}
+	return gen(depth, nil)
+}
+
+func TestRenderParenthesesRoundTrip(t *testing.T) {
+	// Nested operators at every precedence pair must render with enough
+	// parentheses that operator structure is visible in the string.
+	e := Or(And(ea, Sync(eb, Par(ec, Seq(ea, eb)))), Option(ea))
+	s := e.String()
+	for _, frag := range []string{"&", "@", "||", "-", "|", "?"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("render lost operator %q: %s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package expr
+
+// Subst returns the expression derived from e by replacing every free
+// occurrence of parameter p with the concrete value v (the concretion
+// y_ω^p of the paper). Occurrences bound by an inner quantifier of the
+// same name are shadowed and left untouched. If p does not occur free,
+// the receiver itself is returned.
+func (e *Expr) Subst(p, v string) *Expr {
+	if !e.HasFreeParam(p) {
+		return e
+	}
+	switch e.Op {
+	case OpAtom:
+		return Atom(e.Atom.Subst(p, v))
+	case OpEmpty:
+		return e
+	case OpAnyQ, OpAllQ, OpSyncQ, OpConQ:
+		if e.Param == p {
+			return e // shadowed; HasFreeParam said otherwise, defensive
+		}
+		return quant(e.Op, e.Param, e.Kids[0].Subst(p, v))
+	default:
+		kids := make([]*Expr, len(e.Kids))
+		for i, k := range e.Kids {
+			kids[i] = k.Subst(p, v)
+		}
+		return rebuild(e, kids)
+	}
+}
+
+// rebuild constructs a copy of e with new children, preserving operator,
+// multiplicity and parameter.
+func rebuild(e *Expr, kids []*Expr) *Expr {
+	switch e.Op {
+	case OpOption:
+		return Option(kids[0])
+	case OpSeq:
+		return Seq(kids...)
+	case OpSeqIter:
+		return SeqIter(kids[0])
+	case OpPar:
+		return Par(kids...)
+	case OpParIter:
+		return ParIter(kids[0])
+	case OpOr:
+		return Or(kids...)
+	case OpAnd:
+		return And(kids...)
+	case OpSync:
+		return Sync(kids...)
+	case OpMult:
+		return Mult(e.N, kids[0])
+	case OpAnyQ, OpAllQ, OpSyncQ, OpConQ:
+		return quant(e.Op, e.Param, kids[0])
+	}
+	panic("expr: rebuild on leaf")
+}
+
+// HasFreeParam reports whether parameter p occurs free in e.
+func (e *Expr) HasFreeParam(p string) bool {
+	switch e.Op {
+	case OpAtom:
+		for _, a := range e.Atom.Args {
+			if a.Param && a.Name == p {
+				return true
+			}
+		}
+		return false
+	case OpEmpty:
+		return false
+	case OpAnyQ, OpAllQ, OpSyncQ, OpConQ:
+		if e.Param == p {
+			return false
+		}
+	}
+	for _, k := range e.Kids {
+		if k.HasFreeParam(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// FreeParams returns the set of parameters occurring free in e.
+func (e *Expr) FreeParams() map[string]bool {
+	out := make(map[string]bool)
+	e.freeParams(out, nil)
+	return out
+}
+
+func (e *Expr) freeParams(out map[string]bool, bound []string) {
+	switch e.Op {
+	case OpAtom:
+		for _, a := range e.Atom.Args {
+			if a.Param && !contains(bound, a.Name) {
+				out[a.Name] = true
+			}
+		}
+		return
+	case OpAnyQ, OpAllQ, OpSyncQ, OpConQ:
+		bound = append(bound, e.Param)
+	}
+	for _, k := range e.Kids {
+		k.freeParams(out, bound)
+	}
+}
+
+// Closed reports whether the expression has no free parameters. Only
+// closed expressions can be executed by the state model or the manager.
+func (e *Expr) Closed() bool { return len(e.FreeParams()) == 0 }
+
+// Values returns every concrete value mentioned anywhere in e, in
+// first-occurrence order. The semantics oracle uses this to build a
+// finite relevant-value universe.
+func (e *Expr) Values() []string {
+	var out []string
+	seen := make(map[string]bool)
+	e.Walk(func(n *Expr) bool {
+		if n.Op == OpAtom {
+			for _, v := range n.Atom.Values() {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,292 @@
+// Package graph implements interaction graphs, the graphical user-
+// oriented view of interaction expressions (Sec 2 of the paper).
+// Interaction graphs are merely a graphical notation of interaction
+// expressions — "just like syntax charts constitute a graphical
+// representation of context-free grammars" — so a Graph is constructed
+// from an expression and renders it as a left-to-right traversal diagram:
+// as Graphviz DOT for faithful drawing, or as an indented ASCII tree for
+// terminals.
+//
+// The visual conventions follow the paper's mnemonics: a single circle
+// ("either or") marks disjunction branchings where one branch must be
+// chosen, a double circle ("as well as") marks parallel branchings where
+// all branches are traversed, and a triple circle marks arbitrarily
+// parallel branchings. Quantifier circles carry their parameter,
+// multiplier circles their multiplicity.
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// NodeKind classifies the nodes of an interaction graph.
+type NodeKind int
+
+const (
+	// KindStart is the graph entry point (left end).
+	KindStart NodeKind = iota
+	// KindEnd is the graph exit point (right end).
+	KindEnd
+	// KindAction is an atomic action (drawn as a rectangle).
+	KindAction
+	// KindSplit opens an operator region (a circle in the paper).
+	KindSplit
+	// KindJoin closes an operator region.
+	KindJoin
+)
+
+// Node is one node of an interaction graph.
+type Node struct {
+	ID    int
+	Kind  NodeKind
+	Label string  // action text or operator symbol
+	Op    expr.Op // for splits/joins: the operator
+}
+
+// Edge is a directed edge between two node IDs.
+type Edge struct {
+	From, To int
+	Back     bool // loop-back edge of an iteration
+}
+
+// Graph is an interaction graph: a rendering-oriented view of an
+// interaction expression. The source expression is retained, making the
+// notation round-trip trivially (Sec 2: graphs and expressions are two
+// notations for the same thing).
+type Graph struct {
+	Source *expr.Expr
+	Nodes  []Node
+	Edges  []Edge
+	start  int
+	end    int
+}
+
+// FromExpr builds the interaction graph of an expression.
+func FromExpr(e *expr.Expr) *Graph {
+	g := &Graph{Source: e}
+	g.start = g.node(KindStart, "start", 0)
+	g.end = g.node(KindEnd, "end", 0)
+	first, last := g.build(e)
+	g.edge(g.start, first, false)
+	g.edge(last, g.end, false)
+	return g
+}
+
+func (g *Graph) node(k NodeKind, label string, op expr.Op) int {
+	id := len(g.Nodes)
+	g.Nodes = append(g.Nodes, Node{ID: id, Kind: k, Label: label, Op: op})
+	return id
+}
+
+func (g *Graph) edge(from, to int, back bool) {
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Back: back})
+}
+
+// opSymbol maps operators to the circle mnemonics of the paper.
+func opSymbol(e *expr.Expr) string {
+	switch e.Op {
+	case expr.OpOption:
+		return "?"
+	case expr.OpSeqIter:
+		return "*"
+	case expr.OpParIter:
+		return "((( )))" // arbitrarily parallel: three circles
+	case expr.OpPar:
+		return "(( ))" // as well as: double circle
+	case expr.OpOr:
+		return "( )" // either or: single circle
+	case expr.OpAnd:
+		return "&"
+	case expr.OpSync:
+		return "@"
+	case expr.OpMult:
+		return fmt.Sprintf("%d", e.N)
+	case expr.OpAnyQ:
+		return "some " + e.Param
+	case expr.OpAllQ:
+		return "all " + e.Param
+	case expr.OpSyncQ:
+		return "sync " + e.Param
+	case expr.OpConQ:
+		return "con " + e.Param
+	}
+	return e.Op.String()
+}
+
+// build emits nodes/edges for e and returns its entry and exit node IDs.
+func (g *Graph) build(e *expr.Expr) (first, last int) {
+	switch e.Op {
+	case expr.OpAtom:
+		n := g.node(KindAction, e.Atom.String(), expr.OpAtom)
+		return n, n
+	case expr.OpEmpty:
+		n := g.node(KindSplit, "ε", expr.OpEmpty)
+		return n, n
+	case expr.OpSeq:
+		first = -1
+		prev := -1
+		for _, k := range e.Kids {
+			f, l := g.build(k)
+			if first < 0 {
+				first = f
+			} else {
+				g.edge(prev, f, false)
+			}
+			prev = l
+		}
+		return first, prev
+	case expr.OpOption, expr.OpSeqIter, expr.OpParIter, expr.OpMult,
+		expr.OpAnyQ, expr.OpAllQ, expr.OpSyncQ, expr.OpConQ:
+		split := g.node(KindSplit, opSymbol(e), e.Op)
+		join := g.node(KindJoin, opSymbol(e), e.Op)
+		f, l := g.build(e.Kids[0])
+		g.edge(split, f, false)
+		g.edge(l, join, false)
+		if e.Op == expr.OpOption {
+			g.edge(split, join, false) // bypass branch
+		}
+		if e.Op == expr.OpSeqIter {
+			g.edge(join, split, true) // loop back
+			g.edge(split, join, false)
+		}
+		return split, join
+	case expr.OpPar, expr.OpOr, expr.OpAnd, expr.OpSync:
+		split := g.node(KindSplit, opSymbol(e), e.Op)
+		join := g.node(KindJoin, opSymbol(e), e.Op)
+		for _, k := range e.Kids {
+			f, l := g.build(k)
+			g.edge(split, f, false)
+			g.edge(l, join, false)
+		}
+		return split, join
+	}
+	panic(fmt.Sprintf("graph: unknown op %v", e.Op))
+}
+
+// Start returns the ID of the entry node.
+func (g *Graph) Start() int { return g.start }
+
+// End returns the ID of the exit node.
+func (g *Graph) End() int { return g.end }
+
+// Actions returns the labels of all action nodes in emission order.
+func (g *Graph) Actions() []string {
+	var out []string
+	for _, n := range g.Nodes {
+		if n.Kind == KindAction {
+			out = append(out, n.Label)
+		}
+	}
+	return out
+}
+
+// DOT renders the graph in Graphviz dot syntax, rectangles for
+// activities and circles for operator nodes, left to right like the
+// figures of the paper.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph interaction {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [fontname=\"Helvetica\"];\n")
+	for _, n := range g.Nodes {
+		attr := ""
+		switch n.Kind {
+		case KindStart:
+			attr = "shape=point"
+		case KindEnd:
+			attr = "shape=doublecircle, label=\"\", width=0.15"
+		case KindAction:
+			attr = fmt.Sprintf("shape=box, label=%q", n.Label)
+		case KindSplit, KindJoin:
+			shape := "circle"
+			if n.Op == expr.OpPar || n.Op == expr.OpAllQ || n.Op == expr.OpMult {
+				shape = "doublecircle"
+			}
+			if n.Op == expr.OpParIter {
+				shape = "tripleoctagon"
+			}
+			attr = fmt.Sprintf("shape=%s, label=%q, fontsize=10", shape, n.Label)
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", n.ID, attr)
+	}
+	for _, e := range g.Edges {
+		if e.Back {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, constraint=false];\n", e.From, e.To)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ASCII renders the expression structure as an indented tree using
+// box-drawing characters — the terminal-friendly view of the graph.
+func (g *Graph) ASCII() string {
+	var b strings.Builder
+	renderTree(&b, g.Source, "", true, true)
+	return b.String()
+}
+
+func treeLabel(e *expr.Expr) string {
+	switch e.Op {
+	case expr.OpAtom:
+		return "[" + e.Atom.String() + "]"
+	case expr.OpEmpty:
+		return "(ε)"
+	case expr.OpOption:
+		return "option ?"
+	case expr.OpSeq:
+		return "seq ─"
+	case expr.OpSeqIter:
+		return "iter *"
+	case expr.OpPar:
+		return "par ‖ (as well as)"
+	case expr.OpParIter:
+		return "par-iter # (arbitrarily parallel)"
+	case expr.OpOr:
+		return "or | (either or)"
+	case expr.OpAnd:
+		return "and &"
+	case expr.OpSync:
+		return "sync @ (coupling)"
+	case expr.OpMult:
+		return fmt.Sprintf("mult ×%d", e.N)
+	case expr.OpAnyQ:
+		return "for some " + e.Param
+	case expr.OpAllQ:
+		return "for all " + e.Param
+	case expr.OpSyncQ:
+		return "sync over " + e.Param
+	case expr.OpConQ:
+		return "con over " + e.Param
+	}
+	return e.Op.String()
+}
+
+func renderTree(b *strings.Builder, e *expr.Expr, prefix string, isLast, isRoot bool) {
+	if isRoot {
+		b.WriteString(treeLabel(e))
+		b.WriteByte('\n')
+	} else {
+		b.WriteString(prefix)
+		if isLast {
+			b.WriteString("└── ")
+		} else {
+			b.WriteString("├── ")
+		}
+		b.WriteString(treeLabel(e))
+		b.WriteByte('\n')
+		if isLast {
+			prefix += "    "
+		} else {
+			prefix += "│   "
+		}
+	}
+	for i, k := range e.Kids {
+		renderTree(b, k, prefix, i == len(e.Kids)-1, false)
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/parse"
+)
+
+func TestFromExprCounts(t *testing.T) {
+	g := FromExpr(parse.MustParse("a - b"))
+	// start, end, a, b
+	if len(g.Nodes) != 4 {
+		t.Errorf("nodes: got %d want 4", len(g.Nodes))
+	}
+	// start->a, a->b, b->end
+	if len(g.Edges) != 3 {
+		t.Errorf("edges: got %d want 3", len(g.Edges))
+	}
+	if got := g.Actions(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("actions: %v", got)
+	}
+}
+
+func TestBranchingGraph(t *testing.T) {
+	g := FromExpr(parse.MustParse("a | b | c"))
+	splits := 0
+	for _, n := range g.Nodes {
+		if n.Kind == KindSplit || n.Kind == KindJoin {
+			splits++
+		}
+	}
+	if splits != 2 {
+		t.Errorf("split/join nodes: got %d want 2", splits)
+	}
+	// start->split, split->a|b|c, a|b|c->join, join->end = 8 edges
+	if len(g.Edges) != 8 {
+		t.Errorf("edges: got %d want 8", len(g.Edges))
+	}
+}
+
+func TestIterationLoopEdge(t *testing.T) {
+	g := FromExpr(parse.MustParse("(a - b)*"))
+	back := 0
+	for _, e := range g.Edges {
+		if e.Back {
+			back++
+		}
+	}
+	if back != 1 {
+		t.Errorf("back edges: got %d want 1", back)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := FromExpr(paper.Fig6CapacityRestriction())
+	dot := g.DOT()
+	for _, frag := range []string{
+		"digraph interaction",
+		"rankdir=LR",
+		`label="call($p,$x)"`,
+		`label="perform($p,$x)"`,
+		"doublecircle", // multiplier / parallel quantifier
+		"shape=box",
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT output lacks %q:\n%s", frag, dot)
+		}
+	}
+}
+
+func TestASCIIOutput(t *testing.T) {
+	g := FromExpr(paper.Fig3PatientConstraint())
+	out := g.ASCII()
+	for _, frag := range []string{
+		"for all p",
+		"iter *",
+		"or |",
+		"for some x",
+		"[call($p,$x)]",
+		"par-iter #",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("ASCII output lacks %q:\n%s", frag, out)
+		}
+	}
+	if strings.Count(out, "\n") < 5 {
+		t.Errorf("ASCII tree suspiciously small:\n%s", out)
+	}
+}
+
+func TestGraphRoundTripViaSource(t *testing.T) {
+	e := paper.Fig7Coupled()
+	g := FromExpr(e)
+	if !g.Source.Equal(e) {
+		t.Error("graph should retain its source expression")
+	}
+}
+
+func TestEmptyAndMultRender(t *testing.T) {
+	g := FromExpr(parse.MustParse("mult(3, a?) - ()"))
+	dot := g.DOT()
+	if !strings.Contains(dot, `label="3"`) {
+		t.Errorf("multiplier label missing:\n%s", dot)
+	}
+	ascii := g.ASCII()
+	if !strings.Contains(ascii, "mult ×3") {
+		t.Errorf("mult missing in ASCII:\n%s", ascii)
+	}
+}

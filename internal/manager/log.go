@@ -1,0 +1,116 @@
+package manager
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/expr"
+)
+
+// ActionLog is the manager's persistent, append-only log of confirmed
+// actions. Because the operational state is a deterministic function of
+// the action sequence, replaying the log reconstructs the manager state
+// exactly — the recovery strategy of Sec 7.
+type ActionLog struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// logEntry is the on-disk representation of one confirmed action.
+type logEntry struct {
+	Name string   `json:"a"`
+	Args []string `json:"v,omitempty"`
+}
+
+// OpenActionLog opens or creates an action log file.
+func OpenActionLog(path string) (*ActionLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("manager: open log: %w", err)
+	}
+	return &ActionLog{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Replay calls fn for every logged action in order, then positions the
+// log for appending. A torn final line (crash during append) is
+// truncated silently; anything else malformed is an error.
+func (l *ActionLog) Replay(fn func(expr.Action) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("manager: log seek: %w", err)
+	}
+	sc := bufio.NewScanner(l.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e logEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			if !sc.Scan() { // torn tail
+				break
+			}
+			return fmt.Errorf("manager: corrupt log record: %v", err)
+		}
+		if err := fn(expr.ConcreteAct(e.Name, e.Args...)); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("manager: log replay: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("manager: log seek: %w", err)
+	}
+	return nil
+}
+
+// Append writes one confirmed action and flushes it to the OS.
+func (l *ActionLog) Append(a expr.Action) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := logEntry{Name: a.Name, Args: a.Values()}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("manager: log marshal: %w", err)
+	}
+	if _, err := l.w.Write(buf); err != nil {
+		return fmt.Errorf("manager: log write: %w", err)
+	}
+	if err := l.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("manager: log write: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("manager: log flush: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log file.
+func (l *ActionLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var firstErr error
+	if err := l.w.Flush(); err != nil {
+		firstErr = err
+	}
+	if err := l.f.Sync(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := l.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	l.f = nil
+	return firstErr
+}

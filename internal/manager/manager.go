@@ -1,0 +1,438 @@
+// Package manager implements the central scheduler of Sec 7 of the
+// paper: the *interaction manager* that monitors and controls the
+// execution of actions against an interaction expression, together with
+// the two protocols of Fig 10:
+//
+//   - the coordination protocol: ask → reply → execute → confirm, with
+//     the manager holding a critical region between a positive reply and
+//     the confirmation (step 2 to step 5). Abort and reservation
+//     timeouts implement the recovery strategies the paper sketches for
+//     clients that die inside the critical region;
+//   - the subscription protocol: subscribe → inform → update →
+//     unsubscribe, where the manager pushes an inform message exactly
+//     when a subscribed action's status flips between permissible and
+//     non-permissible, letting worklist handlers keep worklists current
+//     without busy waiting.
+//
+// Persistence: every confirmed action is appended to an action log
+// (JSON lines); recovery replays the log through the operational
+// semantics, restoring the exact state (the manager's state is a pure
+// function of the confirmed action sequence).
+package manager
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/state"
+)
+
+// Common errors.
+var (
+	ErrDenied        = errors.New("manager: action not permitted")
+	ErrUnknownTicket = errors.New("manager: unknown or expired ticket")
+	ErrClosed        = errors.New("manager: closed")
+)
+
+// Ticket identifies an outstanding reservation (a granted ask that has
+// not been confirmed or aborted yet).
+type Ticket uint64
+
+// Inform is one subscription notification: the permissibility status of
+// a subscribed action changed (or is being reported initially).
+type Inform struct {
+	Action      expr.Action
+	Permissible bool
+}
+
+// Subscription receives inform messages for one subscribed action.
+type Subscription struct {
+	C      <-chan Inform
+	id     uint64
+	action expr.Action
+}
+
+// Options configure a manager.
+type Options struct {
+	// LogPath, if non-empty, enables the persistent action log. If the
+	// file already contains actions they are replayed on startup
+	// (recovery).
+	LogPath string
+	// ReservationTimeout bounds the critical region between reply and
+	// confirm; expired reservations are aborted automatically (the
+	// paper's remedy for worklist handlers that die mid-protocol).
+	// Zero means no timeout.
+	ReservationTimeout time.Duration
+	// Clock, for tests; defaults to time.Now.
+	Clock func() time.Time
+}
+
+// Manager is a goroutine-safe interaction manager for one closed
+// interaction expression.
+type Manager struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	en     *state.Engine
+	log    *ActionLog
+	closed bool
+
+	reserved    bool // a granted ask is outstanding (critical region)
+	ticket      Ticket
+	reservedAct expr.Action
+	reservedAt  time.Time
+	nextTicket  Ticket
+	timeout     time.Duration
+	clock       func() time.Time
+	stats       Stats
+	nextSubID   uint64
+	subs        map[uint64]*subEntry
+}
+
+type subEntry struct {
+	action expr.Action
+	ch     chan Inform
+	last   bool
+}
+
+// Stats counts protocol traffic for the experiments of Sec 7 (E13/E15).
+type Stats struct {
+	Asks     int // ask messages received
+	Tries    int // pure status probes
+	Grants   int // positive replies
+	Denies   int // negative replies
+	Confirms int
+	Aborts   int // explicit aborts plus reservation timeouts
+	Informs  int // subscription notifications sent
+	Transits int // committed state transitions
+}
+
+// New creates a manager for e, recovering from the action log if one is
+// configured and present.
+func New(e *expr.Expr, opts Options) (*Manager, error) {
+	en, err := state.NewEngine(e)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		en:      en,
+		timeout: opts.ReservationTimeout,
+		clock:   opts.Clock,
+		subs:    make(map[uint64]*subEntry),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	if m.clock == nil {
+		m.clock = time.Now
+	}
+	if opts.LogPath != "" {
+		log, err := OpenActionLog(opts.LogPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := log.Replay(func(a expr.Action) error {
+			if err := en.Step(a); err != nil {
+				return fmt.Errorf("manager: recovery: logged action %s no longer permitted: %w", a, err)
+			}
+			return nil
+		}); err != nil {
+			log.Close()
+			return nil, err
+		}
+		m.log = log
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(e *expr.Expr, opts Options) *Manager {
+	m, err := New(e, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Expr returns the managed expression.
+func (m *Manager) Expr() *expr.Expr { return m.en.Expr() }
+
+// expireLocked aborts a reservation whose timeout elapsed.
+func (m *Manager) expireLocked() {
+	if m.reserved && m.timeout > 0 && m.clock().Sub(m.reservedAt) >= m.timeout {
+		m.reserved = false
+		m.stats.Aborts++
+		m.cond.Broadcast()
+	}
+}
+
+// Ask implements step 1+2 of the coordination protocol: it waits for the
+// critical region to be free, then replies whether the action is
+// currently permitted. A positive reply enters the critical region and
+// returns a ticket that must be settled with Confirm or Abort. The
+// context bounds the wait.
+func (m *Manager) Ask(ctx context.Context, a expr.Action) (Ticket, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Asks++
+	for {
+		if m.closed {
+			return 0, ErrClosed
+		}
+		m.expireLocked()
+		if !m.reserved {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		// Wake up periodically to observe context cancellation and
+		// reservation expiry even without other activity.
+		waitCond(m.cond, ctx, m.timeout)
+	}
+	if !m.en.Try(a) {
+		m.stats.Denies++
+		return 0, fmt.Errorf("%w: %s", ErrDenied, a)
+	}
+	m.reserved = true
+	m.nextTicket++
+	m.ticket = m.nextTicket
+	m.reservedAct = a
+	m.reservedAt = m.clock()
+	m.stats.Grants++
+	return m.ticket, nil
+}
+
+// waitCond waits on c, and additionally arranges wakeups on context
+// cancellation and (optionally) after the reservation timeout.
+func waitCond(c *sync.Cond, ctx context.Context, timeout time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+			return
+		case <-timerC(timeout):
+		}
+		c.Broadcast()
+	}()
+	c.Wait()
+	close(done)
+}
+
+func timerC(d time.Duration) <-chan time.Time {
+	if d <= 0 {
+		return nil
+	}
+	return time.After(d)
+}
+
+// Confirm implements steps 4+5: the client executed the action; the
+// manager performs the state transition, leaves the critical region and
+// notifies subscribers whose action status flipped.
+func (m *Manager) Confirm(t Ticket) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.expireLocked()
+	if !m.reserved || m.ticket != t {
+		return ErrUnknownTicket
+	}
+	a := m.reservedAct
+	if m.log != nil {
+		if err := m.log.Append(a); err != nil {
+			return err
+		}
+	}
+	if err := m.en.Step(a); err != nil {
+		// Cannot happen: the state did not change since the grant.
+		m.reserved = false
+		m.cond.Broadcast()
+		return err
+	}
+	m.stats.Confirms++
+	m.stats.Transits++
+	m.reserved = false
+	m.notifyLocked()
+	m.cond.Broadcast()
+	return nil
+}
+
+// Abort implements the negative outcome of step 3: the client could not
+// execute the action; the critical region is released without a state
+// transition.
+func (m *Manager) Abort(t Ticket) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if !m.reserved || m.ticket != t {
+		return ErrUnknownTicket
+	}
+	m.reserved = false
+	m.stats.Aborts++
+	m.cond.Broadcast()
+	return nil
+}
+
+// Request is the atomic ask+execute+confirm used by integration points
+// that execute reliably under the manager's protection (the adapted
+// workflow engine of Fig 11): the action is checked and committed in one
+// critical section.
+func (m *Manager) Request(ctx context.Context, a expr.Action) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Asks++
+	for {
+		if m.closed {
+			return ErrClosed
+		}
+		m.expireLocked()
+		if !m.reserved {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		waitCond(m.cond, ctx, m.timeout)
+	}
+	if !m.en.Try(a) {
+		m.stats.Denies++
+		return fmt.Errorf("%w: %s", ErrDenied, a)
+	}
+	if m.log != nil {
+		if err := m.log.Append(a); err != nil {
+			return err
+		}
+	}
+	if err := m.en.Step(a); err != nil {
+		return err
+	}
+	m.stats.Grants++
+	m.stats.Confirms++
+	m.stats.Transits++
+	m.notifyLocked()
+	return nil
+}
+
+// Try reports whether the action is currently permissible, without
+// reserving anything (a pure status probe).
+func (m *Manager) Try(a expr.Action) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.stats.Tries++
+	return m.en.Try(a)
+}
+
+// Final reports whether the confirmed actions form a complete word.
+func (m *Manager) Final() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.en.Final()
+}
+
+// StateSize exposes the engine's state size (complexity experiments).
+func (m *Manager) StateSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.en.StateSize()
+}
+
+// Steps returns the number of committed transitions.
+func (m *Manager) Steps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.en.Steps()
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Subscribe registers interest in one action (step 1 of the subscription
+// protocol). The current status is delivered immediately; afterwards an
+// inform message is sent exactly when the status flips. The channel is
+// buffered; a subscriber that falls behind loses intermediate flips but
+// always eventually observes the latest status (the channel then holds
+// the most recent pending inform).
+func (m *Manager) Subscribe(a expr.Action) *Subscription {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextSubID++
+	ent := &subEntry{action: a, ch: make(chan Inform, 16), last: m.en.Try(a)}
+	m.subs[m.nextSubID] = ent
+	sub := &Subscription{C: ent.ch, id: m.nextSubID, action: a}
+	ent.send(Inform{Action: a, Permissible: ent.last})
+	m.stats.Informs++
+	return sub
+}
+
+// Unsubscribe removes the subscription (step 4) and closes its channel.
+func (m *Manager) Unsubscribe(s *Subscription) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ent, ok := m.subs[s.id]; ok {
+		delete(m.subs, s.id)
+		close(ent.ch)
+	}
+}
+
+func (e *subEntry) send(i Inform) {
+	select {
+	case e.ch <- i:
+	default:
+		// Drop the oldest pending inform to make room for the newest:
+		// the subscriber only needs the latest status.
+		select {
+		case <-e.ch:
+		default:
+		}
+		select {
+		case e.ch <- i:
+		default:
+		}
+	}
+}
+
+// notifyLocked recomputes subscribed action statuses after a transition
+// and sends informs for flips (step 2/3 of the subscription protocol).
+func (m *Manager) notifyLocked() {
+	for _, ent := range m.subs {
+		now := m.en.Try(ent.action)
+		if now != ent.last {
+			ent.last = now
+			ent.send(Inform{Action: ent.action, Permissible: now})
+			m.stats.Informs++
+		}
+	}
+}
+
+// Close shuts the manager down, closes all subscription channels and the
+// action log.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	for id, ent := range m.subs {
+		delete(m.subs, id)
+		close(ent.ch)
+	}
+	m.cond.Broadcast()
+	if m.log != nil {
+		return m.log.Close()
+	}
+	return nil
+}

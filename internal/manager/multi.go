@@ -1,0 +1,200 @@
+package manager
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/expr"
+)
+
+// Router distributes one coupled interaction expression over multiple
+// interaction managers, the scale-out design Sec 7 mentions "to avoid
+// the interaction manager to become a bottleneck". A top-level coupling
+// y1 @ y2 @ ... @ yn is semantically a per-alphabet conjunction, so each
+// operand can be managed independently: an action is permitted iff every
+// manager whose alphabet contains it permits it. The router implements
+// the resulting two-phase grant: reserve at every involved manager (in a
+// fixed global order, which precludes deadlock), then confirm all — or
+// abort the ones already granted when any manager refuses.
+type Router struct {
+	managers []*Manager
+	alphas   []*expr.Alphabet
+}
+
+// NewRouter builds a router for e. A top-level coupling is split into
+// one manager per operand; any other expression gets a single manager.
+// Options apply to every created manager, except that only manager 0
+// uses LogPath directly; further managers append a numeric suffix.
+func NewRouter(e *expr.Expr, opts Options) (*Router, error) {
+	parts := []*expr.Expr{e}
+	if e.Op == expr.OpSync {
+		parts = e.Kids
+	}
+	r := &Router{}
+	for i, part := range parts {
+		po := opts
+		if po.LogPath != "" && i > 0 {
+			po.LogPath = fmt.Sprintf("%s.%d", opts.LogPath, i)
+		}
+		m, err := New(part, po)
+		if err != nil {
+			for _, prev := range r.managers {
+				prev.Close()
+			}
+			return nil, err
+		}
+		r.managers = append(r.managers, m)
+		r.alphas = append(r.alphas, expr.AlphabetOf(part))
+	}
+	return r, nil
+}
+
+// Managers returns the underlying managers (diagnostics and tests).
+func (r *Router) Managers() []*Manager { return r.managers }
+
+// Route returns the indices of the managers whose alphabet contains a.
+func (r *Router) Route(a expr.Action) []int {
+	var out []int
+	for i, al := range r.alphas {
+		if al.Contains(a) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Try reports whether every involved manager currently permits a. An
+// action belonging to no manager's alphabet is not permitted at all.
+func (r *Router) Try(a expr.Action) bool {
+	involved := r.Route(a)
+	if len(involved) == 0 {
+		return false
+	}
+	for _, i := range involved {
+		if !r.managers[i].Try(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Request performs the distributed ask/confirm: reservations are taken
+// at every involved manager in ascending index order; a refusal aborts
+// the reservations already granted.
+func (r *Router) Request(ctx context.Context, a expr.Action) error {
+	involved := r.Route(a)
+	if len(involved) == 0 {
+		return fmt.Errorf("%w: %s (not in any manager's alphabet)", ErrDenied, a)
+	}
+	granted := make([]Ticket, 0, len(involved))
+	for _, i := range involved {
+		t, err := r.managers[i].Ask(ctx, a)
+		if err != nil {
+			for j := range granted {
+				// Abort errors are secondary; the request already failed.
+				_ = r.managers[involved[j]].Abort(granted[j])
+			}
+			return err
+		}
+		granted = append(granted, t)
+	}
+	var firstErr error
+	for j, i := range involved {
+		if err := r.managers[i].Confirm(granted[j]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Final reports whether every manager's word is complete.
+func (r *Router) Final() bool {
+	for _, m := range r.managers {
+		if !m.Final() {
+			return false
+		}
+	}
+	return true
+}
+
+// AggSubscription is a subscription aggregated over the managers a
+// routed action involves: it informs when the conjunction of the
+// per-manager statuses flips.
+type AggSubscription struct {
+	C     <-chan Inform
+	parts []aggPart
+}
+
+type aggPart struct {
+	m   *Manager
+	sub *Subscription
+}
+
+// Subscribe aggregates per-manager subscriptions: the action's combined
+// status is the conjunction of the involved managers' statuses, and the
+// returned subscription informs on combined flips.
+func (r *Router) Subscribe(a expr.Action) *AggSubscription {
+	involved := r.Route(a)
+	out := make(chan Inform, 16)
+	agg := &AggSubscription{C: out}
+	if len(involved) == 0 {
+		out <- Inform{Action: a, Permissible: false}
+		close(out)
+		return agg
+	}
+	var mu sync.Mutex
+	status := make(map[int]bool, len(involved))
+	combinedKnown := false
+	combined := false
+	var wg sync.WaitGroup
+	for _, i := range involved {
+		part := aggPart{m: r.managers[i], sub: r.managers[i].Subscribe(a)}
+		agg.parts = append(agg.parts, part)
+		wg.Add(1)
+		go func(mi int, sub *Subscription) {
+			defer wg.Done()
+			for inf := range sub.C {
+				mu.Lock()
+				status[mi] = inf.Permissible
+				now := len(status) == len(involved)
+				for _, v := range status {
+					now = now && v
+				}
+				flip := !combinedKnown || now != combined
+				combinedKnown = true
+				combined = now
+				mu.Unlock()
+				if flip {
+					select {
+					case out <- Inform{Action: a, Permissible: now}:
+					default:
+					}
+				}
+			}
+		}(i, part.sub)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return agg
+}
+
+// Unsubscribe tears down an aggregated subscription.
+func (r *Router) Unsubscribe(s *AggSubscription) {
+	for _, p := range s.parts {
+		p.m.Unsubscribe(p.sub)
+	}
+}
+
+// Close shuts down all managers.
+func (r *Router) Close() error {
+	var firstErr error
+	for _, m := range r.managers {
+		if err := m.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

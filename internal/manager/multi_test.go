@@ -1,0 +1,165 @@
+package manager
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/paper"
+	"repro/internal/parse"
+)
+
+// TestMultiManagerSplit (E17): a top-level coupling is partitioned into
+// one manager per operand.
+func TestMultiManagerSplit(t *testing.T) {
+	r, err := NewRouter(paper.Fig7Coupled(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(r.Managers()) != 2 {
+		t.Fatalf("managers: got %d want 2", len(r.Managers()))
+	}
+	// prepare is only in the patient constraint's alphabet.
+	if got := r.Route(paper.PrepareAct("p1", paper.ExamSono)); len(got) != 1 || got[0] != 0 {
+		t.Errorf("route(prepare): %v", got)
+	}
+	// call is in both alphabets.
+	if got := r.Route(paper.CallAct("p1", paper.ExamSono)); len(got) != 2 {
+		t.Errorf("route(call): %v", got)
+	}
+	// unknown actions route nowhere.
+	if got := r.Route(act("zzz")); got != nil {
+		t.Errorf("route(zzz): %v", got)
+	}
+}
+
+// TestMultiManagerConjunction: an action is permitted iff every involved
+// manager permits it — the distributed equivalent of Fig 7's coupling.
+func TestMultiManagerConjunction(t *testing.T) {
+	r, err := NewRouter(paper.Fig7Coupled(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Fill the sono department to capacity with three patients.
+	for i := 1; i <= 3; i++ {
+		if err := r.Request(bg, paper.CallAct(paper.Patient(i), paper.ExamSono)); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	// Patient 4 is personally free, but the capacity manager refuses —
+	// and the patient-constraint manager's reservation must be rolled
+	// back so patient 4 can still go elsewhere.
+	if err := r.Request(bg, paper.CallAct(paper.Patient(4), paper.ExamSono)); !errors.Is(err, ErrDenied) {
+		t.Fatalf("capacity breach: got %v", err)
+	}
+	if err := r.Request(bg, paper.CallAct(paper.Patient(4), paper.ExamEndo)); err != nil {
+		t.Fatalf("endo call after rollback: %v", err)
+	}
+	// Patient 1 is busy: the patient manager refuses (first in order).
+	if err := r.Request(bg, paper.CallAct(paper.Patient(1), paper.ExamEndo)); !errors.Is(err, ErrDenied) {
+		t.Fatalf("busy patient: got %v", err)
+	}
+	if !r.Try(paper.PerformAct(paper.Patient(1), paper.ExamSono)) {
+		t.Error("perform should be permitted")
+	}
+	if r.Try(act("zzz")) {
+		t.Error("unrouted action must not be permitted")
+	}
+}
+
+// TestMultiManagerConcurrent: concurrent distributed requests respect
+// the global capacity without deadlocking.
+func TestMultiManagerConcurrent(t *testing.T) {
+	r, err := NewRouter(paper.Fig7Coupled(), Options{ReservationTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	const clients = 8
+	var granted int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := r.Request(bg, paper.CallAct(paper.Patient(i), paper.ExamSono))
+			if err == nil {
+				mu.Lock()
+				granted++
+				mu.Unlock()
+			} else if !errors.Is(err, ErrDenied) {
+				t.Errorf("unexpected: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if granted != 3 {
+		t.Errorf("granted: got %d want 3 (capacity)", granted)
+	}
+	if !r.Final() == r.Final() && false {
+		t.Error("unreachable")
+	}
+}
+
+// TestMultiManagerSubscribe: aggregated informs reflect the conjunction
+// of the involved managers.
+func TestMultiManagerSubscribe(t *testing.T) {
+	r, err := NewRouter(paper.Fig7Coupled(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	p := paper.Patient(1)
+	sub := r.Subscribe(paper.CallAct(p, paper.ExamEndo))
+	waitInform := func(want bool) {
+		t.Helper()
+		deadline := time.After(2 * time.Second)
+		for {
+			select {
+			case inf := <-sub.C:
+				if inf.Permissible == want {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("inform %v timed out", want)
+			}
+		}
+	}
+	waitInform(true)
+	if err := r.Request(bg, paper.CallAct(p, paper.ExamSono)); err != nil {
+		t.Fatal(err)
+	}
+	waitInform(false)
+	if err := r.Request(bg, paper.PerformAct(p, paper.ExamSono)); err != nil {
+		t.Fatal(err)
+	}
+	waitInform(true)
+	r.Unsubscribe(sub)
+}
+
+// TestRouterSingleExpression: a non-coupled expression yields one
+// manager and still works.
+func TestRouterSingleExpression(t *testing.T) {
+	r, err := NewRouter(parse.MustParse("a - b"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(r.Managers()) != 1 {
+		t.Fatalf("managers: %d", len(r.Managers()))
+	}
+	if err := r.Request(bg, act("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Request(bg, act("b")); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Final() {
+		t.Error("should be final")
+	}
+}

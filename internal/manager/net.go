@@ -1,0 +1,495 @@
+package manager
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/expr"
+)
+
+// The wire protocol is JSON lines over TCP. Clients send requests with a
+// correlation id; the server answers with the same id and pushes inform
+// messages (id 0) for subscriptions. One physical connection multiplexes
+// any number of outstanding requests.
+type wireMsg struct {
+	ID     uint64 `json:"id,omitempty"`
+	Op     string `json:"op"`
+	Action string `json:"action,omitempty"`
+	Ticket Ticket `json:"ticket,omitempty"`
+	Sub    uint64 `json:"sub,omitempty"`
+	OK     bool   `json:"ok,omitempty"`
+	Err    string `json:"error,omitempty"`
+	Perm   bool   `json:"permissible,omitempty"`
+	Final  bool   `json:"final,omitempty"`
+}
+
+// Wire operation names.
+const (
+	opAsk         = "ask"
+	opConfirm     = "confirm"
+	opAbort       = "abort"
+	opRequest     = "request"
+	opTry         = "try"
+	opSubscribe   = "subscribe"
+	opUnsubscribe = "unsubscribe"
+	opFinal       = "final"
+	opReply       = "reply"
+	opInform      = "inform"
+)
+
+// serverAskTimeout bounds how long a network ask may wait for the
+// critical region; it must exceed any configured reservation timeout.
+const serverAskTimeout = 30 * time.Second
+
+// Server exposes a Manager to interaction clients over TCP.
+type Server struct {
+	m  *Manager
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewServer starts serving the manager on the listener. Serve returns
+// immediately; use Close to stop.
+func NewServer(m *Manager, ln net.Listener) *Server {
+	s := &Server{m: m, ln: ln, conns: make(map[net.Conn]bool), done: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address (for clients to dial).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles one client connection.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	out := make(chan wireMsg, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		w := bufio.NewWriter(conn)
+		enc := json.NewEncoder(w)
+		for msg := range out {
+			if err := enc.Encode(msg); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+
+	subs := make(map[uint64]*Subscription)
+	var subMu sync.Mutex
+	var nextSub uint64
+	var handlers sync.WaitGroup
+	defer func() {
+		handlers.Wait()
+		subMu.Lock()
+		for _, sub := range subs {
+			s.m.Unsubscribe(sub)
+		}
+		subMu.Unlock()
+		close(out)
+		<-writerDone
+	}()
+
+	send := func(msg wireMsg) {
+		select {
+		case out <- msg:
+		case <-s.done:
+		}
+	}
+
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	for {
+		var req wireMsg
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or garbage
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			resp, skip := s.handle(req, subs, &subMu, &nextSub, send)
+			if !skip {
+				send(resp)
+			}
+		}()
+	}
+}
+
+// handle processes one request. It returns the reply and whether it was
+// already sent (subscription replies must precede the first inform, so
+// that op sends its own reply before starting the forwarder).
+func (s *Server) handle(req wireMsg, subs map[uint64]*Subscription, subMu *sync.Mutex, nextSub *uint64, send func(wireMsg)) (wireMsg, bool) {
+	resp := wireMsg{ID: req.ID, Op: opReply}
+	fail := func(err error) (wireMsg, bool) {
+		resp.OK = false
+		resp.Err = err.Error()
+		return resp, false
+	}
+	parseAction := func() (expr.Action, error) {
+		return expr.ParseActionString(req.Action)
+	}
+	switch req.Op {
+	case opAsk:
+		a, err := parseAction()
+		if err != nil {
+			return fail(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
+		defer cancel()
+		t, err := s.m.Ask(ctx, a)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Ticket = t
+	case opConfirm:
+		if err := s.m.Confirm(req.Ticket); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	case opAbort:
+		if err := s.m.Abort(req.Ticket); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	case opRequest:
+		a, err := parseAction()
+		if err != nil {
+			return fail(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
+		defer cancel()
+		if err := s.m.Request(ctx, a); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	case opTry:
+		a, err := parseAction()
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Perm = s.m.Try(a)
+	case opFinal:
+		resp.OK = true
+		resp.Final = s.m.Final()
+	case opSubscribe:
+		a, err := parseAction()
+		if err != nil {
+			return fail(err)
+		}
+		sub := s.m.Subscribe(a)
+		subMu.Lock()
+		*nextSub++
+		id := *nextSub
+		subs[id] = sub
+		subMu.Unlock()
+		// The reply must reach the client before the first inform so the
+		// client knows the subscription id; send it here, then forward.
+		resp.OK = true
+		resp.Sub = id
+		send(resp)
+		go func() {
+			for inf := range sub.C {
+				send(wireMsg{Op: opInform, Sub: id, Action: inf.Action.String(), Perm: inf.Permissible})
+			}
+		}()
+		return resp, true
+	case opUnsubscribe:
+		subMu.Lock()
+		sub, ok := subs[req.Sub]
+		delete(subs, req.Sub)
+		subMu.Unlock()
+		if !ok {
+			return fail(errors.New("manager: unknown subscription"))
+		}
+		s.m.Unsubscribe(sub)
+		resp.OK = true
+	default:
+		return fail(fmt.Errorf("manager: unknown op %q", req.Op))
+	}
+	return resp, false
+}
+
+// Close stops accepting, closes all connections and waits for handlers.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client is an interaction client speaking the wire protocol; it mirrors
+// the Manager API over a TCP connection. Safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	wmu  sync.Mutex // serializes writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiting map[uint64]chan wireMsg
+	subs    map[uint64]chan Inform
+	// pending buffers informs that arrive between the server's subscribe
+	// reply and the local registration of the subscription channel.
+	pending map[uint64][]Inform
+	closed  bool
+	readErr error
+}
+
+// ClientSubscription is a remote subscription delivering informs.
+type ClientSubscription struct {
+	C  <-chan Inform
+	id uint64
+}
+
+// Dial connects to a manager server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("manager: dial: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		waiting: make(map[uint64]chan wireMsg),
+		subs:    make(map[uint64]chan Inform),
+		pending: make(map[uint64][]Inform),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	dec := json.NewDecoder(bufio.NewReader(c.conn))
+	for {
+		var msg wireMsg
+		if err := dec.Decode(&msg); err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.waiting {
+				delete(c.waiting, id)
+				close(ch)
+			}
+			for id, ch := range c.subs {
+				delete(c.subs, id)
+				close(ch)
+			}
+			c.mu.Unlock()
+			return
+		}
+		switch msg.Op {
+		case opInform:
+			a, err := expr.ParseActionString(msg.Action)
+			if err != nil {
+				continue
+			}
+			inf := Inform{Action: a, Permissible: msg.Perm}
+			c.mu.Lock()
+			ch := c.subs[msg.Sub]
+			if ch == nil {
+				// Subscription not registered yet (the reply is still in
+				// flight to the Subscribe caller): buffer, bounded.
+				if len(c.pending[msg.Sub]) < 16 {
+					c.pending[msg.Sub] = append(c.pending[msg.Sub], inf)
+				}
+				c.mu.Unlock()
+				continue
+			}
+			c.mu.Unlock()
+			select {
+			case ch <- inf:
+			default: // slow subscriber: drop, latest status wins
+			}
+		default:
+			c.mu.Lock()
+			ch := c.waiting[msg.ID]
+			delete(c.waiting, msg.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- msg
+			}
+		}
+	}
+}
+
+// call sends one request and waits for its reply.
+func (c *Client) call(ctx context.Context, req wireMsg) (wireMsg, error) {
+	ch := make(chan wireMsg, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return wireMsg{}, ErrClosed
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.waiting[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := c.enc.Encode(req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.waiting, req.ID)
+		c.mu.Unlock()
+		return wireMsg{}, fmt.Errorf("manager: send: %w", err)
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return wireMsg{}, fmt.Errorf("manager: connection lost: %w", io.ErrUnexpectedEOF)
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.waiting, req.ID)
+		c.mu.Unlock()
+		return wireMsg{}, ctx.Err()
+	}
+}
+
+func (c *Client) callOK(ctx context.Context, req wireMsg) (wireMsg, error) {
+	resp, err := c.call(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	if !resp.OK {
+		if resp.Err == "" {
+			return resp, errors.New("manager: request failed")
+		}
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Ask runs step 1/2 of the coordination protocol remotely.
+func (c *Client) Ask(ctx context.Context, a expr.Action) (Ticket, error) {
+	resp, err := c.callOK(ctx, wireMsg{Op: opAsk, Action: a.String()})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Ticket, nil
+}
+
+// Confirm runs step 4 remotely.
+func (c *Client) Confirm(ctx context.Context, t Ticket) error {
+	_, err := c.callOK(ctx, wireMsg{Op: opConfirm, Ticket: t})
+	return err
+}
+
+// Abort releases a granted ask remotely.
+func (c *Client) Abort(ctx context.Context, t Ticket) error {
+	_, err := c.callOK(ctx, wireMsg{Op: opAbort, Ticket: t})
+	return err
+}
+
+// Request runs the atomic ask+confirm remotely.
+func (c *Client) Request(ctx context.Context, a expr.Action) error {
+	_, err := c.callOK(ctx, wireMsg{Op: opRequest, Action: a.String()})
+	return err
+}
+
+// Try probes an action's status remotely.
+func (c *Client) Try(ctx context.Context, a expr.Action) (bool, error) {
+	resp, err := c.callOK(ctx, wireMsg{Op: opTry, Action: a.String()})
+	if err != nil {
+		return false, err
+	}
+	return resp.Perm, nil
+}
+
+// Final reports remotely whether the confirmed word is complete.
+func (c *Client) Final(ctx context.Context) (bool, error) {
+	resp, err := c.callOK(ctx, wireMsg{Op: opFinal})
+	if err != nil {
+		return false, err
+	}
+	return resp.Final, nil
+}
+
+// Subscribe opens a remote subscription for the action.
+func (c *Client) Subscribe(ctx context.Context, a expr.Action) (*ClientSubscription, error) {
+	ch := make(chan Inform, 16)
+	resp, err := c.callOK(ctx, wireMsg{Op: opSubscribe, Action: a.String()})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.subs[resp.Sub] = ch
+	backlog := c.pending[resp.Sub]
+	delete(c.pending, resp.Sub)
+	c.mu.Unlock()
+	for _, inf := range backlog {
+		select {
+		case ch <- inf:
+		default:
+		}
+	}
+	return &ClientSubscription{C: ch, id: resp.Sub}, nil
+}
+
+// Unsubscribe closes a remote subscription.
+func (c *Client) Unsubscribe(ctx context.Context, s *ClientSubscription) error {
+	_, err := c.callOK(ctx, wireMsg{Op: opUnsubscribe, Sub: s.id})
+	c.mu.Lock()
+	if ch, ok := c.subs[s.id]; ok {
+		delete(c.subs, s.id)
+		close(ch)
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

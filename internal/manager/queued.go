@@ -1,0 +1,366 @@
+package manager
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/mq"
+)
+
+// This file implements the queued transport of Sec 7: "the employment of
+// persistent message queues [1] for the communication between
+// interaction manager and clients". Requests travel through a durable
+// request queue, replies through a durable reply queue; both sides may
+// crash and restart without losing or duplicating committed work:
+//
+//   - the request queue redelivers unacknowledged requests
+//     (at-least-once);
+//   - the server deduplicates redelivered requests via a persistent
+//     processed-request journal, making the effective semantics
+//     exactly-once for state transitions;
+//   - the reply queue redelivers unacknowledged replies to the client.
+//
+// The queued transport carries the atomic request and status probe
+// operations; the interactive ask/confirm cycle needs a live connection
+// (see Server/Client) because its critical region must not outlive a
+// crashed client — exactly the trade-off the paper discusses.
+
+// queuedRequest is the on-queue request envelope.
+type queuedRequest struct {
+	ID     string `json:"id"` // client-chosen idempotency key
+	Op     string `json:"op"` // "request" or "try"
+	Action string `json:"action"`
+}
+
+// queuedReply is the on-queue reply envelope.
+type queuedReply struct {
+	ID   string `json:"id"`
+	OK   bool   `json:"ok"`
+	Err  string `json:"error,omitempty"`
+	Perm bool   `json:"permissible,omitempty"`
+}
+
+// QueuedServer consumes requests from a durable queue, applies them to
+// the manager, and emits durable replies.
+type QueuedServer struct {
+	m       *Manager
+	req     *mq.Queue
+	rep     *mq.Queue
+	journal *processedJournal
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewQueuedServer starts the consumer goroutine. journalPath persists the
+// set of processed request IDs (exactly-once across restarts); it may be
+// empty to accept at-least-once semantics.
+func NewQueuedServer(m *Manager, reqQ, repQ *mq.Queue, journalPath string) (*QueuedServer, error) {
+	var journal *processedJournal
+	if journalPath != "" {
+		var err error
+		journal, err = openProcessedJournal(journalPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &QueuedServer{
+		m:       m,
+		req:     reqQ,
+		rep:     repQ,
+		journal: journal,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+func (s *QueuedServer) loop() {
+	defer close(s.done)
+	for {
+		msg, ok := s.req.Dequeue()
+		if !ok {
+			select {
+			case <-s.req.Notify():
+				continue
+			case <-s.stop:
+				return
+			}
+		}
+		s.handle(msg)
+	}
+}
+
+func (s *QueuedServer) handle(msg mq.Msg) {
+	var req queuedRequest
+	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		// Poison message: settle it so it does not wedge the queue.
+		_ = s.req.Ack(msg.Seq)
+		return
+	}
+	if s.journal != nil && s.journal.seen(req.ID) {
+		// Redelivered after a crash: the transition was already applied.
+		// The reply may or may not have reached the reply queue; resend
+		// a positive one (clients deduplicate by ID).
+		if buf, err := json.Marshal(queuedReply{ID: req.ID, OK: true}); err == nil {
+			_, _ = s.rep.Enqueue(buf)
+		}
+		_ = s.req.Ack(msg.Seq)
+		return
+	}
+	rep := queuedReply{ID: req.ID}
+	a, err := expr.ParseActionString(req.Action)
+	if err != nil {
+		rep.Err = err.Error()
+	} else {
+		switch req.Op {
+		case "request":
+			ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
+			err := s.m.Request(ctx, a)
+			cancel()
+			if err != nil {
+				rep.Err = err.Error()
+			} else {
+				rep.OK = true
+			}
+			// Crash-safety ordering: the journal entry is written
+			// immediately after the state transition and before the reply
+			// and the ack. A crash between Request and record leaves the
+			// tiny residual window in which a redelivered request would
+			// be applied twice; closing it completely would require the
+			// action log and the journal to share one atomic append.
+			// Every other crash point is covered: redeliveries are
+			// suppressed by the journal, duplicate replies are
+			// deduplicated by ID on the client.
+			if s.journal != nil {
+				if err := s.journal.record(req.ID); err != nil {
+					return // leave unacked; redelivery is suppressed
+				}
+			}
+		case "try":
+			rep.OK = true
+			rep.Perm = s.m.Try(a)
+		default:
+			rep.Err = fmt.Sprintf("manager: unknown queued op %q", req.Op)
+		}
+	}
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		return // leave unacked; will redeliver
+	}
+	if _, err := s.rep.Enqueue(buf); err != nil {
+		return
+	}
+	_ = s.req.Ack(msg.Seq)
+}
+
+// Close stops the consumer and the journal (queues stay open; the caller
+// owns them).
+func (s *QueuedServer) Close() error {
+	close(s.stop)
+	<-s.done
+	if s.journal != nil {
+		return s.journal.close()
+	}
+	return nil
+}
+
+// processedJournal is an append-only file of processed request IDs.
+type processedJournal struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	ids  map[string]bool
+	path string
+}
+
+func openProcessedJournal(path string) (*processedJournal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("manager: journal: %w", err)
+	}
+	j := &processedJournal{f: f, ids: make(map[string]bool), path: path}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if id := sc.Text(); id != "" {
+			j.ids[id] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("manager: journal: %w", err)
+	}
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+func (j *processedJournal) seen(id string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ids[id]
+}
+
+func (j *processedJournal) record(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.WriteString(id + "\n"); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	j.ids[id] = true
+	return nil
+}
+
+func (j *processedJournal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	j.w.Flush()
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// QueuedClient submits requests through the durable queues and matches
+// replies by idempotency key. Each client owns its reply queue (the
+// request queue may be shared with other clients; replies must not be,
+// because the reply consumer acknowledges everything it reads). A
+// restarted client must use a fresh prefix — its idempotency counter
+// starts over — while requests already in flight from the previous
+// incarnation are still settled exactly once by the server journal.
+type QueuedClient struct {
+	req *mq.Queue
+	rep *mq.Queue
+
+	mu      sync.Mutex
+	nextSeq uint64
+	prefix  string
+	waiting map[string]chan queuedReply
+	backlog map[string]queuedReply // replies seen before their waiter
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewQueuedClient starts the reply consumer. The prefix distinguishes
+// clients sharing the request queue and keys request idempotency.
+func NewQueuedClient(reqQ, repQ *mq.Queue, prefix string) *QueuedClient {
+	c := &QueuedClient{
+		req:     reqQ,
+		rep:     repQ,
+		prefix:  prefix,
+		waiting: make(map[string]chan queuedReply),
+		backlog: make(map[string]queuedReply),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.replyLoop()
+	return c
+}
+
+func (c *QueuedClient) replyLoop() {
+	defer close(c.done)
+	for {
+		msg, ok := c.rep.Dequeue()
+		if !ok {
+			select {
+			case <-c.rep.Notify():
+				continue
+			case <-c.stop:
+				return
+			}
+		}
+		var rep queuedReply
+		if err := json.Unmarshal(msg.Payload, &rep); err != nil {
+			_ = c.rep.Ack(msg.Seq)
+			continue
+		}
+		c.mu.Lock()
+		if ch, ok := c.waiting[rep.ID]; ok {
+			delete(c.waiting, rep.ID)
+			ch <- rep
+		} else if _, dup := c.backlog[rep.ID]; !dup {
+			c.backlog[rep.ID] = rep
+		}
+		c.mu.Unlock()
+		_ = c.rep.Ack(msg.Seq)
+	}
+}
+
+// submit enqueues a request and waits for its durable reply.
+func (c *QueuedClient) submit(ctx context.Context, op string, a expr.Action) (queuedReply, error) {
+	c.mu.Lock()
+	c.nextSeq++
+	id := fmt.Sprintf("%s-%d", c.prefix, c.nextSeq)
+	if rep, ok := c.backlog[id]; ok { // reply from a previous incarnation
+		delete(c.backlog, id)
+		c.mu.Unlock()
+		return rep, nil
+	}
+	ch := make(chan queuedReply, 1)
+	c.waiting[id] = ch
+	c.mu.Unlock()
+
+	buf, err := json.Marshal(queuedRequest{ID: id, Op: op, Action: a.String()})
+	if err != nil {
+		return queuedReply{}, err
+	}
+	if _, err := c.req.Enqueue(buf); err != nil {
+		return queuedReply{}, err
+	}
+	select {
+	case rep := <-ch:
+		return rep, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.waiting, id)
+		c.mu.Unlock()
+		return queuedReply{}, ctx.Err()
+	case <-c.stop:
+		return queuedReply{}, ErrClosed
+	}
+}
+
+// Request submits an atomic coordination request through the queues.
+func (c *QueuedClient) Request(ctx context.Context, a expr.Action) error {
+	rep, err := c.submit(ctx, "request", a)
+	if err != nil {
+		return err
+	}
+	if !rep.OK {
+		if rep.Err == "" {
+			return errors.New("manager: queued request failed")
+		}
+		return errors.New(rep.Err)
+	}
+	return nil
+}
+
+// Try probes an action's status through the queues.
+func (c *QueuedClient) Try(ctx context.Context, a expr.Action) (bool, error) {
+	rep, err := c.submit(ctx, "try", a)
+	if err != nil {
+		return false, err
+	}
+	if rep.Err != "" {
+		return false, errors.New(rep.Err)
+	}
+	return rep.Perm, nil
+}
+
+// Close stops the reply consumer (queues stay open; the caller owns
+// them). Outstanding submissions return ErrClosed.
+func (c *QueuedClient) Close() error {
+	close(c.stop)
+	<-c.done
+	return nil
+}

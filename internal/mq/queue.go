@@ -1,0 +1,331 @@
+// Package mq implements persistent message queues with at-least-once
+// delivery, the communication substrate the paper prescribes for
+// manager/client messaging in Sec 7 (following its reference [1],
+// Bernstein/Hsu/Mann, "Implementing Recoverable Requests Using Queues").
+//
+// A queue is an append-only log of enqueue and ack records. Dequeued
+// messages stay in-flight until acknowledged; unacknowledged messages —
+// including those in flight when the process crashed — are redelivered
+// after reopening the queue. Compact rewrites the log without settled
+// messages.
+package mq
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Msg is one queued message.
+type Msg struct {
+	Seq     uint64 `json:"seq"`
+	Payload []byte `json:"payload"`
+}
+
+// record is the on-disk log entry: either an enqueue (Msg set) or an ack.
+type record struct {
+	Enq *Msg    `json:"enq,omitempty"`
+	Ack *uint64 `json:"ack,omitempty"`
+}
+
+// ErrClosed is returned by operations on a closed queue.
+var ErrClosed = errors.New("mq: queue closed")
+
+// Queue is a durable FIFO queue. All methods are safe for concurrent use.
+type Queue struct {
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	w        *bufio.Writer
+	nextSeq  uint64
+	pending  []Msg           // not yet dequeued, FIFO order
+	inflight map[uint64]Msg  // dequeued, not yet acked
+	acked    map[uint64]bool // settled (for replay and compaction)
+	sync     bool
+	closed   bool
+	notify   chan struct{} // signalled on enqueue and nack
+}
+
+// Options configure a queue.
+type Options struct {
+	// Sync forces an fsync after every append, trading throughput for
+	// durability against machine crashes (process crashes are always
+	// covered).
+	Sync bool
+}
+
+// Open opens or creates the queue backed by the given file and replays
+// its log: messages enqueued but not acknowledged become deliverable
+// again, in their original order.
+func Open(path string, opts Options) (*Queue, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("mq: open: %w", err)
+	}
+	q := &Queue{
+		path:     path,
+		f:        f,
+		inflight: make(map[uint64]Msg),
+		acked:    make(map[uint64]bool),
+		sync:     opts.Sync,
+		notify:   make(chan struct{}, 1),
+	}
+	if err := q.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("mq: seek: %w", err)
+	}
+	q.w = bufio.NewWriter(f)
+	return q, nil
+}
+
+// replay scans the log and reconstructs the deliverable set.
+func (q *Queue) replay() error {
+	var msgs []Msg
+	sc := bufio.NewScanner(q.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(raw, &r); err != nil {
+			// A torn final write (crash mid-append) is tolerated and
+			// truncated away; a corrupt record elsewhere is an error.
+			if !sc.Scan() {
+				break
+			}
+			return fmt.Errorf("mq: corrupt record at line %d: %v", line, err)
+		}
+		switch {
+		case r.Enq != nil:
+			msgs = append(msgs, *r.Enq)
+			if r.Enq.Seq >= q.nextSeq {
+				q.nextSeq = r.Enq.Seq + 1
+			}
+		case r.Ack != nil:
+			q.acked[*r.Ack] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("mq: replay: %w", err)
+	}
+	for _, m := range msgs {
+		if !q.acked[m.Seq] {
+			q.pending = append(q.pending, m)
+		}
+	}
+	sort.Slice(q.pending, func(i, j int) bool { return q.pending[i].Seq < q.pending[j].Seq })
+	return nil
+}
+
+func (q *Queue) append(r record) error {
+	buf, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("mq: marshal: %w", err)
+	}
+	if _, err := q.w.Write(buf); err != nil {
+		return fmt.Errorf("mq: write: %w", err)
+	}
+	if err := q.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("mq: write: %w", err)
+	}
+	if err := q.w.Flush(); err != nil {
+		return fmt.Errorf("mq: flush: %w", err)
+	}
+	if q.sync {
+		if err := q.f.Sync(); err != nil {
+			return fmt.Errorf("mq: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Enqueue appends a message and returns its sequence number.
+func (q *Queue) Enqueue(payload []byte) (uint64, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, ErrClosed
+	}
+	m := Msg{Seq: q.nextSeq, Payload: append([]byte(nil), payload...)}
+	q.nextSeq++
+	if err := q.append(record{Enq: &m}); err != nil {
+		return 0, err
+	}
+	q.pending = append(q.pending, m)
+	q.signal()
+	return m.Seq, nil
+}
+
+// Dequeue removes the oldest deliverable message and marks it in-flight.
+// It reports false when the queue is currently empty.
+func (q *Queue) Dequeue() (Msg, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.pending) == 0 {
+		return Msg{}, false
+	}
+	m := q.pending[0]
+	q.pending = q.pending[1:]
+	q.inflight[m.Seq] = m
+	return m, true
+}
+
+// Ack settles an in-flight message; it will never be delivered again.
+func (q *Queue) Ack(seq uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if _, ok := q.inflight[seq]; !ok {
+		return fmt.Errorf("mq: ack of unknown message %d", seq)
+	}
+	if err := q.append(record{Ack: &seq}); err != nil {
+		return err
+	}
+	delete(q.inflight, seq)
+	q.acked[seq] = true
+	return nil
+}
+
+// Nack returns an in-flight message to the front of the queue for
+// immediate redelivery (e.g. after a failed processing attempt).
+func (q *Queue) Nack(seq uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	m, ok := q.inflight[seq]
+	if !ok {
+		return fmt.Errorf("mq: nack of unknown message %d", seq)
+	}
+	delete(q.inflight, seq)
+	q.pending = append([]Msg{m}, q.pending...)
+	q.signal()
+	return nil
+}
+
+// Len returns the number of deliverable (pending, not in-flight) messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// InFlight returns the number of dequeued but unacknowledged messages.
+func (q *Queue) InFlight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.inflight)
+}
+
+// Notify returns a channel that receives a signal whenever a message may
+// have become deliverable. Consumers combine it with Dequeue in a loop.
+func (q *Queue) Notify() <-chan struct{} { return q.notify }
+
+func (q *Queue) signal() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Compact rewrites the log keeping only unsettled messages. In-flight
+// messages are preserved (they are not settled until acked).
+func (q *Queue) Compact() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	tmp := q.path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("mq: compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	writeMsg := func(m Msg) error {
+		buf, err := json.Marshal(record{Enq: &m})
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		_, err = w.Write(buf)
+		return err
+	}
+	// In-flight messages first (older), then pending, sorted by seq for
+	// deterministic replay order.
+	var live []Msg
+	for _, m := range q.inflight {
+		live = append(live, m)
+	}
+	live = append(live, q.pending...)
+	sort.Slice(live, func(i, j int) bool { return live[i].Seq < live[j].Seq })
+	for _, m := range live {
+		if err := writeMsg(m); err != nil {
+			f.Close()
+			return fmt.Errorf("mq: compact: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("mq: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("mq: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("mq: compact: %w", err)
+	}
+	if err := os.Rename(tmp, q.path); err != nil {
+		return fmt.Errorf("mq: compact: %w", err)
+	}
+	// Swap the file handle to the compacted log.
+	q.w.Flush()
+	q.f.Close()
+	nf, err := os.OpenFile(q.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("mq: compact reopen: %w", err)
+	}
+	q.f = nf
+	q.w = bufio.NewWriter(nf)
+	q.acked = make(map[uint64]bool)
+	return nil
+}
+
+// Close flushes and closes the queue. In-flight messages remain unacked
+// on disk and will be redelivered after the next Open.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	var firstErr error
+	if err := q.w.Flush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := q.f.Sync(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := q.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,109 @@
+// Package paper encodes the concrete artifacts of the paper's figures —
+// the example interaction graphs of Sec 2 — as interaction expressions,
+// so that tests, benchmarks and examples all reproduce exactly the
+// constraints the paper discusses.
+//
+// Activities are modeled as atomic actions at the granularity the paper
+// uses in its graphs (one action per activity; footnote 6's start/
+// terminate split is available via ix.Activity when needed). All
+// activities carry the patient parameter p and the examination parameter
+// x, as in Fig 3.
+package paper
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// Action names used throughout the figures.
+const (
+	ActPrepare = "prepare" // prepare patient
+	ActInform  = "inform"  // inform patient
+	ActCall    = "call"    // call patient
+	ActPerform = "perform" // perform examination
+)
+
+// Examination values used by the medical examples (Fig 1).
+const (
+	ExamSono = "sono" // ultrasonography
+	ExamEndo = "endo" // endoscopy
+)
+
+func atom2(name, p, x string) *expr.Expr {
+	return expr.AtomNamed(name, expr.Prm(p), expr.Prm(x))
+}
+
+// Fig3PatientConstraint builds the integrity constraint for patients of
+// Fig 3: for all patients p (parallel quantifier — patients are handled
+// concurrently and independently), a mutual exclusion (the user-defined
+// "flash" operator of Fig 5) of three branches:
+//
+//   - upper: the patient is prepared for several examinations x
+//     simultaneously (arbitrarily-parallel operator around a "for some
+//     x" quantifier);
+//   - middle: the patient passes through exactly one examination x —
+//     call then perform;
+//   - lower: the patient is informed about several examinations x
+//     simultaneously.
+//
+// The mutual exclusion makes call–perform phases exclusive with each
+// other and with prepare/inform bursts, reproducing the intro scenario:
+// a patient cannot be called to a second examination while passing
+// through a first one.
+func Fig3PatientConstraint() *expr.Expr {
+	prepare := expr.ParIter(expr.AnyQ("x", atom2(ActPrepare, "p", "x")))
+	examine := expr.AnyQ("x", expr.Seq(atom2(ActCall, "p", "x"), atom2(ActPerform, "p", "x")))
+	inform := expr.ParIter(expr.AnyQ("x", atom2(ActInform, "p", "x")))
+	return expr.AllQ("p", Fig5Mutex(prepare, examine, inform))
+}
+
+// Fig5Mutex is the user-defined mutual exclusion operator of Fig 5
+// applied to arbitrary branches: a constant repetition (sequential
+// iteration) of an either-or branching.
+func Fig5Mutex(branches ...*expr.Expr) *expr.Expr {
+	return expr.SeqIter(expr.Or(branches...))
+}
+
+// Fig6CapacityRestriction builds the capacity restriction for
+// examination departments of Fig 6: for each kind of examination x,
+// three concurrent and independent instances of the sequence
+// call - perform may be executed repeatedly, each with an arbitrary
+// patient p. Effectively: each department x treats at most three
+// patients simultaneously.
+func Fig6CapacityRestriction() *expr.Expr {
+	return Fig6CapacityRestrictionN(3)
+}
+
+// Fig6CapacityRestrictionN is Fig 6 with a configurable capacity. The
+// examination-kind quantifier is the parallel ("for each") quantifier;
+// its body is nullable, so departments that never act contribute the
+// empty word.
+func Fig6CapacityRestrictionN(n int) *expr.Expr {
+	seq := expr.AnyQ("p", expr.Seq(atom2(ActCall, "p", "x"), atom2(ActPerform, "p", "x")))
+	return expr.AllQ("x", expr.Mult(n, expr.SeqIter(seq)))
+}
+
+// Fig7Coupled couples the independently developed subgraphs of Fig 3 and
+// Fig 6 into a single interaction graph (Fig 7): an activity is permitted
+// iff it is permitted by every subgraph whose alphabet contains it. The
+// prepare and inform activities appear only in the patient constraint, so
+// the capacity branch never restricts them (open-world coupling).
+func Fig7Coupled() *expr.Expr {
+	return expr.Sync(Fig3PatientConstraint(), Fig6CapacityRestriction())
+}
+
+// Patient returns the canonical test patient value with index i.
+func Patient(i int) string { return fmt.Sprintf("pat%d", i) }
+
+// CallAct builds the concrete action call(p, x).
+func CallAct(p, x string) expr.Action { return expr.ConcreteAct(ActCall, p, x) }
+
+// PerformAct builds the concrete action perform(p, x).
+func PerformAct(p, x string) expr.Action { return expr.ConcreteAct(ActPerform, p, x) }
+
+// PrepareAct builds the concrete action prepare(p, x).
+func PrepareAct(p, x string) expr.Action { return expr.ConcreteAct(ActPrepare, p, x) }
+
+// InformAct builds the concrete action inform(p, x).
+func InformAct(p, x string) expr.Action { return expr.ConcreteAct(ActInform, p, x) }

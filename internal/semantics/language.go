@@ -1,0 +1,95 @@
+package semantics
+
+import (
+	"sort"
+
+	"repro/internal/expr"
+)
+
+// Language enumerates, by brute force, the complete and partial words of e
+// over the given finite set of concrete actions, up to maxLen actions.
+// It returns canonical word keys (Word.Key) in sorted order. Tests use it
+// to compare whole bounded languages between the oracle and the state
+// model; keep sigma and maxLen small (|sigma|^maxLen words are tested).
+func Language(e *expr.Expr, sigma []expr.Action, maxLen int) (complete, partial []string) {
+	o := New(e, maxLen)
+	var walk func(w Word)
+	walk = func(w Word) {
+		if o.Partial(w) {
+			partial = append(partial, w.Key())
+			if o.Complete(w) {
+				complete = append(complete, w.Key())
+			}
+		} else if len(w) > 0 {
+			// Ψ is prefix-closed by construction of the traversal
+			// semantics: no extension of an illegal word is legal, so
+			// pruning here is sound (verified by TestPsiPrefixClosed).
+			return
+		}
+		if len(w) == maxLen {
+			return
+		}
+		for _, a := range sigma {
+			walk(append(w[:len(w):len(w)], a))
+		}
+	}
+	walk(nil)
+	sort.Strings(complete)
+	sort.Strings(partial)
+	return complete, partial
+}
+
+// DefaultSigma builds a small concrete action set covering every atom of
+// e: each pattern of α(e) instantiated with the values of e plus the
+// provided extra values for wildcard positions.
+func DefaultSigma(e *expr.Expr, extraValues []string) []expr.Action {
+	vals := append(append([]string{}, e.Values()...), extraValues...)
+	if len(vals) == 0 {
+		vals = []string{"v1"}
+	}
+	var out []expr.Action
+	seen := make(map[string]bool)
+	for _, p := range expr.AlphabetOf(e).Patterns() {
+		for _, a := range instantiate(p, vals) {
+			if k := a.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// instantiate expands one alphabet pattern into concrete actions, using
+// each candidate value for wildcard positions (cartesian product).
+func instantiate(p expr.Pattern, vals []string) []expr.Action {
+	actions := []expr.Action{{Name: p.Name}}
+	for _, arg := range p.Args {
+		var next []expr.Action
+		switch arg.Kind {
+		case expr.PatValue:
+			for _, a := range actions {
+				next = append(next, appendArg(a, arg.Name))
+			}
+		case expr.PatWild:
+			for _, a := range actions {
+				for _, v := range vals {
+					next = append(next, appendArg(a, v))
+				}
+			}
+		case expr.PatFree:
+			// Free parameters match nothing; the pattern contributes no
+			// concrete actions.
+			return nil
+		}
+		actions = next
+	}
+	return actions
+}
+
+func appendArg(a expr.Action, v string) expr.Action {
+	args := make([]expr.Arg, len(a.Args)+1)
+	copy(args, a.Args)
+	args[len(a.Args)] = expr.Val(v)
+	return expr.Action{Name: a.Name, Args: args}
+}

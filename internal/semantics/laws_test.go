@@ -1,0 +1,209 @@
+package semantics
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// Sec 3 of the paper: "numerous useful properties of interaction
+// expressions, like commutativity, associativity, or idempotence of
+// operators, which are intuitively evident, can be formally proven."
+// These tests verify the laws semantically: two expressions are
+// equivalent iff they have the same alphabet and accept the same
+// complete and partial words — checked here over the bounded language
+// (every word up to length 4 over a covering action set).
+
+// equivalent checks bounded-language equality of two expressions.
+func equivalent(t *testing.T, x1, x2 *expr.Expr) bool {
+	t.Helper()
+	sigma := DefaultSigma(expr.Or(x1, x2), []string{"v1", "v2"})
+	if len(sigma) == 0 {
+		sigma = []expr.Action{expr.ConcreteAct("a")}
+	}
+	c1, p1 := Language(x1, sigma, 4)
+	c2, p2 := Language(x2, sigma, 4)
+	return eqStrings(c1, c2) && eqStrings(p1, p2)
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assertLaw checks the law for several operand instantiations.
+func assertLaw(t *testing.T, name string, law func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr)) {
+	t.Helper()
+	xa := expr.AtomNamed("a")
+	xb := expr.AtomNamed("b")
+	xc := expr.AtomNamed("c")
+	operands := [][3]*expr.Expr{
+		{xa, xb, xc},
+		{expr.Seq(xa, xb), xc, expr.Option(xa)},
+		{expr.SeqIter(xa), expr.Or(xb, xc), xa},
+		{expr.Par(xa, xb), xc, expr.Seq(xb, xc)},
+	}
+	for i, ops := range operands {
+		l, r := law(ops[0], ops[1], ops[2])
+		if !equivalent(t, l, r) {
+			t.Errorf("%s violated for operand set %d:\n  left:  %s\n  right: %s", name, i, l, r)
+		}
+	}
+}
+
+func TestLawOrCommutative(t *testing.T) {
+	assertLaw(t, "x|y = y|x", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.Or(x, y), expr.Or(y, x)
+	})
+}
+
+func TestLawAndCommutative(t *testing.T) {
+	assertLaw(t, "x&y = y&x", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.And(x, y), expr.And(y, x)
+	})
+}
+
+func TestLawParCommutative(t *testing.T) {
+	assertLaw(t, "x||y = y||x", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.Par(x, y), expr.Par(y, x)
+	})
+}
+
+func TestLawSeqAssociative(t *testing.T) {
+	assertLaw(t, "(x-y)-z = x-(y-z)", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.Seq(expr.Seq(x, y), z), expr.Seq(x, expr.Seq(y, z))
+	})
+}
+
+func TestLawParAssociative(t *testing.T) {
+	assertLaw(t, "(x||y)||z = x||(y||z)", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.Par(expr.Par(x, y), z), expr.Par(x, expr.Par(y, z))
+	})
+}
+
+func TestLawOrIdempotent(t *testing.T) {
+	assertLaw(t, "x|x = x", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.Or(x, x), x
+	})
+}
+
+func TestLawAndIdempotent(t *testing.T) {
+	assertLaw(t, "x&x = x", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.And(x, x), x
+	})
+}
+
+func TestLawSeqNeutralElement(t *testing.T) {
+	assertLaw(t, "ε-x = x = x-ε", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.Seq(expr.Empty(), x, expr.Empty()), x
+	})
+}
+
+func TestLawParNeutralElement(t *testing.T) {
+	assertLaw(t, "ε||x = x", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.Par(expr.Empty(), x), x
+	})
+}
+
+func TestLawSeqDistributesOverOr(t *testing.T) {
+	assertLaw(t, "x-(y|z) = x-y | x-z", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.Seq(x, expr.Or(y, z)), expr.Or(expr.Seq(x, y), expr.Seq(x, z))
+	})
+}
+
+func TestLawParDistributesOverOr(t *testing.T) {
+	assertLaw(t, "x||(y|z) = x||y | x||z", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.Par(x, expr.Or(y, z)), expr.Or(expr.Par(x, y), expr.Par(x, z))
+	})
+}
+
+func TestLawIterIdempotent(t *testing.T) {
+	assertLaw(t, "(x*)* = x*", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.SeqIter(expr.SeqIter(x)), expr.SeqIter(x)
+	})
+}
+
+func TestLawOptionIdempotent(t *testing.T) {
+	assertLaw(t, "(x?)? = x?", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.Option(expr.Option(x)), expr.Option(x)
+	})
+}
+
+func TestLawOptionAbsorbedByIter(t *testing.T) {
+	assertLaw(t, "(x?)* = x*", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.SeqIter(expr.Option(x)), expr.SeqIter(x)
+	})
+}
+
+func TestLawMultIsIteratedPar(t *testing.T) {
+	assertLaw(t, "mult(2,x) = x||x", func(x, y, z *expr.Expr) (*expr.Expr, *expr.Expr) {
+		return expr.Mult(2, x), expr.Par(x, x)
+	})
+}
+
+// TestLawSyncOnDisjointAlphabetsIsPar: coupling operands with disjoint
+// alphabets degenerates to parallel composition — the formal content of
+// the open-world reading.
+func TestLawSyncOnDisjointAlphabetsIsPar(t *testing.T) {
+	x := expr.Seq(expr.AtomNamed("a"), expr.AtomNamed("b"))
+	y := expr.SeqIter(expr.AtomNamed("c"))
+	if !equivalent(t, expr.Sync(x, y), expr.Par(x, y)) {
+		t.Error("x@y should equal x||y for disjoint alphabets")
+	}
+}
+
+// TestLawSyncOnEqualAlphabetsIsAnd: coupling operands with identical
+// alphabets degenerates to strict conjunction.
+func TestLawSyncOnEqualAlphabetsIsAnd(t *testing.T) {
+	x := expr.Seq(expr.AtomNamed("a"), expr.AtomNamed("b"))
+	y := expr.Par(expr.AtomNamed("a"), expr.AtomNamed("b"))
+	if !equivalent(t, expr.Sync(x, y), expr.And(x, y)) {
+		t.Error("x@y should equal x&y for equal alphabets")
+	}
+}
+
+// TestLawSeqNotCommutative: a sanity check that the harness can detect
+// violations — sequence must NOT commute.
+func TestLawSeqNotCommutative(t *testing.T) {
+	x := expr.AtomNamed("a")
+	y := expr.AtomNamed("b")
+	if equivalent(t, expr.Seq(x, y), expr.Seq(y, x)) {
+		t.Error("a-b must differ from b-a")
+	}
+}
+
+// TestLawAndNotOpenWorld: strict conjunction and coupling differ when
+// alphabets differ — the paper's core argument for the new operator.
+func TestLawAndNotOpenWorld(t *testing.T) {
+	x := expr.Seq(expr.AtomNamed("a"), expr.AtomNamed("b"))
+	y := expr.SeqIter(expr.AtomNamed("c"))
+	if equivalent(t, expr.Sync(x, y), expr.And(x, y)) {
+		t.Error("x@y must differ from x&y for different alphabets")
+	}
+}
+
+// TestLawQuantifierUnrolling: "any p: y" over a body whose only values
+// come from the word behaves like the disjunction of its concretions,
+// restricted to the observed universe.
+func TestLawQuantifierUnrolling(t *testing.T) {
+	body := expr.Seq(expr.AtomNamed("x", expr.Prm("p")), expr.AtomNamed("y", expr.Prm("p")))
+	q := expr.AnyQ("p", body)
+	unrolled := expr.Or(body.Subst("p", "v1"), body.Subst("p", "v2"))
+	// Over the two-value action universe the languages agree.
+	sigma := []expr.Action{
+		expr.ConcreteAct("x", "v1"), expr.ConcreteAct("x", "v2"),
+		expr.ConcreteAct("y", "v1"), expr.ConcreteAct("y", "v2"),
+	}
+	qc, qp := Language(q, sigma, 3)
+	uc, up := Language(unrolled, sigma, 3)
+	if !eqStrings(qc, uc) || !eqStrings(qp, up) {
+		t.Errorf("quantifier unrolling mismatch:\n q: %v / %v\n u: %v / %v", qc, qp, uc, up)
+	}
+}

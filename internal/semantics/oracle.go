@@ -1,0 +1,503 @@
+// Package semantics is a direct, executable transcription of the formal
+// semantics of interaction expressions (Table 8 of the paper): it decides
+// w ∈ Φ(x) (complete word) and w ∈ Ψ(x) (partial word) by structural
+// recursion over the expression and exhaustive search over word splits,
+// shuffle decompositions and quantifier instantiations.
+//
+// This is exactly the "hopelessly inefficient" naive algorithm the paper
+// mentions in Sec 4 — exponential in the word length — implemented on
+// purpose: it serves as the ground-truth oracle against which the
+// operational state model (internal/state) is verified, and as the
+// baseline for experiment E12.
+//
+// The only liberty taken is the treatment of the infinite value universe
+// Ω: quantifiers are instantiated over the finite set of relevant values
+// (those occurring in the word or the expression) plus enough fresh
+// witness values. This reduction is justified by the paper's own
+// infinite-shuffle lemma (Sec 3): branches for values that never occur in
+// w are interchangeable, so one representative per needed instance
+// suffices. Fresh witnesses use the reserved "_fresh_" name prefix.
+package semantics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Word is a sequence of concrete actions.
+type Word []expr.Action
+
+// Key returns a canonical identity string for the word.
+func (w Word) Key() string {
+	if len(w) == 0 {
+		return ""
+	}
+	parts := make([]string, len(w))
+	for i, a := range w {
+		parts[i] = a.Key()
+	}
+	return strings.Join(parts, ";")
+}
+
+// String renders the word as 〈a1, a2, ...〉 for diagnostics.
+func (w Word) String() string {
+	parts := make([]string, len(w))
+	for i, a := range w {
+		parts[i] = a.String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Oracle decides word membership for one expression. It carries the
+// memoization table and the value universe, so it is not safe for
+// concurrent use; create one per goroutine.
+type Oracle struct {
+	root     *expr.Expr
+	universe []string
+	memo     map[string]bool
+}
+
+// FreshPrefix is reserved for the oracle's witness values; user values
+// must not start with it.
+const FreshPrefix = "_fresh_"
+
+// New creates an oracle for e, sized for words up to maxWordLen actions.
+// The universe contains every value of e plus maxWordLen+quantifier-depth
+// fresh witnesses (enough for any word of that length to bind each
+// quantifier instance to a distinct unseen value).
+func New(e *expr.Expr, maxWordLen int) *Oracle {
+	if !e.Closed() {
+		panic(fmt.Sprintf("semantics: expression has free parameters: %s", e))
+	}
+	o := &Oracle{root: e, memo: make(map[string]bool)}
+	o.universe = append(o.universe, e.Values()...)
+	n := maxWordLen + quantDepth(e) + 1
+	for i := 0; i < n; i++ {
+		o.universe = append(o.universe, fmt.Sprintf("%s%d", FreshPrefix, i))
+	}
+	return o
+}
+
+func quantDepth(e *expr.Expr) int {
+	d := 0
+	for _, k := range e.Kids {
+		if kd := quantDepth(k); kd > d {
+			d = kd
+		}
+	}
+	if e.Op.Quantifier() {
+		d++
+	}
+	return d
+}
+
+// Complete reports whether w ∈ Φ(root).
+func (o *Oracle) Complete(w Word) bool {
+	o.addWordValues(w)
+	return o.complete(o.root, w, o.universe)
+}
+
+// Partial reports whether w ∈ Ψ(root).
+func (o *Oracle) Partial(w Word) bool {
+	o.addWordValues(w)
+	return o.partial(o.root, w, o.universe)
+}
+
+// Verdict classifies a word as in Fig 9 of the paper: 2 = complete,
+// 1 = partial (but not complete), 0 = illegal.
+func (o *Oracle) Verdict(w Word) int {
+	switch {
+	case o.Complete(w):
+		return 2
+	case o.Partial(w):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// addWordValues extends the universe with values first seen in w, so a
+// single oracle can be reused across words.
+func (o *Oracle) addWordValues(w Word) {
+	have := make(map[string]bool, len(o.universe))
+	for _, v := range o.universe {
+		have[v] = true
+	}
+	added := false
+	for _, a := range w {
+		for _, v := range a.Values() {
+			if !have[v] {
+				have[v] = true
+				o.universe = append(o.universe, v)
+				added = true
+			}
+		}
+	}
+	if added {
+		// Universe changed; memo entries may depend on it.
+		o.memo = make(map[string]bool)
+	}
+}
+
+func memoKey(mode byte, e *expr.Expr, w Word, uni []string) string {
+	return string(mode) + "|" + fmt.Sprint(len(uni)) + "|" + e.Key() + "|" + w.Key()
+}
+
+func (o *Oracle) complete(e *expr.Expr, w Word, uni []string) bool {
+	k := memoKey('C', e, w, uni)
+	if v, ok := o.memo[k]; ok {
+		return v
+	}
+	v := o.completeEval(e, w, uni)
+	o.memo[k] = v
+	return v
+}
+
+func (o *Oracle) partial(e *expr.Expr, w Word, uni []string) bool {
+	k := memoKey('P', e, w, uni)
+	if v, ok := o.memo[k]; ok {
+		return v
+	}
+	v := o.partialEval(e, w, uni)
+	o.memo[k] = v
+	return v
+}
+
+func (o *Oracle) completeEval(e *expr.Expr, w Word, uni []string) bool {
+	switch e.Op {
+	case expr.OpAtom:
+		// Φ(a) = {〈a〉} ∩ Σ*: only concrete atoms accept their own action.
+		return len(w) == 1 && e.Atom.StrictMatch(w[0])
+	case expr.OpEmpty:
+		return len(w) == 0
+	case expr.OpOption:
+		return len(w) == 0 || o.complete(e.Kids[0], w, uni)
+	case expr.OpSeq:
+		return o.seqComplete(e.Kids, w, uni)
+	case expr.OpSeqIter:
+		return o.iterComplete(e.Kids[0], w, uni)
+	case expr.OpPar:
+		return o.shuffleAll(e.Kids, w, uni, o.complete)
+	case expr.OpParIter:
+		return o.closureMember(e.Kids[0], w, uni, o.complete)
+	case expr.OpMult:
+		kids := make([]*expr.Expr, e.N)
+		for i := range kids {
+			kids[i] = e.Kids[0]
+		}
+		return o.shuffleAll(kids, w, uni, o.complete)
+	case expr.OpOr:
+		for _, k := range e.Kids {
+			if o.complete(k, w, uni) {
+				return true
+			}
+		}
+		return false
+	case expr.OpAnd:
+		for _, k := range e.Kids {
+			if !o.complete(k, w, uni) {
+				return false
+			}
+		}
+		return true
+	case expr.OpSync:
+		return o.syncMember(e.Kids, w, uni, o.complete)
+	case expr.OpAnyQ:
+		for _, v := range uni {
+			if o.complete(e.Kids[0].Subst(e.Param, v), w, uni) {
+				return true
+			}
+		}
+		return false
+	case expr.OpAllQ:
+		return o.allQComplete(e, w, uni)
+	case expr.OpSyncQ:
+		return o.syncQMember(e, w, uni, o.complete)
+	case expr.OpConQ:
+		for _, v := range uni {
+			if !o.complete(e.Kids[0].Subst(e.Param, v), w, uni) {
+				return false
+			}
+		}
+		return true
+	}
+	panic(fmt.Sprintf("semantics: unknown op %v", e.Op))
+}
+
+func (o *Oracle) partialEval(e *expr.Expr, w Word, uni []string) bool {
+	switch e.Op {
+	case expr.OpAtom:
+		// Ψ(a) = {〈〉, 〈a〉} ∩ Σ*.
+		return len(w) == 0 || len(w) == 1 && e.Atom.StrictMatch(w[0])
+	case expr.OpEmpty:
+		return len(w) == 0
+	case expr.OpOption:
+		// Ψ(y?) = Ψ(y); 〈〉 ∈ Ψ(y) holds for every y.
+		return o.partial(e.Kids[0], w, uni)
+	case expr.OpSeq:
+		return o.seqPartial(e.Kids, w, uni)
+	case expr.OpSeqIter:
+		// Ψ(y*) = Φ(y)* Ψ(y).
+		for i := 0; i <= len(w); i++ {
+			if o.iterComplete(e.Kids[0], w[:i], uni) && o.partial(e.Kids[0], w[i:], uni) {
+				return true
+			}
+		}
+		return false
+	case expr.OpPar:
+		return o.shuffleAll(e.Kids, w, uni, o.partial)
+	case expr.OpParIter:
+		// Ψ(y#) = Ψ(y)#.
+		return o.closureMember(e.Kids[0], w, uni, o.partial)
+	case expr.OpMult:
+		kids := make([]*expr.Expr, e.N)
+		for i := range kids {
+			kids[i] = e.Kids[0]
+		}
+		return o.shuffleAll(kids, w, uni, o.partial)
+	case expr.OpOr:
+		for _, k := range e.Kids {
+			if o.partial(k, w, uni) {
+				return true
+			}
+		}
+		return false
+	case expr.OpAnd:
+		for _, k := range e.Kids {
+			if !o.partial(k, w, uni) {
+				return false
+			}
+		}
+		return true
+	case expr.OpSync:
+		return o.syncMember(e.Kids, w, uni, o.partial)
+	case expr.OpAnyQ:
+		for _, v := range uni {
+			if o.partial(e.Kids[0].Subst(e.Param, v), w, uni) {
+				return true
+			}
+		}
+		return false
+	case expr.OpAllQ:
+		// Ψ = ⊗ over all ω of Ψ(y_ω); 〈〉 ∈ Ψ always, so no nullability
+		// gate: partition w over distinct values with Ψ membership.
+		return o.distinctShuffle(e, w, uni, o.partial)
+	case expr.OpSyncQ:
+		return o.syncQMember(e, w, uni, o.partial)
+	case expr.OpConQ:
+		for _, v := range uni {
+			if !o.partial(e.Kids[0].Subst(e.Param, v), w, uni) {
+				return false
+			}
+		}
+		return true
+	}
+	panic(fmt.Sprintf("semantics: unknown op %v", e.Op))
+}
+
+// seqComplete decides w ∈ Φ(y1)Φ(y2)...Φ(yn).
+func (o *Oracle) seqComplete(kids []*expr.Expr, w Word, uni []string) bool {
+	if len(kids) == 1 {
+		return o.complete(kids[0], w, uni)
+	}
+	for i := 0; i <= len(w); i++ {
+		if o.complete(kids[0], w[:i], uni) && o.seqComplete(kids[1:], w[i:], uni) {
+			return true
+		}
+	}
+	return false
+}
+
+// seqPartial decides w ∈ Ψ(y1) ∪ Φ(y1)Ψ(y2...) (Table 8, generalized
+// n-ary by right fold).
+func (o *Oracle) seqPartial(kids []*expr.Expr, w Word, uni []string) bool {
+	if len(kids) == 1 {
+		return o.partial(kids[0], w, uni)
+	}
+	if o.partial(kids[0], w, uni) {
+		return true
+	}
+	for i := 0; i <= len(w); i++ {
+		if o.complete(kids[0], w[:i], uni) && o.seqPartial(kids[1:], w[i:], uni) {
+			return true
+		}
+	}
+	return false
+}
+
+// iterComplete decides w ∈ Φ(y)*.
+func (o *Oracle) iterComplete(y *expr.Expr, w Word, uni []string) bool {
+	if len(w) == 0 {
+		return true
+	}
+	// First iteration must consume a non-empty prefix (empty iterations
+	// contribute nothing to the language).
+	for i := 1; i <= len(w); i++ {
+		if o.complete(y, w[:i], uni) && o.iterComplete(y, w[i:], uni) {
+			return true
+		}
+	}
+	return false
+}
+
+// memberFn is either Oracle.complete or Oracle.partial.
+type memberFn func(e *expr.Expr, w Word, uni []string) bool
+
+// shuffleAll decides whether w is a shuffle of words w1..wn with
+// member(yi, wi) for each operand, by assigning the first action to each
+// operand in turn (order-preserving subsequence decomposition).
+func (o *Oracle) shuffleAll(kids []*expr.Expr, w Word, uni []string, member memberFn) bool {
+	if len(kids) == 1 {
+		return member(kids[0], w, uni)
+	}
+	// Enumerate the subsequence taken by kids[0] via bitmask; the
+	// remainder goes to the rest. Words in tests are short (≤ ~10), so
+	// 2^len is acceptable — this is the naive algorithm by design.
+	n := len(w)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		left, right := splitByMask(w, mask)
+		if member(kids[0], left, uni) && o.shuffleAll(kids[1:], right, uni, member) {
+			return true
+		}
+	}
+	return false
+}
+
+// closureMember decides w ∈ L(y)# for L = Φ or Ψ: a shuffle of any number
+// of non-empty words from L(y) (the empty instance is redundant because
+// the closure always contains 〈〉).
+func (o *Oracle) closureMember(y *expr.Expr, w Word, uni []string, member memberFn) bool {
+	if len(w) == 0 {
+		return true
+	}
+	// The instance containing the first action: enumerate subsequences
+	// that include index 0 to avoid revisiting permutations of instances.
+	n := len(w)
+	for mask := 0; mask < 1<<uint(n-1); mask++ {
+		full := mask<<1 | 1
+		inst, rest := splitByMask(w, full)
+		if member(y, inst, uni) && o.closureMember(y, rest, uni, member) {
+			return true
+		}
+	}
+	return false
+}
+
+// splitByMask partitions w into (selected, remainder) preserving order;
+// bit i of mask selects w[i].
+func splitByMask(w Word, mask int) (Word, Word) {
+	var sel, rest Word
+	for i, a := range w {
+		if mask&(1<<uint(i)) != 0 {
+			sel = append(sel, a)
+		} else {
+			rest = append(rest, a)
+		}
+	}
+	return sel, rest
+}
+
+// syncMember implements the synchronization row of Table 8:
+// w ∈ Φ(y)⊗κx(y)* ∩ Φ(z)⊗κx(z)* (and the n-ary generalization). Because
+// words of Φ(y) use only α(y) and κx(y) is disjoint from α(y), shuffle
+// membership reduces to projection: the subsequence of w matching α(yi)
+// must be a member for yi, and every action must lie in some operand's
+// alphabet (κ only ranges over α(x)).
+func (o *Oracle) syncMember(kids []*expr.Expr, w Word, uni []string, member memberFn) bool {
+	alphas := make([]*expr.Alphabet, len(kids))
+	for i, k := range kids {
+		alphas[i] = expr.AlphabetOf(k)
+	}
+	for _, a := range w {
+		in := false
+		for _, al := range alphas {
+			if al.Contains(a) {
+				in = true
+				break
+			}
+		}
+		if !in {
+			return false
+		}
+	}
+	for i, k := range kids {
+		if !member(k, project(w, alphas[i]), uni) {
+			return false
+		}
+	}
+	return true
+}
+
+// project keeps the actions of w that belong to the alphabet.
+func project(w Word, al *expr.Alphabet) Word {
+	var out Word
+	for _, a := range w {
+		if al.Contains(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// allQComplete implements the parallel-quantifier Φ row: the infinite
+// shuffle over Ω, which is empty unless every concretion is nullable, and
+// otherwise the union of finite shuffles over distinct values.
+func (o *Oracle) allQComplete(e *expr.Expr, w Word, uni []string) bool {
+	for _, v := range uni {
+		if !o.complete(e.Kids[0].Subst(e.Param, v), nil, uni) {
+			return false
+		}
+	}
+	return o.distinctShuffle(e, w, uni, o.complete)
+}
+
+// distinctShuffle decides whether w is a shuffle of non-empty words
+// assigned to distinct quantifier values, each a member of the
+// corresponding concretion.
+func (o *Oracle) distinctShuffle(e *expr.Expr, w Word, uni []string, member memberFn) bool {
+	return o.distinctShuffleRest(e, w, uni, uni, member)
+}
+
+func (o *Oracle) distinctShuffleRest(e *expr.Expr, w Word, fullUni, avail []string, member memberFn) bool {
+	if len(w) == 0 {
+		return true
+	}
+	n := len(w)
+	for mask := 0; mask < 1<<uint(n-1); mask++ {
+		full := mask<<1 | 1
+		inst, rest := splitByMask(w, full)
+		for ui, v := range avail {
+			if !member(e.Kids[0].Subst(e.Param, v), inst, fullUni) {
+				continue
+			}
+			restUni := make([]string, 0, len(avail)-1)
+			restUni = append(restUni, avail[:ui]...)
+			restUni = append(restUni, avail[ui+1:]...)
+			if o.distinctShuffleRest(e, rest, fullUni, restUni, member) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// syncQMember implements the synchronization-quantifier rows: for every
+// value ω, the projection of w onto α(y_ω) must be a member of y_ω, and
+// every action of w must belong to the quantifier's alphabet.
+func (o *Oracle) syncQMember(e *expr.Expr, w Word, uni []string, member memberFn) bool {
+	whole := expr.AlphabetOf(e)
+	for _, a := range w {
+		if !whole.Contains(a) {
+			return false
+		}
+	}
+	for _, v := range uni {
+		inst := e.Kids[0].Subst(e.Param, v)
+		if !member(inst, project(w, expr.AlphabetOf(inst)), uni) {
+			return false
+		}
+	}
+	return true
+}

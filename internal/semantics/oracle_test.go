@@ -1,0 +1,347 @@
+package semantics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+var (
+	a = expr.AtomNamed("a")
+	b = expr.AtomNamed("b")
+	c = expr.AtomNamed("c")
+
+	actA = expr.ConcreteAct("a")
+	actB = expr.ConcreteAct("b")
+	actC = expr.ConcreteAct("c")
+)
+
+func word(as ...expr.Action) Word { return Word(as) }
+
+func TestAtomSemantics(t *testing.T) {
+	o := New(a, 3)
+	if !o.Partial(nil) || o.Complete(nil) {
+		t.Error("empty word: want partial, not complete")
+	}
+	if !o.Complete(word(actA)) {
+		t.Error("<a> should be complete")
+	}
+	if o.Partial(word(actB)) {
+		t.Error("<b> should be illegal")
+	}
+	if o.Partial(word(actA, actA)) {
+		t.Error("<a,a> should be illegal")
+	}
+}
+
+func TestSeqAndOptionSemantics(t *testing.T) {
+	e := expr.Seq(expr.Option(a), b)
+	o := New(e, 3)
+	if !o.Complete(word(actB)) {
+		t.Error("<b> complete (option skipped)")
+	}
+	if !o.Complete(word(actA, actB)) {
+		t.Error("<a,b> complete")
+	}
+	if o.Complete(word(actA)) || !o.Partial(word(actA)) {
+		t.Error("<a> should be partial only")
+	}
+}
+
+func TestIterSemantics(t *testing.T) {
+	e := expr.SeqIter(expr.Seq(a, b))
+	o := New(e, 6)
+	for _, w := range []Word{nil, word(actA, actB), word(actA, actB, actA, actB)} {
+		if !o.Complete(w) {
+			t.Errorf("%s should be complete", w)
+		}
+	}
+	if o.Partial(word(actB)) {
+		t.Error("<b> should be illegal")
+	}
+	if !o.Partial(word(actA, actB, actA)) {
+		t.Error("<a,b,a> should be partial")
+	}
+}
+
+func TestShuffleSemantics(t *testing.T) {
+	e := expr.Par(expr.Seq(a, b), c)
+	o := New(e, 4)
+	for _, w := range []Word{
+		word(actA, actB, actC),
+		word(actA, actC, actB),
+		word(actC, actA, actB),
+	} {
+		if !o.Complete(w) {
+			t.Errorf("%s should be complete", w)
+		}
+	}
+	if o.Partial(word(actB)) {
+		t.Error("<b> should be illegal (b after a)")
+	}
+}
+
+func TestParIterSemantics(t *testing.T) {
+	e := expr.ParIter(expr.Seq(a, b))
+	o := New(e, 6)
+	// Two overlapping instances: a a b b.
+	if !o.Complete(word(actA, actA, actB, actB)) {
+		t.Error("<a,a,b,b> should be complete (two interleaved instances)")
+	}
+	if o.Complete(word(actA, actB, actB)) {
+		t.Error("<a,b,b> should not be complete")
+	}
+	if !o.Complete(nil) {
+		t.Error("empty word should be complete (zero instances)")
+	}
+}
+
+func TestConjunctionSemantics(t *testing.T) {
+	e := expr.And(expr.Par(a, b), expr.Seq(a, b))
+	o := New(e, 3)
+	if !o.Complete(word(actA, actB)) {
+		t.Error("<a,b> should be complete")
+	}
+	if o.Partial(word(actB)) {
+		t.Error("<b,a> path should be excluded by the conjunction")
+	}
+}
+
+func TestSyncOpenWorld(t *testing.T) {
+	// Coupling: y = a - b constrains a and b; c is outside α(y) and flows
+	// through freely when coupled with c's own expression.
+	e := expr.Sync(expr.Seq(a, b), expr.SeqIter(c))
+	o := New(e, 4)
+	if !o.Complete(word(actC, actA, actC, actB)) {
+		t.Error("c actions should interleave freely")
+	}
+	if o.Partial(word(actB)) {
+		t.Error("b before a should be rejected")
+	}
+	// Strict conjunction of the same operands accepts nothing but words
+	// in both languages — i.e. nothing non-empty.
+	strict := New(expr.And(expr.Seq(a, b), expr.SeqIter(c)), 4)
+	if strict.Partial(word(actA)) {
+		t.Error("strict conjunction should reject a (not in c*)")
+	}
+}
+
+func TestExpressivenessNonContextFree(t *testing.T) {
+	// The paper's witness: x = (a - b - c)* & ((a)* || b*c*-ish shapes)
+	// has Φ(x) = {aⁿbⁿcⁿ}. We use the formulation from Sec 3:
+	// x = (a − b − c)# & a* - b* - c*  accepts exactly aⁿbⁿcⁿ.
+	e := expr.And(
+		expr.ParIter(expr.Seq(a, b, c)),
+		expr.Seq(expr.SeqIter(a), expr.SeqIter(b), expr.SeqIter(c)),
+	)
+	o := New(e, 9)
+	mk := func(n, m, k int) Word {
+		var w Word
+		for i := 0; i < n; i++ {
+			w = append(w, actA)
+		}
+		for i := 0; i < m; i++ {
+			w = append(w, actB)
+		}
+		for i := 0; i < k; i++ {
+			w = append(w, actC)
+		}
+		return w
+	}
+	for n := 0; n <= 3; n++ {
+		if !o.Complete(mk(n, n, n)) {
+			t.Errorf("a^%db^%dc^%d should be complete", n, n, n)
+		}
+	}
+	for _, bad := range [][3]int{{1, 0, 1}, {2, 1, 2}, {1, 2, 1}, {0, 1, 1}} {
+		if o.Complete(mk(bad[0], bad[1], bad[2])) {
+			t.Errorf("a^%db^%dc^%d should NOT be complete", bad[0], bad[1], bad[2])
+		}
+	}
+}
+
+func TestQuantifierSemantics(t *testing.T) {
+	xp := expr.AtomNamed("x", expr.Prm("p"))
+	yp := expr.AtomNamed("y", expr.Prm("p"))
+	xv := func(v string) expr.Action { return expr.ConcreteAct("x", v) }
+	yv := func(v string) expr.Action { return expr.ConcreteAct("y", v) }
+
+	// any p: x(p) - y(p): both actions must agree on the value.
+	any := New(expr.AnyQ("p", expr.Seq(xp, yp)), 3)
+	if !any.Complete(word(xv("v1"), yv("v1"))) {
+		t.Error("matching values should complete")
+	}
+	if any.Partial(word(xv("v1"), yv("v2"))) {
+		t.Error("mismatching values should be illegal")
+	}
+
+	// all p: (x(p) - y(p))? — independent pairs for distinct values,
+	// at most one pair per value.
+	all := New(expr.AllQ("p", expr.Option(expr.Seq(xp, yp))), 4)
+	if !all.Complete(word(xv("v1"), xv("v2"), yv("v2"), yv("v1"))) {
+		t.Error("interleaved pairs for distinct values should complete")
+	}
+	if all.Partial(word(xv("v1"), xv("v1"))) {
+		t.Error("second x(v1) has no branch left (one per value)")
+	}
+
+	// conq p: (a - x(p))? — a is shared by all branches: after a, every
+	// branch has passed a and any single x(ω) completes... but all other
+	// branches must ALSO be complete, and x(ω) ∉ their languages' next
+	// steps — so x would kill the other branches. Verify conjunction
+	// strictness.
+	conq := New(expr.ConQ("p", expr.Option(expr.Seq(a, xp))), 3)
+	if !conq.Partial(word(actA)) || conq.Complete(word(actA)) {
+		t.Error("<a> should be partial in every branch but complete in none")
+	}
+	if !conq.Complete(nil) {
+		t.Error("empty word should be complete (option in every branch)")
+	}
+	if conq.Partial(word(actA, xv("v1"))) {
+		t.Error("x(v1) is illegal: branches for other values reject it")
+	}
+
+	// syncq p: (x(p) - y(p))* — per-value projection must satisfy the
+	// iteration; other values' actions pass by.
+	syncq := New(expr.SyncQ("p", expr.SeqIter(expr.Seq(xp, yp))), 4)
+	if !syncq.Complete(word(xv("v1"), xv("v2"), yv("v1"), yv("v2"))) {
+		t.Error("interleaved per-value sequences should complete")
+	}
+	if syncq.Partial(word(xv("v1"), yv("v2"))) {
+		t.Error("y(v2) without x(v2) violates branch v2")
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	o := New(expr.Seq(a, b), 3)
+	if v := o.Verdict(word(actA, actB)); v != 2 {
+		t.Errorf("complete: got %d", v)
+	}
+	if v := o.Verdict(word(actA)); v != 1 {
+		t.Errorf("partial: got %d", v)
+	}
+	if v := o.Verdict(word(actB)); v != 0 {
+		t.Errorf("illegal: got %d", v)
+	}
+}
+
+// Property: Φ ⊆ Ψ (every complete word is partial) and Ψ is prefix-closed
+// — two structural lemmas of the formalism the implementation relies on.
+func TestPsiPrefixClosedAndPhiSubsetPsi(t *testing.T) {
+	sigma := []expr.Action{actA, actB, expr.ConcreteAct("x", "v1")}
+	f := func(seed int64) bool {
+		e := genExpr(seed)
+		o := New(e, 4)
+		var walk func(w Word) bool
+		walk = func(w Word) bool {
+			if o.Complete(w) && !o.Partial(w) {
+				t.Logf("Φ ⊄ Ψ at %s for %s", w, e)
+				return false
+			}
+			if len(w) >= 3 {
+				return true
+			}
+			for _, x := range sigma {
+				w2 := append(w[:len(w):len(w)], x)
+				if o.Partial(w2) && !o.Partial(w) {
+					t.Logf("Ψ not prefix closed at %s for %s", w2, e)
+					return false
+				}
+				if !walk(w2) {
+					return false
+				}
+			}
+			return true
+		}
+		return walk(nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genExpr: deterministic pseudo-random closed expression generator.
+func genExpr(seed int64) *expr.Expr {
+	s := uint64(seed)
+	next := func(n int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % uint64(n))
+	}
+	var gen func(d int, params []string) *expr.Expr
+	gen = func(d int, params []string) *expr.Expr {
+		if d == 0 || next(4) == 0 {
+			switch next(3) {
+			case 0:
+				return expr.AtomNamed([]string{"a", "b"}[next(2)])
+			case 1:
+				return expr.AtomNamed("x", expr.Val("v1"))
+			default:
+				if len(params) == 0 {
+					return expr.AtomNamed("a")
+				}
+				return expr.AtomNamed("x", expr.Prm(params[next(len(params))]))
+			}
+		}
+		switch next(10) {
+		case 0:
+			return expr.Option(gen(d-1, params))
+		case 1:
+			return expr.Seq(gen(d-1, params), gen(d-1, params))
+		case 2:
+			return expr.SeqIter(gen(d-1, params))
+		case 3:
+			return expr.Par(gen(d-1, params), gen(d-1, params))
+		case 4:
+			return expr.ParIter(gen(d-1, params))
+		case 5:
+			return expr.Or(gen(d-1, params), gen(d-1, params))
+		case 6:
+			return expr.And(gen(d-1, params), gen(d-1, params))
+		case 7:
+			return expr.Sync(gen(d-1, params), gen(d-1, params))
+		case 8:
+			p := "p" + string(rune('0'+len(params)))
+			return expr.AnyQ(p, gen(d-1, append(params, p)))
+		default:
+			p := "p" + string(rune('0'+len(params)))
+			return expr.SyncQ(p, gen(d-1, append(params, p)))
+		}
+	}
+	return gen(3, nil)
+}
+
+func TestLanguageEnumeration(t *testing.T) {
+	e := expr.Seq(a, expr.Or(b, c))
+	complete, partial := Language(e, []expr.Action{actA, actB, actC}, 2)
+	wantComplete := []string{"a;b", "a;c"}
+	if len(complete) != 2 || complete[0] != wantComplete[0] || complete[1] != wantComplete[1] {
+		t.Errorf("complete: got %v want %v", complete, wantComplete)
+	}
+	// partial: "", "a", "a;b", "a;c"
+	if len(partial) != 4 {
+		t.Errorf("partial: got %v", partial)
+	}
+}
+
+func TestDefaultSigma(t *testing.T) {
+	e := expr.AnyQ("p", expr.Seq(expr.AtomNamed("x", expr.Prm("p")), b))
+	sigma := DefaultSigma(e, []string{"v1", "v2"})
+	// x(v1), x(v2), b
+	if len(sigma) != 3 {
+		t.Errorf("sigma: got %v", sigma)
+	}
+}
+
+func TestWordKeyAndString(t *testing.T) {
+	w := word(actA, expr.ConcreteAct("x", "v1"))
+	if w.Key() != "a;x(v1)" {
+		t.Errorf("Key: %q", w.Key())
+	}
+	if w.String() != "<a, x(v1)>" {
+		t.Errorf("String: %q", w.String())
+	}
+	if (Word{}).Key() != "" {
+		t.Error("empty word key should be empty")
+	}
+}

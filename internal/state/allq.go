@@ -1,0 +1,243 @@
+package state
+
+import (
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// allQState is the state of a parallel quantifier "all p: y": the word is
+// a shuffle of words belonging to branches for pairwise distinct values
+// of p (Table 8: the infinite shuffle over Ω, which collapses to a union
+// of finite shuffles when — and only when — every concretion of y is
+// nullable).
+//
+// A state is a set of alternatives. Each alternative records
+//
+//   - named branches: value → branch state, for branches whose value the
+//     word has pinned down (an action mentioned the value in a parameter
+//     position in a way that mattered);
+//   - anonymous branches: branch states with p still unbound, for
+//     branches that have consumed actions matching parameter-free atoms
+//     only. Their value is some definite but not-yet-determined element
+//     of Ω distinct from every named value and from the other anonymous
+//     branches. An anonymous branch may later be *bound* to a value that
+//     first appears in an action, which moves it into the named set —
+//     one alternative per possible binding, because a different
+//     anonymous branch (or a fresh one) could equally own that value.
+//
+// Untouched branches (all remaining values) contribute the empty word and
+// need no representation beyond the nullability flag.
+type allQState struct {
+	e        *expr.Expr
+	strictA  *expr.Alphabet // α of the body with p free: parameter-free atoms
+	nullable bool           // ϕ(σ(y)): whether every untouched branch may stay empty
+	alts     []allQAlt
+	key      string
+}
+
+type allQAlt struct {
+	named branchSet // sorted by value
+	anon  []State   // sorted multiset of states with p unbound
+}
+
+func (a allQAlt) key() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	b.WriteString(a.named.key())
+	b.WriteByte('|')
+	for i, s := range a.anon {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.Key())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func newAllQState(e *expr.Expr) State {
+	return &allQState{
+		e:        e,
+		strictA:  expr.AlphabetOf(e.Kids[0]),
+		nullable: Initial(e.Kids[0]).Final(),
+		alts:     []allQAlt{{}},
+	}
+}
+
+func (s *allQState) Key() string {
+	if s.key == "" {
+		keys := make([]string, len(s.alts))
+		for i, a := range s.alts {
+			keys[i] = a.key()
+		}
+		sortStrings(keys)
+		s.key = "all<" + s.e.Key() + ">{" + strings.Join(keys, ";") + "}"
+	}
+	return s.key
+}
+
+// Final: some alternative must have every branch final, and the
+// (infinitely many) untouched branches must be allowed to contribute the
+// empty word, which per Table 8 requires 〈〉 ∈ Φ(y_ω) for all ω.
+func (s *allQState) Final() bool {
+	if !s.nullable {
+		return false
+	}
+	for _, a := range s.alts {
+		if a.named.allFinal() && allFinal(a.anon) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *allQState) Size() int {
+	n := 1
+	for _, a := range s.alts {
+		n += a.named.size() + sumSizes(a.anon)
+	}
+	return n
+}
+
+func (s *allQState) trans(act expr.Action) State {
+	p := s.e.Param
+	template := Initial(s.e.Kids[0])
+	templateKey := template.Key()
+	// Cache of σ(y_v) keys for the branch-release optimization below.
+	freshKeys := make(map[string]string)
+	freshKey := func(v string) string {
+		k, ok := freshKeys[v]
+		if !ok {
+			k = template.subst(p, v).Key()
+			freshKeys[v] = k
+		}
+		return k
+	}
+	var next []allQAlt
+	seen := make(map[string]bool)
+	add := func(a allQAlt) {
+		// ρ, branch release: a named branch whose state equals a fresh
+		// branch for its value is indistinguishable from an untouched
+		// one (it contributed only complete rounds) and is dropped — a
+		// later action mentioning the value forks it again identically.
+		// Anonymous branches equal to the template are untouched by
+		// definition; final inert ones can never act again and their
+		// finality does not constrain anything, so both kinds drop.
+		// Copy before filtering: the incoming slices may alias the
+		// predecessor state's (immutable) branch sets.
+		named := make(branchSet, 0, len(a.named))
+		for _, b := range a.named {
+			st := compress(b.st)
+			if st.Key() == freshKey(b.val) {
+				continue
+			}
+			named = append(named, branch{b.val, st})
+		}
+		a.named = named.canonical()
+		anon := make([]State, 0, len(a.anon))
+		for _, m := range a.anon {
+			if m.Key() == templateKey {
+				continue
+			}
+			if m.Final() && m.inert() {
+				continue
+			}
+			anon = append(anon, m)
+		}
+		a.anon = sortStatesKeepDup(anon)
+		k := a.key()
+		if !seen[k] {
+			seen[k] = true
+			next = append(next, a)
+		}
+	}
+
+	for _, alt := range s.alts {
+		fresh := newValues(act, alt.named)
+
+		// (1) An existing named branch consumes the action.
+		for i, b := range alt.named {
+			if !branchCanAct(b.val, act, s.strictA) {
+				continue // the action cannot belong to this branch's word
+			}
+			nst := b.st.trans(act)
+			if nst == nil {
+				continue
+			}
+			named := make(branchSet, len(alt.named))
+			copy(named, alt.named)
+			named[i] = branch{b.val, nst}
+			add(allQAlt{named: named, anon: alt.anon})
+		}
+
+		// (2) An existing anonymous branch consumes the action...
+		for i, m := range alt.anon {
+			if i > 0 && alt.anon[i].Key() == alt.anon[i-1].Key() {
+				continue // interchangeable instances
+			}
+			// (2a) ... without binding its value.
+			if nm := m.trans(act); nm != nil {
+				anon := make([]State, len(alt.anon))
+				copy(anon, alt.anon)
+				anon[i] = nm
+				add(allQAlt{named: alt.named, anon: anon})
+			}
+			// (2b) ... by binding its value to a newly mentioned one.
+			for _, v := range fresh {
+				nm := m.subst(p, v).trans(act)
+				if nm == nil {
+					continue
+				}
+				anon := make([]State, 0, len(alt.anon)-1)
+				anon = append(anon, alt.anon[:i]...)
+				anon = append(anon, alt.anon[i+1:]...)
+				named := make(branchSet, len(alt.named), len(alt.named)+1)
+				copy(named, alt.named)
+				named = append(named, branch{v, nm})
+				add(allQAlt{named: named, anon: anon})
+			}
+		}
+
+		// (3) A fresh branch starts with this action...
+		// (3a) ... anonymously (matching a parameter-free atom).
+		if nm := template.trans(act); nm != nil {
+			anon := make([]State, len(alt.anon), len(alt.anon)+1)
+			copy(anon, alt.anon)
+			anon = append(anon, nm)
+			add(allQAlt{named: alt.named, anon: anon})
+		}
+		// (3b) ... bound to a newly mentioned value.
+		for _, v := range fresh {
+			nm := template.subst(p, v).trans(act)
+			if nm == nil {
+				continue
+			}
+			named := make(branchSet, len(alt.named), len(alt.named)+1)
+			copy(named, alt.named)
+			named = append(named, branch{v, nm})
+			add(allQAlt{named: named, anon: alt.anon})
+		}
+	}
+	if len(next) == 0 {
+		return nil
+	}
+	return &allQState{e: s.e, strictA: s.strictA, nullable: s.nullable, alts: next}
+}
+
+func (s *allQState) subst(p, v string) State {
+	if !s.e.HasFreeParam(p) {
+		return s
+	}
+	ne := s.e.Subst(p, v)
+	alts := make([]allQAlt, len(s.alts))
+	for i, a := range s.alts {
+		alts[i] = allQAlt{
+			named: a.named.subst(p, v).canonical(),
+			anon:  sortStatesKeepDup(substAll(a.anon, p, v)),
+		}
+	}
+	return &allQState{e: ne, strictA: expr.AlphabetOf(ne.Kids[0]), nullable: s.nullable, alts: alts}
+}
+
+func (s *allQState) inert() bool { return false }

@@ -1,0 +1,165 @@
+package state
+
+import "repro/internal/expr"
+
+// atomState is the state of an atomic expression a: either the action is
+// still pending or it has been traversed.
+type atomState struct {
+	atom expr.Action
+	done bool
+	key  string
+}
+
+func (s *atomState) Key() string {
+	if s.key == "" {
+		if s.done {
+			s.key = "+" + s.atom.Key()
+		} else {
+			s.key = "-" + s.atom.Key()
+		}
+	}
+	return s.key
+}
+
+func (s *atomState) Final() bool { return s.done }
+func (s *atomState) Size() int   { return 1 }
+
+func (s *atomState) trans(a expr.Action) State {
+	if s.done || !s.atom.StrictMatch(a) {
+		return nil
+	}
+	return &atomState{atom: s.atom, done: true}
+}
+
+func (s *atomState) subst(p, v string) State {
+	na := s.atom.Subst(p, v)
+	if na.Equal(s.atom) {
+		return s
+	}
+	return &atomState{atom: na, done: s.done}
+}
+
+// inert: once traversed, an atom can never move again, regardless of
+// substitutions. A pending atom may still fire after substitution.
+func (s *atomState) inert() bool { return s.done }
+
+// emptyState is the (single) state of the neutral expression ε.
+type emptyState struct{}
+
+var theEmptyState State = emptyState{}
+
+func (emptyState) Key() string             { return "eps" }
+func (emptyState) Final() bool             { return true }
+func (emptyState) Size() int               { return 1 }
+func (emptyState) trans(expr.Action) State { return nil }
+func (emptyState) subst(p, v string) State { return theEmptyState }
+func (emptyState) inert() bool             { return true }
+
+// orState is the state of a disjunction: the walker is in exactly one
+// branch, but which one is not yet determined, so all still-valid branch
+// states are tracked. Branches whose state dies are removed by ρ; when
+// none remains the whole state is invalid.
+type orState struct {
+	kids []State
+	key  string
+}
+
+func newOrState(kids []State) State {
+	live := kids[:0]
+	for _, k := range kids {
+		if k != nil {
+			live = append(live, k)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	return &orState{kids: sortDedupStates(live)}
+}
+
+func (s *orState) Key() string {
+	if s.key == "" {
+		s.key = joinKeys("or", s.kids)
+	}
+	return s.key
+}
+
+func (s *orState) Final() bool {
+	for _, k := range s.kids {
+		if k.Final() {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *orState) Size() int { return 1 + sumSizes(s.kids) }
+
+func (s *orState) trans(a expr.Action) State {
+	next := make([]State, 0, len(s.kids))
+	for _, k := range s.kids {
+		if nk := k.trans(a); nk != nil {
+			next = append(next, compress(nk))
+		}
+	}
+	return newOrState(next)
+}
+
+func (s *orState) subst(p, v string) State {
+	return newOrState(substAll(s.kids, p, v))
+}
+
+func (s *orState) inert() bool { return allInert(s.kids) }
+
+// andState is the state of a strict conjunction: every branch must accept
+// every action; a single dying branch invalidates the whole state.
+type andState struct {
+	kids []State
+	key  string
+}
+
+func newAndState(kids []State) State {
+	for _, k := range kids {
+		if k == nil {
+			return nil
+		}
+	}
+	return &andState{kids: kids}
+}
+
+func (s *andState) Key() string {
+	if s.key == "" {
+		s.key = joinKeys("and", s.kids)
+	}
+	return s.key
+}
+
+func (s *andState) Final() bool { return allFinal(s.kids) }
+func (s *andState) Size() int   { return 1 + sumSizes(s.kids) }
+
+func (s *andState) trans(a expr.Action) State {
+	next := make([]State, len(s.kids))
+	for i, k := range s.kids {
+		nk := k.trans(a)
+		if nk == nil {
+			return nil
+		}
+		next[i] = compress(nk)
+	}
+	return &andState{kids: next}
+}
+
+func (s *andState) subst(p, v string) State {
+	return newAndState(substAll(s.kids, p, v))
+}
+
+// inert: if any branch can never move again, no action can ever be
+// accepted by the conjunction.
+func (s *andState) inert() bool {
+	for _, k := range s.kids {
+		if k.inert() {
+			return true
+		}
+	}
+	return false
+}

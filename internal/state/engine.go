@@ -1,0 +1,144 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// Verdict classifies a word, following the int convention of Fig 9.
+type Verdict int
+
+const (
+	// Illegal: the word is not even a partial word.
+	Illegal Verdict = 0
+	// Partial: the word is a partial but not a complete word.
+	Partial Verdict = 1
+	// Complete: the word is a complete word of the expression.
+	Complete Verdict = 2
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Illegal:
+		return "illegal"
+	case Partial:
+		return "partial"
+	case Complete:
+		return "complete"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// ErrRejected is returned by Engine.Step for an action that is not
+// currently permissible.
+var ErrRejected = errors.New("state: action rejected")
+
+// Engine drives the operational semantics of one closed interaction
+// expression: it holds the current state and implements the word problem
+// and the action problem of Sec 5 (Fig 9). Engine is not safe for
+// concurrent use; the interaction manager adds locking on top.
+type Engine struct {
+	e     *expr.Expr
+	cur   State
+	steps int
+}
+
+// NewEngine creates an engine in the initial state σ(e). The expression
+// must be closed (no free parameters).
+func NewEngine(e *expr.Expr) (*Engine, error) {
+	if e == nil {
+		return nil, errors.New("state: nil expression")
+	}
+	if !e.Closed() {
+		return nil, fmt.Errorf("state: expression has free parameters: %s", e)
+	}
+	return &Engine{e: e, cur: Initial(e)}, nil
+}
+
+// MustEngine is NewEngine that panics on error, for tests and examples.
+func MustEngine(e *expr.Expr) *Engine {
+	en, err := NewEngine(e)
+	if err != nil {
+		panic(err)
+	}
+	return en
+}
+
+// Expr returns the expression the engine executes.
+func (en *Engine) Expr() *expr.Expr { return en.e }
+
+// Reset returns the engine to the initial state.
+func (en *Engine) Reset() {
+	en.cur = Initial(en.e)
+	en.steps = 0
+}
+
+// Valid reports ψ of the current state: whether the actions consumed so
+// far form a partial word. A live engine only leaves the valid states via
+// Force; Step refuses invalidating actions.
+func (en *Engine) Valid() bool { return en.cur != nil }
+
+// Final reports ϕ of the current state: whether the consumed actions form
+// a complete word.
+func (en *Engine) Final() bool { return Final(en.cur) }
+
+// StateSize returns the size of the current state, the complexity measure
+// of Sec 6.
+func (en *Engine) StateSize() int { return Size(en.cur) }
+
+// Steps returns the number of actions consumed so far.
+func (en *Engine) Steps() int { return en.steps }
+
+// Try reports whether the concrete action is currently permissible: the
+// tentative transition of the action problem (Sec 5). The state is not
+// changed.
+func (en *Engine) Try(a expr.Action) bool {
+	if !a.Concrete() {
+		return false
+	}
+	return Trans(en.cur, a) != nil
+}
+
+// Step consumes the action if it is permissible and returns ErrRejected
+// otherwise (leaving the state unchanged), mirroring the action() loop of
+// Fig 9.
+func (en *Engine) Step(a expr.Action) error {
+	if !a.Concrete() {
+		return fmt.Errorf("state: non-concrete action %s: %w", a, ErrRejected)
+	}
+	next := Trans(en.cur, a)
+	if next == nil {
+		return fmt.Errorf("state: %s after %d steps: %w", a, en.steps, ErrRejected)
+	}
+	en.cur = next
+	en.steps++
+	return nil
+}
+
+// Word solves the word problem for w from the initial state, without
+// disturbing the engine's current state: it returns Complete, Partial or
+// Illegal exactly as the word() function of Fig 9.
+func (en *Engine) Word(w []expr.Action) Verdict {
+	s := Initial(en.e)
+	for _, a := range w {
+		s = Trans(s, a)
+		if s == nil {
+			return Illegal
+		}
+	}
+	if s.Final() {
+		return Complete
+	}
+	return Partial
+}
+
+// StateKey returns the canonical key of the current state (diagnostics).
+func (en *Engine) StateKey() string {
+	if en.cur == nil {
+		return "<invalid>"
+	}
+	return en.cur.Key()
+}

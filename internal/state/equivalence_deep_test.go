@@ -1,0 +1,126 @@
+package state
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// Deeper differential coverage: nested quantifiers, two-parameter atoms,
+// quantifiers under iterations and couplings — the shapes the paper's
+// figures actually use. All compared exhaustively against the oracle.
+
+func atom2(name, p, q string) *expr.Expr {
+	return expr.AtomNamed(name, expr.Prm(p), expr.Prm(q))
+}
+
+func TestEquivalenceTwoParameterAtoms(t *testing.T) {
+	sigma := acts("x(v1,w1)", "x(v1,w2)", "x(v2,w1)", "y(v1,w1)", "y(v2,w2)")
+	cases := []*expr.Expr{
+		// any-any: both parameters fixed by the first action.
+		expr.AnyQ("p", expr.AnyQ("q", expr.Seq(atom2("x", "p", "q"), atom2("y", "p", "q")))),
+		// all-any: per first parameter one branch, each fixing its q.
+		expr.AllQ("p", expr.Option(expr.AnyQ("q", expr.Seq(atom2("x", "p", "q"), atom2("y", "p", "q"))))),
+		// any-all: one p, parallel over q.
+		expr.AnyQ("p", expr.AllQ("q", expr.Option(atom2("x", "p", "q")))),
+		// syncq over first position with iteration.
+		expr.SyncQ("p", expr.SeqIter(expr.AnyQ("q", atom2("x", "p", "q")))),
+	}
+	for _, e := range cases {
+		e := e
+		t.Run(e.String(), func(t *testing.T) {
+			checkAgainstOracle(t, e, sigma, 3)
+		})
+	}
+}
+
+func TestEquivalenceQuantifierUnderIteration(t *testing.T) {
+	sigma := acts("x(v1)", "x(v2)", "y(v1)", "y(v2)")
+	xp := expr.AtomNamed("x", expr.Prm("p"))
+	yp := expr.AtomNamed("y", expr.Prm("p"))
+	cases := []*expr.Expr{
+		expr.SeqIter(expr.AnyQ("p", expr.Seq(xp, yp))),
+		expr.SeqIter(expr.AnyQ("p", xp)),
+		expr.AllQ("p", expr.SeqIter(expr.Seq(xp, yp))),
+		expr.Option(expr.AllQ("p", expr.Option(expr.Seq(xp, yp)))),
+	}
+	for _, e := range cases {
+		e := e
+		t.Run(e.String(), func(t *testing.T) {
+			checkAgainstOracle(t, e, sigma, 4)
+		})
+	}
+}
+
+func TestEquivalenceQuantifierUnderCoupling(t *testing.T) {
+	sigma := acts("x(v1)", "x(v2)", "y(v1)", "b")
+	xp := expr.AtomNamed("x", expr.Prm("p"))
+	yp := expr.AtomNamed("y", expr.Prm("p"))
+	cases := []*expr.Expr{
+		expr.Sync(
+			expr.AllQ("p", expr.Option(expr.Seq(xp, yp))),
+			expr.SeqIter(expr.AnyQ("p", xp)),
+		),
+		expr.Sync(
+			expr.AnyQ("p", expr.Seq(xp, yp)),
+			expr.SeqIter(b),
+		),
+		expr.And(
+			expr.AllQ("p", expr.Option(xp)),
+			expr.AllQ("p", expr.Option(xp)),
+		),
+	}
+	for _, e := range cases {
+		e := e
+		t.Run(e.String(), func(t *testing.T) {
+			checkAgainstOracle(t, e, sigma, 4)
+		})
+	}
+}
+
+func TestEquivalenceMultWithQuantifiers(t *testing.T) {
+	sigma := acts("x(v1)", "x(v2)", "y(v1)", "y(v2)")
+	xp := expr.AtomNamed("x", expr.Prm("p"))
+	yp := expr.AtomNamed("y", expr.Prm("p"))
+	// The Fig 6 inner shape at capacity 2.
+	e := expr.Mult(2, expr.SeqIter(expr.AnyQ("p", expr.Seq(xp, yp))))
+	checkAgainstOracle(t, e, sigma, 4)
+}
+
+func TestEquivalenceAnonymousBranchAlternatives(t *testing.T) {
+	// The hardest allQ shape: a parameter-free prefix shared by all
+	// branches creates anonymous branches whose later binding is
+	// ambiguous across alternatives.
+	sigma := acts("b", "x(v1)", "x(v2)")
+	xp := expr.AtomNamed("x", expr.Prm("p"))
+	cases := []*expr.Expr{
+		expr.AllQ("p", expr.Option(expr.Seq(b, xp))),
+		expr.AllQ("p", expr.Option(expr.Seq(b, expr.Option(xp)))),
+		expr.AllQ("p", expr.Option(expr.Seq(expr.SeqIter(b), xp))),
+		expr.AllQ("p", expr.Option(expr.Par(b, xp))),
+	}
+	for _, e := range cases {
+		e := e
+		t.Run(e.String(), func(t *testing.T) {
+			checkAgainstOracle(t, e, sigma, 4)
+		})
+	}
+}
+
+// TestEquivalenceFigureSkeletons: reduced versions of the paper's actual
+// figures, small enough for exhaustive comparison.
+func TestEquivalenceFigureSkeletons(t *testing.T) {
+	sigma := acts("prepare(v1,s)", "call(v1,s)", "perform(v1,s)", "call(v1,e)")
+	prepare := expr.AtomNamed("prepare", expr.Prm("p"), expr.Prm("x"))
+	call := expr.AtomNamed("call", expr.Prm("p"), expr.Prm("x"))
+	perform := expr.AtomNamed("perform", expr.Prm("p"), expr.Prm("x"))
+	fig3 := expr.AllQ("p", expr.SeqIter(expr.Or(
+		expr.ParIter(expr.AnyQ("x", prepare)),
+		expr.AnyQ("x", expr.Seq(call, perform)),
+	)))
+	checkAgainstOracle(t, fig3, sigma, 4)
+
+	fig6 := expr.AllQ("x", expr.Mult(2, expr.SeqIter(
+		expr.AnyQ("p", expr.Seq(call, perform)))))
+	checkAgainstOracle(t, fig6, sigma, 4)
+}

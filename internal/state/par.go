@@ -1,0 +1,322 @@
+package state
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// parState is the state of an n-ary parallel composition y1 || ... || yn,
+// the operator whose state the paper spells out in Sec 4: a set A of
+// alternatives, each a tuple of operand states. A transition replaces
+// each alternative with the variants in which exactly one operand
+// consumed the action; ρ drops variants whose operand state died and
+// deduplicates the rest.
+type parState struct {
+	alts [][]State
+	key  string
+}
+
+func newParState(e *expr.Expr) State {
+	kids := make([]State, len(e.Kids))
+	for i, k := range e.Kids {
+		kids[i] = Initial(k)
+	}
+	return &parState{alts: [][]State{kids}}
+}
+
+func altKey(alt []State) string {
+	var b strings.Builder
+	for i, s := range alt {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.Key())
+	}
+	return b.String()
+}
+
+// dedupAlts removes duplicate alternatives (tuples compared slot-wise).
+func dedupAlts(alts [][]State) [][]State {
+	seen := make(map[string]bool, len(alts))
+	out := alts[:0]
+	for _, alt := range alts {
+		k := altKey(alt)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, alt)
+	}
+	return out
+}
+
+func (s *parState) Key() string {
+	if s.key == "" {
+		keys := make([]string, len(s.alts))
+		for i, alt := range s.alts {
+			keys[i] = altKey(alt)
+		}
+		// Alternatives are kept in insertion order but the set semantics
+		// requires order independence; sort the rendered keys.
+		sortStrings(keys)
+		s.key = "par{" + strings.Join(keys, ";") + "}"
+	}
+	return s.key
+}
+
+func (s *parState) Final() bool {
+	for _, alt := range s.alts {
+		if allFinal(alt) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *parState) Size() int {
+	n := 1
+	for _, alt := range s.alts {
+		n += sumSizes(alt)
+	}
+	return n
+}
+
+func (s *parState) trans(a expr.Action) State {
+	var next [][]State
+	for _, alt := range s.alts {
+		for i, kid := range alt {
+			nk := kid.trans(a)
+			if nk == nil {
+				continue
+			}
+			nalt := make([]State, len(alt))
+			copy(nalt, alt)
+			nalt[i] = compress(nk)
+			next = append(next, nalt)
+		}
+	}
+	if len(next) == 0 {
+		return nil
+	}
+	return &parState{alts: dedupAlts(next)}
+}
+
+func (s *parState) subst(p, v string) State {
+	next := make([][]State, len(s.alts))
+	for i, alt := range s.alts {
+		next[i] = substAll(alt, p, v)
+	}
+	return &parState{alts: dedupAlts(next)}
+}
+
+func (s *parState) inert() bool {
+	for _, alt := range s.alts {
+		if !allInert(alt) {
+			return false
+		}
+	}
+	return true
+}
+
+// multState is the state of a multiplier mult(n, y): exactly n
+// indistinguishable concurrent instances of y. Alternatives hold the n
+// instance states as a sorted multiset, which keeps the state-space
+// explosion at "n multichoose k" instead of the 2^n a nested parallel
+// composition of identical operands would produce — one of the practical
+// optimizations ρ is responsible for in the paper.
+type multState struct {
+	alts [][]State // each sorted, length n
+	key  string
+}
+
+func newMultState(e *expr.Expr) State {
+	alt := make([]State, e.N)
+	init := Initial(e.Kids[0])
+	for i := range alt {
+		alt[i] = init
+	}
+	return &multState{alts: [][]State{alt}}
+}
+
+func (s *multState) Key() string {
+	if s.key == "" {
+		keys := make([]string, len(s.alts))
+		for i, alt := range s.alts {
+			keys[i] = altKey(alt)
+		}
+		sortStrings(keys)
+		s.key = "mult{" + strings.Join(keys, ";") + "}"
+	}
+	return s.key
+}
+
+func (s *multState) Final() bool {
+	for _, alt := range s.alts {
+		if allFinal(alt) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *multState) Size() int {
+	n := 1
+	for _, alt := range s.alts {
+		n += sumSizes(alt)
+	}
+	return n
+}
+
+func (s *multState) trans(a expr.Action) State {
+	var next [][]State
+	for _, alt := range s.alts {
+		for i, inst := range alt {
+			// Identical instances are interchangeable: transitioning the
+			// first of a run of equal states covers them all.
+			if i > 0 && alt[i].Key() == alt[i-1].Key() {
+				continue
+			}
+			ni := inst.trans(a)
+			if ni == nil {
+				continue
+			}
+			nalt := make([]State, len(alt))
+			copy(nalt, alt)
+			// ρ: finished instances become ε so alternatives that differ
+			// only in which instance finished first collapse (the
+			// multiplier must keep exactly N instances for finality, so
+			// they are canonicalized rather than dropped).
+			nalt[i] = compress(ni)
+			next = append(next, sortStatesKeepDup(nalt))
+		}
+	}
+	if len(next) == 0 {
+		return nil
+	}
+	return &multState{alts: dedupAlts(next)}
+}
+
+func (s *multState) subst(p, v string) State {
+	next := make([][]State, len(s.alts))
+	for i, alt := range s.alts {
+		next[i] = sortStatesKeepDup(substAll(alt, p, v))
+	}
+	return &multState{alts: dedupAlts(next)}
+}
+
+func (s *multState) inert() bool {
+	for _, alt := range s.alts {
+		if !allInert(alt) {
+			return false
+		}
+	}
+	return true
+}
+
+// parIterState is the state of a parallel iteration y#: an unbounded
+// number of concurrent instances, created lazily when an action starts a
+// new traversal of y. Instances that are final and inert are dropped by
+// ρ — they can never move again and a final instance never blocks
+// finality — which keeps states of benign expressions small.
+type parIterState struct {
+	y    *expr.Expr
+	alts [][]State // sorted multisets (possibly empty)
+	key  string
+}
+
+func newParIterState(y *expr.Expr) State {
+	return &parIterState{y: y, alts: [][]State{nil}}
+}
+
+func (s *parIterState) Key() string {
+	if s.key == "" {
+		keys := make([]string, len(s.alts))
+		for i, alt := range s.alts {
+			keys[i] = altKey(alt)
+		}
+		sortStrings(keys)
+		s.key = "piter<" + s.y.Key() + ">{" + strings.Join(keys, ";") + "}"
+	}
+	return s.key
+}
+
+func (s *parIterState) Final() bool {
+	for _, alt := range s.alts {
+		if allFinal(alt) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *parIterState) Size() int {
+	n := 1
+	for _, alt := range s.alts {
+		n += sumSizes(alt)
+	}
+	return n
+}
+
+// compactInstances applies the ρ optimization: final inert instances are
+// semantically finished and are removed from the multiset.
+func compactInstances(alt []State) []State {
+	out := alt[:0]
+	for _, in := range alt {
+		if in.Final() && in.inert() {
+			continue
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func (s *parIterState) trans(a expr.Action) State {
+	var next [][]State
+	for _, alt := range s.alts {
+		// An existing instance consumes the action...
+		for i, inst := range alt {
+			if i > 0 && alt[i].Key() == alt[i-1].Key() {
+				continue
+			}
+			ni := inst.trans(a)
+			if ni == nil {
+				continue
+			}
+			nalt := make([]State, len(alt))
+			copy(nalt, alt)
+			nalt[i] = ni
+			next = append(next, sortStatesKeepDup(compactInstances(nalt)))
+		}
+		// ... or a fresh instance starts with it.
+		if ni := Initial(s.y).trans(a); ni != nil {
+			nalt := make([]State, len(alt), len(alt)+1)
+			copy(nalt, alt)
+			nalt = append(nalt, ni)
+			next = append(next, sortStatesKeepDup(compactInstances(nalt)))
+		}
+	}
+	if len(next) == 0 {
+		return nil
+	}
+	return &parIterState{y: s.y, alts: dedupAlts(next)}
+}
+
+func (s *parIterState) subst(p, v string) State {
+	if !s.y.HasFreeParam(p) {
+		return s
+	}
+	next := make([][]State, len(s.alts))
+	for i, alt := range s.alts {
+		next[i] = sortStatesKeepDup(substAll(alt, p, v))
+	}
+	return &parIterState{y: s.y.Subst(p, v), alts: dedupAlts(next)}
+}
+
+// inert: a fresh instance can always be started, so a parallel iteration
+// is only inert if even a fresh σ(y) could never move — conservatively
+// reported as false.
+func (s *parIterState) inert() bool { return false }
+
+func sortStrings(ss []string) { sort.Strings(ss) }

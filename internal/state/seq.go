@@ -1,0 +1,218 @@
+package state
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// seqState is the state of an n-ary sequential composition y1 - ... - yn.
+// A walker is inside exactly one operand, but because an operand may be
+// finished at several points (e.g. a* followed by b), the state keeps a
+// set of (operand index, operand state) alternatives. The closure
+// invariant holds at all times: whenever an alternative's state is final
+// and a next operand exists, an alternative starting that next operand is
+// present too.
+type seqState struct {
+	e    *expr.Expr // the OpSeq node, for lazily starting later operands
+	alts []seqAlt   // sorted by (idx, key), deduplicated
+	key  string
+}
+
+type seqAlt struct {
+	idx int
+	st  State
+}
+
+func newSeqState(e *expr.Expr) State {
+	return buildSeqState(e, []seqAlt{{0, Initial(e.Kids[0])}})
+}
+
+// buildSeqState applies the closure invariant, canonicalizes and wraps
+// the alternatives; it returns nil when none is valid.
+func buildSeqState(e *expr.Expr, alts []seqAlt) State {
+	if len(alts) == 0 {
+		return nil
+	}
+	n := len(e.Kids)
+	// Closure: a final operand state lets the walker enter the next
+	// operand without consuming an action.
+	for i := 0; i < len(alts); i++ {
+		a := alts[i]
+		if a.st.Final() && a.idx+1 < n {
+			alts = append(alts, seqAlt{a.idx + 1, Initial(e.Kids[a.idx+1])})
+		}
+	}
+	sort.Slice(alts, func(i, j int) bool {
+		if alts[i].idx != alts[j].idx {
+			return alts[i].idx < alts[j].idx
+		}
+		return alts[i].st.Key() < alts[j].st.Key()
+	})
+	out := alts[:0]
+	for i, a := range alts {
+		if i > 0 && a.idx == alts[i-1].idx && a.st.Key() == alts[i-1].st.Key() {
+			continue
+		}
+		out = append(out, a)
+	}
+	return &seqState{e: e, alts: out}
+}
+
+func (s *seqState) Key() string {
+	if s.key == "" {
+		var b strings.Builder
+		b.WriteString("seq<")
+		b.WriteString(s.e.Key())
+		b.WriteString(">[")
+		for i, a := range s.alts {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(a.idx))
+			b.WriteByte(':')
+			b.WriteString(a.st.Key())
+		}
+		b.WriteByte(']')
+		s.key = b.String()
+	}
+	return s.key
+}
+
+func (s *seqState) Final() bool {
+	last := len(s.e.Kids) - 1
+	for _, a := range s.alts {
+		if a.idx == last && a.st.Final() {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *seqState) Size() int {
+	n := 1
+	for _, a := range s.alts {
+		n += a.st.Size()
+	}
+	return n
+}
+
+func (s *seqState) trans(act expr.Action) State {
+	var next []seqAlt
+	for _, a := range s.alts {
+		if nst := a.st.trans(act); nst != nil {
+			next = append(next, seqAlt{a.idx, compress(nst)})
+		}
+	}
+	return buildSeqState(s.e, next)
+}
+
+func (s *seqState) subst(p, v string) State {
+	if !s.e.HasFreeParam(p) {
+		return s
+	}
+	ne := s.e.Subst(p, v)
+	alts := make([]seqAlt, len(s.alts))
+	for i, a := range s.alts {
+		alts[i] = seqAlt{a.idx, a.st.subst(p, v)}
+	}
+	// Substitution preserves validity and finality, so the closure
+	// invariant still holds; rebuild for canonical order.
+	return buildSeqState(ne, alts)
+}
+
+func (s *seqState) inert() bool {
+	for _, a := range s.alts {
+		if !a.st.inert() {
+			return false
+		}
+	}
+	return true
+}
+
+// seqIterState is the state of a sequential iteration y*. It tracks the
+// states of iterations the walker may currently be inside, plus a
+// boundary flag recording that the word consumed so far is a complete
+// sequence of iterations (which makes the whole state final and lets the
+// next action start a fresh iteration — represented by keeping σ(y)
+// among the instances whenever the flag is set).
+type seqIterState struct {
+	y        *expr.Expr
+	insts    []State
+	boundary bool
+	key      string
+}
+
+func newSeqIterState(y *expr.Expr) State {
+	return &seqIterState{y: y, insts: []State{Initial(y)}, boundary: true}
+}
+
+func (s *seqIterState) Key() string {
+	if s.key == "" {
+		flag := "-"
+		if s.boundary {
+			flag = "+"
+		}
+		s.key = joinKeys("iter<"+s.y.Key()+">"+flag, s.insts)
+	}
+	return s.key
+}
+
+func (s *seqIterState) Final() bool { return s.boundary }
+func (s *seqIterState) Size() int   { return 1 + sumSizes(s.insts) }
+
+func (s *seqIterState) trans(a expr.Action) State {
+	var next []State
+	for _, in := range s.insts {
+		if ni := in.trans(a); ni != nil {
+			next = append(next, ni)
+		}
+	}
+	boundary := false
+	for _, ni := range next {
+		if ni.Final() {
+			boundary = true
+			break
+		}
+	}
+	// ρ: an instance that is final and inert has completed this round and
+	// can never move again; its contribution (the boundary) is recorded,
+	// so the instance itself is dropped. This is what lets an iteration
+	// state return to σ(y*) after each completed round.
+	live := next[:0]
+	for _, ni := range next {
+		if ni.Final() && ni.inert() {
+			continue
+		}
+		live = append(live, ni)
+	}
+	next = live
+	if boundary {
+		next = append(next, Initial(s.y))
+	}
+	if len(next) == 0 {
+		return nil
+	}
+	return &seqIterState{y: s.y, insts: sortDedupStates(next), boundary: boundary}
+}
+
+func (s *seqIterState) subst(p, v string) State {
+	if !s.y.HasFreeParam(p) {
+		return s
+	}
+	return &seqIterState{
+		y:        s.y.Subst(p, v),
+		insts:    sortDedupStates(substAll(s.insts, p, v)),
+		boundary: s.boundary,
+	}
+}
+
+func (s *seqIterState) inert() bool {
+	// A fresh iteration can always be started while the boundary flag is
+	// set, so the state is only inert if every instance is and no fresh
+	// start could move (conservatively: never, unless σ(y) is among the
+	// instances and inert itself, which allInert then covers).
+	return allInert(s.insts)
+}

@@ -1,0 +1,92 @@
+package state
+
+import "repro/internal/expr"
+
+// syncState is the state of a synchronization (coupling) y1 @ ... @ yn.
+// Per the Table 8 semantics Φ(y)⊗κx(y)* ∩ Φ(z)⊗κx(z)*, each operand only
+// observes the actions of its own alphabet: an action inside α(yi) must
+// be accepted by operand i, an action outside passes operand i by. An
+// action belonging to no operand's alphabet is not in α(x) at all and
+// invalidates the state.
+//
+// This is the open-world conjunction that makes modular combination of
+// independently developed interaction graphs work (Fig 7): a subgraph
+// never prohibits activities it does not mention.
+type syncState struct {
+	kidExprs []*expr.Expr
+	kids     []State
+	alphas   []*expr.Alphabet
+	key      string
+}
+
+func newSyncState(e *expr.Expr) State {
+	n := len(e.Kids)
+	s := &syncState{
+		kidExprs: e.Kids,
+		kids:     make([]State, n),
+		alphas:   make([]*expr.Alphabet, n),
+	}
+	for i, k := range e.Kids {
+		s.kids[i] = Initial(k)
+		s.alphas[i] = expr.AlphabetOf(k)
+	}
+	return s
+}
+
+func (s *syncState) Key() string {
+	if s.key == "" {
+		s.key = joinKeys("sync", s.kids)
+	}
+	return s.key
+}
+
+func (s *syncState) Final() bool { return allFinal(s.kids) }
+func (s *syncState) Size() int   { return 1 + sumSizes(s.kids) }
+
+func (s *syncState) trans(a expr.Action) State {
+	next := make([]State, len(s.kids))
+	involved := false
+	for i, kid := range s.kids {
+		if !s.alphas[i].Contains(a) {
+			next[i] = kid // the action passes this operand by
+			continue
+		}
+		involved = true
+		nk := kid.trans(a)
+		if nk == nil {
+			return nil
+		}
+		next[i] = compress(nk)
+	}
+	if !involved {
+		return nil // a ∉ α(x)
+	}
+	return &syncState{kidExprs: s.kidExprs, kids: next, alphas: s.alphas}
+}
+
+func (s *syncState) subst(p, v string) State {
+	free := false
+	for _, k := range s.kidExprs {
+		if k.HasFreeParam(p) {
+			free = true
+			break
+		}
+	}
+	if !free {
+		return s
+	}
+	n := len(s.kids)
+	ns := &syncState{
+		kidExprs: make([]*expr.Expr, n),
+		kids:     make([]State, n),
+		alphas:   make([]*expr.Alphabet, n),
+	}
+	for i := range s.kids {
+		ns.kidExprs[i] = s.kidExprs[i].Subst(p, v)
+		ns.kids[i] = s.kids[i].subst(p, v)
+		ns.alphas[i] = expr.AlphabetOf(ns.kidExprs[i])
+	}
+	return ns
+}
+
+func (s *syncState) inert() bool { return allInert(s.kids) }

@@ -1,0 +1,163 @@
+package wfms
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/manager"
+)
+
+// ManagerCoordinator adapts a component (engine or worklist handler) to
+// an in-process interaction manager. Actions outside the managed
+// expression's alphabet are not interaction-relevant and pass through
+// without consultation — the open-world principle of the coupling
+// operator applied at the integration boundary (e.g. "write report" in
+// Fig 1 is not mentioned by any constraint and never consults the
+// manager).
+//
+// Status probes are cached per manager state: the permissibility of an
+// action only changes when a transition commits, so repeated worklist
+// refreshes between transitions cost no manager round trips. This is
+// the polling-free behaviour the paper's subscription protocol exists
+// for, realized with a state-version check.
+type ManagerCoordinator struct {
+	M     *manager.Manager
+	alpha *expr.Alphabet
+
+	mu      sync.Mutex
+	version int
+	cache   map[string]bool
+}
+
+// NewManagerCoordinator wraps an interaction manager.
+func NewManagerCoordinator(m *manager.Manager) *ManagerCoordinator {
+	return &ManagerCoordinator{
+		M:       m,
+		alpha:   expr.AlphabetOf(m.Expr()),
+		version: -1,
+		cache:   make(map[string]bool),
+	}
+}
+
+// Try reports whether the action is currently permissible (out-of-
+// alphabet actions always are).
+func (c *ManagerCoordinator) Try(a expr.Action) bool {
+	if !c.alpha.Contains(a) {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v := c.M.Steps(); v != c.version {
+		c.version = v
+		clear(c.cache)
+	}
+	key := a.Key()
+	if ok, hit := c.cache[key]; hit {
+		return ok
+	}
+	ok := c.M.Try(a)
+	c.cache[key] = ok
+	return ok
+}
+
+// Execute wraps run() in the coordination protocol: ask, execute,
+// confirm — aborting the reservation if the application part fails.
+func (c *ManagerCoordinator) Execute(ctx context.Context, a expr.Action, run func() error) error {
+	if !c.alpha.Contains(a) {
+		return run()
+	}
+	t, err := c.M.Ask(ctx, a)
+	if err != nil {
+		return err
+	}
+	if err := run(); err != nil {
+		// The activity was not executed after all: release the region.
+		if aerr := c.M.Abort(t); aerr != nil {
+			return aerr
+		}
+		return err
+	}
+	return c.M.Confirm(t)
+}
+
+var _ Coordinator = (*ManagerCoordinator)(nil)
+
+// RemoteCoordinator adapts a component to an interaction manager reached
+// over the wire protocol (the deployment of Fig 10/11 with the manager
+// as a separate process).
+type RemoteCoordinator struct {
+	C     *manager.Client
+	alpha *expr.Alphabet
+}
+
+// NewRemoteCoordinator wraps a connected manager client; the alphabet of
+// the managed expression must be supplied by the caller (the wire
+// protocol does not ship expressions).
+func NewRemoteCoordinator(c *manager.Client, managed *expr.Expr) *RemoteCoordinator {
+	return &RemoteCoordinator{C: c, alpha: expr.AlphabetOf(managed)}
+}
+
+// Try probes the action's status remotely; errors degrade to "not
+// permissible" (fail closed).
+func (c *RemoteCoordinator) Try(a expr.Action) bool {
+	if !c.alpha.Contains(a) {
+		return true
+	}
+	ok, err := c.C.Try(context.Background(), a)
+	return err == nil && ok
+}
+
+// Execute wraps run() in the remote coordination protocol.
+func (c *RemoteCoordinator) Execute(ctx context.Context, a expr.Action, run func() error) error {
+	if !c.alpha.Contains(a) {
+		return run()
+	}
+	t, err := c.C.Ask(ctx, a)
+	if err != nil {
+		return err
+	}
+	if err := run(); err != nil {
+		if aerr := c.C.Abort(ctx, t); aerr != nil {
+			return aerr
+		}
+		return err
+	}
+	return c.C.Confirm(ctx, t)
+}
+
+var _ Coordinator = (*RemoteCoordinator)(nil)
+
+// RouterCoordinator adapts a component to a multi-manager router (E17).
+type RouterCoordinator struct {
+	R     *manager.Router
+	alpha *expr.Alphabet
+}
+
+// NewRouterCoordinator wraps a router over the full coupled expression.
+func NewRouterCoordinator(r *manager.Router, full *expr.Expr) *RouterCoordinator {
+	return &RouterCoordinator{R: r, alpha: expr.AlphabetOf(full)}
+}
+
+// Try reports the conjunction of the involved managers' statuses.
+func (c *RouterCoordinator) Try(a expr.Action) bool {
+	if !c.alpha.Contains(a) {
+		return true
+	}
+	return c.R.Try(a)
+}
+
+// Execute performs the distributed request around run(). The router's
+// two-phase grant subsumes ask/confirm; run() executes after the commit
+// (acceptable because the substrate's activity bodies are local).
+func (c *RouterCoordinator) Execute(ctx context.Context, a expr.Action, run func() error) error {
+	if !c.alpha.Contains(a) {
+		return run()
+	}
+	if err := c.R.Request(ctx, a); err != nil {
+		return err
+	}
+	return run()
+}
+
+var _ Coordinator = (*RouterCoordinator)(nil)

@@ -1,0 +1,145 @@
+package wfms
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/manager"
+	"repro/internal/paper"
+)
+
+// TestRemoteCoordinator: the adapted engine coordinates with a manager
+// in another process, over the wire protocol (deployment of Fig 10/11).
+func TestRemoteCoordinator(t *testing.T) {
+	constraint := paper.Fig3PatientConstraint()
+	m := manager.MustNew(constraint, manager.Options{ReservationTimeout: 2 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := manager.NewServer(m, ln)
+	defer func() { srv.Close(); m.Close() }()
+
+	cl, err := manager.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	e := NewEngine(NewRemoteCoordinator(cl, constraint))
+	if err := e.Register(UltrasonographyDef()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(EndoscopyDef()); err != nil {
+		t.Fatal(err)
+	}
+	u, _ := e.Start("ultrasonography", map[string]string{"p": "pat1", "x": paper.ExamSono})
+	n, _ := e.Start("endoscopy", map[string]string{"p": "pat1", "x": paper.ExamEndo})
+	for _, inst := range []int{u, n} {
+		execByName(t, e, "order", inst)
+		execByName(t, e, "schedule", inst)
+	}
+	execByName(t, e, paper.ActPrepare, u)
+	execByName(t, e, paper.ActInform, n)
+	execByName(t, e, paper.ActPrepare, n)
+	execByName(t, e, paper.ActCall, u)
+
+	// The endo call is hidden (remote Try) and vetoed (remote ask).
+	for _, it := range e.Items() {
+		if it.Activity == paper.ActCall && it.Instance == n {
+			t.Fatal("endo call should be filtered by the remote coordinator")
+		}
+	}
+	var endoCall int
+	for _, it := range e.RawItems() {
+		if it.Activity == paper.ActCall && it.Instance == n {
+			endoCall = it.ID
+		}
+	}
+	if err := e.Execute(bg, endoCall); !errors.Is(err, ErrVetoed) {
+		t.Fatalf("remote veto expected, got %v", err)
+	}
+	execByName(t, e, paper.ActPerform, u)
+	execByName(t, e, paper.ActCall, n)
+	execByName(t, e, paper.ActPerform, n)
+}
+
+// TestRemoteCoordinatorFailClosed: with the connection gone, Try must
+// degrade to "not permissible" for constrained actions (fail closed).
+func TestRemoteCoordinatorFailClosed(t *testing.T) {
+	constraint := paper.Fig3PatientConstraint()
+	m := manager.MustNew(constraint, manager.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := manager.NewServer(m, ln)
+	cl, err := manager.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewRemoteCoordinator(cl, constraint)
+
+	// Sever the connection.
+	cl.Close()
+	srv.Close()
+	m.Close()
+
+	if coord.Try(paper.CallAct("pat1", paper.ExamSono)) {
+		t.Error("constrained action must fail closed")
+	}
+	// Unconstrained actions still pass (they never consult the manager).
+	if !coord.Try(expr.ConcreteAct("order")) {
+		t.Error("out-of-alphabet action should pass locally")
+	}
+	ctx, cancel := context.WithTimeout(bg, time.Second)
+	defer cancel()
+	if err := coord.Execute(ctx, paper.CallAct("pat1", paper.ExamSono), func() error { return nil }); err == nil {
+		t.Error("execute over a dead connection must fail")
+	}
+}
+
+// TestRouterCoordinator: the adapted engine against a multi-manager
+// router over the full Fig 7 coupling (E17 integration).
+func TestRouterCoordinator(t *testing.T) {
+	full := paper.Fig7Coupled()
+	r, err := manager.NewRouter(full, manager.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	e := NewEngine(NewRouterCoordinator(r, full))
+	if err := e.Register(UltrasonographyDef()); err != nil {
+		t.Fatal(err)
+	}
+	// Four patients in the sono department: capacity blocks the fourth.
+	var calls []int
+	for i := 1; i <= 4; i++ {
+		inst, err := e.Start("ultrasonography", map[string]string{
+			"p": paper.Patient(i), "x": paper.ExamSono,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		execByName(t, e, "order", inst)
+		execByName(t, e, "schedule", inst)
+		execByName(t, e, paper.ActPrepare, inst)
+		calls = append(calls, inst)
+	}
+	for i := 0; i < 3; i++ {
+		execByName(t, e, paper.ActCall, calls[i])
+	}
+	// The fourth call is hidden by the router conjunction.
+	for _, it := range e.Items() {
+		if it.Activity == paper.ActCall {
+			t.Fatalf("fourth call should be hidden: %v", it)
+		}
+	}
+	execByName(t, e, paper.ActPerform, calls[0])
+	execByName(t, e, paper.ActCall, calls[3])
+}

@@ -1,0 +1,290 @@
+package wfms
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/expr"
+)
+
+// ItemState is the lifecycle state of a work item.
+type ItemState int
+
+const (
+	// Offered: the activity is enabled and sits in worklists.
+	Offered ItemState = iota
+	// Completed: the activity has been executed.
+	Completed
+)
+
+// WorkItem is one offered activity of one workflow instance.
+type WorkItem struct {
+	ID       int
+	Instance int
+	Activity string
+	Role     string
+	Args     []string // resolved instance-variable values, in Params order
+	State    ItemState
+}
+
+// Action returns the concrete interaction action corresponding to the
+// work item (the activity-to-action mapping of the paper; activity
+// granularity, cf. footnote 6).
+func (w WorkItem) Action() expr.Action {
+	return expr.ConcreteAct(w.Activity, w.Args...)
+}
+
+// Key identifies the item's action textually.
+func (w WorkItem) Key() string { return w.Action().Key() }
+
+// Coordinator is the engine's integration point with an interaction
+// manager (or a no-op for a standard, unadapted engine): Try probes
+// whether an action is currently permissible, Execute wraps the
+// ask/execute/confirm cycle around an activity execution.
+type Coordinator interface {
+	Try(a expr.Action) bool
+	Execute(ctx context.Context, a expr.Action, run func() error) error
+}
+
+// ErrNotEnabled is returned when a completed or unknown item is executed.
+var ErrNotEnabled = errors.New("wfms: work item not enabled")
+
+// ErrVetoed is returned when the coordinator refuses an execution.
+var ErrVetoed = errors.New("wfms: execution vetoed by interaction manager")
+
+// Engine is the workflow engine: it manages definitions, instances and
+// work items. If a Coordinator is attached the engine is *adapted* in
+// the sense of the right side of Fig 11: it consults the interaction
+// manager before executing any activity and filters offers accordingly,
+// making the integration waterproof. Without a coordinator it is a
+// standard engine; coordination is then the worklist handlers' problem
+// (left side of Fig 11), with the known loopholes.
+type Engine struct {
+	mu        sync.Mutex
+	defs      map[string]*Definition
+	instances map[int]*Instance
+	items     map[int]*WorkItem
+	nextInst  int
+	nextItem  int
+	coord     Coordinator
+	// ExecBody optionally runs the application part of an activity
+	// (between ask and confirm); tests inject failures here.
+	ExecBody func(item WorkItem) error
+}
+
+// Instance is one running workflow instance.
+type Instance struct {
+	ID    int
+	Def   string
+	Vars  map[string]string
+	rt    runtime
+	ended bool
+}
+
+// NewEngine creates a workflow engine; coord may be nil (standard,
+// unadapted engine).
+func NewEngine(coord Coordinator) *Engine {
+	return &Engine{
+		defs:      make(map[string]*Definition),
+		instances: make(map[int]*Instance),
+		items:     make(map[int]*WorkItem),
+		coord:     coord,
+	}
+}
+
+// Register adds a workflow definition.
+func (e *Engine) Register(d *Definition) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.defs[d.Name]; dup {
+		return fmt.Errorf("wfms: duplicate definition %q", d.Name)
+	}
+	e.defs[d.Name] = d
+	return nil
+}
+
+// Start instantiates a workflow with the given variable bindings and
+// offers its initial activities. It returns the instance ID.
+func (e *Engine) Start(def string, vars map[string]string) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d, ok := e.defs[def]
+	if !ok {
+		return 0, fmt.Errorf("wfms: unknown definition %q", def)
+	}
+	for _, v := range d.Vars {
+		if _, ok := vars[v]; !ok {
+			return 0, fmt.Errorf("wfms: missing variable %q for %s", v, def)
+		}
+	}
+	e.nextInst++
+	inst := &Instance{ID: e.nextInst, Def: def, Vars: vars, rt: d.Root.instantiate()}
+	e.instances[inst.ID] = inst
+	e.refreshLocked(inst)
+	return inst.ID, nil
+}
+
+// refreshLocked synchronizes the offered items of an instance with its
+// currently enabled activities.
+func (e *Engine) refreshLocked(inst *Instance) {
+	enabled := inst.rt.enabled(nil)
+	want := make(map[string]*Activity, len(enabled))
+	for _, a := range enabled {
+		want[a.Name] = a
+	}
+	// Remove offers that are no longer enabled (e.g. the other branch of
+	// a decided XOR).
+	for id, item := range e.items {
+		if item.Instance == inst.ID && item.State == Offered {
+			if _, still := want[item.Activity]; !still {
+				delete(e.items, id)
+			} else {
+				delete(want, item.Activity) // already offered
+			}
+		}
+	}
+	for _, a := range want {
+		e.nextItem++
+		args := make([]string, len(a.Params))
+		for i, p := range a.Params {
+			args[i] = inst.Vars[p]
+		}
+		e.items[e.nextItem] = &WorkItem{
+			ID:       e.nextItem,
+			Instance: inst.ID,
+			Activity: a.Name,
+			Role:     a.Role,
+			Args:     args,
+			State:    Offered,
+		}
+	}
+	if inst.rt.done() {
+		inst.ended = true
+	}
+}
+
+// Items returns a snapshot of all offered work items, ordered by ID. If
+// the engine is adapted, items whose action the interaction manager
+// currently forbids are filtered out — they "disappear from the
+// worklists" exactly as the paper's introduction describes.
+func (e *Engine) Items() []WorkItem {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []WorkItem
+	for _, item := range e.items {
+		if item.State != Offered {
+			continue
+		}
+		if e.coord != nil && !e.coord.Try(item.Action()) {
+			continue
+		}
+		out = append(out, *item)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RawItems returns all offered items without coordinator filtering (what
+// a standard worklist handler attached to a standard engine would see).
+func (e *Engine) RawItems() []WorkItem {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []WorkItem
+	for _, item := range e.items {
+		if item.State == Offered {
+			out = append(out, *item)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ItemsForRole filters Items by worklist role.
+func (e *Engine) ItemsForRole(role string) []WorkItem {
+	var out []WorkItem
+	for _, it := range e.Items() {
+		if it.Role == role {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Execute runs an offered work item to completion: for an adapted
+// engine the coordinator's ask/execute/confirm cycle wraps the
+// application code and the state advance; a standard engine just runs
+// it. ErrVetoed signals a manager refusal.
+func (e *Engine) Execute(ctx context.Context, itemID int) error {
+	e.mu.Lock()
+	item, ok := e.items[itemID]
+	if !ok || item.State != Offered {
+		e.mu.Unlock()
+		return ErrNotEnabled
+	}
+	snapshot := *item
+	e.mu.Unlock()
+
+	run := func() error {
+		if e.ExecBody != nil {
+			if err := e.ExecBody(snapshot); err != nil {
+				return err
+			}
+		}
+		return e.commit(itemID, snapshot)
+	}
+	if e.coord == nil {
+		return run()
+	}
+	if err := e.coord.Execute(ctx, snapshot.Action(), run); err != nil {
+		if errors.Is(err, ErrNotEnabled) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", ErrVetoed, err)
+	}
+	return nil
+}
+
+// commit marks the item completed and advances the instance.
+func (e *Engine) commit(itemID int, snapshot WorkItem) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	item, ok := e.items[itemID]
+	if !ok || item.State != Offered {
+		return ErrNotEnabled
+	}
+	inst := e.instances[item.Instance]
+	if inst == nil || !inst.rt.complete(item.Activity) {
+		return fmt.Errorf("wfms: instance %d rejected completion of %s: %w",
+			snapshot.Instance, snapshot.Activity, ErrNotEnabled)
+	}
+	item.State = Completed
+	delete(e.items, itemID)
+	e.refreshLocked(inst)
+	return nil
+}
+
+// Ended reports whether the instance has completed all its activities.
+func (e *Engine) Ended(instID int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	inst := e.instances[instID]
+	return inst != nil && inst.ended
+}
+
+// InstanceIDs lists all instance IDs in start order.
+func (e *Engine) InstanceIDs() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int, 0, len(e.instances))
+	for id := range e.instances {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,369 @@
+package wfms
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/manager"
+	"repro/internal/paper"
+)
+
+var bg = context.Background()
+
+func mustStart(t *testing.T, e *Engine, def string, vars map[string]string) int {
+	t.Helper()
+	id, err := e.Start(def, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// execByName finds an offered item by activity name (and optional
+// instance) and executes it.
+func execByName(t *testing.T, e *Engine, name string, inst int) {
+	t.Helper()
+	for _, it := range e.RawItems() {
+		if it.Activity == name && (inst == 0 || it.Instance == inst) {
+			if err := e.Execute(bg, it.ID); err != nil {
+				t.Fatalf("execute %s: %v", name, err)
+			}
+			return
+		}
+	}
+	t.Fatalf("activity %s not offered (items: %v)", name, e.RawItems())
+}
+
+func TestDefinitionValidate(t *testing.T) {
+	good := []*Definition{UltrasonographyDef(), EndoscopyDef()}
+	for _, d := range good {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+	bad := []*Definition{
+		{Name: "", Root: Sequence{Activity{Name: "a"}}},
+		{Name: "x", Root: Sequence{}},
+		{Name: "x", Root: Activity{}},
+		{Name: "x", Root: Activity{Name: "a", Params: []string{"q"}}},
+		{Name: "x", Root: AndBlock{}},
+		{Name: "x", Root: XorBlock{}},
+		{Name: "x", Root: LoopBlock{Body: Activity{Name: "a"}, Times: 0}},
+		{Name: "x", Root: nil},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad definition %d accepted", i)
+		}
+	}
+}
+
+// TestMedicalEnsemble (E2): both Fig 1 workflows run to completion under
+// a standard engine.
+func TestMedicalEnsemble(t *testing.T) {
+	e := NewEngine(nil)
+	if err := e.Register(UltrasonographyDef()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(EndoscopyDef()); err != nil {
+		t.Fatal(err)
+	}
+	u := mustStart(t, e, "ultrasonography", map[string]string{"p": "pat1", "x": paper.ExamSono})
+	n := mustStart(t, e, "endoscopy", map[string]string{"p": "pat1", "x": paper.ExamEndo})
+
+	for _, a := range []string{"order", "schedule", paper.ActPrepare, paper.ActCall,
+		paper.ActPerform, "write_report", "read_report"} {
+		execByName(t, e, a, u)
+	}
+	if !e.Ended(u) {
+		t.Error("ultrasonography should have ended")
+	}
+	for _, a := range []string{"order", "schedule", paper.ActInform, paper.ActPrepare,
+		paper.ActCall, paper.ActPerform, "write_short_report",
+		"write_detailed_report", "read_short_report"} {
+		execByName(t, e, a, n)
+	}
+	if !e.Ended(n) {
+		t.Error("endoscopy should have ended")
+	}
+}
+
+func TestAndBlockParallelism(t *testing.T) {
+	e := NewEngine(nil)
+	if err := e.Register(EndoscopyDef()); err != nil {
+		t.Fatal(err)
+	}
+	id := mustStart(t, e, "endoscopy", map[string]string{"p": "pat1", "x": paper.ExamEndo})
+	execByName(t, e, "order", id)
+	execByName(t, e, "schedule", id)
+	// Both parallel activities are offered at once.
+	items := e.RawItems()
+	if len(items) != 2 {
+		t.Fatalf("expected 2 parallel offers, got %v", items)
+	}
+	// They may complete in either order; prepare first here.
+	execByName(t, e, paper.ActPrepare, id)
+	execByName(t, e, paper.ActInform, id)
+	if got := e.RawItems(); len(got) != 1 || got[0].Activity != paper.ActCall {
+		t.Fatalf("after join: %v", got)
+	}
+}
+
+func TestXorBlockChoice(t *testing.T) {
+	e := NewEngine(nil)
+	d := &Definition{
+		Name: "choice",
+		Root: Sequence{
+			XorBlock{
+				Activity{Name: "left"},
+				Activity{Name: "right"},
+			},
+			Activity{Name: "after"},
+		},
+	}
+	if err := e.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	id := mustStart(t, e, "choice", nil)
+	if items := e.RawItems(); len(items) != 2 {
+		t.Fatalf("both XOR branches should be offered: %v", items)
+	}
+	execByName(t, e, "right", id)
+	// The left branch must have disappeared.
+	for _, it := range e.RawItems() {
+		if it.Activity == "left" {
+			t.Fatal("losing XOR branch still offered")
+		}
+	}
+	execByName(t, e, "after", id)
+	if !e.Ended(id) {
+		t.Error("instance should have ended")
+	}
+}
+
+func TestLoopBlock(t *testing.T) {
+	e := NewEngine(nil)
+	d := &Definition{
+		Name: "loop",
+		Root: LoopBlock{Body: Activity{Name: "step"}, Times: 3},
+	}
+	if err := e.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	id := mustStart(t, e, "loop", nil)
+	for i := 0; i < 3; i++ {
+		execByName(t, e, "step", id)
+	}
+	if !e.Ended(id) {
+		t.Error("loop should have ended after 3 rounds")
+	}
+	if items := e.RawItems(); len(items) != 0 {
+		t.Errorf("no more offers expected: %v", items)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	e := NewEngine(nil)
+	if _, err := e.Start("nope", nil); err == nil {
+		t.Error("unknown definition should fail")
+	}
+	d := UltrasonographyDef()
+	if err := e.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(d); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if _, err := e.Start("ultrasonography", map[string]string{"p": "x"}); err == nil {
+		t.Error("missing variable should fail")
+	}
+	if err := e.Execute(bg, 999); !errors.Is(err, ErrNotEnabled) {
+		t.Errorf("unknown item: %v", err)
+	}
+}
+
+// TestAdaptedEngineEnforcesConstraint (E15, right side of Fig 11): the
+// engine consults the manager; forbidden items vanish from Items() and
+// executions are vetoed.
+func TestAdaptedEngineEnforcesConstraint(t *testing.T) {
+	m := manager.MustNew(paper.Fig3PatientConstraint(), manager.Options{})
+	defer m.Close()
+	e := NewEngine(NewManagerCoordinator(m))
+	if err := e.Register(UltrasonographyDef()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(EndoscopyDef()); err != nil {
+		t.Fatal(err)
+	}
+	vars := map[string]string{"p": "pat1"}
+	u := mustStart(t, e, "ultrasonography", map[string]string{"p": "pat1", "x": paper.ExamSono})
+	n := mustStart(t, e, "endoscopy", map[string]string{"p": "pat1", "x": paper.ExamEndo})
+	_ = vars
+
+	// Drive both workflows to the point where both calls are offered.
+	for _, inst := range []int{u, n} {
+		execByName(t, e, "order", inst)
+		execByName(t, e, "schedule", inst)
+	}
+	execByName(t, e, paper.ActPrepare, u)
+	execByName(t, e, paper.ActInform, n)
+	execByName(t, e, paper.ActPrepare, n)
+
+	countCalls := func() int {
+		n := 0
+		for _, it := range e.Items() {
+			if it.Activity == paper.ActCall {
+				n++
+			}
+		}
+		return n
+	}
+	if got := countCalls(); got != 2 {
+		t.Fatalf("both calls should be offered, got %d", got)
+	}
+
+	// Execute the sono call; the endo call disappears from the filtered
+	// worklist (but remains in the raw engine state).
+	execByName(t, e, paper.ActCall, u)
+	if got := countCalls(); got != 0 {
+		t.Fatalf("endo call should be hidden during the sono exam, got %d", got)
+	}
+	// The engine is waterproof: direct execution of the raw item is vetoed.
+	var endoCall int
+	for _, it := range e.RawItems() {
+		if it.Activity == paper.ActCall && it.Instance == n {
+			endoCall = it.ID
+		}
+	}
+	if endoCall == 0 {
+		t.Fatal("raw endo call item missing")
+	}
+	if err := e.Execute(bg, endoCall); !errors.Is(err, ErrVetoed) {
+		t.Fatalf("direct execution should be vetoed, got %v", err)
+	}
+
+	// After perform, the endo call reappears and the ensemble completes.
+	execByName(t, e, paper.ActPerform, u)
+	if got := countCalls(); got != 1 {
+		t.Fatalf("endo call should reappear, got %d", got)
+	}
+	execByName(t, e, paper.ActCall, n)
+	execByName(t, e, paper.ActPerform, n)
+}
+
+// TestAdaptedHandlerLeavesEngineUnchanged (E15, left side of Fig 11):
+// the handler filters and coordinates; a standard handler on the same
+// standard engine bypasses the constraint — the "not waterproof"
+// loophole the paper warns about.
+func TestAdaptedHandlerLeavesEngineUnchanged(t *testing.T) {
+	m := manager.MustNew(paper.Fig3PatientConstraint(), manager.Options{})
+	defer m.Close()
+	e := NewEngine(nil) // standard engine!
+	coord := NewManagerCoordinator(m)
+	if err := e.Register(UltrasonographyDef()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(EndoscopyDef()); err != nil {
+		t.Fatal(err)
+	}
+	u := mustStart(t, e, "ultrasonography", map[string]string{"p": "pat1", "x": paper.ExamSono})
+	n := mustStart(t, e, "endoscopy", map[string]string{"p": "pat1", "x": paper.ExamEndo})
+
+	adapted := NewAdaptedHandler(e, RoleAssistant, coord)
+	standard := NewStandardHandler(e, RoleAssistant)
+
+	for _, inst := range []int{u, n} {
+		execByName(t, e, "order", inst)
+		execByName(t, e, "schedule", inst)
+	}
+	execByName(t, e, paper.ActPrepare, u)
+	execByName(t, e, paper.ActInform, n)
+	execByName(t, e, paper.ActPrepare, n)
+
+	// Both calls visible to both handlers initially.
+	if got := len(adapted.List()); got != 2 {
+		t.Fatalf("adapted list: %d", got)
+	}
+	// Execute the sono call through the adapted handler (coordinated).
+	var sonoItem, endoItem int
+	for _, it := range adapted.List() {
+		switch it.Instance {
+		case u:
+			sonoItem = it.ID
+		case n:
+			endoItem = it.ID
+		}
+	}
+	if err := adapted.Execute(bg, sonoItem); err != nil {
+		t.Fatal(err)
+	}
+	// The adapted handler hides the endo call now...
+	if got := len(adapted.List()); got != 0 {
+		t.Fatalf("adapted handler should hide the endo call, got %d", got)
+	}
+	// ...but the standard handler still shows it and can execute it:
+	// the integration is not waterproof.
+	if got := len(standard.List()); got != 1 {
+		t.Fatalf("standard handler should still show the endo call, got %d", got)
+	}
+	if err := standard.Execute(bg, endoItem); err != nil {
+		t.Fatalf("standard handler bypasses the manager: %v", err)
+	}
+	// The manager never saw that execution: its state still forbids it.
+	if m.Try(paper.CallAct("pat1", paper.ExamEndo)) {
+		// (true would mean the manager believed the exam finished)
+		t.Log("note: manager still in sono exam, as expected")
+	}
+}
+
+// TestAdaptedHandlerVetoAndAbort: a refused ask surfaces as ErrVetoed;
+// a failing activity body aborts the reservation instead of confirming.
+func TestAdaptedHandlerVetoAndAbort(t *testing.T) {
+	m := manager.MustNew(paper.Fig3PatientConstraint(), manager.Options{})
+	defer m.Close()
+	e := NewEngine(nil)
+	coord := NewManagerCoordinator(m)
+	if err := e.Register(UltrasonographyDef()); err != nil {
+		t.Fatal(err)
+	}
+	u := mustStart(t, e, "ultrasonography", map[string]string{"p": "pat1", "x": paper.ExamSono})
+	h := NewAdaptedHandler(e, RoleAssistant, coord)
+
+	execByName(t, e, "order", u)
+	execByName(t, e, "schedule", u)
+	execByName(t, e, paper.ActPrepare, u)
+
+	// Occupy the patient via the manager directly (another workflow).
+	if err := m.Request(bg, paper.CallAct("pat1", paper.ExamEndo)); err != nil {
+		t.Fatal(err)
+	}
+	items := h.List()
+	if len(items) != 0 {
+		t.Fatalf("call should be hidden: %v", items)
+	}
+	// Force-execute the raw item through the adapted handler: vetoed.
+	var callItem int
+	for _, it := range e.RawItems() {
+		if it.Activity == paper.ActCall {
+			callItem = it.ID
+		}
+	}
+	if err := h.Execute(bg, callItem); !errors.Is(err, ErrVetoed) {
+		t.Fatalf("expected veto, got %v", err)
+	}
+	// Free the patient; now a failing activity body must abort cleanly.
+	if err := m.Request(bg, paper.PerformAct("pat1", paper.ExamEndo)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("application crashed")
+	e.ExecBody = func(item WorkItem) error { return boom }
+	if err := h.Execute(bg, callItem); !errors.Is(err, ErrVetoed) && !errors.Is(err, boom) {
+		t.Fatalf("expected propagated failure, got %v", err)
+	}
+	e.ExecBody = nil
+	// The reservation was aborted: the call is still possible.
+	if err := h.Execute(bg, callItem); err != nil {
+		t.Fatalf("call after abort: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package wfms
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// WorklistHandler is a user's worklist client. A *standard* handler
+// simply shows and executes the engine's offers. An *adapted* handler
+// (left side of Fig 11) additionally participates in the coordination
+// protocol: it filters its list by asking the interaction manager and
+// wraps executions in ask/execute/confirm — while the engine stays
+// completely unchanged and "does not even know of the interaction
+// manager's existence".
+type WorklistHandler struct {
+	Engine *Engine
+	Role   string
+	Coord  Coordinator // nil for a standard handler
+}
+
+// NewStandardHandler attaches a plain worklist handler for a role.
+func NewStandardHandler(e *Engine, role string) *WorklistHandler {
+	return &WorklistHandler{Engine: e, Role: role}
+}
+
+// NewAdaptedHandler attaches a handler that consults the interaction
+// manager (the customer-realizable integration of Sec 7).
+func NewAdaptedHandler(e *Engine, role string, c Coordinator) *WorklistHandler {
+	return &WorklistHandler{Engine: e, Role: role, Coord: c}
+}
+
+// List returns the work items this handler offers to its user: the
+// engine's view (which an adapted engine already filters), additionally
+// filtered by the handler's own coordinator if it has one. Items the
+// manager currently forbids "temporarily disappear from the worklists".
+func (h *WorklistHandler) List() []WorkItem {
+	var out []WorkItem
+	for _, it := range h.Engine.Items() {
+		if it.Role != h.Role {
+			continue
+		}
+		if h.Coord != nil && !h.Coord.Try(it.Action()) {
+			continue
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
+// Execute runs one offered item on the user's behalf. The adapted
+// handler performs the coordination protocol around the engine call; the
+// standard handler calls the engine directly (which is exactly the
+// "not waterproof" loophole when the engine itself is unadapted).
+func (h *WorklistHandler) Execute(ctx context.Context, itemID int) error {
+	if h.Coord == nil {
+		return h.Engine.Execute(ctx, itemID)
+	}
+	// Locate the item to learn its action.
+	var item *WorkItem
+	for _, it := range h.Engine.RawItems() {
+		if it.ID == itemID {
+			it := it
+			item = &it
+			break
+		}
+	}
+	if item == nil {
+		return ErrNotEnabled
+	}
+	err := h.Coord.Execute(ctx, item.Action(), func() error {
+		return h.Engine.Execute(ctx, itemID)
+	})
+	if err != nil && !errors.Is(err, ErrNotEnabled) && !errors.Is(err, ErrVetoed) {
+		return fmt.Errorf("%w: %v", ErrVetoed, err)
+	}
+	return err
+}

@@ -1,0 +1,58 @@
+package wfms
+
+import "repro/internal/paper"
+
+// Roles of the medical scenario.
+const (
+	RolePhysician = "physician"
+	RoleClerk     = "clerk"
+	RoleNurse     = "nurse"
+	RoleAssistant = "assistant" // medical assistant of a department
+)
+
+// UltrasonographyDef builds the left workflow of Fig 1: order, schedule,
+// prepare, call, perform, write report, read report. The patient p and
+// the examination kind x are instance variables implicitly passed to all
+// activities (footnote 3 of the paper); only the activities that the
+// interaction graphs mention carry them as action parameters.
+func UltrasonographyDef() *Definition {
+	return &Definition{
+		Name: "ultrasonography",
+		Vars: []string{"p", "x"},
+		Root: Sequence{
+			Activity{Name: "order", Role: RolePhysician},
+			Activity{Name: "schedule", Role: RoleClerk},
+			Activity{Name: paper.ActPrepare, Role: RoleNurse, Params: []string{"p", "x"}},
+			Activity{Name: paper.ActCall, Role: RoleAssistant, Params: []string{"p", "x"}},
+			Activity{Name: paper.ActPerform, Role: RolePhysician, Params: []string{"p", "x"}},
+			Activity{Name: "write_report", Role: RolePhysician},
+			Activity{Name: "read_report", Role: RolePhysician},
+		},
+	}
+}
+
+// EndoscopyDef builds the right workflow of Fig 1: order, schedule, then
+// inform and prepare in parallel, call, perform, write short report, and
+// finally reading the short report in parallel with writing the detailed
+// report.
+func EndoscopyDef() *Definition {
+	return &Definition{
+		Name: "endoscopy",
+		Vars: []string{"p", "x"},
+		Root: Sequence{
+			Activity{Name: "order", Role: RolePhysician},
+			Activity{Name: "schedule", Role: RoleClerk},
+			AndBlock{
+				Activity{Name: paper.ActInform, Role: RoleNurse, Params: []string{"p", "x"}},
+				Activity{Name: paper.ActPrepare, Role: RoleNurse, Params: []string{"p", "x"}},
+			},
+			Activity{Name: paper.ActCall, Role: RoleAssistant, Params: []string{"p", "x"}},
+			Activity{Name: paper.ActPerform, Role: RolePhysician, Params: []string{"p", "x"}},
+			Activity{Name: "write_short_report", Role: RolePhysician},
+			AndBlock{
+				Activity{Name: "read_short_report", Role: RolePhysician},
+				Activity{Name: "write_detailed_report", Role: RolePhysician},
+			},
+		},
+	}
+}

@@ -1,0 +1,315 @@
+// Package wfms is a compact but real workflow management system
+// substrate: workflow definitions with the usual control-flow constructs
+// (sequence, AND- and XOR-blocks, loops), a workflow engine managing
+// instances and activity lifecycles, per-role worklists, and worklist
+// handlers.
+//
+// It exists to reproduce the integration architecture of Sec 7 / Fig 11
+// of the paper: either the worklist handlers or the workflow engine is
+// adapted to participate in the interaction manager's coordination
+// protocol. The paper's prototype used the commercial WfMS ProMInanD,
+// which is unavailable; this substrate exercises the same code paths
+// (scheduling, worklist updates, permission checks) against the same
+// manager protocols.
+package wfms
+
+import "fmt"
+
+// Step is one node of a structured workflow definition.
+type Step interface {
+	// instantiate creates the runtime cursor for one workflow instance.
+	instantiate() runtime
+}
+
+// Activity is an elementary work step. Params name instance variables
+// whose values parameterize the corresponding action (e.g. the patient
+// and examination of the medical workflows of Fig 1).
+type Activity struct {
+	Name   string
+	Role   string // which worklist the activity is offered to
+	Params []string
+}
+
+// Sequence executes its steps in order.
+type Sequence []Step
+
+// AndBlock executes all branches concurrently (AND-split/AND-join).
+type AndBlock []Step
+
+// XorBlock executes exactly one branch (XOR-split/XOR-join); the choice
+// is made implicitly by whichever offered activity is executed first.
+type XorBlock []Step
+
+// LoopBlock repeats its body a fixed number of times (the bounded loop
+// used for simulation workloads).
+type LoopBlock struct {
+	Body  Step
+	Times int
+}
+
+// Definition is a named workflow definition with declared instance
+// variables.
+type Definition struct {
+	Name string
+	Vars []string // instance variable names, bound at instantiation
+	Root Step
+}
+
+// Validate checks structural sanity: non-empty blocks, declared
+// parameters, positive loop bounds.
+func (d *Definition) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("wfms: definition without name")
+	}
+	declared := make(map[string]bool, len(d.Vars))
+	for _, v := range d.Vars {
+		declared[v] = true
+	}
+	return validateStep(d.Root, declared)
+}
+
+func validateStep(s Step, vars map[string]bool) error {
+	switch st := s.(type) {
+	case Activity:
+		if st.Name == "" {
+			return fmt.Errorf("wfms: activity without name")
+		}
+		for _, p := range st.Params {
+			if !vars[p] {
+				return fmt.Errorf("wfms: activity %s uses undeclared variable %q", st.Name, p)
+			}
+		}
+		return nil
+	case Sequence:
+		if len(st) == 0 {
+			return fmt.Errorf("wfms: empty sequence")
+		}
+		for _, k := range st {
+			if err := validateStep(k, vars); err != nil {
+				return err
+			}
+		}
+		return nil
+	case AndBlock:
+		if len(st) == 0 {
+			return fmt.Errorf("wfms: empty and-block")
+		}
+		for _, k := range st {
+			if err := validateStep(k, vars); err != nil {
+				return err
+			}
+		}
+		return nil
+	case XorBlock:
+		if len(st) == 0 {
+			return fmt.Errorf("wfms: empty xor-block")
+		}
+		for _, k := range st {
+			if err := validateStep(k, vars); err != nil {
+				return err
+			}
+		}
+		return nil
+	case LoopBlock:
+		if st.Times <= 0 {
+			return fmt.Errorf("wfms: loop with non-positive bound")
+		}
+		return validateStep(st.Body, vars)
+	case nil:
+		return fmt.Errorf("wfms: nil step")
+	default:
+		return fmt.Errorf("wfms: unknown step type %T", s)
+	}
+}
+
+// --- runtime cursors --------------------------------------------------
+
+// runtime is the per-instance execution cursor of a step.
+type runtime interface {
+	done() bool
+	// enabled appends the currently enabled activities to out.
+	enabled(out []*Activity) []*Activity
+	// complete consumes the completion of the named activity; it reports
+	// whether this subtree accepted it.
+	complete(name string) bool
+}
+
+func (a Activity) instantiate() runtime { return &actRT{act: a} }
+
+type actRT struct {
+	act      Activity
+	finished bool
+}
+
+func (r *actRT) done() bool { return r.finished }
+
+func (r *actRT) enabled(out []*Activity) []*Activity {
+	if r.finished {
+		return out
+	}
+	return append(out, &r.act)
+}
+
+func (r *actRT) complete(name string) bool {
+	if r.finished || r.act.Name != name {
+		return false
+	}
+	r.finished = true
+	return true
+}
+
+func (s Sequence) instantiate() runtime {
+	rts := make([]runtime, len(s))
+	for i, k := range s {
+		rts[i] = k.instantiate()
+	}
+	return &seqRT{steps: rts}
+}
+
+type seqRT struct {
+	steps []runtime
+	idx   int
+}
+
+func (r *seqRT) done() bool { return r.idx >= len(r.steps) }
+
+func (r *seqRT) skipDone() {
+	for r.idx < len(r.steps) && r.steps[r.idx].done() {
+		r.idx++
+	}
+}
+
+func (r *seqRT) enabled(out []*Activity) []*Activity {
+	r.skipDone()
+	if r.done() {
+		return out
+	}
+	return r.steps[r.idx].enabled(out)
+}
+
+func (r *seqRT) complete(name string) bool {
+	r.skipDone()
+	if r.done() {
+		return false
+	}
+	ok := r.steps[r.idx].complete(name)
+	r.skipDone()
+	return ok
+}
+
+func (s AndBlock) instantiate() runtime {
+	rts := make([]runtime, len(s))
+	for i, k := range s {
+		rts[i] = k.instantiate()
+	}
+	return &andRT{branches: rts}
+}
+
+type andRT struct {
+	branches []runtime
+}
+
+func (r *andRT) done() bool {
+	for _, b := range r.branches {
+		if !b.done() {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *andRT) enabled(out []*Activity) []*Activity {
+	for _, b := range r.branches {
+		out = b.enabled(out)
+	}
+	return out
+}
+
+func (r *andRT) complete(name string) bool {
+	for _, b := range r.branches {
+		if b.complete(name) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s XorBlock) instantiate() runtime {
+	rts := make([]runtime, len(s))
+	for i, k := range s {
+		rts[i] = k.instantiate()
+	}
+	return &xorRT{branches: rts, chosen: -1}
+}
+
+type xorRT struct {
+	branches []runtime
+	chosen   int
+}
+
+func (r *xorRT) done() bool {
+	return r.chosen >= 0 && r.branches[r.chosen].done()
+}
+
+func (r *xorRT) enabled(out []*Activity) []*Activity {
+	if r.chosen >= 0 {
+		return r.branches[r.chosen].enabled(out)
+	}
+	for _, b := range r.branches {
+		out = b.enabled(out)
+	}
+	return out
+}
+
+func (r *xorRT) complete(name string) bool {
+	if r.chosen >= 0 {
+		return r.branches[r.chosen].complete(name)
+	}
+	for i, b := range r.branches {
+		if b.complete(name) {
+			r.chosen = i
+			return true
+		}
+	}
+	return false
+}
+
+func (s LoopBlock) instantiate() runtime {
+	return &loopRT{step: s.Body, times: s.Times, body: s.Body.instantiate()}
+}
+
+type loopRT struct {
+	step  Step
+	times int
+	round int
+	body  runtime
+}
+
+func (r *loopRT) done() bool { return r.round >= r.times }
+
+func (r *loopRT) advance() {
+	for r.round < r.times && r.body.done() {
+		r.round++
+		if r.round < r.times {
+			r.body = r.step.instantiate()
+		}
+	}
+}
+
+func (r *loopRT) enabled(out []*Activity) []*Activity {
+	r.advance()
+	if r.done() {
+		return out
+	}
+	return r.body.enabled(out)
+}
+
+func (r *loopRT) complete(name string) bool {
+	r.advance()
+	if r.done() {
+		return false
+	}
+	ok := r.body.complete(name)
+	r.advance()
+	return ok
+}

@@ -1,0 +1,113 @@
+package ix_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/ix"
+)
+
+// ExampleParse shows the text syntax, including a user-defined operator
+// template (the graphical "flash" operator of Fig 5 of the paper).
+func ExampleParse() {
+	e, err := ix.Parse(`
+		def mutex(x, y) = (x | y)*;
+		mutex(review - sign, reject)
+	`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(e)
+	// Output: (review - sign | reject)*
+}
+
+// ExampleSystem demonstrates the action problem (Fig 9): tentative
+// transitions accept or reject each incoming action.
+func ExampleSystem() {
+	sys := ix.NewSystem(ix.MustParse("all p: (call(p) - perform(p))*"))
+	for _, s := range []string{"call(alice)", "call(bob)", "call(alice)", "perform(alice)"} {
+		a := ix.MustAction(s)
+		if err := sys.Step(a); err != nil {
+			fmt.Printf("%s -> reject\n", s)
+		} else {
+			fmt.Printf("%s -> accept\n", s)
+		}
+	}
+	// Output:
+	// call(alice) -> accept
+	// call(bob) -> accept
+	// call(alice) -> reject
+	// perform(alice) -> accept
+}
+
+// ExampleSystem_Word solves the word problem: classify a whole action
+// sequence as complete, partial or illegal.
+func ExampleSystem_Word() {
+	sys := ix.NewSystem(ix.MustParse("order - (pay || ship)"))
+	w := func(names ...string) []ix.Action {
+		out := make([]ix.Action, len(names))
+		for i, n := range names {
+			out[i] = ix.MustAction(n)
+		}
+		return out
+	}
+	fmt.Println(sys.Word(w("order", "ship", "pay")))
+	fmt.Println(sys.Word(w("order", "pay")))
+	fmt.Println(sys.Word(w("pay")))
+	// Output:
+	// complete
+	// partial
+	// illegal
+}
+
+// ExampleManager runs the coordination protocol of Fig 10: ask, execute,
+// confirm — with a denial for a conflicting request in between.
+func ExampleManager() {
+	m, err := ix.NewManager(ix.MustParse("any p: lock(p) - unlock(p)"), ix.ManagerOptions{})
+	if err != nil {
+		panic(err)
+	}
+	defer m.Close()
+	ctx := context.Background()
+
+	tk, err := m.Ask(ctx, ix.MustAction("lock(r1)"))
+	if err != nil {
+		panic(err)
+	}
+	// ... the client performs the real-world action ...
+	if err := m.Confirm(tk); err != nil {
+		panic(err)
+	}
+	// A second lock is not permitted by the expression.
+	if _, err := m.Ask(ctx, ix.MustAction("lock(r2)")); err != nil {
+		fmt.Println("lock(r2) denied")
+	}
+	// Output: lock(r2) denied
+}
+
+// ExampleClassify applies the complexity criteria of Sec 6.
+func ExampleClassify() {
+	for _, src := range []string{
+		"(a - b | c)*",
+		"all p: (call(p) - perform(p))*",
+		"(a - b?)#",
+	} {
+		cl, _ := ix.Classify(ix.MustParse(src))
+		fmt.Printf("%-34s %v\n", src, cl)
+	}
+	// Output:
+	// (a - b | c)*                       harmless (quasi-regular)
+	// all p: (call(p) - perform(p))*     benign (polynomial)
+	// (a - b?)#                          potentially malignant
+}
+
+// ExampleGraphOf renders the interaction-graph view of an expression.
+func ExampleGraphOf() {
+	fmt.Print(ix.GraphOf(ix.MustParse("a - (b | c)")).ASCII())
+	// Output:
+	// seq ─
+	// ├── [a]
+	// └── or | (either or)
+	//     ├── [b]
+	//     └── [c]
+}

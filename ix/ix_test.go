@@ -1,0 +1,178 @@
+package ix_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/ix"
+)
+
+// TestQuickstart mirrors the package-comment session.
+func TestQuickstart(t *testing.T) {
+	e := ix.MustParse("all p: (call(p) - perform(p))*")
+	sys := ix.NewSystem(e)
+	if err := sys.Step(ix.MustAction("call(alice)")); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Try(ix.MustAction("call(alice)")) {
+		t.Error("alice is busy; second call must be rejected")
+	}
+	if !sys.Try(ix.MustAction("call(bob)")) {
+		t.Error("bob is independent")
+	}
+	if err := sys.Step(ix.MustAction("perform(alice)")); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Final() {
+		t.Error("completed round should be final")
+	}
+}
+
+// TestWordProblem (E8): the three verdicts of Fig 9.
+func TestWordProblem(t *testing.T) {
+	sys := ix.NewSystem(ix.MustParse("a - b"))
+	w := func(names ...string) []ix.Action {
+		out := make([]ix.Action, len(names))
+		for i, n := range names {
+			out[i] = ix.MustAction(n)
+		}
+		return out
+	}
+	if got := sys.Word(w("a", "b")); got != ix.Complete {
+		t.Errorf("a b: %v", got)
+	}
+	if got := sys.Word(w("a")); got != ix.Partial {
+		t.Errorf("a: %v", got)
+	}
+	if got := sys.Word(w("b")); got != ix.Illegal {
+		t.Errorf("b: %v", got)
+	}
+	// Word must not disturb the incremental state.
+	if sys.Steps() != 0 {
+		t.Error("Word should not consume actions")
+	}
+}
+
+// TestActionProblem (E8): the accept/reject stream of Fig 9's action().
+func TestActionProblem(t *testing.T) {
+	sys := ix.NewSystem(ix.MustParse("(a | b - c)*"))
+	steps := []struct {
+		act  string
+		want bool
+	}{
+		{"a", true},
+		{"c", false}, // c only after b
+		{"b", true},
+		{"a", false}, // mid-round
+		{"c", true},
+		{"a", true},
+	}
+	for i, st := range steps {
+		err := sys.Step(ix.MustAction(st.act))
+		if ok := err == nil; ok != st.want {
+			t.Fatalf("step %d (%s): accepted=%v want %v (%v)", i, st.act, ok, st.want, err)
+		}
+		if err != nil && !errors.Is(err, ix.ErrRejected) {
+			t.Fatalf("step %d: wrong error type %v", i, err)
+		}
+	}
+}
+
+func TestBuilderAndParserAgree(t *testing.T) {
+	built := ix.All("p", ix.Iter(ix.Seq(
+		ix.AtomNamed("call", ix.Prm("p")),
+		ix.AtomNamed("perform", ix.Prm("p")),
+	)))
+	parsed := ix.MustParse("all p: (call(p) - perform(p))*")
+	if !built.Equal(parsed) {
+		t.Errorf("builder %q != parser %q", built, parsed)
+	}
+}
+
+func TestManagerFacade(t *testing.T) {
+	m, err := ix.NewManager(ix.MustParse("a - b"), ix.ManagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx := context.Background()
+	tk, err := m.Ask(ctx, ix.MustAction("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Confirm(tk); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Request(ctx, ix.MustAction("b")); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Final() {
+		t.Error("should be final")
+	}
+}
+
+func TestGraphFacade(t *testing.T) {
+	g := ix.GraphOf(ix.MustParse("a - (b | c)*"))
+	if !strings.Contains(g.DOT(), "digraph") {
+		t.Error("DOT output malformed")
+	}
+	if !strings.Contains(g.ASCII(), "or |") {
+		t.Error("ASCII output malformed")
+	}
+}
+
+func TestClassifyFacade(t *testing.T) {
+	cl, _ := ix.Classify(ix.MustParse("a - b"))
+	if cl != ix.Harmless {
+		t.Errorf("got %v", cl)
+	}
+	cl, _ = ix.Classify(ix.MustParse("all p: (call(p))*"))
+	if cl != ix.Benign {
+		t.Errorf("got %v", cl)
+	}
+	cl, _ = ix.Classify(ix.MustParse("(a - b?)#"))
+	if cl != ix.PotentiallyMalignant {
+		t.Errorf("got %v", cl)
+	}
+}
+
+func TestOracleVerdictAgreesWithSystem(t *testing.T) {
+	e := ix.MustParse("(a - b)# @ c*")
+	sys := ix.NewSystem(e)
+	words := [][]ix.Action{
+		{ix.MustAction("a")},
+		{ix.MustAction("a"), ix.MustAction("b")},
+		{ix.MustAction("c"), ix.MustAction("a"), ix.MustAction("c")},
+		{ix.MustAction("b")},
+	}
+	for _, w := range words {
+		if got, want := sys.Word(w), ix.OracleVerdict(e, w); got != want {
+			t.Errorf("word %v: system=%v oracle=%v", w, got, want)
+		}
+	}
+}
+
+func TestActivityExpr(t *testing.T) {
+	e := ix.ActivityExpr("exam", ix.Val("v"))
+	sys := ix.NewSystem(e)
+	if err := sys.Step(ix.MustAction("exam_s(v)")); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Final() {
+		t.Error("start alone is not complete")
+	}
+	if err := sys.Step(ix.MustAction("exam_t(v)")); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Final() {
+		t.Error("start+terminate should be complete")
+	}
+}
+
+func TestNewSystemErrOnOpenExpression(t *testing.T) {
+	if _, err := ix.NewSystemErr(ix.AtomNamed("x", ix.Prm("p"))); err == nil {
+		t.Error("open expression must be rejected")
+	}
+}
