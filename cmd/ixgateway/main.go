@@ -1,0 +1,94 @@
+// Command ixgateway fronts a cluster of ixmanager shard servers: it
+// partitions a top-level coupling y1 @ y2 @ ... @ yn by operand, routes
+// every action to the shards whose alphabet mentions it, and executes the
+// two-phase reserve/confirm grant across them — then serves the result on
+// its own address, speaking the same JSON-lines wire protocol as a single
+// manager. Clients cannot tell a gateway from a manager.
+//
+// Usage (shard i of the coupling must be served at the i-th address):
+//
+//	ixmanager -e '(submit - approve)*' -addr :7431 &
+//	ixmanager -e '(approve - exec)*'   -addr :7432 &
+//	ixgateway -e '(submit - approve)* @ (approve - exec)*' \
+//	          -shards 127.0.0.1:7431,127.0.0.1:7432 -addr :7430
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/ix"
+)
+
+func main() {
+	var (
+		exprSrc  = flag.String("e", "", "coupled interaction expression (text syntax)")
+		exprFile = flag.String("f", "", "file containing the expression")
+		shardCSV = flag.String("shards", "", "comma-separated shard server addresses, one per coupling operand")
+		addr     = flag.String("addr", "127.0.0.1:7430", "listen address")
+	)
+	flag.Parse()
+
+	src := *exprSrc
+	if *exprFile != "" {
+		buf, err := os.ReadFile(*exprFile)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(buf)
+	}
+	if src == "" || *shardCSV == "" {
+		fmt.Fprintln(os.Stderr, "ixgateway: provide an expression (-e or -f) and -shards")
+		flag.Usage()
+		os.Exit(2)
+	}
+	e, err := ix.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	addrs := strings.Split(*shardCSV, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+
+	gw, err := ix.NewGateway(e, addrs)
+	if err != nil {
+		fatal(err)
+	}
+	defer gw.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err = gw.Ping(ctx)
+	cancel()
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := ix.NewCoordServer(gw, ln)
+	defer srv.Close()
+
+	parts := ix.PartitionCoupling(e)
+	fmt.Printf("ixgateway: serving %d-shard coupling on %s\n", len(parts), srv.Addr())
+	for i, p := range parts {
+		fmt.Printf("  shard %d at %s: %s\n", i, addrs[i], p)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("ixgateway: shutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ixgateway:", err)
+	os.Exit(2)
+}

@@ -30,6 +30,8 @@ func main() {
 		exprFile = flag.String("f", "", "file containing the expression")
 		addr     = flag.String("addr", "127.0.0.1:7431", "listen address")
 		logPath  = flag.String("log", "", "action log for persistence/recovery")
+		snapPath = flag.String("snapshot", "", "snapshot file for checkpoint recovery (restart replays only the log tail)")
+		snapK    = flag.Int("snapshot-every", 1000, "write a checkpoint every K confirms (with -snapshot)")
 		timeout  = flag.Duration("reservation-timeout", 10*time.Second,
 			"auto-abort asks not confirmed within this duration")
 	)
@@ -55,6 +57,8 @@ func main() {
 
 	m, err := ix.NewManager(e, ix.ManagerOptions{
 		LogPath:            *logPath,
+		SnapshotPath:       *snapPath,
+		SnapshotEvery:      *snapK,
 		ReservationTimeout: *timeout,
 	})
 	if err != nil {

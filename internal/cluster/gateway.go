@@ -1,0 +1,355 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/manager"
+)
+
+// Gateway coordinates one coupled interaction expression across N remote
+// shard servers, one per coupling operand. It implements
+// manager.Coordinator, so it can be used like a manager — including being
+// served over the wire protocol itself (cmd/ixgateway), which lets
+// ordinary clients talk to the cluster without knowing it is one.
+//
+// An action is permitted iff every shard whose alphabet contains it
+// permits it. Grants run in two phases: reservations are taken at every
+// involved shard in ascending shard order (a fixed global order, which
+// precludes deadlock between concurrent multi-shard grants), then all are
+// confirmed — or the ones already granted are aborted when any shard
+// refuses.
+type Gateway struct {
+	parts  []*expr.Expr
+	alphas []*expr.Alphabet
+	idx    *manager.NameIndex
+	shards []*ShardClient
+
+	mu     sync.Mutex
+	nextTk manager.Ticket
+	grants map[manager.Ticket]grantEntry
+}
+
+// grantEntry records one gateway-level grant and when it was taken, so
+// grants abandoned by dead clients can be expired (their shard-side
+// reservations are reclaimed by the managers' own timeouts).
+type grantEntry struct {
+	grants []shardGrant
+	at     time.Time
+}
+
+// grantTTL bounds how long an unsettled gateway grant is remembered. It
+// comfortably exceeds any sane reservation timeout: by the time it
+// fires, every shard has long aborted the underlying reservations.
+const grantTTL = 10 * time.Minute
+
+// shardGrant is one shard's reservation within a gateway-level grant.
+type shardGrant struct {
+	shard  int
+	ticket manager.Ticket
+}
+
+// Partition splits a coupled expression into its shard operands: the
+// operands of a top-level coupling, or the expression itself otherwise.
+func Partition(e *expr.Expr) []*expr.Expr {
+	if e.Op == expr.OpSync {
+		return e.Kids
+	}
+	return []*expr.Expr{e}
+}
+
+// NewGateway builds a gateway for e whose i-th coupling operand is served
+// by the shard at addrs[i]. Shard connections are dialed lazily, so the
+// gateway can be constructed before every shard server is up. The
+// routing index is precomputed from the operand alphabets; no per-action
+// alphabet scan happens at grant time.
+func NewGateway(e *expr.Expr, addrs []string) (*Gateway, error) {
+	parts := Partition(e)
+	if len(parts) != len(addrs) {
+		return nil, fmt.Errorf("cluster: expression has %d shards, got %d addresses", len(parts), len(addrs))
+	}
+	g := &Gateway{parts: parts, grants: make(map[manager.Ticket]grantEntry)}
+	for i, part := range parts {
+		g.alphas = append(g.alphas, expr.AlphabetOf(part))
+		g.shards = append(g.shards, NewShardClient(addrs[i]))
+	}
+	g.idx = manager.NewNameIndex(g.alphas)
+	return g, nil
+}
+
+// Shards returns the shard clients (diagnostics and tests).
+func (g *Gateway) Shards() []*ShardClient { return g.shards }
+
+// Route returns the ascending shard indices whose alphabet contains a.
+func (g *Gateway) Route(a expr.Action) []int { return g.idx.Route(a) }
+
+// Ping verifies every shard is reachable (and dials the connections, so
+// later grants start warm).
+func (g *Gateway) Ping(ctx context.Context) error {
+	for i, sc := range g.shards {
+		if _, err := sc.Final(ctx); err != nil {
+			return fmt.Errorf("cluster: shard %d (%s): %w", i, sc.Addr(), err)
+		}
+	}
+	return nil
+}
+
+// askShards runs phase 1: reservations at every involved shard in
+// ascending order, rolling back on the first refusal.
+func (g *Gateway) askShards(ctx context.Context, a expr.Action, involved []int) ([]shardGrant, error) {
+	grants := make([]shardGrant, 0, len(involved))
+	for _, i := range involved {
+		t, err := g.shards[i].Ask(ctx, a)
+		if err != nil {
+			g.abortGrants(grants)
+			return nil, err
+		}
+		grants = append(grants, shardGrant{shard: i, ticket: t})
+	}
+	return grants, nil
+}
+
+// abortGrants releases reservations after a refusal. Abort errors are
+// secondary (the grant already failed); an unreachable shard's
+// reservation falls to its manager's reservation timeout, the paper's
+// remedy for clients that die inside the critical region.
+func (g *Gateway) abortGrants(grants []shardGrant) {
+	ctx, cancel := context.WithTimeout(context.Background(), shardSettleTimeout)
+	defer cancel()
+	for _, gr := range grants {
+		_ = g.shards[gr.shard].Abort(ctx, gr.ticket)
+	}
+}
+
+// confirmGrants runs phase 2: confirm every reservation in grant order.
+func (g *Gateway) confirmGrants(ctx context.Context, grants []shardGrant) error {
+	var firstErr error
+	for _, gr := range grants {
+		if err := g.shards[gr.shard].Confirm(ctx, gr.ticket); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// shardSettleTimeout bounds best-effort aborts after a failed grant and
+// subscription setup.
+const shardSettleTimeout = 10 * time.Second
+
+// Ask reserves a at every involved shard and returns a gateway ticket
+// for the combined reservation.
+func (g *Gateway) Ask(ctx context.Context, a expr.Action) (manager.Ticket, error) {
+	involved := g.idx.Route(a)
+	if len(involved) == 0 {
+		return 0, fmt.Errorf("%w: %s (not in any shard's alphabet)", manager.ErrDenied, a)
+	}
+	grants, err := g.askShards(ctx, a, involved)
+	if err != nil {
+		return 0, err
+	}
+	now := time.Now()
+	g.mu.Lock()
+	// Lazily expire grants abandoned by clients that died between Ask and
+	// Confirm/Abort, so the map stays bounded over a gateway's lifetime.
+	for k, e := range g.grants {
+		if now.Sub(e.at) >= grantTTL {
+			delete(g.grants, k)
+		}
+	}
+	g.nextTk++
+	t := g.nextTk
+	g.grants[t] = grantEntry{grants: grants, at: now}
+	g.mu.Unlock()
+	return t, nil
+}
+
+// takeGrants claims the shard reservations behind a gateway ticket.
+func (g *Gateway) takeGrants(t manager.Ticket) ([]shardGrant, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.grants[t]
+	if !ok {
+		return nil, manager.ErrUnknownTicket
+	}
+	delete(g.grants, t)
+	return e.grants, nil
+}
+
+// Confirm settles a gateway-level grant: every shard reservation is
+// confirmed.
+func (g *Gateway) Confirm(ctx context.Context, t manager.Ticket) error {
+	grants, err := g.takeGrants(t)
+	if err != nil {
+		return err
+	}
+	return g.confirmGrants(ctx, grants)
+}
+
+// Abort releases a gateway-level grant without a state transition.
+func (g *Gateway) Abort(ctx context.Context, t manager.Ticket) error {
+	grants, err := g.takeGrants(t)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, gr := range grants {
+		if err := g.shards[gr.shard].Abort(ctx, gr.ticket); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Request performs the atomic distributed grant. A single-shard action
+// takes the fast path — the shard manager's own atomic request, one round
+// trip; a multi-shard action runs the full two-phase protocol.
+func (g *Gateway) Request(ctx context.Context, a expr.Action) error {
+	involved := g.idx.Route(a)
+	switch len(involved) {
+	case 0:
+		return fmt.Errorf("%w: %s (not in any shard's alphabet)", manager.ErrDenied, a)
+	case 1:
+		return g.shards[involved[0]].Request(ctx, a)
+	}
+	grants, err := g.askShards(ctx, a, involved)
+	if err != nil {
+		return err
+	}
+	return g.confirmGrants(ctx, grants)
+}
+
+// Try reports whether every involved shard currently permits a. The
+// shards are probed concurrently.
+func (g *Gateway) Try(ctx context.Context, a expr.Action) (bool, error) {
+	involved := g.idx.Route(a)
+	if len(involved) == 0 {
+		return false, nil
+	}
+	oks := make([]bool, len(involved))
+	errs := make([]error, len(involved))
+	var wg sync.WaitGroup
+	for j, i := range involved {
+		wg.Add(1)
+		go func(j, i int) {
+			defer wg.Done()
+			oks[j], errs[j] = g.shards[i].Try(ctx, a)
+		}(j, i)
+	}
+	wg.Wait()
+	for j := range involved {
+		if errs[j] != nil {
+			return false, errs[j]
+		}
+		if !oks[j] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Final reports whether every shard's confirmed word is complete.
+func (g *Gateway) Final(ctx context.Context) (bool, error) {
+	for _, sc := range g.shards {
+		fin, err := sc.Final(ctx)
+		if err != nil {
+			return false, err
+		}
+		if !fin {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Subscribe aggregates per-shard subscriptions for a: the combined
+// status is the conjunction of the involved shards' statuses, and the
+// returned channel informs on combined flips. The channel closes when
+// the subscription is canceled or a shard connection dies (resubscribe
+// to resume). Satisfies manager.Coordinator.
+func (g *Gateway) Subscribe(a expr.Action) (<-chan manager.Inform, func(), error) {
+	involved := g.idx.Route(a)
+	out := make(chan manager.Inform, 16)
+	if len(involved) == 0 {
+		out <- manager.Inform{Action: a, Permissible: false}
+		close(out)
+		return out, func() {}, nil
+	}
+	ctx, cancelCtx := context.WithTimeout(context.Background(), shardSettleTimeout)
+	defer cancelCtx()
+
+	var mu sync.Mutex
+	status := make(map[int]bool, len(involved))
+	combined, combinedKnown := false, false
+	var wg sync.WaitGroup
+	cancels := make([]func(), 0, len(involved))
+	for _, i := range involved {
+		ch, cancel, err := g.shards[i].Subscribe(ctx, a)
+		if err != nil {
+			for _, c := range cancels {
+				c()
+			}
+			return nil, nil, err
+		}
+		cancels = append(cancels, cancel)
+		wg.Add(1)
+		go func(i int, ch <-chan manager.Inform) {
+			defer wg.Done()
+			for inf := range ch {
+				mu.Lock()
+				status[i] = inf.Permissible
+				now := len(status) == len(involved)
+				for _, v := range status {
+					now = now && v
+				}
+				flip := !combinedKnown || now != combined
+				combinedKnown = true
+				combined = now
+				mu.Unlock()
+				if flip {
+					inf := manager.Inform{Action: a, Permissible: now}
+					select {
+					case out <- inf:
+					default:
+						// Drop the oldest pending inform to make room for
+						// the newest: a slow subscriber loses intermediate
+						// flips but always observes the latest status.
+						select {
+						case <-out:
+						default:
+						}
+						select {
+						case out <- inf:
+						default:
+						}
+					}
+				}
+			}
+		}(i, ch)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	cancelAll := func() {
+		for _, c := range cancels {
+			c()
+		}
+	}
+	return out, cancelAll, nil
+}
+
+// Close releases all shard connections. Outstanding gateway tickets
+// become unknown; their shard reservations fall to the managers'
+// reservation timeouts.
+func (g *Gateway) Close() error {
+	var firstErr error
+	for _, sc := range g.shards {
+		if err := sc.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,198 @@
+// Package cluster implements the distributed sharded coordination
+// subsystem sketched at the end of Sec 7 of the paper: a top-level
+// coupling y1 @ y2 @ ... @ yn is semantically a per-alphabet conjunction,
+// so each operand can be executed by an independent interaction manager —
+// here a remote one behind the JSON-lines TCP protocol of
+// internal/manager. A Gateway fronts the shard servers, routes actions by
+// a precomputed name index, and runs the two-phase
+// reserve-in-global-order/confirm-all grant across the involved shards,
+// aborting granted reservations when any shard refuses.
+//
+// The package talks to shards exclusively through the exported wire
+// client of internal/manager, so any process serving the wire protocol
+// (cmd/ixmanager, a test server, or another gateway) can be a shard.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/manager"
+)
+
+// ShardClient is a self-healing wire client for one shard server: it
+// dials lazily, detects dead connections and re-dials. Operations whose
+// request provably never reached the server (ErrSendFailed) are retried
+// transparently on a fresh connection; operations that may have been
+// processed (ErrConnLost mid-flight) are retried only if idempotent —
+// exactly the queued-request discipline recovery demands.
+type ShardClient struct {
+	addr string
+
+	mu sync.Mutex
+	cl *manager.Client
+}
+
+// NewShardClient creates a client for the shard at addr. No connection is
+// made until the first operation, so a gateway can be assembled before
+// every shard server is up.
+func NewShardClient(addr string) *ShardClient {
+	return &ShardClient{addr: addr}
+}
+
+// Addr returns the shard server address.
+func (s *ShardClient) Addr() string { return s.addr }
+
+// client returns the live connection, dialing if necessary.
+func (s *ShardClient) client() (*manager.Client, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cl != nil {
+		return s.cl, nil
+	}
+	cl, err := manager.Dial(s.addr)
+	if err != nil {
+		return nil, err
+	}
+	s.cl = cl
+	return cl, nil
+}
+
+// invalidate discards cl if it is still the current connection, so the
+// next operation re-dials. Another goroutine may have reconnected
+// already; its fresh connection is left alone.
+func (s *ShardClient) invalidate(cl *manager.Client) {
+	s.mu.Lock()
+	if s.cl == cl {
+		s.cl = nil
+	}
+	s.mu.Unlock()
+	cl.Close()
+}
+
+// connErr reports whether err indicates a dead connection (as opposed to
+// a protocol-level refusal, which must not trigger a reconnect).
+func connErr(err error) bool {
+	return errors.Is(err, manager.ErrConnLost) || errors.Is(err, manager.ErrSendFailed)
+}
+
+// retryable reports whether err may be retried on a fresh connection for
+// an operation with the given idempotency.
+func retryable(err error, idempotent bool) bool {
+	if errors.Is(err, manager.ErrSendFailed) {
+		return true // the request never left this machine
+	}
+	return idempotent && errors.Is(err, manager.ErrConnLost)
+}
+
+// do runs op against the current connection, reconnecting and retrying
+// once when that is safe.
+func (s *ShardClient) do(ctx context.Context, idempotent bool, op func(*manager.Client) error) error {
+	for attempt := 0; ; attempt++ {
+		cl, err := s.client()
+		if err != nil {
+			return err
+		}
+		err = op(cl)
+		if err == nil {
+			return nil
+		}
+		if connErr(err) {
+			s.invalidate(cl)
+		}
+		if attempt > 0 || !retryable(err, idempotent) || ctx.Err() != nil {
+			return err
+		}
+	}
+}
+
+// Ask reserves a at the shard (step 1/2 of the coordination protocol).
+func (s *ShardClient) Ask(ctx context.Context, a expr.Action) (manager.Ticket, error) {
+	var t manager.Ticket
+	err := s.do(ctx, false, func(cl *manager.Client) error {
+		var err error
+		t, err = cl.Ask(ctx, a)
+		return err
+	})
+	return t, err
+}
+
+// Confirm settles a granted ask. The manager treats a retried confirm of
+// its most recently confirmed ticket as success, so a confirm whose
+// reply was lost may be retried on a fresh connection without risking a
+// double commit.
+func (s *ShardClient) Confirm(ctx context.Context, t manager.Ticket) error {
+	return s.do(ctx, true, func(cl *manager.Client) error { return cl.Confirm(ctx, t) })
+}
+
+// Abort releases a granted ask.
+func (s *ShardClient) Abort(ctx context.Context, t manager.Ticket) error {
+	return s.do(ctx, false, func(cl *manager.Client) error { return cl.Abort(ctx, t) })
+}
+
+// Request runs the atomic ask+confirm at the shard.
+func (s *ShardClient) Request(ctx context.Context, a expr.Action) error {
+	return s.do(ctx, false, func(cl *manager.Client) error { return cl.Request(ctx, a) })
+}
+
+// Try probes a's status (idempotent: retried across reconnects).
+func (s *ShardClient) Try(ctx context.Context, a expr.Action) (bool, error) {
+	var ok bool
+	err := s.do(ctx, true, func(cl *manager.Client) error {
+		var err error
+		ok, err = cl.Try(ctx, a)
+		return err
+	})
+	return ok, err
+}
+
+// Final reports whether the shard's word is complete (idempotent).
+func (s *ShardClient) Final(ctx context.Context) (bool, error) {
+	var fin bool
+	err := s.do(ctx, true, func(cl *manager.Client) error {
+		var err error
+		fin, err = cl.Final(ctx)
+		return err
+	})
+	return fin, err
+}
+
+// Subscribe opens a subscription at the shard. The returned channel
+// closes when the subscription is canceled or the connection dies;
+// callers that outlive a reconnect resubscribe to resume informs.
+func (s *ShardClient) Subscribe(ctx context.Context, a expr.Action) (<-chan manager.Inform, func(), error) {
+	var ch <-chan manager.Inform
+	var cancel func()
+	err := s.do(ctx, true, func(cl *manager.Client) error {
+		sub, err := cl.Subscribe(ctx, a)
+		if err != nil {
+			return err
+		}
+		ch = sub.C
+		cancel = func() {
+			cctx, cdone := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cdone()
+			_ = cl.Unsubscribe(cctx, sub) // on a dead connection the channel is closed already
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ch, cancel, nil
+}
+
+// Close tears down the connection (a later operation would re-dial).
+func (s *ShardClient) Close() error {
+	s.mu.Lock()
+	cl := s.cl
+	s.cl = nil
+	s.mu.Unlock()
+	if cl != nil {
+		return cl.Close()
+	}
+	return nil
+}

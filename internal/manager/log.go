@@ -22,10 +22,15 @@ type ActionLog struct {
 	w    *bufio.Writer
 }
 
-// logEntry is the on-disk representation of one confirmed action.
+// logEntry is the on-disk representation of one confirmed action. Seq is
+// the global confirm sequence number; it lets recovery skip entries that
+// a snapshot already covers even if the crash hit between writing the
+// snapshot and truncating the log. Logs written before snapshots existed
+// have no Seq; replay numbers those positionally.
 type logEntry struct {
 	Name string   `json:"a"`
 	Args []string `json:"v,omitempty"`
+	Seq  uint64   `json:"s,omitempty"`
 }
 
 // OpenActionLog opens or creates an action log file.
@@ -37,10 +42,12 @@ func OpenActionLog(path string) (*ActionLog, error) {
 	return &ActionLog{path: path, f: f, w: bufio.NewWriter(f)}, nil
 }
 
-// Replay calls fn for every logged action in order, then positions the
-// log for appending. A torn final line (crash during append) is
-// truncated silently; anything else malformed is an error.
-func (l *ActionLog) Replay(fn func(expr.Action) error) error {
+// Replay calls fn for every logged action in order together with its
+// sequence number, then positions the log for appending. Entries without
+// an explicit sequence number (pre-snapshot logs) are numbered 1, 2, ...
+// positionally. A torn final line (crash during append) is truncated
+// silently; anything else malformed is an error.
+func (l *ActionLog) Replay(fn func(seq uint64, a expr.Action) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
@@ -48,6 +55,7 @@ func (l *ActionLog) Replay(fn func(expr.Action) error) error {
 	}
 	sc := bufio.NewScanner(l.f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var seq uint64
 	for sc.Scan() {
 		raw := sc.Bytes()
 		if len(raw) == 0 {
@@ -60,7 +68,12 @@ func (l *ActionLog) Replay(fn func(expr.Action) error) error {
 			}
 			return fmt.Errorf("manager: corrupt log record: %v", err)
 		}
-		if err := fn(expr.ConcreteAct(e.Name, e.Args...)); err != nil {
+		if e.Seq != 0 {
+			seq = e.Seq
+		} else {
+			seq++
+		}
+		if err := fn(seq, expr.ConcreteAct(e.Name, e.Args...)); err != nil {
 			return err
 		}
 	}
@@ -73,11 +86,12 @@ func (l *ActionLog) Replay(fn func(expr.Action) error) error {
 	return nil
 }
 
-// Append writes one confirmed action and flushes it to the OS.
-func (l *ActionLog) Append(a expr.Action) error {
+// Append writes one confirmed action under its sequence number and
+// flushes it to the OS.
+func (l *ActionLog) Append(seq uint64, a expr.Action) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	e := logEntry{Name: a.Name, Args: a.Values()}
+	e := logEntry{Name: a.Name, Args: a.Values(), Seq: seq}
 	buf, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("manager: log marshal: %w", err)
@@ -92,6 +106,40 @@ func (l *ActionLog) Append(a expr.Action) error {
 		return fmt.Errorf("manager: log flush: %w", err)
 	}
 	return nil
+}
+
+// Truncate discards the log's contents. The manager calls it right after
+// writing a snapshot: everything the log held is folded into the
+// snapshot, so the entries are dead weight. Recovery stays correct even
+// if a crash prevents the truncation, because entries carry sequence
+// numbers the snapshot cutoff filters on.
+func (l *ActionLog) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("manager: log flush: %w", err)
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("manager: log truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("manager: log seek: %w", err)
+	}
+	return nil
+}
+
+// Size returns the current byte size of the log file (diagnostics).
+func (l *ActionLog) Size() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return 0, err
+	}
+	st, err := l.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
 }
 
 // Close flushes and closes the log file.

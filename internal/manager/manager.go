@@ -67,6 +67,15 @@ type Options struct {
 	// paper's remedy for worklist handlers that die mid-protocol).
 	// Zero means no timeout.
 	ReservationTimeout time.Duration
+	// SnapshotPath, if non-empty, enables checkpoint recovery: the engine
+	// state, ticket counter and outstanding reservation are serialized
+	// there and the action log is truncated, so a restart replays only the
+	// log tail instead of the full history.
+	SnapshotPath string
+	// SnapshotEvery is the checkpoint interval in confirms (K): a snapshot
+	// is written after every K-th confirmed action. Zero disables
+	// automatic checkpoints (Snapshot can still force one).
+	SnapshotEvery int
 	// Clock, for tests; defaults to time.Now.
 	Clock func() time.Time
 }
@@ -80,16 +89,22 @@ type Manager struct {
 	log    *ActionLog
 	closed bool
 
-	reserved    bool // a granted ask is outstanding (critical region)
-	ticket      Ticket
-	reservedAct expr.Action
-	reservedAt  time.Time
-	nextTicket  Ticket
-	timeout     time.Duration
-	clock       func() time.Time
-	stats       Stats
-	nextSubID   uint64
-	subs        map[uint64]*subEntry
+	reserved      bool // a granted ask is outstanding (critical region)
+	ticket        Ticket
+	reservedAct   expr.Action
+	reservedAt    time.Time
+	nextTicket    Ticket
+	lastConfirmed Ticket // most recently confirmed ticket (idempotent retry)
+	timeout       time.Duration
+	clock         func() time.Time
+	stats         Stats
+	nextSubID     uint64
+	subs          map[uint64]*subEntry
+
+	snapPath  string
+	snapEvery int
+	sinceSnap int
+	snapErr   error // first failed background checkpoint since last Snapshot
 }
 
 type subEntry struct {
@@ -100,46 +115,79 @@ type subEntry struct {
 
 // Stats counts protocol traffic for the experiments of Sec 7 (E13/E15).
 type Stats struct {
-	Asks     int // ask messages received
-	Tries    int // pure status probes
-	Grants   int // positive replies
-	Denies   int // negative replies
-	Confirms int
-	Aborts   int // explicit aborts plus reservation timeouts
-	Informs  int // subscription notifications sent
-	Transits int // committed state transitions
+	Asks      int // ask messages received
+	Tries     int // pure status probes
+	Grants    int // positive replies
+	Denies    int // negative replies
+	Confirms  int
+	Aborts    int // explicit aborts plus reservation timeouts
+	Informs   int // subscription notifications sent
+	Transits  int // committed state transitions
+	Snapshots int // checkpoints written
 }
 
 // New creates a manager for e, recovering from the action log if one is
 // configured and present.
 func New(e *expr.Expr, opts Options) (*Manager, error) {
-	en, err := state.NewEngine(e)
-	if err != nil {
-		return nil, err
-	}
 	m := &Manager{
-		en:      en,
-		timeout: opts.ReservationTimeout,
-		clock:   opts.Clock,
-		subs:    make(map[uint64]*subEntry),
+		timeout:   opts.ReservationTimeout,
+		clock:     opts.Clock,
+		subs:      make(map[uint64]*subEntry),
+		snapPath:  opts.SnapshotPath,
+		snapEvery: opts.SnapshotEvery,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	if m.clock == nil {
 		m.clock = time.Now
 	}
+	// Recovery, step 1: restore the checkpointed state, if any.
+	if opts.SnapshotPath != "" {
+		en, snap, err := restoreFromSnapshot(e, opts.SnapshotPath)
+		if err != nil {
+			return nil, err
+		}
+		if en != nil {
+			m.en = en
+			m.applySnapshotMeta(snap)
+		}
+	}
+	if m.en == nil {
+		en, err := state.NewEngine(e)
+		if err != nil {
+			return nil, err
+		}
+		m.en = en
+	}
+	// Recovery, step 2: replay the log tail. Entries the snapshot already
+	// covers (seq ≤ steps at checkpoint time) are skipped, which keeps a
+	// crash between snapshot write and log truncation harmless.
 	if opts.LogPath != "" {
 		log, err := OpenActionLog(opts.LogPath)
 		if err != nil {
 			return nil, err
 		}
-		if err := log.Replay(func(a expr.Action) error {
-			if err := en.Step(a); err != nil {
+		base := uint64(m.en.Steps())
+		replayed := 0
+		if err := log.Replay(func(seq uint64, a expr.Action) error {
+			if seq <= base {
+				return nil
+			}
+			if err := m.en.Step(a); err != nil {
 				return fmt.Errorf("manager: recovery: logged action %s no longer permitted: %w", a, err)
 			}
+			replayed++
 			return nil
 		}); err != nil {
 			log.Close()
 			return nil, err
+		}
+		// A confirm logged after the snapshot proves the snapshotted
+		// reservation was settled: confirms only happen with the critical
+		// region held, and it is freed on settlement. Keeping the phantom
+		// reservation would block every Ask (no timeout) or let a retried
+		// Confirm apply its action twice.
+		if replayed > 0 && m.reserved {
+			m.reserved = false
 		}
 		m.log = log
 	}
@@ -239,11 +287,17 @@ func (m *Manager) Confirm(t Ticket) error {
 	}
 	m.expireLocked()
 	if !m.reserved || m.ticket != t {
+		// Idempotent retry: a client whose connection died after the
+		// confirm was applied but before the reply arrived may retry; the
+		// commit must not be reported as unknown (or applied twice).
+		if t != 0 && t == m.lastConfirmed {
+			return nil
+		}
 		return ErrUnknownTicket
 	}
 	a := m.reservedAct
 	if m.log != nil {
-		if err := m.log.Append(a); err != nil {
+		if err := m.log.Append(uint64(m.en.Steps())+1, a); err != nil {
 			return err
 		}
 	}
@@ -256,7 +310,9 @@ func (m *Manager) Confirm(t Ticket) error {
 	m.stats.Confirms++
 	m.stats.Transits++
 	m.reserved = false
+	m.lastConfirmed = t
 	m.notifyLocked()
+	m.maybeSnapshotLocked()
 	m.cond.Broadcast()
 	return nil
 }
@@ -305,7 +361,7 @@ func (m *Manager) Request(ctx context.Context, a expr.Action) error {
 		return fmt.Errorf("%w: %s", ErrDenied, a)
 	}
 	if m.log != nil {
-		if err := m.log.Append(a); err != nil {
+		if err := m.log.Append(uint64(m.en.Steps())+1, a); err != nil {
 			return err
 		}
 	}
@@ -316,6 +372,7 @@ func (m *Manager) Request(ctx context.Context, a expr.Action) error {
 	m.stats.Confirms++
 	m.stats.Transits++
 	m.notifyLocked()
+	m.maybeSnapshotLocked()
 	return nil
 }
 
@@ -431,8 +488,18 @@ func (m *Manager) Close() error {
 		close(ent.ch)
 	}
 	m.cond.Broadcast()
-	if m.log != nil {
-		return m.log.Close()
+	var firstErr error
+	// A parting checkpoint makes the next restart replay nothing.
+	if m.snapPath != "" && m.sinceSnap > 0 {
+		firstErr = m.snapshotLocked()
 	}
-	return nil
+	if firstErr == nil {
+		firstErr = m.snapErr
+	}
+	if m.log != nil {
+		if err := m.log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }

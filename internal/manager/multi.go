@@ -20,6 +20,55 @@ import (
 type Router struct {
 	managers []*Manager
 	alphas   []*expr.Alphabet
+	idx      *NameIndex
+}
+
+// NameIndex is a routing index over the alphabets of a partitioned
+// coupling: it maps an action name to the (shard, pattern) pairs that
+// could match it, so routing an action costs a map lookup plus a match
+// per same-named pattern instead of a scan over every pattern of every
+// shard. It is shared by the in-process Router and the network Gateway
+// (internal/cluster).
+type NameIndex struct {
+	entries map[string][]nameIndexEntry
+	n       int
+}
+
+type nameIndexEntry struct {
+	shard int
+	pat   expr.Pattern
+}
+
+// NewNameIndex builds the index for the given per-shard alphabets.
+func NewNameIndex(alphas []*expr.Alphabet) *NameIndex {
+	ix := &NameIndex{entries: make(map[string][]nameIndexEntry), n: len(alphas)}
+	for shard, al := range alphas {
+		for _, p := range al.Patterns() {
+			ix.entries[p.Name] = append(ix.entries[p.Name], nameIndexEntry{shard: shard, pat: p})
+		}
+	}
+	return ix
+}
+
+// Shards returns the number of indexed shards.
+func (ix *NameIndex) Shards() int { return ix.n }
+
+// Route returns the ascending indices of the shards whose alphabet
+// contains a. Entries are grouped per shard in insertion order, so
+// duplicates are adjacent and collapse without a set.
+func (ix *NameIndex) Route(a expr.Action) []int {
+	var out []int
+	last := -1
+	for _, e := range ix.entries[a.Name] {
+		if e.shard == last {
+			continue // this shard already matched on an earlier pattern
+		}
+		if e.pat.Match(a) {
+			out = append(out, e.shard)
+			last = e.shard
+		}
+	}
+	return out
 }
 
 // NewRouter builds a router for e. A top-level coupling is split into
@@ -47,21 +96,17 @@ func NewRouter(e *expr.Expr, opts Options) (*Router, error) {
 		r.managers = append(r.managers, m)
 		r.alphas = append(r.alphas, expr.AlphabetOf(part))
 	}
+	r.idx = NewNameIndex(r.alphas)
 	return r, nil
 }
 
 // Managers returns the underlying managers (diagnostics and tests).
 func (r *Router) Managers() []*Manager { return r.managers }
 
-// Route returns the indices of the managers whose alphabet contains a.
+// Route returns the indices of the managers whose alphabet contains a,
+// via the precomputed name-keyed index (no per-action alphabet scan).
 func (r *Router) Route(a expr.Action) []int {
-	var out []int
-	for i, al := range r.alphas {
-		if al.Contains(a) {
-			out = append(out, i)
-		}
-	}
-	return out
+	return r.idx.Route(a)
 }
 
 // Try reports whether every involved manager currently permits a. An

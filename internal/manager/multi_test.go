@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/expr"
 	"repro/internal/paper"
 	"repro/internal/parse"
 )
@@ -162,4 +163,73 @@ func TestRouterSingleExpression(t *testing.T) {
 	if !r.Final() {
 		t.Error("should be final")
 	}
+}
+
+// TestNameIndexMatchesScan: the name-keyed routing index agrees with a
+// naive scan over every alphabet, for actions in and out of the coupling.
+func TestNameIndexMatchesScan(t *testing.T) {
+	r, err := NewRouter(paper.Fig7Coupled(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	probes := []expr.Action{
+		paper.PrepareAct("p1", paper.ExamSono),
+		paper.CallAct("p1", paper.ExamSono),
+		paper.PerformAct("p2", paper.ExamEndo),
+		expr.ConcreteAct("inform", "p1", paper.ExamSono),
+		expr.ConcreteAct("unknown", "p1"),
+		expr.ConcreteAct("call"), // right name, wrong arity
+	}
+	for _, a := range probes {
+		got := r.Route(a)
+		var want []int
+		for i, al := range r.alphas {
+			if al.Contains(a) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("route(%s): got %v want %v", a, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("route(%s): got %v want %v", a, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkRouterRoute measures routing cost on a many-operand coupling
+// (the hot path of every distributed grant).
+func BenchmarkRouterRoute(b *testing.B) {
+	// 8 operands with disjoint private actions plus one shared name.
+	src := ""
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			src += " @ "
+		}
+		src += "(x" + string(rune('a'+i)) + " | shared)*"
+	}
+	r, err := NewRouter(parse.MustParse(src), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	single := expr.ConcreteAct("xc")
+	shared := expr.ConcreteAct("shared")
+	b.Run("single-shard", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := r.Route(single); len(got) != 1 {
+				b.Fatalf("route: %v", got)
+			}
+		}
+	})
+	b.Run("all-shards", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := r.Route(shared); len(got) != 8 {
+				b.Fatalf("route: %v", got)
+			}
+		}
+	})
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,9 +49,61 @@ const (
 // critical region; it must exceed any configured reservation timeout.
 const serverAskTimeout = 30 * time.Second
 
-// Server exposes a Manager to interaction clients over TCP.
+// Wire-level error sentinels, for clients that need to distinguish "the
+// request never left this machine" (safe to retry on a fresh connection)
+// from "the connection died while a reply was pending" (the request may
+// have been processed; only idempotent operations may retry). The shard
+// clients of internal/cluster reconnect based on exactly this split.
+var (
+	// ErrConnLost: the connection died after the request was written.
+	ErrConnLost = errors.New("manager: connection lost")
+	// ErrSendFailed: the request could not be written at all.
+	ErrSendFailed = errors.New("manager: send failed")
+)
+
+// Coordinator is the coordination surface a wire server exposes: the
+// ask/confirm/abort protocol of Fig 10 plus status probes and
+// subscriptions. A local Manager implements it in process (see
+// CoordinatorFor); cluster.Gateway implements it across remote shards, so
+// a gateway can be served over the very same wire protocol.
+type Coordinator interface {
+	Ask(ctx context.Context, a expr.Action) (Ticket, error)
+	Confirm(ctx context.Context, t Ticket) error
+	Abort(ctx context.Context, t Ticket) error
+	Request(ctx context.Context, a expr.Action) error
+	Try(ctx context.Context, a expr.Action) (bool, error)
+	Final(ctx context.Context) (bool, error)
+	// Subscribe opens a subscription for a. The returned cancel function
+	// tears it down and must cause the inform channel to close.
+	Subscribe(a expr.Action) (<-chan Inform, func(), error)
+}
+
+// coordAdapter lifts a Manager to the Coordinator surface.
+type coordAdapter struct{ m *Manager }
+
+func (c coordAdapter) Ask(ctx context.Context, a expr.Action) (Ticket, error) {
+	return c.m.Ask(ctx, a)
+}
+func (c coordAdapter) Confirm(ctx context.Context, t Ticket) error { return c.m.Confirm(t) }
+func (c coordAdapter) Abort(ctx context.Context, t Ticket) error   { return c.m.Abort(t) }
+func (c coordAdapter) Request(ctx context.Context, a expr.Action) error {
+	return c.m.Request(ctx, a)
+}
+func (c coordAdapter) Try(ctx context.Context, a expr.Action) (bool, error) {
+	return c.m.Try(a), nil
+}
+func (c coordAdapter) Final(ctx context.Context) (bool, error) { return c.m.Final(), nil }
+func (c coordAdapter) Subscribe(a expr.Action) (<-chan Inform, func(), error) {
+	sub := c.m.Subscribe(a)
+	return sub.C, func() { c.m.Unsubscribe(sub) }, nil
+}
+
+// CoordinatorFor returns the Coordinator view of a local manager.
+func CoordinatorFor(m *Manager) Coordinator { return coordAdapter{m: m} }
+
+// Server exposes a Coordinator to interaction clients over TCP.
 type Server struct {
-	m  *Manager
+	co Coordinator
 	ln net.Listener
 
 	mu    sync.Mutex
@@ -62,7 +115,13 @@ type Server struct {
 // NewServer starts serving the manager on the listener. Serve returns
 // immediately; use Close to stop.
 func NewServer(m *Manager, ln net.Listener) *Server {
-	s := &Server{m: m, ln: ln, conns: make(map[net.Conn]bool), done: make(chan struct{})}
+	return NewCoordServer(CoordinatorFor(m), ln)
+}
+
+// NewCoordServer serves any Coordinator — a local manager or a cluster
+// gateway — on the listener.
+func NewCoordServer(co Coordinator, ln net.Listener) *Server {
+	s := &Server{co: co, ln: ln, conns: make(map[net.Conn]bool), done: make(chan struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -112,15 +171,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 
-	subs := make(map[uint64]*Subscription)
+	subs := make(map[uint64]func()) // subscription id → cancel
 	var subMu sync.Mutex
 	var nextSub uint64
 	var handlers sync.WaitGroup
 	defer func() {
 		handlers.Wait()
 		subMu.Lock()
-		for _, sub := range subs {
-			s.m.Unsubscribe(sub)
+		for _, cancel := range subs {
+			cancel()
 		}
 		subMu.Unlock()
 		close(out)
@@ -154,7 +213,7 @@ func (s *Server) serveConn(conn net.Conn) {
 // handle processes one request. It returns the reply and whether it was
 // already sent (subscription replies must precede the first inform, so
 // that op sends its own reply before starting the forwarder).
-func (s *Server) handle(req wireMsg, subs map[uint64]*Subscription, subMu *sync.Mutex, nextSub *uint64, send func(wireMsg)) (wireMsg, bool) {
+func (s *Server) handle(req wireMsg, subs map[uint64]func(), subMu *sync.Mutex, nextSub *uint64, send func(wireMsg)) (wireMsg, bool) {
 	resp := wireMsg{ID: req.ID, Op: opReply}
 	fail := func(err error) (wireMsg, bool) {
 		resp.OK = false
@@ -172,19 +231,19 @@ func (s *Server) handle(req wireMsg, subs map[uint64]*Subscription, subMu *sync.
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
 		defer cancel()
-		t, err := s.m.Ask(ctx, a)
+		t, err := s.co.Ask(ctx, a)
 		if err != nil {
 			return fail(err)
 		}
 		resp.OK = true
 		resp.Ticket = t
 	case opConfirm:
-		if err := s.m.Confirm(req.Ticket); err != nil {
+		if err := s.co.Confirm(context.Background(), req.Ticket); err != nil {
 			return fail(err)
 		}
 		resp.OK = true
 	case opAbort:
-		if err := s.m.Abort(req.Ticket); err != nil {
+		if err := s.co.Abort(context.Background(), req.Ticket); err != nil {
 			return fail(err)
 		}
 		resp.OK = true
@@ -195,7 +254,7 @@ func (s *Server) handle(req wireMsg, subs map[uint64]*Subscription, subMu *sync.
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
 		defer cancel()
-		if err := s.m.Request(ctx, a); err != nil {
+		if err := s.co.Request(ctx, a); err != nil {
 			return fail(err)
 		}
 		resp.OK = true
@@ -204,21 +263,32 @@ func (s *Server) handle(req wireMsg, subs map[uint64]*Subscription, subMu *sync.
 		if err != nil {
 			return fail(err)
 		}
+		perm, err := s.co.Try(context.Background(), a)
+		if err != nil {
+			return fail(err)
+		}
 		resp.OK = true
-		resp.Perm = s.m.Try(a)
+		resp.Perm = perm
 	case opFinal:
+		fin, err := s.co.Final(context.Background())
+		if err != nil {
+			return fail(err)
+		}
 		resp.OK = true
-		resp.Final = s.m.Final()
+		resp.Final = fin
 	case opSubscribe:
 		a, err := parseAction()
 		if err != nil {
 			return fail(err)
 		}
-		sub := s.m.Subscribe(a)
+		ch, cancel, err := s.co.Subscribe(a)
+		if err != nil {
+			return fail(err)
+		}
 		subMu.Lock()
 		*nextSub++
 		id := *nextSub
-		subs[id] = sub
+		subs[id] = cancel
 		subMu.Unlock()
 		// The reply must reach the client before the first inform so the
 		// client knows the subscription id; send it here, then forward.
@@ -226,20 +296,20 @@ func (s *Server) handle(req wireMsg, subs map[uint64]*Subscription, subMu *sync.
 		resp.Sub = id
 		send(resp)
 		go func() {
-			for inf := range sub.C {
+			for inf := range ch {
 				send(wireMsg{Op: opInform, Sub: id, Action: inf.Action.String(), Perm: inf.Permissible})
 			}
 		}()
 		return resp, true
 	case opUnsubscribe:
 		subMu.Lock()
-		sub, ok := subs[req.Sub]
+		cancel, ok := subs[req.Sub]
 		delete(subs, req.Sub)
 		subMu.Unlock()
 		if !ok {
 			return fail(errors.New("manager: unknown subscription"))
 		}
-		s.m.Unsubscribe(sub)
+		cancel()
 		resp.OK = true
 	default:
 		return fail(fmt.Errorf("manager: unknown op %q", req.Op))
@@ -362,6 +432,16 @@ func (c *Client) call(ctx context.Context, req wireMsg) (wireMsg, error) {
 		c.mu.Unlock()
 		return wireMsg{}, ErrClosed
 	}
+	if c.readErr != nil {
+		// The reader is gone, so no reply can ever arrive — and writing
+		// into the dead socket may even "succeed" into the kernel buffer,
+		// which would leave the caller waiting forever. The request never
+		// reaches the server, so this counts as a send failure (safe to
+		// retry on a fresh connection).
+		err := c.readErr
+		c.mu.Unlock()
+		return wireMsg{}, fmt.Errorf("%w: %v", ErrSendFailed, err)
+	}
 	c.nextID++
 	req.ID = c.nextID
 	c.waiting[req.ID] = ch
@@ -374,12 +454,12 @@ func (c *Client) call(ctx context.Context, req wireMsg) (wireMsg, error) {
 		c.mu.Lock()
 		delete(c.waiting, req.ID)
 		c.mu.Unlock()
-		return wireMsg{}, fmt.Errorf("manager: send: %w", err)
+		return wireMsg{}, fmt.Errorf("%w: %v", ErrSendFailed, err)
 	}
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return wireMsg{}, fmt.Errorf("manager: connection lost: %w", io.ErrUnexpectedEOF)
+			return wireMsg{}, fmt.Errorf("%w: %v", ErrConnLost, io.ErrUnexpectedEOF)
 		}
 		return resp, nil
 	case <-ctx.Done():
@@ -399,9 +479,26 @@ func (c *Client) callOK(ctx context.Context, req wireMsg) (wireMsg, error) {
 		if resp.Err == "" {
 			return resp, errors.New("manager: request failed")
 		}
-		return resp, errors.New(resp.Err)
+		return resp, wireError(resp.Err)
 	}
 	return resp, nil
+}
+
+// wireError reconstructs the sentinel identity of a server-side error
+// from its transported message, so errors.Is works across the wire — the
+// cluster gateway relies on telling a denial (roll back and report) from
+// an infrastructure failure (reconnect).
+func wireError(msg string) error {
+	for _, sentinel := range []error{ErrDenied, ErrUnknownTicket, ErrClosed} {
+		s := sentinel.Error()
+		if msg == s {
+			return sentinel
+		}
+		if strings.HasPrefix(msg, s+":") {
+			return fmt.Errorf("%w%s", sentinel, msg[len(s):])
+		}
+	}
+	return errors.New(msg)
 }
 
 // Ask runs step 1/2 of the coordination protocol remotely.
@@ -457,16 +554,25 @@ func (c *Client) Subscribe(ctx context.Context, a expr.Action) (*ClientSubscript
 		return nil, err
 	}
 	c.mu.Lock()
+	if c.readErr != nil {
+		// The reader died between the reply and this registration; it will
+		// never see (and close) this channel, so close it here.
+		c.mu.Unlock()
+		close(ch)
+		return &ClientSubscription{C: ch, id: resp.Sub}, nil
+	}
 	c.subs[resp.Sub] = ch
-	backlog := c.pending[resp.Sub]
-	delete(c.pending, resp.Sub)
-	c.mu.Unlock()
-	for _, inf := range backlog {
+	// Deliver the buffered informs under the lock: the sends are
+	// non-blocking and holding the lock excludes the reader closing the
+	// channel concurrently on connection loss.
+	for _, inf := range c.pending[resp.Sub] {
 		select {
 		case ch <- inf:
 		default:
 		}
 	}
+	delete(c.pending, resp.Sub)
+	c.mu.Unlock()
 	return &ClientSubscription{C: ch, id: resp.Sub}, nil
 }
 

@@ -1,0 +1,173 @@
+package manager
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/state"
+)
+
+// Snapshot/checkpoint recovery. The action log alone makes recovery
+// correct but O(history): every confirmed action since the beginning of
+// time is replayed through the semantics. A snapshot bounds that cost:
+// every SnapshotEvery confirms the manager serializes its engine state
+// (plus the ticket counter and any outstanding reservation) to
+// SnapshotPath and truncates the log, so a restart replays at most
+// SnapshotEvery actions — the queued-request recovery discipline of
+// Bernstein/Hsu/Mann that Sec 7 adopts, applied to the manager itself.
+//
+// Crash safety: the snapshot is written to a temp file and renamed into
+// place, so a crash mid-write leaves the previous snapshot intact. Log
+// entries carry global sequence numbers; recovery replays only entries
+// with seq > snapshot.Steps, so a crash between snapshot write and log
+// truncation double-applies nothing.
+
+// managerSnap is the on-disk snapshot format.
+type managerSnap struct {
+	V          int             `json:"v"`
+	NextTicket uint64          `json:"next_ticket"`
+	Reserved   *reservedSnap   `json:"reserved,omitempty"`
+	Engine     json.RawMessage `json:"engine"`
+}
+
+// reservedSnap persists an outstanding reservation (a granted ask not yet
+// confirmed or aborted), so a client that survives a manager restart can
+// still settle its ticket.
+type reservedSnap struct {
+	Ticket uint64   `json:"ticket"`
+	Name   string   `json:"a"`
+	Args   []string `json:"v,omitempty"`
+	At     int64    `json:"at"` // unix nanoseconds of the grant
+}
+
+const snapVersion = 1
+
+// snapshotLocked serializes the manager state and truncates the action
+// log. Callers hold m.mu.
+func (m *Manager) snapshotLocked() error {
+	if m.snapPath == "" {
+		return nil
+	}
+	eng, err := m.en.MarshalState()
+	if err != nil {
+		return fmt.Errorf("manager: snapshot: %w", err)
+	}
+	snap := managerSnap{V: snapVersion, NextTicket: uint64(m.nextTicket), Engine: eng}
+	if m.reserved {
+		snap.Reserved = &reservedSnap{
+			Ticket: uint64(m.ticket),
+			Name:   m.reservedAct.Name,
+			Args:   m.reservedAct.Values(),
+			At:     m.reservedAt.UnixNano(),
+		}
+	}
+	buf, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("manager: snapshot: %w", err)
+	}
+	tmp := m.snapPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("manager: snapshot: %w", err)
+	}
+	if _, err := f.Write(append(buf, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("manager: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("manager: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("manager: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, m.snapPath); err != nil {
+		return fmt.Errorf("manager: snapshot rename: %w", err)
+	}
+	m.stats.Snapshots++
+	m.sinceSnap = 0
+	if m.log != nil {
+		if err := m.log.Truncate(); err != nil {
+			// The snapshot is durable; the oversized log only costs replay
+			// filtering on the next recovery.
+			return err
+		}
+	}
+	return nil
+}
+
+// maybeSnapshotLocked checkpoints after every SnapshotEvery confirms.
+// Checkpointing is an optimization, so failures are remembered (for
+// Snapshot/Close to surface) but do not fail the commit that triggered
+// them.
+func (m *Manager) maybeSnapshotLocked() {
+	m.sinceSnap++
+	if m.snapPath == "" || m.snapEvery <= 0 || m.sinceSnap < m.snapEvery {
+		return
+	}
+	if err := m.snapshotLocked(); err != nil {
+		m.snapErr = err
+	}
+}
+
+// Snapshot forces a checkpoint now (if a SnapshotPath is configured) and
+// returns the first error any snapshot attempt produced since the last
+// call.
+func (m *Manager) Snapshot() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if err := m.snapshotLocked(); err != nil {
+		return err
+	}
+	err := m.snapErr
+	m.snapErr = nil
+	return err
+}
+
+// restoreFromSnapshot loads the snapshot file, if present, and returns
+// the recovered engine (nil when no snapshot exists).
+func restoreFromSnapshot(e *expr.Expr, path string) (*state.Engine, *managerSnap, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("manager: read snapshot: %w", err)
+	}
+	var snap managerSnap
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, nil, fmt.Errorf("manager: decode snapshot %s: %w", path, err)
+	}
+	if snap.V != snapVersion {
+		return nil, nil, fmt.Errorf("manager: snapshot %s has version %d, want %d", path, snap.V, snapVersion)
+	}
+	en, err := state.RestoreEngine(e, snap.Engine)
+	if err != nil {
+		return nil, nil, fmt.Errorf("manager: restore snapshot %s: %w", path, err)
+	}
+	return en, &snap, nil
+}
+
+// applySnapshotMeta restores the ticket counter and any outstanding
+// reservation recorded in the snapshot. An expired reservation (under the
+// configured timeout) is dropped immediately.
+func (m *Manager) applySnapshotMeta(snap *managerSnap) {
+	m.nextTicket = Ticket(snap.NextTicket)
+	if r := snap.Reserved; r != nil {
+		at := time.Unix(0, r.At)
+		if m.timeout > 0 && m.clock().Sub(at) >= m.timeout {
+			m.stats.Aborts++
+			return
+		}
+		m.reserved = true
+		m.ticket = Ticket(r.Ticket)
+		m.reservedAct = expr.ConcreteAct(r.Name, r.Args...)
+		m.reservedAt = at
+	}
+}

@@ -1,0 +1,461 @@
+package state
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/parse"
+)
+
+// Snapshot serialization: a State is encoded as a tree of tagged-union
+// nodes mirroring the state hierarchy. Expressions referenced by states
+// (iteration bodies, quantifier nodes, ...) are stored in their canonical
+// text form and re-parsed on load — the round-trip property of the
+// canonical syntax (including free parameters, rendered as $p) makes this
+// exact. Derived data (alphabets, nullability flags, cached keys) is
+// recomputed rather than stored, so a snapshot stays small and cannot
+// disagree with the code that interprets it.
+//
+// Snapshots exist so the interaction manager can checkpoint its engine and
+// truncate the action log: restart then costs O(actions since the last
+// checkpoint) instead of O(full history).
+
+// Node type tags. One per State implementation.
+const (
+	tagEmpty   = "eps"
+	tagAtom    = "atom"
+	tagOr      = "or"
+	tagAnd     = "and"
+	tagSeq     = "seq"
+	tagSeqIter = "iter"
+	tagPar     = "par"
+	tagMult    = "mult"
+	tagParIter = "piter"
+	tagSync    = "sync"
+	tagAnyQ    = "any"
+	tagConQ    = "conq"
+	tagSyncQ   = "syncq"
+	tagAllQ    = "all"
+)
+
+// snapNode is the JSON form of one state node.
+type snapNode struct {
+	T    string        `json:"t"`
+	Act  *snapAction   `json:"act,omitempty"`  // atom: the (possibly abstract) action
+	Done bool          `json:"done,omitempty"` // atom: traversed; iter: boundary flag
+	E    string        `json:"e,omitempty"`    // owning expression, canonical text
+	Es   []string      `json:"es,omitempty"`   // sync: operand expressions
+	Kids []*snapNode   `json:"k,omitempty"`    // or/and/sync kids, iter instances
+	Idx  []int         `json:"i,omitempty"`    // seq: operand index per kid
+	Alts [][]*snapNode `json:"aa,omitempty"`   // par/mult/piter alternatives
+	Br   []snapBranch  `json:"br,omitempty"`   // quantifier touched branches
+	Gen  *snapNode     `json:"g,omitempty"`    // quantifier generic branch
+	QA   []snapQAlt    `json:"qa,omitempty"`   // allQ alternatives
+}
+
+// snapAction preserves the value/parameter distinction of action
+// arguments, which the concrete-action text syntax cannot express.
+type snapAction struct {
+	Name string    `json:"n"`
+	Args []snapArg `json:"a,omitempty"`
+}
+
+type snapArg struct {
+	Param bool   `json:"p,omitempty"`
+	Name  string `json:"n"`
+}
+
+type snapBranch struct {
+	Val string    `json:"v"`
+	St  *snapNode `json:"s"`
+}
+
+type snapQAlt struct {
+	Named []snapBranch `json:"n,omitempty"`
+	Anon  []*snapNode  `json:"a,omitempty"`
+}
+
+func encodeAction(a expr.Action) *snapAction {
+	sa := &snapAction{Name: a.Name}
+	for _, arg := range a.Args {
+		sa.Args = append(sa.Args, snapArg{Param: arg.Param, Name: arg.Name})
+	}
+	return sa
+}
+
+func decodeAction(sa *snapAction) expr.Action {
+	args := make([]expr.Arg, len(sa.Args))
+	for i, a := range sa.Args {
+		if a.Param {
+			args[i] = expr.Prm(a.Name)
+		} else {
+			args[i] = expr.Val(a.Name)
+		}
+	}
+	return expr.Act(sa.Name, args...)
+}
+
+func encodeStates(ss []State) []*snapNode {
+	out := make([]*snapNode, len(ss))
+	for i, s := range ss {
+		out[i] = encodeState(s)
+	}
+	return out
+}
+
+func encodeAlts(alts [][]State) [][]*snapNode {
+	out := make([][]*snapNode, len(alts))
+	for i, alt := range alts {
+		out[i] = encodeStates(alt)
+	}
+	return out
+}
+
+func encodeBranches(bs branchSet) []snapBranch {
+	out := make([]snapBranch, len(bs))
+	for i, b := range bs {
+		out[i] = snapBranch{Val: b.val, St: encodeState(b.st)}
+	}
+	return out
+}
+
+// encodeState translates a live state into its snapshot node.
+func encodeState(s State) *snapNode {
+	switch st := s.(type) {
+	case emptyState:
+		return &snapNode{T: tagEmpty}
+	case *atomState:
+		return &snapNode{T: tagAtom, Act: encodeAction(st.atom), Done: st.done}
+	case *orState:
+		return &snapNode{T: tagOr, Kids: encodeStates(st.kids)}
+	case *andState:
+		return &snapNode{T: tagAnd, Kids: encodeStates(st.kids)}
+	case *seqState:
+		n := &snapNode{T: tagSeq, E: st.e.String()}
+		for _, a := range st.alts {
+			n.Idx = append(n.Idx, a.idx)
+			n.Kids = append(n.Kids, encodeState(a.st))
+		}
+		return n
+	case *seqIterState:
+		return &snapNode{T: tagSeqIter, E: st.y.String(), Kids: encodeStates(st.insts), Done: st.boundary}
+	case *parState:
+		return &snapNode{T: tagPar, Alts: encodeAlts(st.alts)}
+	case *multState:
+		return &snapNode{T: tagMult, Alts: encodeAlts(st.alts)}
+	case *parIterState:
+		return &snapNode{T: tagParIter, E: st.y.String(), Alts: encodeAlts(st.alts)}
+	case *syncState:
+		n := &snapNode{T: tagSync, Kids: encodeStates(st.kids)}
+		for _, e := range st.kidExprs {
+			n.Es = append(n.Es, e.String())
+		}
+		return n
+	case *anyQState:
+		n := &snapNode{T: tagAnyQ, E: st.e.String(), Br: encodeBranches(st.touched)}
+		if st.generic != nil {
+			n.Gen = encodeState(st.generic)
+		}
+		return n
+	case *conQState:
+		return &snapNode{T: tagConQ, E: st.e.String(), Br: encodeBranches(st.touched), Gen: encodeState(st.generic)}
+	case *syncQState:
+		return &snapNode{T: tagSyncQ, E: st.e.String(), Br: encodeBranches(st.touched), Gen: encodeState(st.generic)}
+	case *allQState:
+		n := &snapNode{T: tagAllQ, E: st.e.String()}
+		for _, a := range st.alts {
+			n.QA = append(n.QA, snapQAlt{Named: encodeBranches(a.named), Anon: encodeStates(a.anon)})
+		}
+		return n
+	}
+	panic(fmt.Sprintf("state: cannot snapshot %T", s))
+}
+
+// decoder caches parsed expressions: snapshots of quantified states repeat
+// the same (substituted) body text across branches.
+type decoder struct {
+	exprs map[string]*expr.Expr
+}
+
+func (d *decoder) expr(src string) (*expr.Expr, error) {
+	if e, ok := d.exprs[src]; ok {
+		return e, nil
+	}
+	e, err := parse.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("state: snapshot expression %q: %w", src, err)
+	}
+	d.exprs[src] = e
+	return e, nil
+}
+
+func (d *decoder) states(ns []*snapNode) ([]State, error) {
+	out := make([]State, len(ns))
+	for i, n := range ns {
+		s, err := d.state(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func (d *decoder) alts(nss [][]*snapNode) ([][]State, error) {
+	out := make([][]State, len(nss))
+	for i, ns := range nss {
+		ss, err := d.states(ns)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ss
+	}
+	return out, nil
+}
+
+func (d *decoder) branches(bs []snapBranch) (branchSet, error) {
+	out := make(branchSet, len(bs))
+	for i, b := range bs {
+		st, err := d.state(b.St)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = branch{val: b.Val, st: st}
+	}
+	return out, nil
+}
+
+// quantExpr parses and validates a quantifier node of the given op.
+func (d *decoder) quantExpr(src string, want expr.Op) (*expr.Expr, error) {
+	e, err := d.expr(src)
+	if err != nil {
+		return nil, err
+	}
+	if e.Op != want {
+		return nil, fmt.Errorf("state: snapshot node: %q is not a %v node", src, want)
+	}
+	return e, nil
+}
+
+func (d *decoder) state(n *snapNode) (State, error) {
+	if n == nil {
+		return nil, fmt.Errorf("state: snapshot: missing node")
+	}
+	switch n.T {
+	case tagEmpty:
+		return theEmptyState, nil
+	case tagAtom:
+		if n.Act == nil {
+			return nil, fmt.Errorf("state: snapshot atom without action")
+		}
+		return &atomState{atom: decodeAction(n.Act), done: n.Done}, nil
+	case tagOr:
+		kids, err := d.states(n.Kids)
+		if err != nil {
+			return nil, err
+		}
+		return &orState{kids: kids}, nil
+	case tagAnd:
+		kids, err := d.states(n.Kids)
+		if err != nil {
+			return nil, err
+		}
+		return &andState{kids: kids}, nil
+	case tagSeq:
+		e, err := d.expr(n.E)
+		if err != nil {
+			return nil, err
+		}
+		if e.Op != expr.OpSeq || len(n.Idx) != len(n.Kids) {
+			return nil, fmt.Errorf("state: malformed seq snapshot for %q", n.E)
+		}
+		s := &seqState{e: e}
+		for i, kn := range n.Kids {
+			if n.Idx[i] < 0 || n.Idx[i] >= len(e.Kids) {
+				return nil, fmt.Errorf("state: seq snapshot index %d out of range for %q", n.Idx[i], n.E)
+			}
+			st, err := d.state(kn)
+			if err != nil {
+				return nil, err
+			}
+			s.alts = append(s.alts, seqAlt{idx: n.Idx[i], st: st})
+		}
+		return s, nil
+	case tagSeqIter:
+		y, err := d.expr(n.E)
+		if err != nil {
+			return nil, err
+		}
+		insts, err := d.states(n.Kids)
+		if err != nil {
+			return nil, err
+		}
+		return &seqIterState{y: y, insts: insts, boundary: n.Done}, nil
+	case tagPar:
+		alts, err := d.alts(n.Alts)
+		if err != nil {
+			return nil, err
+		}
+		return &parState{alts: alts}, nil
+	case tagMult:
+		alts, err := d.alts(n.Alts)
+		if err != nil {
+			return nil, err
+		}
+		return &multState{alts: alts}, nil
+	case tagParIter:
+		y, err := d.expr(n.E)
+		if err != nil {
+			return nil, err
+		}
+		alts, err := d.alts(n.Alts)
+		if err != nil {
+			return nil, err
+		}
+		return &parIterState{y: y, alts: alts}, nil
+	case tagSync:
+		if len(n.Es) != len(n.Kids) {
+			return nil, fmt.Errorf("state: malformed sync snapshot")
+		}
+		s := &syncState{}
+		for i, src := range n.Es {
+			e, err := d.expr(src)
+			if err != nil {
+				return nil, err
+			}
+			st, err := d.state(n.Kids[i])
+			if err != nil {
+				return nil, err
+			}
+			s.kidExprs = append(s.kidExprs, e)
+			s.kids = append(s.kids, st)
+			s.alphas = append(s.alphas, expr.AlphabetOf(e))
+		}
+		return s, nil
+	case tagAnyQ:
+		e, err := d.quantExpr(n.E, expr.OpAnyQ)
+		if err != nil {
+			return nil, err
+		}
+		touched, err := d.branches(n.Br)
+		if err != nil {
+			return nil, err
+		}
+		s := &anyQState{e: e, strictA: expr.AlphabetOf(e.Kids[0]), touched: touched}
+		if n.Gen != nil {
+			if s.generic, err = d.state(n.Gen); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case tagConQ:
+		e, err := d.quantExpr(n.E, expr.OpConQ)
+		if err != nil {
+			return nil, err
+		}
+		touched, err := d.branches(n.Br)
+		if err != nil {
+			return nil, err
+		}
+		generic, err := d.state(n.Gen)
+		if err != nil {
+			return nil, err
+		}
+		return &conQState{e: e, strictA: expr.AlphabetOf(e.Kids[0]), touched: touched, generic: generic}, nil
+	case tagSyncQ:
+		e, err := d.quantExpr(n.E, expr.OpSyncQ)
+		if err != nil {
+			return nil, err
+		}
+		touched, err := d.branches(n.Br)
+		if err != nil {
+			return nil, err
+		}
+		generic, err := d.state(n.Gen)
+		if err != nil {
+			return nil, err
+		}
+		s := &syncQState{
+			e:       e,
+			whole:   expr.AlphabetOf(e),
+			touched: touched,
+			generic: generic,
+			genA:    expr.AlphabetOf(e.Kids[0]),
+		}
+		s.alphas = make([]*expr.Alphabet, len(touched))
+		for i, b := range touched {
+			s.alphas[i] = expr.AlphabetOf(e.Kids[0].Subst(e.Param, b.val))
+		}
+		return s, nil
+	case tagAllQ:
+		e, err := d.quantExpr(n.E, expr.OpAllQ)
+		if err != nil {
+			return nil, err
+		}
+		s := &allQState{
+			e:        e,
+			strictA:  expr.AlphabetOf(e.Kids[0]),
+			nullable: Initial(e.Kids[0]).Final(),
+		}
+		for _, qa := range n.QA {
+			named, err := d.branches(qa.Named)
+			if err != nil {
+				return nil, err
+			}
+			anon, err := d.states(qa.Anon)
+			if err != nil {
+				return nil, err
+			}
+			s.alts = append(s.alts, allQAlt{named: named, anon: anon})
+		}
+		if len(s.alts) == 0 {
+			s.alts = []allQAlt{{}}
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("state: unknown snapshot node type %q", n.T)
+}
+
+// engineSnap is the serialized form of an Engine.
+type engineSnap struct {
+	Expr  string    `json:"expr"`
+	Steps int       `json:"steps"`
+	State *snapNode `json:"state"`
+}
+
+// MarshalState serializes the engine's current state and step count. The
+// snapshot embeds the canonical form of the expression so a restore
+// against a different expression is rejected.
+func (en *Engine) MarshalState() ([]byte, error) {
+	if en.cur == nil {
+		return nil, fmt.Errorf("state: cannot snapshot an invalid engine state")
+	}
+	return json.Marshal(engineSnap{
+		Expr:  en.e.String(),
+		Steps: en.steps,
+		State: encodeState(en.cur),
+	})
+}
+
+// RestoreEngine rebuilds an engine for e from a snapshot produced by
+// MarshalState. The restored engine is behaviourally identical to the one
+// that was snapshotted: same state key, same permissible actions.
+func RestoreEngine(e *expr.Expr, data []byte) (*Engine, error) {
+	var snap engineSnap
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("state: decode snapshot: %w", err)
+	}
+	if snap.Expr != e.String() {
+		return nil, fmt.Errorf("state: snapshot is for %q, not %q", snap.Expr, e)
+	}
+	if !e.Closed() {
+		return nil, fmt.Errorf("state: expression has free parameters: %s", e)
+	}
+	d := &decoder{exprs: make(map[string]*expr.Expr)}
+	cur, err := d.state(snap.State)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: e, cur: cur, steps: snap.Steps}, nil
+}

@@ -34,6 +34,7 @@
 package ix
 
 import (
+	"repro/internal/cluster"
 	"repro/internal/complexity"
 	"repro/internal/expr"
 	"repro/internal/graph"
@@ -89,6 +90,14 @@ type (
 	QueuedServer = manager.QueuedServer
 	// QueuedClient talks to a Manager over persistent message queues.
 	QueuedClient = manager.QueuedClient
+	// Coordinator is the coordination surface a wire server exposes; both
+	// Manager (via CoordinatorFor) and Gateway implement it.
+	Coordinator = manager.Coordinator
+	// Gateway coordinates a coupled expression across remote shard
+	// servers (the distributed scale-out of Sec 7).
+	Gateway = cluster.Gateway
+	// ShardClient is a reconnecting wire client for one shard server.
+	ShardClient = cluster.ShardClient
 )
 
 // Word verdicts (Fig 9 of the paper).
@@ -104,6 +113,10 @@ var (
 	ErrDenied = manager.ErrDenied
 	// ErrRejected is returned by System.Step for impermissible actions.
 	ErrRejected = state.ErrRejected
+	// ErrConnLost reports a wire connection that died mid-request.
+	ErrConnLost = manager.ErrConnLost
+	// ErrSendFailed reports a request that never left this machine.
+	ErrSendFailed = manager.ErrSendFailed
 )
 
 // --- building expressions ---------------------------------------------
@@ -269,6 +282,12 @@ func NewManager(e *Expr, opts ManagerOptions) (*Manager, error) {
 // NewServer serves a manager on a net.Listener; see manager.NewServer.
 var NewServer = manager.NewServer
 
+// NewCoordServer serves any Coordinator (e.g. a Gateway) on a listener.
+var NewCoordServer = manager.NewCoordServer
+
+// CoordinatorFor returns the Coordinator view of a local manager.
+var CoordinatorFor = manager.CoordinatorFor
+
 // Dial connects to a manager server.
 var Dial = manager.Dial
 
@@ -276,6 +295,18 @@ var Dial = manager.Dial
 func NewRouter(e *Expr, opts ManagerOptions) (*Router, error) {
 	return manager.NewRouter(e, opts)
 }
+
+// NewGateway builds a cluster gateway for e whose i-th coupling operand
+// is served by the shard server at addrs[i].
+func NewGateway(e *Expr, addrs []string) (*Gateway, error) {
+	return cluster.NewGateway(e, addrs)
+}
+
+// NewShardClient returns a reconnecting client for one shard server.
+var NewShardClient = cluster.NewShardClient
+
+// PartitionCoupling splits a coupled expression into its shard operands.
+func PartitionCoupling(e *Expr) []*Expr { return cluster.Partition(e) }
 
 // OpenQueue opens or creates a durable message queue file.
 func OpenQueue(path string, opts QueueOptions) (*Queue, error) {
