@@ -34,6 +34,9 @@ func main() {
 		snapK    = flag.Int("snapshot-every", 1000, "write a checkpoint every K confirms (with -snapshot)")
 		timeout  = flag.Duration("reservation-timeout", 10*time.Second,
 			"auto-abort asks not confirmed within this duration")
+		batchMax   = flag.Int("batch", 0, "group commit: coalesce up to N concurrent requests per commit (0/1 = off)")
+		batchDelay = flag.Duration("batch-delay", 0, "upper bound on the straggler wait of an open batch (default 200µs with -batch)")
+		syncWrites = flag.Bool("sync", false, "fsync the action log at every durability point (once per batch with -batch)")
 	)
 	flag.Parse()
 
@@ -60,6 +63,9 @@ func main() {
 		SnapshotPath:       *snapPath,
 		SnapshotEvery:      *snapK,
 		ReservationTimeout: *timeout,
+		BatchMaxSize:       *batchMax,
+		BatchMaxDelay:      *batchDelay,
+		SyncWrites:         *syncWrites,
 	})
 	if err != nil {
 		fatal(err)

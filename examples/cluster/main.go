@@ -19,6 +19,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/manager"
@@ -83,6 +84,11 @@ func main() {
 			LogPath:       filepath.Join(dir, fmt.Sprintf("shard%d.log", i)),
 			SnapshotPath:  filepath.Join(dir, fmt.Sprintf("shard%d.snap", i)),
 			SnapshotEvery: 2,
+			// Group commit: concurrent requests coalesce into one engine
+			// advance + one log flush/fsync per batch on each shard.
+			BatchMaxSize:  32,
+			BatchMaxDelay: 200 * time.Microsecond,
+			SyncWrites:    true,
 		}}
 		if err := shards[i].start(); err != nil {
 			log.Fatal(err)
@@ -146,6 +152,24 @@ func main() {
 	request("archive", false)
 	request("submit", false)
 	request("approve", false)
+
+	fmt.Println("\nphase 3 — pipelined batch: one framed multi-op message per shard per round:")
+	// A pipeline round as one burst: the gateway ships single-shard
+	// actions as one frame per destination shard (submit→0), concurrently,
+	// then runs the cross-shard ones (exec spans 1+2, approve spans 0+1)
+	// as two-phase grants — far fewer round trips than action-by-action,
+	// and each shard group commits its frame with one fsync.
+	burst := []ix.Action{
+		ix.MustAction("submit"),
+		ix.MustAction("exec"),
+		ix.MustAction("approve"),
+	}
+	for i, err := range gw.RequestMany(ctx, burst) {
+		if err != nil {
+			log.Fatalf("burst slot %d (%s): %v", i, burst[i], err)
+		}
+		fmt.Printf("  %-8s granted in burst (shards %v)\n", burst[i], gw.Route(burst[i]))
+	}
 
 	total := 0
 	for i, sh := range shards {

@@ -221,6 +221,56 @@ func (g *Gateway) Request(ctx context.Context, a expr.Action) error {
 	return g.confirmGrants(ctx, grants)
 }
 
+// RequestMany performs a burst of atomic distributed grants and reports
+// one error per action (nil = confirmed). Single-shard actions — the
+// common case under a well-partitioned coupling — are grouped by
+// destination shard and shipped as one framed multi-op message per shard
+// per round, with the per-shard frames in flight concurrently; a shard
+// running with group commit then settles the whole frame with one fsync.
+// Multi-shard actions run the ordinary two-phase grant one by one, after
+// the grouped frames, so a burst's cost is one round per shard plus one
+// two-phase round per cross-shard action — not one round trip per action.
+//
+// Actions of the same burst are applied in an arbitrary serial order
+// relative to each other (they came from concurrent clients); each is
+// individually admitted against the state the earlier ones produced,
+// exactly as if the clients had raced their individual Requests.
+func (g *Gateway) RequestMany(ctx context.Context, actions []expr.Action) []error {
+	errs := make([]error, len(actions))
+	perShard := make(map[int][]int) // shard → indices of its single-shard actions
+	var multi []int
+	for i, a := range actions {
+		involved := g.idx.Route(a)
+		switch len(involved) {
+		case 0:
+			errs[i] = fmt.Errorf("%w: %s (not in any shard's alphabet)", manager.ErrDenied, a)
+		case 1:
+			perShard[involved[0]] = append(perShard[involved[0]], i)
+		default:
+			multi = append(multi, i)
+		}
+	}
+	var wg sync.WaitGroup
+	for shard, idxs := range perShard {
+		wg.Add(1)
+		go func(shard int, idxs []int) {
+			defer wg.Done()
+			burst := make([]expr.Action, len(idxs))
+			for j, i := range idxs {
+				burst[j] = actions[i]
+			}
+			for j, err := range g.shards[shard].RequestMany(ctx, burst) {
+				errs[idxs[j]] = err
+			}
+		}(shard, idxs)
+	}
+	wg.Wait()
+	for _, i := range multi {
+		errs[i] = g.Request(ctx, actions[i])
+	}
+	return errs
+}
+
 // Try reports whether every involved shard currently permits a. The
 // shards are probed concurrently.
 func (g *Gateway) Try(ctx context.Context, a expr.Action) (bool, error) {

@@ -138,6 +138,30 @@ func (s *ShardClient) Request(ctx context.Context, a expr.Action) error {
 	return s.do(ctx, false, func(cl *manager.Client) error { return cl.Request(ctx, a) })
 }
 
+// RequestMany ships a burst of atomic requests to the shard in one framed
+// multi-op message and reports one error per action. Like Request the
+// burst is not idempotent: only a send that provably never left this
+// machine is retried on a fresh connection.
+func (s *ShardClient) RequestMany(ctx context.Context, actions []expr.Action) []error {
+	var errs []error
+	err := s.do(ctx, false, func(cl *manager.Client) error {
+		errs = cl.RequestMany(ctx, actions)
+		// Surface a transport failure (the same error in every slot) to
+		// the retry logic; per-action refusals are final results.
+		if len(errs) > 0 && errs[0] != nil && connErr(errs[0]) {
+			return errs[0]
+		}
+		return nil
+	})
+	if err != nil && errs == nil {
+		errs = make([]error, len(actions))
+		for i := range errs {
+			errs[i] = err
+		}
+	}
+	return errs
+}
+
 // Try probes a's status (idempotent: retried across reconnects).
 func (s *ShardClient) Try(ctx context.Context, a expr.Action) (bool, error) {
 	var ok bool

@@ -1,6 +1,9 @@
 package expr
 
-import "strings"
+import (
+	"sort"
+	"strings"
+)
 
 // PatKind classifies one position of an alphabet pattern.
 type PatKind int
@@ -98,6 +101,57 @@ func (al *Alphabet) Contains(c Action) bool {
 		}
 	}
 	return false
+}
+
+// BindingMatches returns the distinct values v occurring in c for which
+// binding the free parameter p to v makes some pattern match c that does
+// not match it unbound. These are exactly the bindings under which a
+// state that consumed c with p free would have behaved differently had p
+// been bound first — the quantifier states use this to mark such values
+// as no longer bindable for branches that consumed c unbound.
+func (al *Alphabet) BindingMatches(p string, c Action) []string {
+	if al == nil {
+		return nil
+	}
+	var out []string
+pattern:
+	for _, pat := range al.pats {
+		if pat.Name != c.Name || len(pat.Args) != len(c.Args) {
+			continue
+		}
+		v := ""
+		for i, a := range pat.Args {
+			ca := c.Args[i]
+			switch a.Kind {
+			case PatValue:
+				if ca.Param || ca.Name != a.Name {
+					continue pattern
+				}
+			case PatWild:
+				if ca.Param {
+					continue pattern
+				}
+			case PatFree:
+				// Only p's own positions can be bound; another free
+				// parameter keeps the pattern unmatchable.
+				if a.Name != p || ca.Param {
+					continue pattern
+				}
+				// Every $p position must agree on the same value.
+				if v != "" && v != ca.Name {
+					continue pattern
+				}
+				v = ca.Name
+			}
+		}
+		// v == "" means the pattern has no $p position: it either matched
+		// already or never will, independent of the binding.
+		if v != "" && !contains(out, v) {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out) // callers store the result as a canonical set
+	return out
 }
 
 // Patterns returns the patterns of the alphabet in insertion order. The

@@ -1,0 +1,323 @@
+package manager
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/parse"
+)
+
+// TestBatchedRequestConcurrent hammers the group-commit path with many
+// concurrent requesters and checks that every confirm is applied exactly
+// once and the log holds the full history in confirm order.
+func TestBatchedRequestConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "batch.log")
+	e := parse.MustParse("(a | b)*")
+	m := MustNew(e, Options{LogPath: logPath, BatchMaxSize: 16, BatchMaxDelay: time.Millisecond})
+	const clients, perClient = 8, 50
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			a := expr.ConcreteAct("a")
+			if c%2 == 1 {
+				a = expr.ConcreteAct("b")
+			}
+			for i := 0; i < perClient; i++ {
+				if err := m.Request(context.Background(), a); err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got, want := m.Steps(), clients*perClient; got != want {
+		t.Fatalf("Steps = %d, want %d", got, want)
+	}
+	st := m.Stats()
+	if st.Confirms != clients*perClient || st.Transits != clients*perClient {
+		t.Fatalf("stats = %+v, want %d confirms/transits", st, clients*perClient)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The log must replay to the identical state.
+	m2 := MustNew(e, Options{LogPath: logPath})
+	defer m2.Close()
+	if got, want := m2.Steps(), clients*perClient; got != want {
+		t.Fatalf("recovered Steps = %d, want %d", got, want)
+	}
+}
+
+// TestBatchedOrderingWithinRequestMany drives a strictly alternating
+// expression through one RequestMany burst: the actions must be applied
+// in submission order (any reordering or double-apply would be denied).
+func TestBatchedOrderingWithinRequestMany(t *testing.T) {
+	e := parse.MustParse("(a - b)*")
+	for _, batched := range []bool{false, true} {
+		opts := Options{}
+		if batched {
+			opts.BatchMaxSize = 8
+		}
+		m := MustNew(e, opts)
+		var burst []expr.Action
+		for i := 0; i < 20; i++ {
+			if i%2 == 0 {
+				burst = append(burst, expr.ConcreteAct("a"))
+			} else {
+				burst = append(burst, expr.ConcreteAct("b"))
+			}
+		}
+		for i, err := range m.RequestMany(context.Background(), burst) {
+			if err != nil {
+				t.Fatalf("batched=%v action %d: %v", batched, i, err)
+			}
+		}
+		if got := m.Steps(); got != len(burst) {
+			t.Fatalf("batched=%v Steps = %d, want %d", batched, got, len(burst))
+		}
+		m.Close()
+	}
+}
+
+// TestBatchedDenialIsolated checks that a denied action inside a batch
+// fails alone: the permissible members of the same batch still commit.
+func TestBatchedDenialIsolated(t *testing.T) {
+	e := parse.MustParse("(a - b)*")
+	m := MustNew(e, Options{BatchMaxSize: 8})
+	defer m.Close()
+	errs := m.RequestMany(context.Background(), []expr.Action{
+		expr.ConcreteAct("a"),
+		expr.ConcreteAct("a"), // denied: b is due
+		expr.ConcreteAct("b"),
+	})
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("permissible actions failed: %v", errs)
+	}
+	if !errors.Is(errs[1], ErrDenied) {
+		t.Fatalf("errs[1] = %v, want ErrDenied", errs[1])
+	}
+	if m.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2", m.Steps())
+	}
+}
+
+// TestBatchedCloseInFlight closes the manager under concurrent batched
+// load: every request must settle (commit or ErrClosed), nothing hangs.
+func TestBatchedCloseInFlight(t *testing.T) {
+	e := parse.MustParse("(a | b)*")
+	m := MustNew(e, Options{BatchMaxSize: 4, BatchMaxDelay: 100 * time.Microsecond})
+	const clients = 16
+	results := make(chan error, clients*20)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				results <- m.Request(context.Background(), expr.ConcreteAct("a"))
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(results)
+	committed := 0
+	for err := range results {
+		switch {
+		case err == nil:
+			committed++
+		case errors.Is(err, ErrClosed):
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if committed != m.Steps() {
+		t.Fatalf("%d requests reported success, engine has %d steps", committed, m.Steps())
+	}
+}
+
+// TestBatchWaitsForReservation: an outstanding ask/confirm reservation
+// excludes a whole batch until settled, then the batch commits.
+func TestBatchWaitsForReservation(t *testing.T) {
+	e := parse.MustParse("(a | b)*")
+	m := MustNew(e, Options{BatchMaxSize: 8})
+	defer m.Close()
+	tk, err := m.Ask(context.Background(), expr.ConcreteAct("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Request(context.Background(), expr.ConcreteAct("b")) }()
+	select {
+	case err := <-done:
+		t.Fatalf("batched request crossed the critical region: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := m.Confirm(tk); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2", m.Steps())
+	}
+}
+
+// TestBatchedContextCancelWhileReserved: a batched request whose context
+// expires while an ask/confirm reservation blocks the batch fails with
+// the context error and commits nothing; the batch pipeline stays live.
+func TestBatchedContextCancelWhileReserved(t *testing.T) {
+	e := parse.MustParse("(a | b)*")
+	m := MustNew(e, Options{BatchMaxSize: 8})
+	defer m.Close()
+	tk, err := m.Ask(context.Background(), expr.ConcreteAct("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := m.Request(ctx, expr.ConcreteAct("b")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if m.Steps() != 0 {
+		t.Fatalf("Steps = %d, want 0", m.Steps())
+	}
+	if err := m.Confirm(tk); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Request(context.Background(), expr.ConcreteAct("b")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2", m.Steps())
+	}
+}
+
+// TestBatchedContextCancelQueueFull: when the commit queue is backed up
+// behind a parked reservation, a request whose context is already dead
+// must fail with the context error instead of blocking on the queue.
+func TestBatchedContextCancelQueueFull(t *testing.T) {
+	e := parse.MustParse("(a | b)*")
+	m := MustNew(e, Options{BatchMaxSize: 2})
+	defer m.Close()
+	tk, err := m.Ask(context.Background(), expr.ConcreteAct("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the batch in flight and the queue behind it.
+	const backlog = 6
+	var wg sync.WaitGroup
+	for i := 0; i < backlog; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := m.Request(context.Background(), expr.ConcreteAct("b")); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let the committer park and the queue fill
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- m.Request(ctx, expr.ConcreteAct("b")) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("request with dead context blocked on the full queue")
+	}
+	if err := m.Confirm(tk); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got, want := m.Steps(), backlog+1; got != want {
+		t.Fatalf("Steps = %d, want %d", got, want)
+	}
+}
+
+// TestBatchedSubscriptionNetEffect: subscribers observe the net status
+// after a batch (informs may coalesce, but the latest status must be
+// delivered).
+func TestBatchedSubscriptionNetEffect(t *testing.T) {
+	e := parse.MustParse("a - b")
+	m := MustNew(e, Options{BatchMaxSize: 8})
+	defer m.Close()
+	sub := m.Subscribe(expr.ConcreteAct("b"))
+	if inf := <-sub.C; inf.Permissible {
+		t.Fatal("b should start impermissible")
+	}
+	if err := m.Request(context.Background(), expr.ConcreteAct("a")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case inf := <-sub.C:
+		if !inf.Permissible {
+			t.Fatal("b should have become permissible")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no inform after batch commit")
+	}
+}
+
+// TestBatchedRecoveryEquivalence replays a batched run's log through a
+// fresh one-at-a-time manager and compares the exact engine state — the
+// determinism claim behind group commit.
+func TestBatchedRecoveryEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	e := parse.MustParse("all p: (call(p) - perform(p))*")
+	workload := func(m *Manager) {
+		var wg sync.WaitGroup
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					p := fmt.Sprintf("p%d_%d", c, i)
+					if err := m.Request(context.Background(), expr.ConcreteAct("call", p)); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := m.Request(context.Background(), expr.ConcreteAct("perform", p)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	logPath := filepath.Join(dir, "b.log")
+	m := MustNew(e, Options{LogPath: logPath, BatchMaxSize: 8, BatchMaxDelay: 500 * time.Microsecond, SyncWrites: true})
+	workload(m)
+	key := m.en.StateKey()
+	steps := m.Steps()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recover without batching: replay must land on the identical state.
+	m2 := MustNew(e, Options{LogPath: logPath})
+	defer m2.Close()
+	if m2.Steps() != steps {
+		t.Fatalf("recovered %d steps, want %d", m2.Steps(), steps)
+	}
+	if got := m2.en.StateKey(); got != key {
+		t.Fatalf("recovered state differs:\n got %s\nwant %s", got, key)
+	}
+}

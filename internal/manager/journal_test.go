@@ -1,0 +1,111 @@
+package manager
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func journalLines(t *testing.T, path string) int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestJournalBounded: the processed-request journal previously grew one
+// line per request forever, across restarts. It must now stay within
+// twice its dedup window on disk while still deduplicating the recent
+// tail, including across a reopen.
+func TestJournalBounded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	const cap = 16
+	j, err := openProcessedJournalCap(path, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 20 * cap
+	for i := 0; i < total; i++ {
+		if err := j.record(fmt.Sprintf("req-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := journalLines(t, path); got > 2*cap {
+		t.Fatalf("journal has %d lines on disk, want ≤ %d", got, 2*cap)
+	}
+	// The recent window dedupes; ancient IDs have aged out.
+	if !j.seen(fmt.Sprintf("req-%d", total-1)) || !j.seen(fmt.Sprintf("req-%d", total-cap)) {
+		t.Fatal("recent request IDs must stay deduplicated")
+	}
+	if j.seen("req-0") {
+		t.Fatal("ancient request IDs should age out of the window")
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the persisted window must still dedupe the recent tail and
+	// the file must not have grown.
+	j2, err := openProcessedJournalCap(path, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if !j2.seen(fmt.Sprintf("req-%d", total-1)) {
+		t.Fatal("reopened journal lost the most recent request ID")
+	}
+	for i := 0; i < 3*cap; i++ {
+		if err := j2.record(fmt.Sprintf("next-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := journalLines(t, path); got > 2*cap {
+		t.Fatalf("journal regrew to %d lines after reopen, want ≤ %d", got, 2*cap)
+	}
+}
+
+// TestJournalCompactionCrashSafe: a leftover temp file from a crashed
+// compaction must not confuse a reopen, and the journal file itself is
+// replaced atomically (the window is never lost).
+func TestJournalCompactionCrashSafe(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, err := openProcessedJournalCap(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := j.record(fmt.Sprintf("r%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash that left a stale temp file behind.
+	if err := os.WriteFile(path+".tmp", []byte("stale\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := openProcessedJournalCap(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	if !j2.seen("r29") {
+		t.Fatal("window lost across compaction + reopen")
+	}
+	if j2.seen("stale") {
+		t.Fatal("stale temp content leaked into the journal")
+	}
+}

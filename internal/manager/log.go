@@ -91,6 +91,26 @@ func (l *ActionLog) Replay(fn func(seq uint64, a expr.Action) error) error {
 func (l *ActionLog) Append(seq uint64, a expr.Action) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if err := l.bufferLocked(seq, a); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("manager: log flush: %w", err)
+	}
+	return nil
+}
+
+// Buffer stages one confirmed action in the write buffer without flushing
+// it. The group-commit path buffers every action of a batch, then settles
+// them all with one Commit — one flush (and at most one fsync) per batch
+// instead of one per action.
+func (l *ActionLog) Buffer(seq uint64, a expr.Action) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bufferLocked(seq, a)
+}
+
+func (l *ActionLog) bufferLocked(seq uint64, a expr.Action) error {
 	e := logEntry{Name: a.Name, Args: a.Values(), Seq: seq}
 	buf, err := json.Marshal(e)
 	if err != nil {
@@ -102,8 +122,31 @@ func (l *ActionLog) Append(seq uint64, a expr.Action) error {
 	if err := l.w.WriteByte('\n'); err != nil {
 		return fmt.Errorf("manager: log write: %w", err)
 	}
+	return nil
+}
+
+// Commit flushes every buffered entry to the OS and, when sync is set,
+// fsyncs the file — the single durability point of one group commit.
+func (l *ActionLog) Commit(sync bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("manager: log flush: %w", err)
+	}
+	if sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("manager: log sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync forces the appended entries to stable storage (fsync).
+func (l *ActionLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("manager: log sync: %w", err)
 	}
 	return nil
 }

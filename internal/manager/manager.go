@@ -76,6 +76,22 @@ type Options struct {
 	// is written after every K-th confirmed action. Zero disables
 	// automatic checkpoints (Snapshot can still force one).
 	SnapshotEvery int
+	// BatchMaxSize enables group commit for the atomic request path when
+	// > 1: up to BatchMaxSize concurrent Requests are coalesced into one
+	// batch that passes the critical-region admission check once and is
+	// made durable with one log flush (and at most one fsync). 0 or 1
+	// keeps the one-at-a-time path. Recovery is unaffected: the log holds
+	// the same entries in confirm order either way.
+	BatchMaxSize int
+	// BatchMaxDelay bounds how long an open batch waits for stragglers
+	// after its first request before committing — the latency the manager
+	// trades for throughput. Zero defaults to 200µs when batching is on.
+	BatchMaxDelay time.Duration
+	// SyncWrites fsyncs the action log at every durability point: once
+	// per confirm on the one-at-a-time path, once per batch under group
+	// commit. Off, the log is flushed to the OS but survives only process
+	// crashes, not machine crashes (the seed behavior).
+	SyncWrites bool
 	// Clock, for tests; defaults to time.Now.
 	Clock func() time.Time
 }
@@ -105,6 +121,9 @@ type Manager struct {
 	snapEvery int
 	sinceSnap int
 	snapErr   error // first failed background checkpoint since last Snapshot
+
+	syncWrites bool
+	batch      *commitQueue // non-nil iff group commit is enabled
 }
 
 type subEntry struct {
@@ -130,11 +149,12 @@ type Stats struct {
 // configured and present.
 func New(e *expr.Expr, opts Options) (*Manager, error) {
 	m := &Manager{
-		timeout:   opts.ReservationTimeout,
-		clock:     opts.Clock,
-		subs:      make(map[uint64]*subEntry),
-		snapPath:  opts.SnapshotPath,
-		snapEvery: opts.SnapshotEvery,
+		timeout:    opts.ReservationTimeout,
+		clock:      opts.Clock,
+		subs:       make(map[uint64]*subEntry),
+		snapPath:   opts.SnapshotPath,
+		snapEvery:  opts.SnapshotEvery,
+		syncWrites: opts.SyncWrites,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	if m.clock == nil {
@@ -190,6 +210,10 @@ func New(e *expr.Expr, opts Options) (*Manager, error) {
 			m.reserved = false
 		}
 		m.log = log
+	}
+	if opts.BatchMaxSize > 1 {
+		m.batch = newCommitQueue(opts.BatchMaxSize, opts.BatchMaxDelay)
+		go m.committer()
 	}
 	return m, nil
 }
@@ -297,7 +321,7 @@ func (m *Manager) Confirm(t Ticket) error {
 	}
 	a := m.reservedAct
 	if m.log != nil {
-		if err := m.log.Append(uint64(m.en.Steps())+1, a); err != nil {
+		if err := m.appendDurable(a); err != nil {
 			return err
 		}
 	}
@@ -338,8 +362,13 @@ func (m *Manager) Abort(t Ticket) error {
 // Request is the atomic ask+execute+confirm used by integration points
 // that execute reliably under the manager's protection (the adapted
 // workflow engine of Fig 11): the action is checked and committed in one
-// critical section.
+// critical section. With BatchMaxSize > 1 concurrent requests are group
+// committed: coalesced into one critical-section pass with a single log
+// flush/fsync for the whole batch.
 func (m *Manager) Request(ctx context.Context, a expr.Action) error {
+	if m.batch != nil {
+		return m.enqueue(ctx, a)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Asks++
@@ -361,7 +390,7 @@ func (m *Manager) Request(ctx context.Context, a expr.Action) error {
 		return fmt.Errorf("%w: %s", ErrDenied, a)
 	}
 	if m.log != nil {
-		if err := m.log.Append(uint64(m.en.Steps())+1, a); err != nil {
+		if err := m.appendDurable(a); err != nil {
 			return err
 		}
 	}
@@ -373,6 +402,19 @@ func (m *Manager) Request(ctx context.Context, a expr.Action) error {
 	m.stats.Transits++
 	m.notifyLocked()
 	m.maybeSnapshotLocked()
+	return nil
+}
+
+// appendDurable writes one confirmed action through the log's per-action
+// durability point (flush, plus fsync under SyncWrites). The group-commit
+// path uses Buffer/Commit instead, paying these once per batch.
+func (m *Manager) appendDurable(a expr.Action) error {
+	if err := m.log.Append(uint64(m.en.Steps())+1, a); err != nil {
+		return err
+	}
+	if m.syncWrites {
+		return m.log.Sync()
+	}
 	return nil
 }
 
@@ -475,11 +517,12 @@ func (m *Manager) notifyLocked() {
 }
 
 // Close shuts the manager down, closes all subscription channels and the
-// action log.
+// action log. With group commit enabled, queued requests still unserved
+// fail with ErrClosed; the in-flight batch settles first.
 func (m *Manager) Close() error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return nil
 	}
 	m.closed = true
@@ -488,6 +531,16 @@ func (m *Manager) Close() error {
 		close(ent.ch)
 	}
 	m.cond.Broadcast()
+	m.mu.Unlock()
+	if m.batch != nil {
+		// The committer needs the lock (and, when parked on the critical
+		// region, the broadcast above) to observe the shutdown, so it is
+		// stopped between the unlock and the relock.
+		close(m.batch.stop)
+		<-m.batch.stopped
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var firstErr error
 	// A parting checkpoint makes the next restart replay nothing.
 	if m.snapPath != "" && m.sinceSnap > 0 {

@@ -29,6 +29,12 @@ type wireMsg struct {
 	Err    string `json:"error,omitempty"`
 	Perm   bool   `json:"permissible,omitempty"`
 	Final  bool   `json:"final,omitempty"`
+	// Acts frames a multi-op request_many: one atomic request per element,
+	// answered by one reply whose Errs has one entry per element ("" = the
+	// action was confirmed). One frame per batch keeps a pipelined burst to
+	// a single encode/decode and a single socket write each way.
+	Acts []string `json:"acts,omitempty"`
+	Errs []string `json:"errors,omitempty"`
 }
 
 // Wire operation names.
@@ -37,6 +43,7 @@ const (
 	opConfirm     = "confirm"
 	opAbort       = "abort"
 	opRequest     = "request"
+	opRequestMany = "request_many"
 	opTry         = "try"
 	opSubscribe   = "subscribe"
 	opUnsubscribe = "unsubscribe"
@@ -78,6 +85,16 @@ type Coordinator interface {
 	Subscribe(a expr.Action) (<-chan Inform, func(), error)
 }
 
+// BatchRequester is the optional batched extension of Coordinator: one
+// call submits many atomic requests and reports one error per action.
+// Manager implements it through its group-commit queue; cluster.Gateway
+// implements it by grouping same-shard actions into one wire frame per
+// shard. A wire server uses it to serve request_many frames with one
+// coordinator call instead of n.
+type BatchRequester interface {
+	RequestMany(ctx context.Context, actions []expr.Action) []error
+}
+
 // coordAdapter lifts a Manager to the Coordinator surface.
 type coordAdapter struct{ m *Manager }
 
@@ -88,6 +105,9 @@ func (c coordAdapter) Confirm(ctx context.Context, t Ticket) error { return c.m.
 func (c coordAdapter) Abort(ctx context.Context, t Ticket) error   { return c.m.Abort(t) }
 func (c coordAdapter) Request(ctx context.Context, a expr.Action) error {
 	return c.m.Request(ctx, a)
+}
+func (c coordAdapter) RequestMany(ctx context.Context, actions []expr.Action) []error {
+	return c.m.RequestMany(ctx, actions)
 }
 func (c coordAdapter) Try(ctx context.Context, a expr.Action) (bool, error) {
 	return c.m.Try(a), nil
@@ -258,6 +278,40 @@ func (s *Server) handle(req wireMsg, subs map[uint64]func(), subMu *sync.Mutex, 
 			return fail(err)
 		}
 		resp.OK = true
+	case opRequestMany:
+		// One frame carries a whole pipelined burst. Slots that fail to
+		// parse are answered in place; the rest go to the coordinator in
+		// one batched call when it supports that (group commit end to end),
+		// or back to back otherwise.
+		errs := make([]string, len(req.Acts))
+		actions := make([]expr.Action, 0, len(req.Acts))
+		slots := make([]int, 0, len(req.Acts))
+		for i, s := range req.Acts {
+			a, err := expr.ParseActionString(s)
+			if err != nil {
+				errs[i] = err.Error()
+				continue
+			}
+			actions = append(actions, a)
+			slots = append(slots, i)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
+		defer cancel()
+		if br, ok := s.co.(BatchRequester); ok {
+			for j, err := range br.RequestMany(ctx, actions) {
+				if err != nil {
+					errs[slots[j]] = err.Error()
+				}
+			}
+		} else {
+			for j, a := range actions {
+				if err := s.co.Request(ctx, a); err != nil {
+					errs[slots[j]] = err.Error()
+				}
+			}
+		}
+		resp.OK = true
+		resp.Errs = errs
 	case opTry:
 		a, err := parseAction()
 		if err != nil {
@@ -526,6 +580,36 @@ func (c *Client) Abort(ctx context.Context, t Ticket) error {
 func (c *Client) Request(ctx context.Context, a expr.Action) error {
 	_, err := c.callOK(ctx, wireMsg{Op: opRequest, Action: a.String()})
 	return err
+}
+
+// RequestMany runs a burst of atomic requests remotely in one framed
+// multi-op message — one round trip for the whole burst instead of one
+// per action. The returned slice has one error per action (nil =
+// confirmed). A transport failure fails every action with the same error;
+// like Request, the burst is not idempotent, so a lost connection leaves
+// the outcome of in-flight actions unknown.
+func (c *Client) RequestMany(ctx context.Context, actions []expr.Action) []error {
+	errs := make([]error, len(actions))
+	if len(actions) == 0 {
+		return errs
+	}
+	acts := make([]string, len(actions))
+	for i, a := range actions {
+		acts[i] = a.String()
+	}
+	resp, err := c.callOK(ctx, wireMsg{Op: opRequestMany, Acts: acts})
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	for i := range errs {
+		if i < len(resp.Errs) && resp.Errs[i] != "" {
+			errs[i] = wireError(resp.Errs[i])
+		}
+	}
+	return errs
 }
 
 // Try probes an action's status remotely.

@@ -1,0 +1,108 @@
+package manager
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/parse"
+)
+
+// TestRequestManyTCP ships one framed multi-op burst over the wire and
+// checks per-slot results: confirms, a denial and a parse error all land
+// in their own slot without disturbing the rest.
+func TestRequestManyTCP(t *testing.T) {
+	s, m := startServer(t, "(a - b)*")
+	cl := dial(t, s)
+	burst := []expr.Action{
+		expr.ConcreteAct("a"),
+		expr.ConcreteAct("a"), // denied: b is due
+		expr.ConcreteAct("b"),
+	}
+	errs := cl.RequestMany(context.Background(), burst)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("permissible slots failed: %v", errs)
+	}
+	if !errors.Is(errs[1], ErrDenied) {
+		t.Fatalf("errs[1] = %v, want ErrDenied", errs[1])
+	}
+	if m.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2", m.Steps())
+	}
+}
+
+// TestRequestManyTCPBatchedServer runs pipelined bursts from several
+// clients against a server whose manager group commits, and verifies
+// exactly-once application and clean interleaving.
+func TestRequestManyTCPBatchedServer(t *testing.T) {
+	m := MustNew(parse.MustParse("(a | b)*"), Options{BatchMaxSize: 32, BatchMaxDelay: 500 * time.Microsecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(m, ln)
+	t.Cleanup(func() {
+		s.Close()
+		m.Close()
+	})
+	const clients, rounds, burstLen = 4, 5, 16
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			name := "a"
+			if c%2 == 1 {
+				name = "b"
+			}
+			burst := make([]expr.Action, burstLen)
+			for i := range burst {
+				burst[i] = expr.ConcreteAct(name)
+			}
+			for r := 0; r < rounds; r++ {
+				for i, err := range cl.RequestMany(context.Background(), burst) {
+					if err != nil {
+						t.Errorf("client %d round %d slot %d: %v", c, r, i, err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got, want := m.Steps(), clients*rounds*burstLen; got != want {
+		t.Fatalf("Steps = %d, want %d", got, want)
+	}
+}
+
+// TestRequestManyEmptyAndParseError: an empty burst is a no-op; a
+// malformed action string fails only its own slot.
+func TestRequestManyEmptyAndParseError(t *testing.T) {
+	s, m := startServer(t, "(a | b)*")
+	cl := dial(t, s)
+	if errs := cl.RequestMany(context.Background(), nil); len(errs) != 0 {
+		t.Fatalf("empty burst: %v", errs)
+	}
+	// A raw frame with an unparsable slot: build it through the action
+	// type is impossible, so speak the protocol directly.
+	resp, err := cl.callOK(context.Background(), wireMsg{Op: opRequestMany, Acts: []string{"a", "not an action("}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Errs) != 2 || resp.Errs[0] != "" || resp.Errs[1] == "" {
+		t.Fatalf("Errs = %q", resp.Errs)
+	}
+	if m.Steps() != 1 {
+		t.Fatalf("Steps = %d, want 1", m.Steps())
+	}
+}

@@ -57,9 +57,12 @@ type QueuedServer struct {
 	done    chan struct{}
 }
 
-// NewQueuedServer starts the consumer goroutine. journalPath persists the
-// set of processed request IDs (exactly-once across restarts); it may be
-// empty to accept at-least-once semantics.
+// NewQueuedServer starts the consumer goroutine. journalPath persists a
+// bounded window of processed request IDs (exactly-once across restarts
+// for any request redelivered within the last journalCap requests —
+// redeliveries only ever concern the in-flight tail, so the window
+// dedupes like an unbounded journal without growing without bound); it
+// may be empty to accept at-least-once semantics.
 func NewQueuedServer(m *Manager, reqQ, repQ *mq.Queue, journalPath string) (*QueuedServer, error) {
 	var journal *processedJournal
 	if journalPath != "" {
@@ -171,25 +174,43 @@ func (s *QueuedServer) Close() error {
 	return nil
 }
 
-// processedJournal is an append-only file of processed request IDs.
+// journalCap bounds the deduplication window of a processed-request
+// journal. Redelivery only ever happens to requests that were in flight
+// (enqueued but not acknowledged) when a side crashed, so a window far
+// larger than any realistic in-flight population dedupes exactly like an
+// unbounded one — while the journal file previously grew without bound
+// across restarts.
+const journalCap = 8192
+
+// processedJournal is a bounded, persistent window of processed request
+// IDs: the newest cap IDs in processing order. The file is compacted in
+// place (atomic rename) whenever it holds more than twice the cap.
 type processedJournal struct {
-	mu   sync.Mutex
-	f    *os.File
-	w    *bufio.Writer
-	ids  map[string]bool
-	path string
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	ids   map[string]bool
+	order []string // insertion order, oldest first; len(order) == len(ids)
+	lines int      // lines in the on-disk file (entries written since last compaction, plus kept ones)
+	cap   int
+	path  string
 }
 
 func openProcessedJournal(path string) (*processedJournal, error) {
+	return openProcessedJournalCap(path, journalCap)
+}
+
+func openProcessedJournalCap(path string, cap int) (*processedJournal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("manager: journal: %w", err)
 	}
-	j := &processedJournal{f: f, ids: make(map[string]bool), path: path}
+	j := &processedJournal{f: f, ids: make(map[string]bool), cap: cap, path: path}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		if id := sc.Text(); id != "" {
-			j.ids[id] = true
+			j.insert(id)
+			j.lines++
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -198,6 +219,19 @@ func openProcessedJournal(path string) (*processedJournal, error) {
 	}
 	j.w = bufio.NewWriter(f)
 	return j, nil
+}
+
+// insert adds id to the in-memory window, evicting the oldest beyond cap.
+func (j *processedJournal) insert(id string) {
+	if j.ids[id] {
+		return
+	}
+	j.ids[id] = true
+	j.order = append(j.order, id)
+	for len(j.order) > j.cap {
+		delete(j.ids, j.order[0])
+		j.order = j.order[1:]
+	}
 }
 
 func (j *processedJournal) seen(id string) bool {
@@ -215,7 +249,55 @@ func (j *processedJournal) record(id string) error {
 	if err := j.w.Flush(); err != nil {
 		return err
 	}
-	j.ids[id] = true
+	j.insert(id)
+	j.lines++
+	if j.lines > 2*j.cap {
+		return j.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the journal file with just the current window,
+// via temp file + rename so a crash mid-compaction leaves the previous
+// (superset) file intact — redelivered requests stay deduplicated either
+// way.
+func (j *processedJournal) compactLocked() error {
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("manager: journal compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, id := range j.order {
+		if _, err := w.WriteString(id + "\n"); err != nil {
+			f.Close()
+			return fmt.Errorf("manager: journal compact: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("manager: journal compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("manager: journal compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("manager: journal compact: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("manager: journal compact: %w", err)
+	}
+	// Reopen the compacted file for appending; the old handle points at
+	// the unlinked inode.
+	nf, err := os.OpenFile(j.path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("manager: journal compact: %w", err)
+	}
+	j.f.Close()
+	j.f = nf
+	j.w = bufio.NewWriter(nf)
+	j.lines = len(j.order)
 	return nil
 }
 

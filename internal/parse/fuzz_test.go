@@ -1,0 +1,47 @@
+package parse
+
+import (
+	"testing"
+)
+
+// FuzzParsePrint checks the parser against the canonical printer: any
+// program the parser accepts must print to a form the parser accepts
+// again, yielding an equal expression — and no input, however mangled,
+// may panic the lexer or parser. The canonical string is an expression's
+// identity (Expr.Key), its snapshot encoding, and its wire form in the
+// cluster protocol, so print→parse must be the identity for recovery to
+// be able to round-trip states at all.
+func FuzzParsePrint(f *testing.F) {
+	seeds := []string{
+		"a - b || c*",
+		"(a | b)* & (a - b)#",
+		"all p: (call(p) - perform(p))*",
+		"any x: a(x) - (b(x, v1) | c)?",
+		"def mutex(x, y, z) = (x | y | z)*; all p: mutex(a(p), b(p), c(p)#)",
+		"mult(3, a - b) @ (a | b)*",
+		"syncq p: (a(p) - b(p))*",
+		"conq p: (a($p) | b)?",
+		"()",
+		"a(v1, v2) - a($p)?",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip("oversized input")
+		}
+		e, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := e.String()
+		e2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical print %q of %q does not parse back: %v", printed, src, err)
+		}
+		if !e.Equal(e2) {
+			t.Fatalf("round trip changed the expression:\n src    %q\n print  %q\n reparse %q", src, printed, e2.String())
+		}
+	})
+}

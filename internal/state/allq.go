@@ -1,6 +1,7 @@
 package state
 
 import (
+	"sort"
 	"strings"
 
 	"repro/internal/expr"
@@ -26,6 +27,18 @@ import (
 //     one alternative per possible binding, because a different
 //     anonymous branch (or a fresh one) could equally own that value.
 //
+// Binding soundness: consuming an action with p free can treat the
+// action differently than a bound branch would — most visibly inside a
+// coupling, where an action passes an operand by exactly when it is
+// outside the operand's alphabet, and binding p to one of the action's
+// values can move it inside. An anonymous branch that consumed such an
+// action has therefore committed to "p is none of those values"; the
+// branch records them as excluded and can never be bound to them (the
+// bound-now variant of the same consumption is explored as its own
+// alternative at that action). The differential fuzzer caught exactly
+// this: a branch consumed x(v2) with x($p0) passed by, was later bound
+// to v2, and the engine over-accepted.
+//
 // Untouched branches (all remaining values) contribute the empty word and
 // need no representation beyond the nullability flag.
 type allQState struct {
@@ -37,8 +50,54 @@ type allQState struct {
 }
 
 type allQAlt struct {
-	named branchSet // sorted by value
-	anon  []State   // sorted multiset of states with p unbound
+	named branchSet    // sorted by value
+	anon  []anonBranch // sorted by key
+}
+
+// anonBranch is one branch with p unbound, together with the values its
+// consumption history has ruled out as bindings.
+type anonBranch struct {
+	st   State
+	excl []string // sorted
+}
+
+func (ab anonBranch) key() string {
+	if len(ab.excl) == 0 {
+		return ab.st.Key()
+	}
+	return ab.st.Key() + "!" + strings.Join(ab.excl, ",")
+}
+
+// mergeExcl unions two exclusion sets into a new canonical (deduped,
+// sorted) set; the inputs are not modified. Both quantifier states that
+// track excluded bindings (allQ anonymous branches, anyQ's generic
+// branch) build their sets through this one helper so their Key()s stay
+// comparable.
+func mergeExcl(excl, vals []string) []string {
+	if len(vals) == 0 {
+		return excl
+	}
+	out := append([]string(nil), excl...)
+	for _, v := range vals {
+		if !containsStr(out, v) {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortAnon(abs []anonBranch) []anonBranch {
+	sort.Slice(abs, func(i, j int) bool { return abs[i].key() < abs[j].key() })
+	return abs
+}
+
+func anonStates(abs []anonBranch) []State {
+	out := make([]State, len(abs))
+	for i, ab := range abs {
+		out[i] = ab.st
+	}
+	return out
 }
 
 func (a allQAlt) key() string {
@@ -46,11 +105,11 @@ func (a allQAlt) key() string {
 	b.WriteByte('{')
 	b.WriteString(a.named.key())
 	b.WriteByte('|')
-	for i, s := range a.anon {
+	for i, ab := range a.anon {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(s.Key())
+		b.WriteString(ab.key())
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -85,7 +144,7 @@ func (s *allQState) Final() bool {
 		return false
 	}
 	for _, a := range s.alts {
-		if a.named.allFinal() && allFinal(a.anon) {
+		if a.named.allFinal() && allFinal(anonStates(a.anon)) {
 			return true
 		}
 	}
@@ -95,7 +154,7 @@ func (s *allQState) Final() bool {
 func (s *allQState) Size() int {
 	n := 1
 	for _, a := range s.alts {
-		n += a.named.size() + sumSizes(a.anon)
+		n += a.named.size() + sumSizes(anonStates(a.anon))
 	}
 	return n
 }
@@ -104,6 +163,9 @@ func (s *allQState) trans(act expr.Action) State {
 	p := s.e.Param
 	template := Initial(s.e.Kids[0])
 	templateKey := template.Key()
+	// Values that some $p pattern of the body matches act under: binding
+	// them is what an anonymous consumption of act rules out.
+	taint := s.strictA.BindingMatches(p, act)
 	// Cache of σ(y_v) keys for the branch-release optimization below.
 	freshKeys := make(map[string]string)
 	freshKey := func(v string) string {
@@ -123,7 +185,10 @@ func (s *allQState) trans(act expr.Action) State {
 		// later action mentioning the value forks it again identically.
 		// Anonymous branches equal to the template are untouched by
 		// definition; final inert ones can never act again and their
-		// finality does not constrain anything, so both kinds drop.
+		// finality does not constrain anything, so both kinds drop. (The
+		// infinite universe keeps dropping sound even for branches with
+		// exclusions: an untouched branch can stand for any value never
+		// mentioned at all.)
 		// Copy before filtering: the incoming slices may alias the
 		// predecessor state's (immutable) branch sets.
 		named := make(branchSet, 0, len(a.named))
@@ -135,17 +200,17 @@ func (s *allQState) trans(act expr.Action) State {
 			named = append(named, branch{b.val, st})
 		}
 		a.named = named.canonical()
-		anon := make([]State, 0, len(a.anon))
+		anon := make([]anonBranch, 0, len(a.anon))
 		for _, m := range a.anon {
-			if m.Key() == templateKey {
+			if m.st.Key() == templateKey {
 				continue
 			}
-			if m.Final() && m.inert() {
+			if m.st.Final() && m.st.inert() {
 				continue
 			}
 			anon = append(anon, m)
 		}
-		a.anon = sortStatesKeepDup(anon)
+		a.anon = sortAnon(anon)
 		k := a.key()
 		if !seen[k] {
 			seen[k] = true
@@ -173,23 +238,28 @@ func (s *allQState) trans(act expr.Action) State {
 
 		// (2) An existing anonymous branch consumes the action...
 		for i, m := range alt.anon {
-			if i > 0 && alt.anon[i].Key() == alt.anon[i-1].Key() {
+			if i > 0 && alt.anon[i].key() == alt.anon[i-1].key() {
 				continue // interchangeable instances
 			}
-			// (2a) ... without binding its value.
-			if nm := m.trans(act); nm != nil {
-				anon := make([]State, len(alt.anon))
+			// (2a) ... without binding its value. Consuming with p free
+			// commits the branch to being none of the taint values.
+			if nm := m.st.trans(act); nm != nil {
+				anon := make([]anonBranch, len(alt.anon))
 				copy(anon, alt.anon)
-				anon[i] = nm
+				anon[i] = anonBranch{st: compress(nm), excl: mergeExcl(m.excl, taint)}
 				add(allQAlt{named: alt.named, anon: anon})
 			}
-			// (2b) ... by binding its value to a newly mentioned one.
+			// (2b) ... by binding its value to a newly mentioned one —
+			// unless the branch's history has excluded that value.
 			for _, v := range fresh {
-				nm := m.subst(p, v).trans(act)
+				if containsStr(m.excl, v) {
+					continue
+				}
+				nm := m.st.subst(p, v).trans(act)
 				if nm == nil {
 					continue
 				}
-				anon := make([]State, 0, len(alt.anon)-1)
+				anon := make([]anonBranch, 0, len(alt.anon)-1)
 				anon = append(anon, alt.anon[:i]...)
 				anon = append(anon, alt.anon[i+1:]...)
 				named := make(branchSet, len(alt.named), len(alt.named)+1)
@@ -202,9 +272,9 @@ func (s *allQState) trans(act expr.Action) State {
 		// (3) A fresh branch starts with this action...
 		// (3a) ... anonymously (matching a parameter-free atom).
 		if nm := template.trans(act); nm != nil {
-			anon := make([]State, len(alt.anon), len(alt.anon)+1)
+			anon := make([]anonBranch, len(alt.anon), len(alt.anon)+1)
 			copy(anon, alt.anon)
-			anon = append(anon, nm)
+			anon = append(anon, anonBranch{st: compress(nm), excl: append([]string(nil), taint...)})
 			add(allQAlt{named: alt.named, anon: anon})
 		}
 		// (3b) ... bound to a newly mentioned value.
@@ -232,9 +302,13 @@ func (s *allQState) subst(p, v string) State {
 	ne := s.e.Subst(p, v)
 	alts := make([]allQAlt, len(s.alts))
 	for i, a := range s.alts {
+		anon := make([]anonBranch, len(a.anon))
+		for j, ab := range a.anon {
+			anon[j] = anonBranch{st: ab.st.subst(p, v), excl: ab.excl}
+		}
 		alts[i] = allQAlt{
 			named: a.named.subst(p, v).canonical(),
-			anon:  sortStatesKeepDup(substAll(a.anon, p, v)),
+			anon:  sortAnon(anon),
 		}
 	}
 	return &allQState{e: ne, strictA: expr.AlphabetOf(ne.Kids[0]), nullable: s.nullable, alts: alts}

@@ -1,0 +1,62 @@
+package state
+
+import (
+	"testing"
+
+	"repro/internal/parse"
+	"repro/internal/semantics"
+)
+
+// Regression tests for the quantifier binding-soundness bug found by
+// FuzzOperationalVsOracle (internal/semantics): a branch that consumed an
+// action with its parameter unbound — letting the action pass a coupling
+// operand by because the operand's $p pattern matches nothing unbound —
+// was later bound to one of that action's values, contradicting the
+// pass-by. The branch now records such values as excluded bindings.
+func TestAllQBindingExclusion(t *testing.T) {
+	// The fuzzer's minimized find: with p0 bound to v2 the left coupling
+	// operand must see every x(v2); an anonymous branch that fed both
+	// x(v2)s to the multiplier only must never become the v2 branch.
+	e := parse.MustParse("all p0: ((x($p0) || a) @ mult(2, x(v2)))?")
+	w := acts("x(v2)", "x(v2)", "a")
+	en := MustEngine(e)
+	o := semantics.New(e, len(w))
+	for i := 0; i <= len(w); i++ {
+		got := en.Word(w[:i])
+		want := Verdict(o.Verdict(semantics.Word(w[:i])))
+		if got != want {
+			t.Fatalf("prefix %v: engine=%v oracle=%v", w[:i], got, want)
+		}
+	}
+	if v := en.Word(w); v != Partial {
+		t.Fatalf("word should be Partial, got %v", v)
+	}
+	// The branch is still extensible for a fresh value: a fresh-ω
+	// instance may own both x(v2)s through the multiplier and then run
+	// x(ω), a through the left operand.
+	if v := en.Word(acts("x(v2)", "x(v2)", "x(v3)", "a")); v != Complete {
+		t.Fatalf("fresh-value completion should be Complete, got %v", v)
+	}
+}
+
+// TestAnyQBindingExclusion: the disjunction-quantifier analog. The
+// generic branch consumes both x(v2)s by passing the x($p) operand by
+// (committing to p ≠ v2); re-forking the v2 branch from that history
+// previously resurrected a dead disjunct and over-accepted.
+func TestAnyQBindingExclusion(t *testing.T) {
+	e := parse.MustParse("any p: ((x($p) || a) @ mult(2, x(v2)))")
+	w := acts("x(v2)", "x(v2)", "a", "x(v2)")
+	en := MustEngine(e)
+	o := semantics.New(e, len(w))
+	for i := 0; i <= len(w); i++ {
+		got := en.Word(w[:i])
+		want := Verdict(o.Verdict(semantics.Word(w[:i])))
+		if got != want {
+			t.Fatalf("prefix %v: engine=%v oracle=%v", w[:i], got, want)
+		}
+	}
+	// The completion for a fresh value must stay available.
+	if v := en.Word(acts("x(v2)", "x(v2)", "a", "x(v3)")); v != Complete {
+		t.Fatalf("fresh-value completion should be Complete, got %v", v)
+	}
+}

@@ -51,6 +51,7 @@ type snapNode struct {
 	Alts [][]*snapNode `json:"aa,omitempty"`   // par/mult/piter alternatives
 	Br   []snapBranch  `json:"br,omitempty"`   // quantifier touched branches
 	Gen  *snapNode     `json:"g,omitempty"`    // quantifier generic branch
+	Excl []string      `json:"x,omitempty"`    // anyQ: generic's excluded bindings
 	QA   []snapQAlt    `json:"qa,omitempty"`   // allQ alternatives
 }
 
@@ -74,6 +75,9 @@ type snapBranch struct {
 type snapQAlt struct {
 	Named []snapBranch `json:"n,omitempty"`
 	Anon  []*snapNode  `json:"a,omitempty"`
+	// Excl[i] holds the excluded binding values of Anon[i] (values the
+	// anonymous branch consumed an action under "p differs from").
+	Excl [][]string `json:"x,omitempty"`
 }
 
 func encodeAction(a expr.Action) *snapAction {
@@ -153,7 +157,7 @@ func encodeState(s State) *snapNode {
 		}
 		return n
 	case *anyQState:
-		n := &snapNode{T: tagAnyQ, E: st.e.String(), Br: encodeBranches(st.touched)}
+		n := &snapNode{T: tagAnyQ, E: st.e.String(), Br: encodeBranches(st.touched), Excl: st.excluded}
 		if st.generic != nil {
 			n.Gen = encodeState(st.generic)
 		}
@@ -165,7 +169,12 @@ func encodeState(s State) *snapNode {
 	case *allQState:
 		n := &snapNode{T: tagAllQ, E: st.e.String()}
 		for _, a := range st.alts {
-			n.QA = append(n.QA, snapQAlt{Named: encodeBranches(a.named), Anon: encodeStates(a.anon)})
+			qa := snapQAlt{Named: encodeBranches(a.named)}
+			for _, ab := range a.anon {
+				qa.Anon = append(qa.Anon, encodeState(ab.st))
+				qa.Excl = append(qa.Excl, ab.excl)
+			}
+			n.QA = append(n.QA, qa)
 		}
 		return n
 	}
@@ -342,7 +351,7 @@ func (d *decoder) state(n *snapNode) (State, error) {
 		if err != nil {
 			return nil, err
 		}
-		s := &anyQState{e: e, strictA: expr.AlphabetOf(e.Kids[0]), touched: touched}
+		s := &anyQState{e: e, strictA: expr.AlphabetOf(e.Kids[0]), touched: touched, excluded: n.Excl}
 		if n.Gen != nil {
 			if s.generic, err = d.state(n.Gen); err != nil {
 				return nil, err
@@ -403,9 +412,16 @@ func (d *decoder) state(n *snapNode) (State, error) {
 			if err != nil {
 				return nil, err
 			}
-			anon, err := d.states(qa.Anon)
+			states, err := d.states(qa.Anon)
 			if err != nil {
 				return nil, err
+			}
+			anon := make([]anonBranch, len(states))
+			for i, st := range states {
+				anon[i] = anonBranch{st: st}
+				if i < len(qa.Excl) {
+					anon[i].excl = qa.Excl[i]
+				}
 			}
 			s.alts = append(s.alts, allQAlt{named: named, anon: anon})
 		}

@@ -118,7 +118,12 @@ type anyQState struct {
 	strictA *expr.Alphabet
 	touched branchSet
 	generic State // may be nil once dead
-	key     string
+	// excluded lists values the generic branch can no longer stand for:
+	// it consumed an action that some $p atom would have matched under
+	// that binding, committing the not-yet-chosen value to differ (the
+	// bound variant was forked as its own touched branch at that action).
+	excluded []string // sorted
+	key      string
 }
 
 func newAnyQState(e *expr.Expr) State {
@@ -130,6 +135,9 @@ func (s *anyQState) Key() string {
 		gk := "!"
 		if s.generic != nil {
 			gk = s.generic.Key()
+			if len(s.excluded) > 0 {
+				gk += "!" + strings.Join(s.excluded, ",")
+			}
 		}
 		s.key = "any<" + s.e.Key() + ">{" + s.touched.key() + "|" + gk + "}"
 	}
@@ -153,8 +161,15 @@ func (s *anyQState) Size() int { return 1 + s.touched.size() + Size(s.generic) }
 func (s *anyQState) trans(a expr.Action) State {
 	p := s.e.Param
 	var generic State
+	excluded := s.excluded
 	if s.generic != nil {
 		generic = compress(s.generic.trans(a))
+		if generic != nil {
+			// The generic branch consumed a with p free; it can no longer
+			// stand for values under which a $p atom would have matched a
+			// (those bound variants fork below, or are already touched).
+			excluded = mergeExcl(excluded, s.strictA.BindingMatches(p, a))
+		}
 	}
 	var touched branchSet
 	for _, b := range s.touched {
@@ -167,14 +182,21 @@ func (s *anyQState) trans(a expr.Action) State {
 		}
 		nst = compress(nst)
 		// ρ: a branch whose state caught up with the generic branch again
-		// is indistinguishable from an untouched one and is released.
-		if generic != nil && nst.Key() == generic.Key() {
+		// is indistinguishable from an untouched one and is released —
+		// unless its value is excluded from the generic branch, in which
+		// case the generic cannot stand in for it later.
+		if generic != nil && nst.Key() == generic.Key() && !containsStr(excluded, b.val) {
 			continue
 		}
 		touched = append(touched, branch{b.val, nst})
 	}
 	if s.generic != nil {
 		for _, v := range newValues(a, s.touched) {
+			// An excluded value cannot fork from the generic branch: the
+			// generic's history was consumed under "p ≠ v".
+			if containsStr(s.excluded, v) {
+				continue
+			}
 			nst := s.generic.subst(p, v).trans(a)
 			if nst == nil {
 				continue
@@ -183,7 +205,7 @@ func (s *anyQState) trans(a expr.Action) State {
 			// If binding v made no observable difference the branch keeps
 			// riding with the generic one (they evolve in lockstep until
 			// an action actually mentions v in a parameter position).
-			if generic != nil && nst.Key() == generic.Key() {
+			if generic != nil && nst.Key() == generic.Key() && !containsStr(excluded, v) {
 				continue
 			}
 			touched = append(touched, branch{v, nst})
@@ -192,7 +214,7 @@ func (s *anyQState) trans(a expr.Action) State {
 	if len(touched) == 0 && generic == nil {
 		return nil
 	}
-	return &anyQState{e: s.e, strictA: s.strictA, touched: touched.canonical(), generic: generic}
+	return &anyQState{e: s.e, strictA: s.strictA, touched: touched.canonical(), generic: generic, excluded: excluded}
 }
 
 func (s *anyQState) subst(p, v string) State {
@@ -204,7 +226,7 @@ func (s *anyQState) subst(p, v string) State {
 		generic = s.generic.subst(p, v)
 	}
 	ne := s.e.Subst(p, v)
-	return &anyQState{e: ne, strictA: expr.AlphabetOf(ne.Kids[0]), touched: s.touched.subst(p, v), generic: generic}
+	return &anyQState{e: ne, strictA: expr.AlphabetOf(ne.Kids[0]), touched: s.touched.subst(p, v), generic: generic, excluded: s.excluded}
 }
 
 func (s *anyQState) inert() bool {

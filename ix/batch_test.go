@@ -1,0 +1,51 @@
+package ix_test
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/ix"
+)
+
+// TestManagerBatchingKnobs drives the group-commit pipeline through the
+// public API: the batching knobs live on ix.ManagerOptions, Request
+// coalesces under load, and RequestMany submits a whole burst.
+func TestManagerBatchingKnobs(t *testing.T) {
+	dir := t.TempDir()
+	m, err := ix.NewManager(ix.MustParse("(a | b)*"), ix.ManagerOptions{
+		LogPath:       filepath.Join(dir, "actions.log"),
+		BatchMaxSize:  16,
+		BatchMaxDelay: time.Millisecond,
+		SyncWrites:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := m.Request(context.Background(), ix.MustAction("a")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	burst := []ix.Action{ix.MustAction("b"), ix.MustAction("a"), ix.MustAction("b")}
+	for i, err := range m.RequestMany(context.Background(), burst) {
+		if err != nil {
+			t.Fatalf("burst slot %d: %v", i, err)
+		}
+	}
+	if got, want := m.Steps(), 4*25+len(burst); got != want {
+		t.Fatalf("Steps = %d, want %d", got, want)
+	}
+}
