@@ -1,0 +1,54 @@
+package expr
+
+// Stable structural hashes. Canonical strings are the identity of
+// expressions, actions and alphabet patterns throughout the system; the
+// hashes here are pure functions of those canonical forms, so they are
+// stable across processes and releases as long as the canonical syntax
+// is. HashKey buckets the state engine's hash-consing table; Action.Hash
+// keys its transition memo (internal/state). They must never be used as
+// identity on their own: collisions are possible and callers are
+// expected to confirm with the full key or a structural comparison.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashKey returns the 64-bit FNV-1a hash of a canonical key string.
+func HashKey(s string) uint64 {
+	return hashString(fnvOffset64, s)
+}
+
+// hashByte folds one byte into an FNV-1a state.
+func hashByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = hashByte(h, s[i])
+	}
+	return h
+}
+
+// Hash returns a stable structural hash of the action, equal to
+// HashKey(a.Key()) but computed without building the key string — it is
+// called once per memoized transition lookup, where allocating the key
+// would dominate the map access it feeds.
+func (a Action) Hash() uint64 {
+	h := hashString(fnvOffset64, a.Name)
+	if len(a.Args) == 0 {
+		return h
+	}
+	h = hashByte(h, '(')
+	for i, arg := range a.Args {
+		if i > 0 {
+			h = hashByte(h, ',')
+		}
+		if arg.Param {
+			h = hashByte(h, '$')
+		}
+		h = hashString(h, arg.Name)
+	}
+	return hashByte(h, ')')
+}

@@ -92,6 +92,18 @@ type Options struct {
 	// commit. Off, the log is flushed to the OS but survives only process
 	// crashes, not machine crashes (the seed behavior).
 	SyncWrites bool
+	// StateCache, if non-nil, attaches a shared hash-consing and
+	// transition-memo cache (internal/state) to the manager's engine.
+	// Sharing one cache across the managers of a process lets
+	// structurally identical sub-states — common when many expressions
+	// instantiate the same workflow template — be one object, and lets a
+	// transition derived by one manager be a map lookup for the next.
+	StateCache *state.Cache
+	// MemoCapacity, when > 0 and StateCache is nil, gives the manager a
+	// private cache whose transition memo holds at most this many
+	// entries. Zero with a nil StateCache leaves memoization off (the
+	// seed behavior).
+	MemoCapacity int
 	// Clock, for tests; defaults to time.Now.
 	Clock func() time.Time
 }
@@ -124,6 +136,7 @@ type Manager struct {
 
 	syncWrites bool
 	batch      *commitQueue // non-nil iff group commit is enabled
+	cache      *state.Cache // non-nil iff memoization is enabled
 }
 
 type subEntry struct {
@@ -210,6 +223,18 @@ func New(e *expr.Expr, opts Options) (*Manager, error) {
 			m.reserved = false
 		}
 		m.log = log
+	}
+	// Memoization attaches after recovery so the replay (one pass, mostly
+	// unique states) does not churn the memo of a shared cache. The batch
+	// path benefits doubly: its admission Try and the committed Step of
+	// the same action share one memo entry.
+	if cache := opts.StateCache; cache != nil {
+		m.cache = cache
+	} else if opts.MemoCapacity > 0 {
+		m.cache = state.NewCache(opts.MemoCapacity)
+	}
+	if m.cache != nil {
+		m.en.UseCache(m.cache)
 	}
 	if opts.BatchMaxSize > 1 {
 		m.batch = newCommitQueue(opts.BatchMaxSize, opts.BatchMaxDelay)
@@ -456,6 +481,17 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.stats
+}
+
+// CacheStats reports the state-cache counters when memoization is
+// enabled (StateCache or MemoCapacity in Options); ok is false
+// otherwise. With a shared StateCache the numbers cover every manager
+// attached to it.
+func (m *Manager) CacheStats() (state.CacheStats, bool) {
+	if m.cache == nil {
+		return state.CacheStats{}, false
+	}
+	return m.cache.Stats(), true
 }
 
 // Subscribe registers interest in one action (step 1 of the subscription

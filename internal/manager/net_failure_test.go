@@ -75,7 +75,7 @@ func TestServerRestartMidSession(t *testing.T) {
 // whose connection drops must return promptly with ErrConnLost — and the
 // server-side reservation machinery must stay usable for everyone else.
 func TestAskRacesDroppedConnection(t *testing.T) {
-	s, _ := startServer(t, "(a | b)*")
+	s, m := startServer(t, "(a | b)*")
 	holder := dial(t, s)
 	waiter, err := Dial(s.Addr())
 	if err != nil {
@@ -94,7 +94,29 @@ func TestAskRacesDroppedConnection(t *testing.T) {
 		_, err := waiter.Ask(bg, act("b"))
 		once.Do(func() { askErr <- err })
 	}()
-	time.Sleep(50 * time.Millisecond) // let the ask reach the server
+	// Readiness, not a fixed sleep: the manager counts an ask the moment
+	// it enters (before parking on the critical region), so the second
+	// ask is provably server-side once the counter reaches 2 — under
+	// -race a wall-clock sleep is not. The poller is stopped on every
+	// exit path so a timeout cannot leak a spinning goroutine.
+	ready := make(chan struct{})
+	stopPoll := make(chan struct{})
+	defer close(stopPoll)
+	go func() {
+		defer close(ready)
+		for m.Stats().Asks < 2 {
+			select {
+			case <-stopPoll:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter's ask never reached the server")
+	}
 	waiter.Close()
 
 	select {

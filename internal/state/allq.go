@@ -315,3 +315,15 @@ func (s *allQState) subst(p, v string) State {
 }
 
 func (s *allQState) inert() bool { return false }
+
+func (s *allQState) internParts(c *Cache) State {
+	alts := make([]allQAlt, len(s.alts))
+	for i, a := range s.alts {
+		anon := make([]anonBranch, len(a.anon))
+		for j, ab := range a.anon {
+			anon[j] = anonBranch{st: c.Canon(ab.st), excl: ab.excl}
+		}
+		alts[i] = allQAlt{named: a.named.internParts(c), anon: anon}
+	}
+	return &allQState{e: s.e, strictA: s.strictA, nullable: s.nullable, alts: alts, key: s.Key()}
+}

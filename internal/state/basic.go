@@ -43,17 +43,20 @@ func (s *atomState) subst(p, v string) State {
 // substitutions. A pending atom may still fire after substitution.
 func (s *atomState) inert() bool { return s.done }
 
+func (s *atomState) internParts(c *Cache) State { return s }
+
 // emptyState is the (single) state of the neutral expression ε.
 type emptyState struct{}
 
 var theEmptyState State = emptyState{}
 
-func (emptyState) Key() string             { return "eps" }
-func (emptyState) Final() bool             { return true }
-func (emptyState) Size() int               { return 1 }
-func (emptyState) trans(expr.Action) State { return nil }
-func (emptyState) subst(p, v string) State { return theEmptyState }
-func (emptyState) inert() bool             { return true }
+func (emptyState) Key() string              { return "eps" }
+func (emptyState) Final() bool              { return true }
+func (emptyState) Size() int                { return 1 }
+func (emptyState) trans(expr.Action) State  { return nil }
+func (emptyState) subst(p, v string) State  { return theEmptyState }
+func (emptyState) inert() bool              { return true }
+func (emptyState) internParts(*Cache) State { return theEmptyState }
 
 // orState is the state of a disjunction: the walker is in exactly one
 // branch, but which one is not yet determined, so all still-valid branch
@@ -111,6 +114,10 @@ func (s *orState) subst(p, v string) State {
 
 func (s *orState) inert() bool { return allInert(s.kids) }
 
+func (s *orState) internParts(c *Cache) State {
+	return &orState{kids: canonAll(c, s.kids), key: s.Key()}
+}
+
 // andState is the state of a strict conjunction: every branch must accept
 // every action; a single dying branch invalidates the whole state.
 type andState struct {
@@ -162,4 +169,8 @@ func (s *andState) inert() bool {
 		}
 	}
 	return false
+}
+
+func (s *andState) internParts(c *Cache) State {
+	return &andState{kids: canonAll(c, s.kids), key: s.Key()}
 }

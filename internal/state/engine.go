@@ -39,11 +39,15 @@ var ErrRejected = errors.New("state: action rejected")
 // Engine drives the operational semantics of one closed interaction
 // expression: it holds the current state and implements the word problem
 // and the action problem of Sec 5 (Fig 9). Engine is not safe for
-// concurrent use; the interaction manager adds locking on top.
+// concurrent use; the interaction manager adds locking on top. With a
+// Cache attached (UseCache), states are hash-consed and transitions and
+// permissibility probes are memoized; a Cache may be shared by many
+// engines, which then also share state structure.
 type Engine struct {
 	e     *expr.Expr
 	cur   State
 	steps int
+	cache *Cache
 }
 
 // NewEngine creates an engine in the initial state σ(e). The expression
@@ -67,12 +71,38 @@ func MustEngine(e *expr.Expr) *Engine {
 	return en
 }
 
+// UseCache attaches (or, with nil, detaches) a hash-consing and
+// transition-memo cache. The current state is canonicalized immediately
+// so subsequent transitions run against interned structure. Attaching
+// never changes behaviour, only cost — the laws and differential tests
+// check exactly this.
+func (en *Engine) UseCache(c *Cache) {
+	en.cache = c
+	if c != nil && en.cur != nil {
+		en.cur = c.Canon(en.cur)
+	}
+}
+
+// Cache returns the attached cache, if any.
+func (en *Engine) Cache() *Cache { return en.cache }
+
+// transition applies τ̂ through the memo cache when one is attached.
+func (en *Engine) transition(s State, a expr.Action) State {
+	if en.cache != nil {
+		return en.cache.Transition(s, a)
+	}
+	return Trans(s, a)
+}
+
 // Expr returns the expression the engine executes.
 func (en *Engine) Expr() *expr.Expr { return en.e }
 
 // Reset returns the engine to the initial state.
 func (en *Engine) Reset() {
 	en.cur = Initial(en.e)
+	if en.cache != nil {
+		en.cur = en.cache.Canon(en.cur)
+	}
 	en.steps = 0
 }
 
@@ -99,7 +129,7 @@ func (en *Engine) Try(a expr.Action) bool {
 	if !a.Concrete() {
 		return false
 	}
-	return Trans(en.cur, a) != nil
+	return en.transition(en.cur, a) != nil
 }
 
 // Step consumes the action if it is permissible and returns ErrRejected
@@ -109,7 +139,7 @@ func (en *Engine) Step(a expr.Action) error {
 	if !a.Concrete() {
 		return fmt.Errorf("state: non-concrete action %s: %w", a, ErrRejected)
 	}
-	next := Trans(en.cur, a)
+	next := en.transition(en.cur, a)
 	if next == nil {
 		return fmt.Errorf("state: %s after %d steps: %w", a, en.steps, ErrRejected)
 	}
@@ -123,8 +153,11 @@ func (en *Engine) Step(a expr.Action) error {
 // Illegal exactly as the word() function of Fig 9.
 func (en *Engine) Word(w []expr.Action) Verdict {
 	s := Initial(en.e)
+	if en.cache != nil {
+		s = en.cache.Canon(s)
+	}
 	for _, a := range w {
-		s = Trans(s, a)
+		s = en.transition(s, a)
 		if s == nil {
 			return Illegal
 		}

@@ -8,18 +8,38 @@ import (
 	"repro/internal/parse"
 )
 
-// Snapshot serialization: a State is encoded as a tree of tagged-union
-// nodes mirroring the state hierarchy. Expressions referenced by states
-// (iteration bodies, quantifier nodes, ...) are stored in their canonical
-// text form and re-parsed on load — the round-trip property of the
-// canonical syntax (including free parameters, rendered as $p) makes this
-// exact. Derived data (alphabets, nullability flags, cached keys) is
-// recomputed rather than stored, so a snapshot stays small and cannot
-// disagree with the code that interprets it.
+// Snapshot serialization: a State is encoded as a DAG of tagged-union
+// nodes mirroring the state hierarchy (format version 2). The encoder
+// deduplicates by canonical key: the first occurrence of a structure (in
+// a deterministic preorder walk) is emitted in full and assigned the
+// next ordinal; every later occurrence is a one-field back-reference
+// {"r": ordinal}. States produced by the hash-consing cache share
+// sub-structure heavily — quantifier branches, parallel alternatives —
+// so the DAG form keeps snapshots proportional to the number of
+// *distinct* sub-states, matching the in-memory representation instead
+// of exploding it back into a tree. Because encoding is a pure preorder
+// function of the structure, marshal → unmarshal → marshal is
+// byte-identical (FuzzSnapshotRoundTrip).
+//
+// Version-0 snapshots (the pre-DAG tree format, no "v" field) contain no
+// back-references and decode through the same decoder; old checkpoints
+// keep loading unchanged.
+//
+// Expressions referenced by states (iteration bodies, quantifier nodes,
+// ...) are stored in their canonical text form and re-parsed on load —
+// the round-trip property of the canonical syntax (including free
+// parameters, rendered as $p) makes this exact. Derived data (alphabets,
+// nullability flags, cached keys) is recomputed rather than stored, so a
+// snapshot stays small and cannot disagree with the code that interprets
+// it.
 //
 // Snapshots exist so the interaction manager can checkpoint its engine and
 // truncate the action log: restart then costs O(actions since the last
 // checkpoint) instead of O(full history).
+
+// snapFormatVersion is written by MarshalState. Version 0 (absent field)
+// is the legacy tree format; both decode.
+const snapFormatVersion = 2
 
 // Node type tags. One per State implementation.
 const (
@@ -39,9 +59,12 @@ const (
 	tagAllQ    = "all"
 )
 
-// snapNode is the JSON form of one state node.
+// snapNode is the JSON form of one state node. R, when non-zero, makes
+// the node a back-reference to the R-th full node of the encoding's
+// preorder walk (1-based); all other fields are then absent.
 type snapNode struct {
-	T    string        `json:"t"`
+	R    int           `json:"r,omitempty"`
+	T    string        `json:"t,omitempty"`
 	Act  *snapAction   `json:"act,omitempty"`  // atom: the (possibly abstract) action
 	Done bool          `json:"done,omitempty"` // atom: traversed; iter: boundary flag
 	E    string        `json:"e,omitempty"`    // owning expression, canonical text
@@ -100,78 +123,96 @@ func decodeAction(sa *snapAction) expr.Action {
 	return expr.Act(sa.Name, args...)
 }
 
-func encodeStates(ss []State) []*snapNode {
+// encoder deduplicates states by canonical key while emitting the DAG:
+// the first occurrence of a key (preorder) is emitted in full and given
+// the next 1-based ordinal; later occurrences emit a back-reference.
+type encoder struct {
+	seen map[string]int
+	n    int
+}
+
+func newEncoder() *encoder { return &encoder{seen: make(map[string]int)} }
+
+func (enc *encoder) states(ss []State) []*snapNode {
 	out := make([]*snapNode, len(ss))
 	for i, s := range ss {
-		out[i] = encodeState(s)
+		out[i] = enc.state(s)
 	}
 	return out
 }
 
-func encodeAlts(alts [][]State) [][]*snapNode {
+func (enc *encoder) alts(alts [][]State) [][]*snapNode {
 	out := make([][]*snapNode, len(alts))
 	for i, alt := range alts {
-		out[i] = encodeStates(alt)
+		out[i] = enc.states(alt)
 	}
 	return out
 }
 
-func encodeBranches(bs branchSet) []snapBranch {
+func (enc *encoder) branches(bs branchSet) []snapBranch {
 	out := make([]snapBranch, len(bs))
 	for i, b := range bs {
-		out[i] = snapBranch{Val: b.val, St: encodeState(b.st)}
+		out[i] = snapBranch{Val: b.val, St: enc.state(b.st)}
 	}
 	return out
 }
 
-// encodeState translates a live state into its snapshot node.
-func encodeState(s State) *snapNode {
+// state translates a live state into its snapshot node or back-reference.
+func (enc *encoder) state(s State) *snapNode {
+	k := s.Key()
+	if ord, ok := enc.seen[k]; ok {
+		return &snapNode{R: ord}
+	}
+	// Assign the ordinal before descending (preorder), mirroring the
+	// decoder's slot reservation.
+	enc.n++
+	enc.seen[k] = enc.n
 	switch st := s.(type) {
 	case emptyState:
 		return &snapNode{T: tagEmpty}
 	case *atomState:
 		return &snapNode{T: tagAtom, Act: encodeAction(st.atom), Done: st.done}
 	case *orState:
-		return &snapNode{T: tagOr, Kids: encodeStates(st.kids)}
+		return &snapNode{T: tagOr, Kids: enc.states(st.kids)}
 	case *andState:
-		return &snapNode{T: tagAnd, Kids: encodeStates(st.kids)}
+		return &snapNode{T: tagAnd, Kids: enc.states(st.kids)}
 	case *seqState:
 		n := &snapNode{T: tagSeq, E: st.e.String()}
 		for _, a := range st.alts {
 			n.Idx = append(n.Idx, a.idx)
-			n.Kids = append(n.Kids, encodeState(a.st))
+			n.Kids = append(n.Kids, enc.state(a.st))
 		}
 		return n
 	case *seqIterState:
-		return &snapNode{T: tagSeqIter, E: st.y.String(), Kids: encodeStates(st.insts), Done: st.boundary}
+		return &snapNode{T: tagSeqIter, E: st.y.String(), Kids: enc.states(st.insts), Done: st.boundary}
 	case *parState:
-		return &snapNode{T: tagPar, Alts: encodeAlts(st.alts)}
+		return &snapNode{T: tagPar, Alts: enc.alts(st.alts)}
 	case *multState:
-		return &snapNode{T: tagMult, Alts: encodeAlts(st.alts)}
+		return &snapNode{T: tagMult, Alts: enc.alts(st.alts)}
 	case *parIterState:
-		return &snapNode{T: tagParIter, E: st.y.String(), Alts: encodeAlts(st.alts)}
+		return &snapNode{T: tagParIter, E: st.y.String(), Alts: enc.alts(st.alts)}
 	case *syncState:
-		n := &snapNode{T: tagSync, Kids: encodeStates(st.kids)}
+		n := &snapNode{T: tagSync, Kids: enc.states(st.kids)}
 		for _, e := range st.kidExprs {
 			n.Es = append(n.Es, e.String())
 		}
 		return n
 	case *anyQState:
-		n := &snapNode{T: tagAnyQ, E: st.e.String(), Br: encodeBranches(st.touched), Excl: st.excluded}
+		n := &snapNode{T: tagAnyQ, E: st.e.String(), Br: enc.branches(st.touched), Excl: st.excluded}
 		if st.generic != nil {
-			n.Gen = encodeState(st.generic)
+			n.Gen = enc.state(st.generic)
 		}
 		return n
 	case *conQState:
-		return &snapNode{T: tagConQ, E: st.e.String(), Br: encodeBranches(st.touched), Gen: encodeState(st.generic)}
+		return &snapNode{T: tagConQ, E: st.e.String(), Br: enc.branches(st.touched), Gen: enc.state(st.generic)}
 	case *syncQState:
-		return &snapNode{T: tagSyncQ, E: st.e.String(), Br: encodeBranches(st.touched), Gen: encodeState(st.generic)}
+		return &snapNode{T: tagSyncQ, E: st.e.String(), Br: enc.branches(st.touched), Gen: enc.state(st.generic)}
 	case *allQState:
 		n := &snapNode{T: tagAllQ, E: st.e.String()}
 		for _, a := range st.alts {
-			qa := snapQAlt{Named: encodeBranches(a.named)}
+			qa := snapQAlt{Named: enc.branches(a.named)}
 			for _, ab := range a.anon {
-				qa.Anon = append(qa.Anon, encodeState(ab.st))
+				qa.Anon = append(qa.Anon, enc.state(ab.st))
 				qa.Excl = append(qa.Excl, ab.excl)
 			}
 			n.QA = append(n.QA, qa)
@@ -181,10 +222,14 @@ func encodeState(s State) *snapNode {
 	panic(fmt.Sprintf("state: cannot snapshot %T", s))
 }
 
-// decoder caches parsed expressions: snapshots of quantified states repeat
-// the same (substituted) body text across branches.
+// decoder caches parsed expressions (snapshots of quantified states repeat
+// the same substituted body text across branches) and resolves DAG
+// back-references: byOrd mirrors the encoder's preorder ordinals, so a
+// {"r":N} node returns the N-th fully decoded state. Version-0 snapshots
+// simply never reference the slots.
 type decoder struct {
 	exprs map[string]*expr.Expr
+	byOrd []State
 }
 
 func (d *decoder) expr(src string) (*expr.Expr, error) {
@@ -251,6 +296,27 @@ func (d *decoder) state(n *snapNode) (State, error) {
 	if n == nil {
 		return nil, fmt.Errorf("state: snapshot: missing node")
 	}
+	if n.R != 0 {
+		if n.R < 1 || n.R > len(d.byOrd) || d.byOrd[n.R-1] == nil {
+			return nil, fmt.Errorf("state: snapshot back-reference %d out of range", n.R)
+		}
+		return d.byOrd[n.R-1], nil
+	}
+	// Reserve this node's ordinal before descending, mirroring the
+	// encoder's preorder numbering. A structure can never contain itself,
+	// so the slot is always filled before anything can reference it.
+	ord := len(d.byOrd)
+	d.byOrd = append(d.byOrd, nil)
+	st, err := d.stateBody(n)
+	if err != nil {
+		return nil, err
+	}
+	d.byOrd[ord] = st
+	return st, nil
+}
+
+// stateBody decodes a full (non-reference) node.
+func (d *decoder) stateBody(n *snapNode) (State, error) {
 	switch n.T {
 	case tagEmpty:
 		return theEmptyState, nil
@@ -433,24 +499,31 @@ func (d *decoder) state(n *snapNode) (State, error) {
 	return nil, fmt.Errorf("state: unknown snapshot node type %q", n.T)
 }
 
-// engineSnap is the serialized form of an Engine.
+// engineSnap is the serialized form of an Engine. V is the state-node
+// format version: 0/absent is the legacy tree encoding, 2 the shared DAG
+// encoding with back-references.
 type engineSnap struct {
+	V     int       `json:"v,omitempty"`
 	Expr  string    `json:"expr"`
 	Steps int       `json:"steps"`
 	State *snapNode `json:"state"`
 }
 
-// MarshalState serializes the engine's current state and step count. The
-// snapshot embeds the canonical form of the expression so a restore
-// against a different expression is rejected.
+// MarshalState serializes the engine's current state and step count in
+// the DAG format. The snapshot embeds the canonical form of the
+// expression so a restore against a different expression is rejected.
+// Because states are immutable the snapshot shares structure with the
+// live state — no deep copy happens; the encoder walks the (possibly
+// hash-consed) DAG once per distinct sub-state.
 func (en *Engine) MarshalState() ([]byte, error) {
 	if en.cur == nil {
 		return nil, fmt.Errorf("state: cannot snapshot an invalid engine state")
 	}
 	return json.Marshal(engineSnap{
+		V:     snapFormatVersion,
 		Expr:  en.e.String(),
 		Steps: en.steps,
-		State: encodeState(en.cur),
+		State: newEncoder().state(en.cur),
 	})
 }
 
@@ -461,6 +534,9 @@ func RestoreEngine(e *expr.Expr, data []byte) (*Engine, error) {
 	var snap engineSnap
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return nil, fmt.Errorf("state: decode snapshot: %w", err)
+	}
+	if snap.V != 0 && snap.V != snapFormatVersion {
+		return nil, fmt.Errorf("state: snapshot format version %d not supported (want 0 or %d)", snap.V, snapFormatVersion)
 	}
 	if snap.Expr != e.String() {
 		return nil, fmt.Errorf("state: snapshot is for %q, not %q", snap.Expr, e)

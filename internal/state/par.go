@@ -120,6 +120,10 @@ func (s *parState) inert() bool {
 	return true
 }
 
+func (s *parState) internParts(c *Cache) State {
+	return &parState{alts: canonAlts(c, s.alts), key: s.Key()}
+}
+
 // multState is the state of a multiplier mult(n, y): exactly n
 // indistinguishable concurrent instances of y. Alternatives hold the n
 // instance states as a sorted multiset, which keeps the state-space
@@ -213,6 +217,10 @@ func (s *multState) inert() bool {
 		}
 	}
 	return true
+}
+
+func (s *multState) internParts(c *Cache) State {
+	return &multState{alts: canonAlts(c, s.alts), key: s.Key()}
 }
 
 // parIterState is the state of a parallel iteration y#: an unbounded
@@ -318,5 +326,9 @@ func (s *parIterState) subst(p, v string) State {
 // is only inert if even a fresh σ(y) could never move — conservatively
 // reported as false.
 func (s *parIterState) inert() bool { return false }
+
+func (s *parIterState) internParts(c *Cache) State {
+	return &parIterState{y: s.y, alts: canonAlts(c, s.alts), key: s.Key()}
+}
 
 func sortStrings(ss []string) { sort.Strings(ss) }

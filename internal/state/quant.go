@@ -82,6 +82,15 @@ func (bs branchSet) subst(p, v string) branchSet {
 	return out
 }
 
+// internParts canonicalizes every branch state, preserving order.
+func (bs branchSet) internParts(c *Cache) branchSet {
+	out := make(branchSet, len(bs))
+	for i, b := range bs {
+		out[i] = branch{b.val, c.Canon(b.st)}
+	}
+	return out
+}
+
 // newValues returns the concrete values of a that have no branch yet.
 func newValues(a expr.Action, touched branchSet) []string {
 	var out []string
@@ -229,6 +238,15 @@ func (s *anyQState) subst(p, v string) State {
 	return &anyQState{e: ne, strictA: expr.AlphabetOf(ne.Kids[0]), touched: s.touched.subst(p, v), generic: generic, excluded: s.excluded}
 }
 
+func (s *anyQState) internParts(c *Cache) State {
+	var generic State
+	if s.generic != nil {
+		generic = c.Canon(s.generic)
+	}
+	return &anyQState{e: s.e, strictA: s.strictA, touched: s.touched.internParts(c),
+		generic: generic, excluded: s.excluded, key: s.Key()}
+}
+
 func (s *anyQState) inert() bool {
 	if s.generic != nil {
 		// The generic branch can fork new value branches; claiming
@@ -326,6 +344,11 @@ func (s *conQState) inert() bool {
 	// Any action must be accepted by all branches including generic; if
 	// the generic branch is inert every action kills the state.
 	return s.generic.inert()
+}
+
+func (s *conQState) internParts(c *Cache) State {
+	return &conQState{e: s.e, strictA: s.strictA, touched: s.touched.internParts(c),
+		generic: c.Canon(s.generic), key: s.Key()}
 }
 
 // --- synchronization quantifier ("syncq p: y") ------------------------
@@ -470,3 +493,8 @@ func (s *syncQState) subst(p, v string) State {
 }
 
 func (s *syncQState) inert() bool { return false }
+
+func (s *syncQState) internParts(c *Cache) State {
+	return &syncQState{e: s.e, whole: s.whole, touched: s.touched.internParts(c),
+		alphas: s.alphas, generic: c.Canon(s.generic), genA: s.genA, key: s.Key()}
+}

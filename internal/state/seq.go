@@ -132,6 +132,14 @@ func (s *seqState) inert() bool {
 	return true
 }
 
+func (s *seqState) internParts(c *Cache) State {
+	alts := make([]seqAlt, len(s.alts))
+	for i, a := range s.alts {
+		alts[i] = seqAlt{a.idx, c.Canon(a.st)}
+	}
+	return &seqState{e: s.e, alts: alts, key: s.Key()}
+}
+
 // seqIterState is the state of a sequential iteration y*. It tracks the
 // states of iterations the walker may currently be inside, plus a
 // boundary flag recording that the word consumed so far is a complete
@@ -215,4 +223,8 @@ func (s *seqIterState) inert() bool {
 	// start could move (conservatively: never, unless σ(y) is among the
 	// instances and inert itself, which allInert then covers).
 	return allInert(s.insts)
+}
+
+func (s *seqIterState) internParts(c *Cache) State {
+	return &seqIterState{y: s.y, insts: canonAll(c, s.insts), boundary: s.boundary, key: s.Key()}
 }

@@ -59,6 +59,10 @@ type State interface {
 	// completed instances of parallel iterations. Must be conservative:
 	// false is always safe.
 	inert() bool
+	// internParts returns an equal state (same Key) whose child states
+	// have been replaced by their canonical representatives from c; the
+	// hash-consing descent of Cache.Canon. Leaves return themselves.
+	internParts(c *Cache) State
 }
 
 // Initial computes σ(e), the initial state of a (not necessarily closed)

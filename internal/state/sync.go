@@ -90,3 +90,7 @@ func (s *syncState) subst(p, v string) State {
 }
 
 func (s *syncState) inert() bool { return allInert(s.kids) }
+
+func (s *syncState) internParts(c *Cache) State {
+	return &syncState{kidExprs: s.kidExprs, kids: canonAll(c, s.kids), alphas: s.alphas, key: s.Key()}
+}
