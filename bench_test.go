@@ -584,6 +584,119 @@ func BenchmarkGatewayDisjoint(b *testing.B) {
 	})
 }
 
+// --- E23: replication and failover ----------------------------------------
+
+// BenchmarkGatewayFailover (E23): the confirm path of a replicated shard
+// versus an unreplicated one, over loopback TCP through the gateway.
+// "unreplicated" is the baseline single-server shard; "replicated-async"
+// streams every commit to a follower with asynchronous acks — the mode
+// whose cost the CI gate bounds at ≤2x the baseline; "failover" runs the
+// same replicated workload and crash-stops the primary halfway through,
+// measuring steady-state throughput with one failover (election +
+// promotion) mid-run — every request must still succeed.
+func BenchmarkGatewayFailover(b *testing.B) {
+	type node struct {
+		m   *manager.Manager
+		srv *manager.Server
+	}
+	// setup starts a replica set for (a | b)* and a gateway over it.
+	setup := func(b *testing.B, replicas int, opts manager.Options) (*cluster.Gateway, []*node) {
+		e := ix.MustParse("(a | b)*")
+		lns := make([]net.Listener, replicas)
+		addrs := make([]string, replicas)
+		for i := range lns {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			lns[i], addrs[i] = ln, ln.Addr().String()
+		}
+		nodes := make([]*node, replicas)
+		for i := range nodes {
+			o := opts
+			o.Follower = i != 0
+			for j, a := range addrs {
+				if j != i {
+					o.Replicas = append(o.Replicas, a)
+				}
+			}
+			m := manager.MustNew(e, o)
+			nodes[i] = &node{m: m, srv: manager.NewServer(m, lns[i])}
+		}
+		b.Cleanup(func() {
+			for _, n := range nodes {
+				if n.srv != nil {
+					n.srv.Close()
+					n.m.Close()
+				}
+			}
+		})
+		gw, err := cluster.NewReplicatedGateway(e, [][]string{addrs}, cluster.GatewayOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { gw.Close() })
+		if err := gw.Ping(bg); err != nil {
+			b.Fatal(err)
+		}
+		return gw, nodes
+	}
+	// The gated pair runs the production shape: concurrent clients whose
+	// requests the shard group-commits (PR 2), so replication pays one
+	// frame per batch, not per action. 8 clients per GOMAXPROCS keep the
+	// commit queue busy.
+	batched := manager.Options{BatchMaxSize: 64, BatchMaxDelay: 100 * time.Microsecond}
+	runParallel := func(b *testing.B, gw *cluster.Gateway) {
+		a := expr.ConcreteAct("a")
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := gw.Request(bg, a); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "confirms/s")
+	}
+	b.Run("unreplicated", func(b *testing.B) {
+		gw, _ := setup(b, 1, batched)
+		runParallel(b, gw)
+	})
+	b.Run("replicated-async", func(b *testing.B) {
+		gw, _ := setup(b, 2, batched)
+		runParallel(b, gw)
+	})
+	// One failover mid-run, serial so every request's outcome is
+	// deterministic: the kill, the election and the promotion all happen
+	// inside the measured window and every request must succeed.
+	b.Run("failover", func(b *testing.B) {
+		gw, nodes := setup(b, 2, manager.Options{})
+		a := expr.ConcreteAct("a")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i == b.N/2 {
+				nodes[0].srv.Close()
+				nodes[0].m.Close()
+				nodes[0].srv = nil
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					if ok, err := gw.Try(bg, a); err == nil && ok {
+						break
+					} else if time.Now().After(deadline) {
+						b.Fatalf("failover did not complete: ok=%v err=%v", ok, err)
+					}
+				}
+			}
+			if err := gw.Request(bg, a); err != nil {
+				b.Fatalf("request %d: %v", i, err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "confirms/s")
+	})
+}
+
 // BenchmarkMultiManager: the distributed two-phase grant across the
 // managers of the coupled Fig 7 constraint (E17).
 func BenchmarkMultiManager(b *testing.B) {

@@ -11,6 +11,15 @@
 //	ixmanager -e '(approve - exec)*'   -addr :7432 &
 //	ixgateway -e '(submit - approve)* @ (approve - exec)*' \
 //	          -shards 127.0.0.1:7431,127.0.0.1:7432 -addr :7430
+//
+// A shard may be a replica set: separate the ordered replica addresses
+// with '/' (primary first). The gateway then fails over automatically,
+// promoting the most advanced surviving replica when the primary dies:
+//
+//	ixmanager -e '(submit - approve)*' -addr :7431 -replicas 127.0.0.1:7441 -sync-replicas &
+//	ixmanager -e '(submit - approve)*' -addr :7441 -follower &
+//	ixgateway -e '(submit - approve)* @ (approve - exec)*' \
+//	          -shards 127.0.0.1:7431/127.0.0.1:7441,127.0.0.1:7432 -addr :7430
 package main
 
 import (
@@ -28,10 +37,11 @@ import (
 
 func main() {
 	var (
-		exprSrc  = flag.String("e", "", "coupled interaction expression (text syntax)")
-		exprFile = flag.String("f", "", "file containing the expression")
-		shardCSV = flag.String("shards", "", "comma-separated shard server addresses, one per coupling operand")
-		addr     = flag.String("addr", "127.0.0.1:7430", "listen address")
+		exprSrc   = flag.String("e", "", "coupled interaction expression (text syntax)")
+		exprFile  = flag.String("f", "", "file containing the expression")
+		shardCSV  = flag.String("shards", "", "comma-separated shard addresses, one per coupling operand; separate replica addresses within a shard with '/'")
+		addr      = flag.String("addr", "127.0.0.1:7430", "listen address")
+		readRepls = flag.Bool("read-followers", false, "serve Try probes from follower replicas")
 	)
 	flag.Parse()
 
@@ -52,12 +62,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	addrs := strings.Split(*shardCSV, ",")
-	for i := range addrs {
-		addrs[i] = strings.TrimSpace(addrs[i])
+	shardSpecs := strings.Split(*shardCSV, ",")
+	replicas := make([][]string, len(shardSpecs))
+	for i, spec := range shardSpecs {
+		for _, a := range strings.Split(spec, "/") {
+			replicas[i] = append(replicas[i], strings.TrimSpace(a))
+		}
 	}
 
-	gw, err := ix.NewGateway(e, addrs)
+	gw, err := ix.NewReplicatedGateway(e, replicas, ix.GatewayOptions{ReadFromFollowers: *readRepls})
 	if err != nil {
 		fatal(err)
 	}
@@ -79,7 +92,7 @@ func main() {
 	parts := ix.PartitionCoupling(e)
 	fmt.Printf("ixgateway: serving %d-shard coupling on %s\n", len(parts), srv.Addr())
 	for i, p := range parts {
-		fmt.Printf("  shard %d at %s: %s\n", i, addrs[i], p)
+		fmt.Printf("  shard %d at %s: %s\n", i, strings.Join(replicas[i], "/"), p)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -19,6 +19,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro/ix"
@@ -38,6 +39,9 @@ func main() {
 		batchDelay = flag.Duration("batch-delay", 0, "upper bound on the straggler wait of an open batch (default 200µs with -batch)")
 		syncWrites = flag.Bool("sync", false, "fsync the action log at every durability point (once per batch with -batch)")
 		memoCap    = flag.Int("memo", 0, "hash-consing + transition memoization: bound the memo LRU at N entries (0 = off)")
+		replicaCSV = flag.String("replicas", "", "comma-separated follower server addresses to stream commits to")
+		syncRepl   = flag.Bool("sync-replicas", false, "acknowledge commits only after every follower acked (no-loss failover)")
+		follower   = flag.Bool("follower", false, "start as a read-only follower (writes fail until promoted)")
 	)
 	flag.Parse()
 
@@ -59,6 +63,12 @@ func main() {
 		fatal(err)
 	}
 
+	var replicas []string
+	if *replicaCSV != "" {
+		for _, a := range strings.Split(*replicaCSV, ",") {
+			replicas = append(replicas, strings.TrimSpace(a))
+		}
+	}
 	m, err := ix.NewManager(e, ix.ManagerOptions{
 		LogPath:            *logPath,
 		SnapshotPath:       *snapPath,
@@ -68,6 +78,9 @@ func main() {
 		BatchMaxDelay:      *batchDelay,
 		SyncWrites:         *syncWrites,
 		MemoCapacity:       *memoCap,
+		Replicas:           replicas,
+		SyncReplicas:       *syncRepl,
+		Follower:           *follower,
 	})
 	if err != nil {
 		fatal(err)
@@ -84,6 +97,9 @@ func main() {
 	fmt.Printf("ixmanager: serving %q on %s", e, srv.Addr())
 	if *logPath != "" {
 		fmt.Printf(" (log %s, %d actions recovered)", *logPath, m.Steps())
+	}
+	if st := m.Status(); *follower || len(replicas) > 0 {
+		fmt.Printf(" [%s, epoch %d, %d replicas]", st.Role, st.Epoch, len(replicas))
 	}
 	fmt.Println()
 

@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/manager"
+	"repro/internal/parse"
+)
+
+// Deterministic failover tests. Like the PR 3 reconnect suite these
+// synchronize on real readiness signals — bound listeners, sync
+// replication acks and protocol replies — never on sleeps, so they hold
+// under -race on any machine.
+
+// replSet is one shard's replica set under test control: n nodes on
+// stable addresses, each streaming to all its peers, restartable in
+// place.
+type replSet struct {
+	t     *testing.T
+	e     *expr.Expr
+	addrs []string
+	lns   []net.Listener
+	ms    []*manager.Manager
+	srvs  []*manager.Server
+	base  []manager.Options // per-node options template
+}
+
+// newReplSet binds n listeners up front (so every node knows its peers),
+// then starts node 0 as primary and the rest as followers, all with
+// synchronous replication.
+func newReplSet(t *testing.T, e *expr.Expr, n int, custom func(i int, o *manager.Options)) *replSet {
+	t.Helper()
+	rs := &replSet{t: t, e: e, ms: make([]*manager.Manager, n), srvs: make([]*manager.Server, n), lns: make([]net.Listener, n), base: make([]manager.Options, n)}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs.lns[i] = ln
+		rs.addrs = append(rs.addrs, ln.Addr().String())
+	}
+	for i := 0; i < n; i++ {
+		var peers []string
+		for j, a := range rs.addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		opts := manager.Options{Replicas: peers, SyncReplicas: true, Follower: i != 0}
+		if custom != nil {
+			custom(i, &opts)
+		}
+		rs.base[i] = opts
+		rs.startNode(i, rs.lns[i])
+	}
+	t.Cleanup(func() {
+		for i := range rs.ms {
+			rs.stopNode(i)
+		}
+	})
+	return rs
+}
+
+func (rs *replSet) startNode(i int, ln net.Listener) {
+	rs.t.Helper()
+	m, err := manager.New(rs.e, rs.base[i])
+	if err != nil {
+		rs.t.Fatal(err)
+	}
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", rs.addrs[i])
+		if err != nil {
+			rs.t.Fatal(err)
+		}
+	}
+	rs.ms[i] = m
+	rs.srvs[i] = manager.NewServer(m, ln)
+}
+
+// stopNode crash-stops node i (no-op if already down).
+func (rs *replSet) stopNode(i int) {
+	if rs.srvs[i] == nil {
+		return
+	}
+	rs.srvs[i].Close()
+	rs.ms[i].Close()
+	rs.srvs[i], rs.ms[i] = nil, nil
+}
+
+// restartNode brings a crashed node back as a follower on its address.
+func (rs *replSet) restartNode(i int) {
+	rs.t.Helper()
+	rs.base[i].Follower = true
+	rs.startNode(i, nil)
+}
+
+// TestShardClientFailoverElectsFollower: the shard client survives a
+// primary kill by electing and promoting the follower; subsequent writes
+// land on the survivor, and no acknowledged commit is lost (sync acks).
+func TestShardClientFailoverElectsFollower(t *testing.T) {
+	rs := newReplSet(t, parse.MustParse("(a - b)*"), 2, nil)
+	sc := NewShardClientSet(rs.addrs, ShardOptions{})
+	defer sc.Close()
+
+	if err := sc.Request(bg, act("a")); err != nil {
+		t.Fatalf("request a: %v", err)
+	}
+	// Crash the primary and bring it straight back as an empty follower
+	// (the operational runbook; without it, strict sync acks would report
+	// every commit on the survivor uncertain).
+	rs.stopNode(0)
+	rs.restartNode(0)
+
+	// An idempotent probe drives the failover deterministically: the
+	// first attempt burns the dead connection, the retry elects the most
+	// advanced replica — the old follower, 2 commits ahead of the
+	// restarted node — and promotes it.
+	if ok, err := sc.Try(bg, act("b")); err != nil || !ok {
+		t.Fatalf("probe across failover: ok=%v err=%v", ok, err)
+	}
+	// Writes now land on the new primary; its stream heals the restarted
+	// node with a snapshot resync, so the sync ack (and thus the commit)
+	// succeeds cleanly.
+	if err := sc.Request(bg, act("b")); err != nil {
+		t.Fatalf("request b after failover: %v", err)
+	}
+	st := rs.ms[1].Status()
+	if st.Role != manager.RolePrimary || st.Epoch == 0 {
+		t.Fatalf("survivor not promoted: %+v", st)
+	}
+	if st.Steps != 2 {
+		t.Fatalf("survivor steps: got %d want 2 (a replicated, b committed)", st.Steps)
+	}
+	if sc.Generation() == 0 {
+		t.Fatal("failover should bump the generation")
+	}
+	// The restarted node converged on the new timeline.
+	if got := rs.ms[0].Status(); got.Steps != 2 || got.Role != manager.RoleFollower {
+		t.Fatalf("restarted node: %+v (resync failed)", got)
+	}
+}
+
+// TestFailoverPromotionMidAsk: a reservation outstanding on the primary
+// dies with it — the promoted follower starts with a free critical
+// region, so the next Ask is granted immediately (no reservation-timeout
+// wait), and settling the orphaned gateway ticket resumes the grant on
+// the new primary instead of losing it.
+func TestFailoverPromotionMidAsk(t *testing.T) {
+	e := parse.MustParse("(a - b)* @ (b - c)*")
+	parts := Partition(e)
+	rs0 := newReplSet(t, parts[0], 2, nil)
+	rs1 := newReplSet(t, parts[1], 2, nil)
+	gw, err := NewReplicatedGateway(e, [][]string{rs0.addrs, rs1.addrs}, GatewayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	if err := gw.Request(bg, act("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Reserve b on both shards (the critical regions are now held)...
+	tk, err := gw.Ask(bg, act("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and kill shard 0's primary mid-protocol (restarting it as an
+	// empty follower, per the runbook). Its reservation dies with it; the
+	// replicated b commit never happened.
+	rs0.stopNode(0)
+	rs0.restartNode(0)
+
+	// Settling the ticket resumes: the confirm's dead connection triggers
+	// the election (confirms are idempotent, so the retry is transparent),
+	// shard 0's promoted follower answers unknown-ticket (the reservation
+	// was never replicated), the generation moved, so the gateway
+	// re-reserves and commits b there — and shard 1's untouched
+	// reservation confirms normally.
+	if err := gw.Confirm(bg, tk); err != nil {
+		t.Fatalf("confirm across failover: %v", err)
+	}
+	if got := rs0.ms[1].Status().Steps; got != 2 {
+		t.Fatalf("shard 0 survivor steps: got %d want 2 (a, b)", got)
+	}
+	if got := rs1.ms[0].Status().Steps; got != 1 {
+		t.Fatalf("shard 1 steps: got %d want 1 (b)", got)
+	}
+	// The next Ask must be granted without waiting out any phantom
+	// reservation: the promoted follower's region starts free.
+	tk2, err := gw.Ask(bg, act("c"))
+	if err != nil {
+		t.Fatalf("ask after failover: %v", err)
+	}
+	if err := gw.Confirm(bg, tk2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConfirmAfterFailoverIdempotent: a confirm that committed and
+// replicated, retried after the primary died, is answered from the
+// promoted follower's replicated dedup window — success, no double
+// apply.
+func TestConfirmAfterFailoverIdempotent(t *testing.T) {
+	rs := newReplSet(t, parse.MustParse("(a - b)*"), 2, nil)
+	sc := NewShardClientSet(rs.addrs, ShardOptions{})
+	defer sc.Close()
+
+	if err := sc.Request(bg, act("a")); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := sc.Ask(bg, act("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Confirm(bg, tk); err != nil {
+		t.Fatal(err)
+	}
+	// The reply was delivered here, but a client whose reply got lost
+	// would retry — after the primary died and the follower took over.
+	rs.stopNode(0)
+	if err := sc.Confirm(bg, tk); err != nil {
+		t.Fatalf("confirm retry across failover: %v", err)
+	}
+	st := rs.ms[1].Status()
+	if st.Steps != 2 {
+		t.Fatalf("survivor steps: got %d want 2 (double apply?)", st.Steps)
+	}
+	// And b is not permissible again: the word is a b, a is due.
+	ok, err := sc.Try(bg, act("b"))
+	if err != nil || ok {
+		t.Fatalf("try b after idempotent retry: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestSplitBrainRejection: an out-of-band promotion (a second operator)
+// creates a stale primary; its next commit is fenced by the promoted
+// follower, it deposes itself, and the shard client's election settles
+// on the higher-epoch node — never on the deposed one, whatever the
+// endpoint order says.
+func TestSplitBrainRejection(t *testing.T) {
+	rs := newReplSet(t, parse.MustParse("(a | b)*"), 2, nil)
+	sc := NewShardClientSet(rs.addrs, ShardOptions{})
+	defer sc.Close()
+
+	if err := sc.Request(bg, act("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Promote the follower behind the client's back.
+	if _, err := rs.ms[1].Promote(); err != nil {
+		t.Fatal(err)
+	}
+	// The stale primary's next commit is applied locally but fenced at
+	// replication time: uncertain, and the node deposes itself.
+	err := sc.Request(bg, act("a"))
+	if !errors.Is(err, manager.ErrUncertain) {
+		t.Fatalf("fenced commit: want ErrUncertain, got %v", err)
+	}
+	if st := rs.ms[0].Status(); st.Role != manager.RoleFollower {
+		t.Fatalf("stale primary not deposed: %+v", st)
+	}
+	// The retry elects the true primary (higher epoch) and succeeds; the
+	// deposed node's divergent extra commit is discarded by the snapshot
+	// resync the new primary's stream performs (sync acks prove it).
+	if err := sc.Request(bg, act("b")); err != nil {
+		t.Fatalf("request after split-brain resolution: %v", err)
+	}
+	if rs.ms[0].StateKey() != rs.ms[1].StateKey() {
+		t.Fatal("replicas diverged after split-brain resolution")
+	}
+	if got, want := rs.ms[0].Status().Steps, rs.ms[1].Status().Steps; got != want {
+		t.Fatalf("deposed node at %d steps, primary at %d", got, want)
+	}
+}
+
+// TestConfirmResumeOnDeposedPrimary: a primary deposed *while holding a
+// gateway reservation* drops it on demotion — the settling confirm must
+// not be answered ErrUnknownTicket by the live-but-deposed node (which
+// would strand a partial multi-shard commit); it answers ErrNotPrimary,
+// the shard client fails over to the replica that fenced it, and the
+// gateway resumes the grant there.
+func TestConfirmResumeOnDeposedPrimary(t *testing.T) {
+	e := parse.MustParse("(a - b)* @ (b - c)*")
+	parts := Partition(e)
+	rs0 := newReplSet(t, parts[0], 1, nil) // plain single-server shard
+	rs1 := newReplSet(t, parts[1], 2, nil) // replicated shard
+	gw, err := NewReplicatedGateway(e, [][]string{rs0.addrs, rs1.addrs}, GatewayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	if err := gw.Request(bg, act("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Reserve b on both shards; shard 1's reservation sits on its primary.
+	tk, err := gw.Ask(bg, act("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depose shard 1's primary out of band: promote the follower and
+	// fence the old primary with an (empty) frame of the new epoch — the
+	// demotion drops the outstanding reservation.
+	epoch, err := rs1.ms[1].Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs1.ms[0].ApplyReplicated(manager.ReplFrame{Epoch: epoch}); err != nil {
+		t.Fatalf("fencing frame: %v", err)
+	}
+	if st := rs1.ms[0].Status(); st.Role != manager.RoleFollower {
+		t.Fatalf("old primary not deposed: %+v", st)
+	}
+	// Settling the gateway ticket must succeed end to end: shard 0
+	// confirms its reservation, shard 1 answers ErrNotPrimary from the
+	// deposed node, the client elects the promoted replica (generation
+	// bump) and the gateway resumes b there.
+	if err := gw.Confirm(bg, tk); err != nil {
+		t.Fatalf("confirm across deposal: %v", err)
+	}
+	if got := rs0.ms[0].Status().Steps; got != 2 {
+		t.Fatalf("shard 0 steps: got %d want 2 (a, b)", got)
+	}
+	if got := rs1.ms[1].Status().Steps; got != 1 {
+		t.Fatalf("shard 1 new primary steps: got %d want 1 (resumed b)", got)
+	}
+	// No partial commit left behind: the round continues normally.
+	if err := gw.Request(bg, act("c")); err != nil {
+		t.Fatalf("c after resumed b: %v", err)
+	}
+}
+
+// TestFollowerServesReads: with ReadFromFollowers the probe traffic is
+// answered by follower replicas — even while the primary is down, and
+// without triggering a promotion.
+func TestFollowerServesReads(t *testing.T) {
+	rs := newReplSet(t, parse.MustParse("(a - b)*"), 2, nil)
+	sc := NewShardClientSet(rs.addrs, ShardOptions{ReadFromFollowers: true})
+	defer sc.Close()
+
+	if err := sc.Request(bg, act("a")); err != nil {
+		t.Fatal(err)
+	}
+	// The probe reflects the replicated state (sync acks: the commit is
+	// on the follower before Request returned).
+	ok, err := sc.Try(bg, act("b"))
+	if err != nil || !ok {
+		t.Fatalf("try b: ok=%v err=%v", ok, err)
+	}
+	if tries := rs.ms[1].Stats().Tries; tries == 0 {
+		t.Fatal("probe was not served by the follower")
+	}
+	before := rs.ms[1].Status()
+	// Primary down: reads keep working off the follower replica...
+	rs.stopNode(0)
+	ok, err = sc.Try(bg, act("b"))
+	if err != nil || !ok {
+		t.Fatalf("try b with primary down: ok=%v err=%v", ok, err)
+	}
+	// ...and pure read traffic promotes nobody.
+	after := rs.ms[1].Status()
+	if after.Role != before.Role || after.Epoch != before.Epoch {
+		t.Fatalf("read offload changed the replica's role: %+v → %+v", before, after)
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -35,8 +36,11 @@ type Gateway struct {
 
 // grantEntry records one gateway-level grant and when it was taken, so
 // grants abandoned by dead clients can be expired (their shard-side
-// reservations are reclaimed by the managers' own timeouts).
+// reservations are reclaimed by the managers' own timeouts). The action
+// rides along so a confirm interrupted by a shard failover can be
+// resumed (re-reserved and committed) on the promoted replica.
 type grantEntry struct {
+	act    expr.Action
 	grants []shardGrant
 	at     time.Time
 }
@@ -47,9 +51,13 @@ type grantEntry struct {
 const grantTTL = 10 * time.Minute
 
 // shardGrant is one shard's reservation within a gateway-level grant.
+// gen is the shard client's failover generation at reserve time: if it
+// moved by settle time, the ticket may have died with the old primary
+// and an unknown-ticket answer means "resume", not "lost".
 type shardGrant struct {
 	shard  int
 	ticket manager.Ticket
+	gen    uint64
 }
 
 // Partition splits a coupled expression into its shard operands: the
@@ -61,20 +69,47 @@ func Partition(e *expr.Expr) []*expr.Expr {
 	return []*expr.Expr{e}
 }
 
+// GatewayOptions configure a replicated gateway.
+type GatewayOptions struct {
+	// ReadFromFollowers routes Try probes to follower replicas (see
+	// ShardOptions.ReadFromFollowers).
+	ReadFromFollowers bool
+}
+
 // NewGateway builds a gateway for e whose i-th coupling operand is served
 // by the shard at addrs[i]. Shard connections are dialed lazily, so the
 // gateway can be constructed before every shard server is up. The
 // routing index is precomputed from the operand alphabets; no per-action
 // alphabet scan happens at grant time.
 func NewGateway(e *expr.Expr, addrs []string) (*Gateway, error) {
+	replicas := make([][]string, len(addrs))
+	for i, a := range addrs {
+		replicas[i] = []string{a}
+	}
+	return NewReplicatedGateway(e, replicas, GatewayOptions{})
+}
+
+// NewReplicatedGateway builds a gateway whose i-th coupling operand is
+// served by the replica set replicas[i] (an ordered endpoint list; see
+// NewShardClientSet). On a primary failure the shard client elects and
+// promotes the most advanced surviving replica and the gateway resumes
+// in-flight two-phase grants idempotently: a confirm answered from the
+// replicated dedup window settles without re-executing, an unknown
+// ticket after a failover re-reserves and commits on the new primary.
+func NewReplicatedGateway(e *expr.Expr, replicas [][]string, opts GatewayOptions) (*Gateway, error) {
 	parts := Partition(e)
-	if len(parts) != len(addrs) {
-		return nil, fmt.Errorf("cluster: expression has %d shards, got %d addresses", len(parts), len(addrs))
+	if len(parts) != len(replicas) {
+		return nil, fmt.Errorf("cluster: expression has %d shards, got %d replica sets", len(parts), len(replicas))
 	}
 	g := &Gateway{parts: parts, grants: make(map[manager.Ticket]grantEntry)}
 	for i, part := range parts {
+		if len(replicas[i]) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no endpoints", i)
+		}
 		g.alphas = append(g.alphas, expr.AlphabetOf(part))
-		g.shards = append(g.shards, NewShardClient(addrs[i]))
+		g.shards = append(g.shards, NewShardClientSet(replicas[i], ShardOptions{
+			ReadFromFollowers: opts.ReadFromFollowers,
+		}))
 	}
 	g.idx = manager.NewNameIndex(g.alphas)
 	return g, nil
@@ -107,7 +142,7 @@ func (g *Gateway) askShards(ctx context.Context, a expr.Action, involved []int) 
 			g.abortGrants(grants)
 			return nil, err
 		}
-		grants = append(grants, shardGrant{shard: i, ticket: t})
+		grants = append(grants, shardGrant{shard: i, ticket: t, gen: g.shards[i].Generation()})
 	}
 	return grants, nil
 }
@@ -125,10 +160,30 @@ func (g *Gateway) abortGrants(grants []shardGrant) {
 }
 
 // confirmGrants runs phase 2: confirm every reservation in grant order.
-func (g *Gateway) confirmGrants(ctx context.Context, grants []shardGrant) error {
+// A confirm that comes back ErrUnknownTicket after the shard failed over
+// is resumed: the reservation died with the old primary without ever
+// committing (under sync replication a committed confirm is answered
+// from the promoted follower's replicated dedup window instead), so the
+// grant is re-reserved and committed atomically on the new primary. The
+// resumes run only after every reservation of this grant is settled:
+// a resume is a fresh Ask, and taking one while still holding
+// higher-numbered reservations would break the global acquisition order
+// that keeps concurrent multi-shard grants deadlock-free.
+func (g *Gateway) confirmGrants(ctx context.Context, a expr.Action, grants []shardGrant) error {
 	var firstErr error
+	var resume []int
 	for _, gr := range grants {
-		if err := g.shards[gr.shard].Confirm(ctx, gr.ticket); err != nil && firstErr == nil {
+		err := g.shards[gr.shard].Confirm(ctx, gr.ticket)
+		if errors.Is(err, manager.ErrUnknownTicket) && g.shards[gr.shard].Generation() != gr.gen {
+			resume = append(resume, gr.shard)
+			continue
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, shard := range resume {
+		if err := g.shards[shard].Request(ctx, a); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -161,41 +216,41 @@ func (g *Gateway) Ask(ctx context.Context, a expr.Action) (manager.Ticket, error
 	}
 	g.nextTk++
 	t := g.nextTk
-	g.grants[t] = grantEntry{grants: grants, at: now}
+	g.grants[t] = grantEntry{act: a, grants: grants, at: now}
 	g.mu.Unlock()
 	return t, nil
 }
 
 // takeGrants claims the shard reservations behind a gateway ticket.
-func (g *Gateway) takeGrants(t manager.Ticket) ([]shardGrant, error) {
+func (g *Gateway) takeGrants(t manager.Ticket) (grantEntry, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	e, ok := g.grants[t]
 	if !ok {
-		return nil, manager.ErrUnknownTicket
+		return grantEntry{}, manager.ErrUnknownTicket
 	}
 	delete(g.grants, t)
-	return e.grants, nil
+	return e, nil
 }
 
 // Confirm settles a gateway-level grant: every shard reservation is
-// confirmed.
+// confirmed (resuming across shard failovers; see confirmGrants).
 func (g *Gateway) Confirm(ctx context.Context, t manager.Ticket) error {
-	grants, err := g.takeGrants(t)
+	e, err := g.takeGrants(t)
 	if err != nil {
 		return err
 	}
-	return g.confirmGrants(ctx, grants)
+	return g.confirmGrants(ctx, e.act, e.grants)
 }
 
 // Abort releases a gateway-level grant without a state transition.
 func (g *Gateway) Abort(ctx context.Context, t manager.Ticket) error {
-	grants, err := g.takeGrants(t)
+	e, err := g.takeGrants(t)
 	if err != nil {
 		return err
 	}
 	var firstErr error
-	for _, gr := range grants {
+	for _, gr := range e.grants {
 		if err := g.shards[gr.shard].Abort(ctx, gr.ticket); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -218,7 +273,7 @@ func (g *Gateway) Request(ctx context.Context, a expr.Action) error {
 	if err != nil {
 		return err
 	}
-	return g.confirmGrants(ctx, grants)
+	return g.confirmGrants(ctx, a, grants)
 }
 
 // RequestMany performs a burst of atomic distributed grants and reports

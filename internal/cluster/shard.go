@@ -8,6 +8,13 @@
 // reserve-in-global-order/confirm-all grant across the involved shards,
 // aborting granted reservations when any shard refuses.
 //
+// Each shard may be a replica set: an ordered list of servers replicating
+// each other (internal/manager's primary/follower streams). The shard
+// client elects the most advanced reachable replica — highest epoch, then
+// primaries over followers, then most commits — promotes it if it is a
+// follower, and fails over automatically when the connection dies or the
+// server answers ErrNotPrimary (a deposed primary).
+//
 // The package talks to shards exclusively through the exported wire
 // client of internal/manager, so any process serving the wire protocol
 // (cmd/ixmanager, a test server, or another gateway) can be a shard.
@@ -16,6 +23,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -23,46 +31,179 @@ import (
 	"repro/internal/manager"
 )
 
-// ShardClient is a self-healing wire client for one shard server: it
-// dials lazily, detects dead connections and re-dials. Operations whose
-// request provably never reached the server (ErrSendFailed) are retried
-// transparently on a fresh connection; operations that may have been
-// processed (ErrConnLost mid-flight) are retried only if idempotent —
-// exactly the queued-request discipline recovery demands.
+// ShardOptions configure a replica-set shard client.
+type ShardOptions struct {
+	// ReadFromFollowers routes idempotent status probes (Try, Final) to
+	// follower replicas round-robin, offloading the primary. Probes are
+	// advisory by nature (the answer can be stale the moment it arrives);
+	// with async replication a follower's answer may additionally lag the
+	// primary by the un-acked frames.
+	ReadFromFollowers bool
+}
+
+// ShardClient is a self-healing wire client for one shard — a single
+// server or an ordered replica set. It dials lazily, detects dead
+// connections, and on failure elects (and if necessary promotes) the most
+// advanced reachable replica. Operations whose request provably never
+// reached a server (ErrSendFailed) are retried transparently; operations
+// that may have been processed (ErrConnLost mid-flight) are retried only
+// if idempotent — exactly the queued-request discipline recovery demands.
 type ShardClient struct {
-	addr string
+	addrs []string
+	opts  ShardOptions
 
-	mu sync.Mutex
-	cl *manager.Client
+	mu  sync.Mutex
+	cur int // index of the endpoint cl is connected to
+	cl  *manager.Client
+	gen uint64 // failover generation: bumped when the endpoint changes
+
+	rmu  sync.Mutex
+	rcur int // read rotation cursor (follower offload)
+	rcl  *manager.Client
 }
 
-// NewShardClient creates a client for the shard at addr. No connection is
-// made until the first operation, so a gateway can be assembled before
-// every shard server is up.
+// NewShardClient creates a client for the single shard server at addr.
+// No connection is made until the first operation, so a gateway can be
+// assembled before every shard server is up.
 func NewShardClient(addr string) *ShardClient {
-	return &ShardClient{addr: addr}
+	return NewShardClientSet([]string{addr}, ShardOptions{})
 }
 
-// Addr returns the shard server address.
-func (s *ShardClient) Addr() string { return s.addr }
+// NewShardClientSet creates a client for an ordered replica set. The
+// first reachable, most advanced replica serves; on disconnect the client
+// fails over along the list, promoting a follower when no primary is
+// left. A single-address set never issues role or promote ops, so it can
+// front any Coordinator (e.g. another gateway), like NewShardClient
+// always could.
+func NewShardClientSet(addrs []string, opts ShardOptions) *ShardClient {
+	return &ShardClient{addrs: addrs, opts: opts}
+}
 
-// client returns the live connection, dialing if necessary.
-func (s *ShardClient) client() (*manager.Client, error) {
+// Addr returns the shard's first endpoint (diagnostics).
+func (s *ShardClient) Addr() string { return s.addrs[0] }
+
+// Addrs returns the shard's ordered endpoint list.
+func (s *ShardClient) Addrs() []string { return s.addrs }
+
+// Generation counts completed failovers that changed the serving
+// endpoint. A gateway compares generations taken at reserve time and at
+// confirm time: a bump in between means a ticket may have died with the
+// old primary and the grant must be resumed instead of settled.
+func (s *ShardClient) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// electTimeout bounds each role probe and promotion during an election.
+const electTimeout = 5 * time.Second
+
+// client returns the live connection, electing a replica if necessary.
+func (s *ShardClient) client(ctx context.Context) (*manager.Client, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cl != nil {
 		return s.cl, nil
 	}
-	cl, err := manager.Dial(s.addr)
-	if err != nil {
-		return nil, err
+	return s.electLocked(ctx)
+}
+
+// electLocked (re)connects: with a single endpoint it plainly dials;
+// with a replica set it probes every endpoint's role and adopts the most
+// advanced reachable replica — highest epoch first (a deposed primary
+// must never win over the node that fenced it), then primaries over
+// followers, then the most commits — promoting the winner when the set
+// has no primary left. Callers hold s.mu.
+func (s *ShardClient) electLocked(ctx context.Context) (*manager.Client, error) {
+	if len(s.addrs) == 1 {
+		cl, err := manager.Dial(s.addrs[0])
+		if err != nil {
+			return nil, err
+		}
+		s.cl = cl
+		return cl, nil
 	}
-	s.cl = cl
-	return cl, nil
+	type candidate struct {
+		idx int
+		cl  *manager.Client
+		st  manager.ReplStatus
+	}
+	var cands []candidate
+	var firstErr error
+	for off := 0; off < len(s.addrs); off++ {
+		idx := (s.cur + off) % len(s.addrs)
+		cl, err := manager.Dial(s.addrs[idx])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		rctx, cancel := context.WithTimeout(ctx, electTimeout)
+		st, err := cl.Role(rctx)
+		cancel()
+		if err != nil {
+			cl.Close()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		cands = append(cands, candidate{idx: idx, cl: cl, st: st})
+	}
+	if len(cands) == 0 {
+		if firstErr == nil {
+			firstErr = errors.New("cluster: no replica reachable")
+		}
+		return nil, fmt.Errorf("%w: %v", manager.ErrSendFailed, firstErr)
+	}
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if better(cands[i].st, cands[best].st) {
+			best = i
+		}
+	}
+	chosen := cands[best]
+	for i, c := range cands {
+		if i != best {
+			c.cl.Close()
+		}
+	}
+	promoted := false
+	if chosen.st.Role != manager.RolePrimary {
+		pctx, cancel := context.WithTimeout(ctx, electTimeout)
+		_, err := chosen.cl.Promote(pctx)
+		cancel()
+		if err != nil {
+			chosen.cl.Close()
+			return nil, fmt.Errorf("cluster: promote %s: %w", s.addrs[chosen.idx], err)
+		}
+		promoted = true
+	}
+	// A promotion bumps the generation even on an unchanged endpoint: the
+	// new epoch means tickets granted before the election may be gone.
+	if chosen.idx != s.cur || promoted {
+		s.gen++
+	}
+	s.cur = chosen.idx
+	s.cl = chosen.cl
+	return chosen.cl, nil
+}
+
+// better orders replica candidates: epoch, then role, then position.
+func better(a, b manager.ReplStatus) bool {
+	if a.Epoch != b.Epoch {
+		return a.Epoch > b.Epoch
+	}
+	ap, bp := a.Role == manager.RolePrimary, b.Role == manager.RolePrimary
+	if ap != bp {
+		return ap
+	}
+	return a.Steps > b.Steps
 }
 
 // invalidate discards cl if it is still the current connection, so the
-// next operation re-dials. Another goroutine may have reconnected
+// next operation re-elects. Another goroutine may have reconnected
 // already; its fresh connection is left alone.
 func (s *ShardClient) invalidate(cl *manager.Client) {
 	s.mu.Lock()
@@ -79,22 +220,34 @@ func connErr(err error) bool {
 	return errors.Is(err, manager.ErrConnLost) || errors.Is(err, manager.ErrSendFailed)
 }
 
+// failoverErr reports whether err should move the client to another
+// replica: a dead connection, or a live server refusing writes because
+// it is (or was deposed to) a follower.
+func failoverErr(err error) bool {
+	return connErr(err) || errors.Is(err, manager.ErrNotPrimary)
+}
+
 // retryable reports whether err may be retried on a fresh connection for
-// an operation with the given idempotency.
+// an operation with the given idempotency. ErrNotPrimary is always
+// retryable: the follower refused before doing anything.
 func retryable(err error, idempotent bool) bool {
-	if errors.Is(err, manager.ErrSendFailed) {
-		return true // the request never left this machine
+	if errors.Is(err, manager.ErrSendFailed) || errors.Is(err, manager.ErrNotPrimary) {
+		return true // the request was not processed anywhere
 	}
 	return idempotent && errors.Is(err, manager.ErrConnLost)
 }
 
-// do runs op against the current connection, reconnecting and retrying
-// once when that is safe.
+// do runs op against the current connection, failing over and retrying
+// when that is safe. A replica set gets one retry per endpoint (a full
+// failover sweep); a single server keeps the historical single retry.
 func (s *ShardClient) do(ctx context.Context, idempotent bool, op func(*manager.Client) error) error {
 	for attempt := 0; ; attempt++ {
-		cl, err := s.client()
+		cl, err := s.client(ctx)
 		if err != nil {
-			return err
+			if attempt >= len(s.addrs) || !retryable(err, idempotent) || ctx.Err() != nil {
+				return err
+			}
+			continue
 		}
 		err = op(cl)
 		if err == nil {
@@ -102,8 +255,12 @@ func (s *ShardClient) do(ctx context.Context, idempotent bool, op func(*manager.
 		}
 		if connErr(err) {
 			s.invalidate(cl)
+		} else if errors.Is(err, manager.ErrNotPrimary) {
+			// The server is alive but deposed; drop the connection and let
+			// the election find the replica that fenced it.
+			s.invalidate(cl)
 		}
-		if attempt > 0 || !retryable(err, idempotent) || ctx.Err() != nil {
+		if attempt >= len(s.addrs) || !retryable(err, idempotent) || ctx.Err() != nil {
 			return err
 		}
 	}
@@ -120,10 +277,11 @@ func (s *ShardClient) Ask(ctx context.Context, a expr.Action) (manager.Ticket, e
 	return t, err
 }
 
-// Confirm settles a granted ask. The manager treats a retried confirm of
-// its most recently confirmed ticket as success, so a confirm whose
-// reply was lost may be retried on a fresh connection without risking a
-// double commit.
+// Confirm settles a granted ask. The manager answers a retried confirm of
+// a recently settled ticket from its replicated dedup window, so a
+// confirm whose reply was lost may be retried on a fresh connection — or
+// on the follower promoted after a failover — without risking a double
+// commit.
 func (s *ShardClient) Confirm(ctx context.Context, t manager.Ticket) error {
 	return s.do(ctx, true, func(cl *manager.Client) error { return cl.Confirm(ctx, t) })
 }
@@ -141,14 +299,14 @@ func (s *ShardClient) Request(ctx context.Context, a expr.Action) error {
 // RequestMany ships a burst of atomic requests to the shard in one framed
 // multi-op message and reports one error per action. Like Request the
 // burst is not idempotent: only a send that provably never left this
-// machine is retried on a fresh connection.
+// machine (or was refused whole by a follower) is retried.
 func (s *ShardClient) RequestMany(ctx context.Context, actions []expr.Action) []error {
 	var errs []error
 	err := s.do(ctx, false, func(cl *manager.Client) error {
 		errs = cl.RequestMany(ctx, actions)
 		// Surface a transport failure (the same error in every slot) to
 		// the retry logic; per-action refusals are final results.
-		if len(errs) > 0 && errs[0] != nil && connErr(errs[0]) {
+		if len(errs) > 0 && errs[0] != nil && failoverErr(errs[0]) {
 			return errs[0]
 		}
 		return nil
@@ -162,26 +320,83 @@ func (s *ShardClient) RequestMany(ctx context.Context, actions []expr.Action) []
 	return errs
 }
 
-// Try probes a's status (idempotent: retried across reconnects).
+// Try probes a's status (idempotent: retried across reconnects). With
+// ReadFromFollowers the probe is served by a follower replica when one
+// answers, offloading the primary.
 func (s *ShardClient) Try(ctx context.Context, a expr.Action) (bool, error) {
 	var ok bool
-	err := s.do(ctx, true, func(cl *manager.Client) error {
+	op := func(cl *manager.Client) error {
 		var err error
 		ok, err = cl.Try(ctx, a)
 		return err
-	})
+	}
+	if s.readOffloaded(op) {
+		return ok, nil
+	}
+	err := s.do(ctx, true, op)
 	return ok, err
 }
 
-// Final reports whether the shard's word is complete (idempotent).
+// Final reports whether the shard's word is complete (idempotent; served
+// by a follower under ReadFromFollowers when one answers).
 func (s *ShardClient) Final(ctx context.Context) (bool, error) {
 	var fin bool
-	err := s.do(ctx, true, func(cl *manager.Client) error {
+	op := func(cl *manager.Client) error {
 		var err error
 		fin, err = cl.Final(ctx)
 		return err
-	})
+	}
+	if s.readOffloaded(op) {
+		return fin, nil
+	}
+	err := s.do(ctx, true, op)
 	return fin, err
+}
+
+// readOffloaded tries to serve a read on a follower connection and
+// reports whether it succeeded; any failure falls back to the primary
+// path (the next rotation will try another replica). The lock guards
+// only the connection swap, not the wire call — the client multiplexes,
+// so concurrent offloaded reads share the connection instead of
+// convoying behind each other.
+func (s *ShardClient) readOffloaded(op func(*manager.Client) error) bool {
+	if !s.opts.ReadFromFollowers || len(s.addrs) < 2 {
+		return false
+	}
+	s.rmu.Lock()
+	cl := s.rcl
+	if cl == nil {
+		s.mu.Lock()
+		primary := s.cur
+		s.mu.Unlock()
+		for off := 0; off < len(s.addrs); off++ {
+			idx := (s.rcur + off) % len(s.addrs)
+			if idx == primary {
+				continue // the whole point is to not bother the primary
+			}
+			c, err := manager.Dial(s.addrs[idx])
+			if err != nil {
+				continue
+			}
+			cl, s.rcl = c, c
+			s.rcur = idx + 1
+			break
+		}
+	}
+	s.rmu.Unlock()
+	if cl == nil {
+		return false
+	}
+	if err := op(cl); err != nil {
+		s.rmu.Lock()
+		if s.rcl == cl {
+			s.rcl = nil
+		}
+		s.rmu.Unlock()
+		cl.Close()
+		return false
+	}
+	return true
 }
 
 // Subscribe opens a subscription at the shard. The returned channel
@@ -209,14 +424,24 @@ func (s *ShardClient) Subscribe(ctx context.Context, a expr.Action) (<-chan mana
 	return ch, cancel, nil
 }
 
-// Close tears down the connection (a later operation would re-dial).
+// Close tears down the connections (a later operation would re-elect).
 func (s *ShardClient) Close() error {
 	s.mu.Lock()
 	cl := s.cl
 	s.cl = nil
 	s.mu.Unlock()
+	s.rmu.Lock()
+	rcl := s.rcl
+	s.rcl = nil
+	s.rmu.Unlock()
+	var firstErr error
 	if cl != nil {
-		return cl.Close()
+		firstErr = cl.Close()
 	}
-	return nil
+	if rcl != nil {
+		if err := rcl.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }

@@ -71,6 +71,10 @@ func (m *Manager) enqueue(ctx context.Context, a expr.Action) error {
 		m.mu.Unlock()
 		return ErrClosed
 	}
+	if m.role != rolePrimary {
+		m.mu.Unlock()
+		return ErrNotPrimary
+	}
 	q.wg.Add(1)
 	m.mu.Unlock()
 	defer q.wg.Done()
@@ -175,6 +179,16 @@ func (m *Manager) commitBatch(batch []commitReq) {
 			}
 			return
 		}
+		if m.role != rolePrimary {
+			// Deposed (or started as a follower): writes are refused. A
+			// batch caught by a mid-wait demotion fails the same way its
+			// requests would have individually.
+			m.mu.Unlock()
+			for _, r := range batch {
+				r.done <- ErrNotPrimary
+			}
+			return
+		}
 		m.expireLocked()
 		if !m.reserved {
 			break
@@ -208,6 +222,8 @@ func (m *Manager) commitBatch(batch []commitReq) {
 		waitCond(m.cond, waitCtx, m.timeout)
 	}
 	applied := 0
+	batchBase := uint64(m.en.Steps())
+	var appliedActs []expr.Action
 	for i, r := range batch {
 		if errs[i] != nil {
 			continue
@@ -237,7 +253,9 @@ func (m *Manager) commitBatch(batch []commitReq) {
 		m.stats.Confirms++
 		m.stats.Transits++
 		applied++
+		appliedActs = append(appliedActs, r.a)
 	}
+	var wait func() error
 	if applied > 0 {
 		if m.log != nil {
 			if err := m.log.Commit(m.syncWrites); err != nil {
@@ -254,6 +272,10 @@ func (m *Manager) commitBatch(batch []commitReq) {
 				return
 			}
 		}
+		// One replication frame per batch: the followers pay one apply pass
+		// and one durability point for the whole group commit, exactly
+		// like the primary.
+		wait = m.replicateLocked(batchBase, appliedActs, nil)
 		// One subscription sweep and at most one checkpoint per batch:
 		// subscribers observe the net effect (they are documented to only
 		// ever need the latest status), and the snapshot interval counts
@@ -263,6 +285,18 @@ func (m *Manager) commitBatch(batch []commitReq) {
 		m.maybeSnapshotLocked()
 	}
 	m.mu.Unlock()
+	if wait != nil {
+		// Sync replication: the batch is acknowledged only after every
+		// follower applied it. A failed ack makes every applied member
+		// uncertain — like a connection lost between execute and confirm.
+		if werr := wait(); werr != nil {
+			for i := range batch {
+				if errs[i] == nil {
+					errs[i] = werr
+				}
+			}
+		}
+	}
 	for i, r := range batch {
 		r.done <- errs[i]
 	}
@@ -299,6 +333,13 @@ func (m *Manager) RequestMany(ctx context.Context, actions []expr.Action) []erro
 			m.mu.Unlock()
 			for i := range errs {
 				errs[i] = ErrClosed
+			}
+			return errs
+		}
+		if m.role != rolePrimary {
+			m.mu.Unlock()
+			for i := range errs {
+				errs[i] = ErrNotPrimary
 			}
 			return errs
 		}

@@ -104,6 +104,25 @@ type Options struct {
 	// entries. Zero with a nil StateCache leaves memoization off (the
 	// seed behavior).
 	MemoCapacity int
+	// Replicas lists the wire addresses of follower servers. Every
+	// committed batch is streamed to them as a seq-numbered replication
+	// frame; a follower that falls behind (or diverged under a deposed
+	// primary) is healed with a full state snapshot. Empty disables
+	// replication (the seed behavior).
+	Replicas []string
+	// SyncReplicas makes commits wait for every follower's ack before
+	// acknowledging the client, so an acknowledged action survives any
+	// single failover; a commit whose acks fail is reported ErrUncertain.
+	// Off, acks are asynchronous — cheaper, with the classic loss window.
+	SyncReplicas bool
+	// ReplAckTimeout bounds the sync-mode ack wait and each replication
+	// round trip. Zero defaults to 5s.
+	ReplAckTimeout time.Duration
+	// Follower starts the manager as a read-only follower: client writes
+	// fail with ErrNotPrimary until Promote is called (directly or via
+	// the wire "promote" op), while Try/Final/Subscribe serve reads and
+	// replication frames keep the state current.
+	Follower bool
 	// Clock, for tests; defaults to time.Now.
 	Clock func() time.Time
 }
@@ -117,17 +136,20 @@ type Manager struct {
 	log    *ActionLog
 	closed bool
 
-	reserved      bool // a granted ask is outstanding (critical region)
-	ticket        Ticket
-	reservedAct   expr.Action
-	reservedAt    time.Time
-	nextTicket    Ticket
-	lastConfirmed Ticket // most recently confirmed ticket (idempotent retry)
-	timeout       time.Duration
-	clock         func() time.Time
-	stats         Stats
-	nextSubID     uint64
-	subs          map[uint64]*subEntry
+	reserved    bool // a granted ask is outstanding (critical region)
+	ticket      Ticket
+	reservedAct expr.Action
+	reservedAt  time.Time
+	nextTicket  Ticket        // ticket counter (low bits; the epoch fills the high bits)
+	confirmed   *ticketWindow // recently confirmed tickets (idempotent retry dedup)
+	role        role          // primary (accepts writes) or follower (replica)
+	epoch       uint64        // promotion epoch (replication fencing token)
+	commitEpoch uint64        // epoch of the most recent commit (log matching)
+	timeout     time.Duration
+	clock       func() time.Time
+	stats       Stats
+	nextSubID   uint64
+	subs        map[uint64]*subEntry
 
 	snapPath  string
 	snapEvery int
@@ -137,6 +159,7 @@ type Manager struct {
 	syncWrites bool
 	batch      *commitQueue // non-nil iff group commit is enabled
 	cache      *state.Cache // non-nil iff memoization is enabled
+	repl       *replicator  // non-nil iff replication is enabled
 }
 
 type subEntry struct {
@@ -147,15 +170,17 @@ type subEntry struct {
 
 // Stats counts protocol traffic for the experiments of Sec 7 (E13/E15).
 type Stats struct {
-	Asks      int // ask messages received
-	Tries     int // pure status probes
-	Grants    int // positive replies
-	Denies    int // negative replies
-	Confirms  int
-	Aborts    int // explicit aborts plus reservation timeouts
-	Informs   int // subscription notifications sent
-	Transits  int // committed state transitions
-	Snapshots int // checkpoints written
+	Asks        int // ask messages received
+	Tries       int // pure status probes
+	Grants      int // positive replies
+	Denies      int // negative replies
+	Confirms    int
+	Aborts      int // explicit aborts plus reservation timeouts
+	Informs     int // subscription notifications sent
+	Transits    int // committed state transitions
+	Snapshots   int // checkpoints written
+	ReplFrames  int // replication frames applied (follower side)
+	ReplResyncs int // full snapshot resyncs installed (follower side)
 }
 
 // New creates a manager for e, recovering from the action log if one is
@@ -168,6 +193,10 @@ func New(e *expr.Expr, opts Options) (*Manager, error) {
 		snapPath:   opts.SnapshotPath,
 		snapEvery:  opts.SnapshotEvery,
 		syncWrites: opts.SyncWrites,
+		confirmed:  newTicketWindow(),
+	}
+	if opts.Follower {
+		m.role = roleFollower
 	}
 	m.cond = sync.NewCond(&m.mu)
 	if m.clock == nil {
@@ -240,6 +269,11 @@ func New(e *expr.Expr, opts Options) (*Manager, error) {
 		m.batch = newCommitQueue(opts.BatchMaxSize, opts.BatchMaxDelay)
 		go m.committer()
 	}
+	// The replicator exists even on a follower: the streams idle until a
+	// promotion makes this node publish commits of its own.
+	if len(opts.Replicas) > 0 {
+		m.repl = newReplicator(m, opts.Replicas, opts.SyncReplicas, opts.ReplAckTimeout)
+	}
 	return m, nil
 }
 
@@ -277,6 +311,9 @@ func (m *Manager) Ask(ctx context.Context, a expr.Action) (Ticket, error) {
 		if m.closed {
 			return 0, ErrClosed
 		}
+		if m.role != rolePrimary {
+			return 0, ErrNotPrimary
+		}
 		m.expireLocked()
 		if !m.reserved {
 			break
@@ -294,7 +331,7 @@ func (m *Manager) Ask(ctx context.Context, a expr.Action) (Ticket, error) {
 	}
 	m.reserved = true
 	m.nextTicket++
-	m.ticket = m.nextTicket
+	m.ticket = makeTicket(m.epoch, uint64(m.nextTicket))
 	m.reservedAct = a
 	m.reservedAt = m.clock()
 	m.stats.Grants++
@@ -327,43 +364,67 @@ func timerC(d time.Duration) <-chan time.Time {
 
 // Confirm implements steps 4+5: the client executed the action; the
 // manager performs the state transition, leaves the critical region and
-// notifies subscribers whose action status flipped.
+// notifies subscribers whose action status flipped. Under SyncReplicas
+// the reply additionally waits for every follower's ack.
 func (m *Manager) Confirm(t Ticket) error {
+	wait, err := m.confirmSettle(t)
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		return wait()
+	}
+	return nil
+}
+
+func (m *Manager) confirmSettle(t Ticket) (func() error, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	m.expireLocked()
-	if !m.reserved || m.ticket != t {
+	if !m.reserved || m.ticket != t || m.role != rolePrimary {
 		// Idempotent retry: a client whose connection died after the
 		// confirm was applied but before the reply arrived may retry; the
-		// commit must not be reported as unknown (or applied twice).
-		if t != 0 && t == m.lastConfirmed {
-			return nil
+		// commit must not be reported as unknown (or applied twice). The
+		// dedup window is replicated, so the retry may even land on the
+		// follower promoted after the confirming primary died.
+		if t != 0 && m.confirmed.has(t) {
+			return nil, nil
 		}
-		return ErrUnknownTicket
+		// A non-primary answers ErrNotPrimary, not ErrUnknownTicket: a
+		// deposed primary dropped its reservations on demotion, and only
+		// this answer makes the settling client fail over to the replica
+		// that fenced it (where the ticket is either in the window or
+		// genuinely resumable).
+		if m.role != rolePrimary {
+			return nil, ErrNotPrimary
+		}
+		return nil, ErrUnknownTicket
 	}
 	a := m.reservedAct
 	if m.log != nil {
 		if err := m.appendDurable(a); err != nil {
-			return err
+			return nil, err
 		}
 	}
+	base := uint64(m.en.Steps())
 	if err := m.en.Step(a); err != nil {
 		// Cannot happen: the state did not change since the grant.
 		m.reserved = false
 		m.cond.Broadcast()
-		return err
+		return nil, err
 	}
 	m.stats.Confirms++
 	m.stats.Transits++
 	m.reserved = false
-	m.lastConfirmed = t
+	m.confirmed.add(t)
+	wait := m.replicateLocked(base, []expr.Action{a}, []Ticket{t})
 	m.notifyLocked()
 	m.maybeSnapshotLocked()
 	m.cond.Broadcast()
-	return nil
+	return wait, nil
 }
 
 // Abort implements the negative outcome of step 3: the client could not
@@ -394,40 +455,56 @@ func (m *Manager) Request(ctx context.Context, a expr.Action) error {
 	if m.batch != nil {
 		return m.enqueue(ctx, a)
 	}
+	wait, err := m.requestSettle(ctx, a)
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		return wait()
+	}
+	return nil
+}
+
+func (m *Manager) requestSettle(ctx context.Context, a expr.Action) (func() error, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Asks++
 	for {
 		if m.closed {
-			return ErrClosed
+			return nil, ErrClosed
+		}
+		if m.role != rolePrimary {
+			return nil, ErrNotPrimary
 		}
 		m.expireLocked()
 		if !m.reserved {
 			break
 		}
 		if err := ctx.Err(); err != nil {
-			return err
+			return nil, err
 		}
 		waitCond(m.cond, ctx, m.timeout)
 	}
 	if !m.en.Try(a) {
 		m.stats.Denies++
-		return fmt.Errorf("%w: %s", ErrDenied, a)
+		return nil, fmt.Errorf("%w: %s", ErrDenied, a)
 	}
 	if m.log != nil {
 		if err := m.appendDurable(a); err != nil {
-			return err
+			return nil, err
 		}
 	}
+	base := uint64(m.en.Steps())
 	if err := m.en.Step(a); err != nil {
-		return err
+		return nil, err
 	}
 	m.stats.Grants++
 	m.stats.Confirms++
 	m.stats.Transits++
+	wait := m.replicateLocked(base, []expr.Action{a}, nil)
 	m.notifyLocked()
 	m.maybeSnapshotLocked()
-	return nil
+	return wait, nil
 }
 
 // appendDurable writes one confirmed action through the log's per-action
@@ -574,6 +651,12 @@ func (m *Manager) Close() error {
 		// stopped between the unlock and the relock.
 		close(m.batch.stop)
 		<-m.batch.stopped
+	}
+	if m.repl != nil {
+		// Streams settle or fail their queued frames; un-shipped frames are
+		// lost like any async-replication backlog (followers resync from the
+		// persistent state on the next contact).
+		m.repl.close()
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -35,6 +35,19 @@ type wireMsg struct {
 	// a single encode/decode and a single socket write each way.
 	Acts []string `json:"acts,omitempty"`
 	Errs []string `json:"errors,omitempty"`
+	// Replication fields (the replicate/replicate_ack/promote/role ops).
+	// A replicate message reuses Acts for the frame's actions; Seq is the
+	// commit position (frame base, or the replica's steps in an ack), Tks
+	// carries per-action tickets, and a non-nil Snap turns the frame into
+	// a full state snapshot (Seq = steps, Prev = commit epoch, Ctr =
+	// ticket counter, Tks = confirmed-ticket dedup window).
+	Epoch uint64          `json:"epoch,omitempty"`
+	Prev  uint64          `json:"prev_epoch,omitempty"`
+	Seq   uint64          `json:"seq,omitempty"`
+	Ctr   uint64          `json:"counter,omitempty"`
+	Tks   []uint64        `json:"tks,omitempty"`
+	Snap  json.RawMessage `json:"snap,omitempty"`
+	Role  string          `json:"role,omitempty"`
 }
 
 // Wire operation names.
@@ -50,6 +63,11 @@ const (
 	opFinal       = "final"
 	opReply       = "reply"
 	opInform      = "inform"
+	// Replication ops (primary ↔ follower, plus failover control).
+	opReplicate    = "replicate"
+	opReplicateAck = "replicate_ack"
+	opPromote      = "promote"
+	opRole         = "role"
 )
 
 // serverAskTimeout bounds how long a network ask may wait for the
@@ -95,6 +113,88 @@ type BatchRequester interface {
 	RequestMany(ctx context.Context, actions []expr.Action) []error
 }
 
+// --- replication frame codecs -------------------------------------------
+//
+// The frame ⇄ wireMsg translation is factored out (rather than inlined in
+// the client and server) so FuzzReplicationFrame can round-trip the exact
+// encoding the protocol uses.
+
+// encodeReplFrame renders a replication frame as a wire message.
+func encodeReplFrame(f ReplFrame) wireMsg {
+	msg := wireMsg{Op: opReplicate, Epoch: f.Epoch, Prev: f.PrevEpoch, Seq: f.Base}
+	msg.Acts = make([]string, len(f.Actions))
+	for i, a := range f.Actions {
+		msg.Acts[i] = a.String()
+	}
+	// All-zero ticket lists (batch commits) are elided from the wire.
+	for _, t := range f.Tickets {
+		if t != 0 {
+			msg.Tks = make([]uint64, len(f.Tickets))
+			for j, tj := range f.Tickets {
+				msg.Tks[j] = uint64(tj)
+			}
+			break
+		}
+	}
+	return msg
+}
+
+// decodeReplFrame parses a replicate wire message back into a frame. Any
+// malformed element is an error — a follower must never guess at a frame.
+func decodeReplFrame(msg wireMsg) (ReplFrame, error) {
+	f := ReplFrame{Epoch: msg.Epoch, PrevEpoch: msg.Prev, Base: msg.Seq}
+	if len(msg.Tks) != 0 && len(msg.Tks) != len(msg.Acts) {
+		return ReplFrame{}, fmt.Errorf("manager: replication frame has %d tickets for %d actions", len(msg.Tks), len(msg.Acts))
+	}
+	f.Actions = make([]expr.Action, len(msg.Acts))
+	for i, s := range msg.Acts {
+		a, err := expr.ParseActionString(s)
+		if err != nil {
+			return ReplFrame{}, fmt.Errorf("manager: replication frame action %d: %w", i, err)
+		}
+		f.Actions[i] = a
+	}
+	if len(msg.Tks) != 0 {
+		f.Tickets = make([]Ticket, len(msg.Tks))
+		for i, t := range msg.Tks {
+			f.Tickets[i] = Ticket(t)
+		}
+	}
+	return f, nil
+}
+
+// encodeReplSnapshot renders a full state sync as a wire message.
+func encodeReplSnapshot(s ReplSnapshot) wireMsg {
+	msg := wireMsg{Op: opReplicate, Epoch: s.Epoch, Prev: s.CommitEpoch, Seq: s.Steps, Ctr: s.Counter, Snap: s.Engine}
+	if len(s.Recent) > 0 {
+		msg.Tks = make([]uint64, len(s.Recent))
+		for i, t := range s.Recent {
+			msg.Tks[i] = uint64(t)
+		}
+	}
+	if len(msg.Snap) == 0 {
+		// A snapshot is distinguished from an incremental frame by a
+		// non-nil Snap; an empty engine payload must still mark itself.
+		msg.Snap = json.RawMessage("null")
+	}
+	return msg
+}
+
+// decodeReplSnapshot parses a snapshot wire message.
+func decodeReplSnapshot(msg wireMsg) (ReplSnapshot, error) {
+	if len(msg.Acts) != 0 {
+		return ReplSnapshot{}, errors.New("manager: replication snapshot carries actions")
+	}
+	s := ReplSnapshot{Epoch: msg.Epoch, CommitEpoch: msg.Prev, Steps: msg.Seq, Counter: msg.Ctr, Engine: msg.Snap}
+	if len(msg.Tks) > 0 {
+		s.Recent = make([]Ticket, len(msg.Tks))
+		for i, t := range msg.Tks {
+			s.Recent[i] = Ticket(t)
+		}
+	}
+	return s, nil
+}
+
 // coordAdapter lifts a Manager to the Coordinator surface.
 type coordAdapter struct{ m *Manager }
 
@@ -116,6 +216,16 @@ func (c coordAdapter) Final(ctx context.Context) (bool, error) { return c.m.Fina
 func (c coordAdapter) Subscribe(a expr.Action) (<-chan Inform, func(), error) {
 	sub := c.m.Subscribe(a)
 	return sub.C, func() { c.m.Unsubscribe(sub) }, nil
+}
+func (c coordAdapter) ApplyReplicated(ctx context.Context, f ReplFrame) (ReplStatus, error) {
+	return c.m.ApplyReplicated(f)
+}
+func (c coordAdapter) InstallReplSnapshot(ctx context.Context, s ReplSnapshot) (ReplStatus, error) {
+	return c.m.InstallReplSnapshot(s)
+}
+func (c coordAdapter) Promote(ctx context.Context) (uint64, error) { return c.m.Promote() }
+func (c coordAdapter) ReplStatus(ctx context.Context) (ReplStatus, error) {
+	return c.m.Status(), nil
 }
 
 // CoordinatorFor returns the Coordinator view of a local manager.
@@ -365,6 +475,58 @@ func (s *Server) handle(req wireMsg, subs map[uint64]func(), subMu *sync.Mutex, 
 		}
 		cancel()
 		resp.OK = true
+	case opReplicate:
+		rt, ok := s.co.(ReplicaTarget)
+		if !ok {
+			return fail(errors.New("manager: coordinator does not accept replication"))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
+		defer cancel()
+		var st ReplStatus
+		var err error
+		if req.Snap != nil {
+			var snap ReplSnapshot
+			if snap, err = decodeReplSnapshot(req); err == nil {
+				st, err = rt.InstallReplSnapshot(ctx, snap)
+			}
+		} else {
+			var frame ReplFrame
+			if frame, err = decodeReplFrame(req); err == nil {
+				st, err = rt.ApplyReplicated(ctx, frame)
+			}
+		}
+		// The ack always reports the replica's identity, so a deposed
+		// sender learns the epoch that fenced it and a gapped stream
+		// learns the follower's position.
+		resp.Op = opReplicateAck
+		resp.Role, resp.Epoch, resp.Seq = st.Role, st.Epoch, st.Steps
+		if err != nil {
+			resp.Err = err.Error()
+			return resp, false
+		}
+		resp.OK = true
+	case opPromote:
+		rt, ok := s.co.(ReplicaTarget)
+		if !ok {
+			return fail(errors.New("manager: coordinator does not accept promotion"))
+		}
+		epoch, err := rt.Promote(context.Background())
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Epoch = epoch
+	case opRole:
+		rt, ok := s.co.(ReplicaTarget)
+		if !ok {
+			return fail(errors.New("manager: coordinator has no replication role"))
+		}
+		st, err := rt.ReplStatus(context.Background())
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Role, resp.Epoch, resp.Seq = st.Role, st.Epoch, st.Steps
 	default:
 		return fail(fmt.Errorf("manager: unknown op %q", req.Op))
 	}
@@ -543,7 +705,8 @@ func (c *Client) callOK(ctx context.Context, req wireMsg) (wireMsg, error) {
 // cluster gateway relies on telling a denial (roll back and report) from
 // an infrastructure failure (reconnect).
 func wireError(msg string) error {
-	for _, sentinel := range []error{ErrDenied, ErrUnknownTicket, ErrClosed} {
+	for _, sentinel := range []error{ErrDenied, ErrUnknownTicket, ErrClosed,
+		ErrNotPrimary, ErrStaleEpoch, ErrReplGap, ErrUncertain} {
 		s := sentinel.Error()
 		if msg == s {
 			return sentinel
@@ -628,6 +791,52 @@ func (c *Client) Final(ctx context.Context) (bool, error) {
 		return false, err
 	}
 	return resp.Final, nil
+}
+
+// Replicate ships one replication frame to a follower and returns its
+// ack. The status is meaningful even on error: ErrStaleEpoch carries the
+// epoch that fenced the sender, ErrReplGap the follower's position.
+func (c *Client) Replicate(ctx context.Context, f ReplFrame) (ReplStatus, error) {
+	return c.replicate(ctx, encodeReplFrame(f))
+}
+
+// ReplicateSnapshot ships a full state sync to a follower.
+func (c *Client) ReplicateSnapshot(ctx context.Context, s ReplSnapshot) (ReplStatus, error) {
+	return c.replicate(ctx, encodeReplSnapshot(s))
+}
+
+func (c *Client) replicate(ctx context.Context, msg wireMsg) (ReplStatus, error) {
+	resp, err := c.call(ctx, msg)
+	st := ReplStatus{Role: resp.Role, Epoch: resp.Epoch, Steps: resp.Seq}
+	if err != nil {
+		return st, err
+	}
+	if !resp.OK {
+		if resp.Err == "" {
+			return st, errors.New("manager: replicate failed")
+		}
+		return st, wireError(resp.Err)
+	}
+	return st, nil
+}
+
+// Promote asks the remote manager to become the primary of a new epoch
+// (a no-op returning the current epoch if it already is one).
+func (c *Client) Promote(ctx context.Context) (uint64, error) {
+	resp, err := c.callOK(ctx, wireMsg{Op: opPromote})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// Role reports the remote manager's replication identity.
+func (c *Client) Role(ctx context.Context) (ReplStatus, error) {
+	resp, err := c.callOK(ctx, wireMsg{Op: opRole})
+	if err != nil {
+		return ReplStatus{}, err
+	}
+	return ReplStatus{Role: resp.Role, Epoch: resp.Epoch, Steps: resp.Seq}, nil
 }
 
 // Subscribe opens a remote subscription for the action.

@@ -1,0 +1,135 @@
+package manager
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// FuzzReplicationFrame round-trips the replication wire codec, mirroring
+// FuzzParsePrint for the new ops: any frame or snapshot the primary can
+// encode must decode back identical after a real JSON wire trip (the
+// follower must apply exactly what the primary committed — a frame that
+// morphs in transit is a silent divergence), and no hostile wire message,
+// however mangled, may panic the decoder.
+//
+// The input encodes both message kinds: snap selects the snapshot form;
+// actsCSV is a ';'-separated action list (invalid entries are dropped for
+// the encode direction and fed raw to the decoder in the hostile phase);
+// tksSeed != 0 attaches tickets i+tksSeed to the actions.
+func FuzzReplicationFrame(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(42), "a;b(p1);call(p1,v2)", uint64(7), false, uint64(3), []byte(`{"k":"s"}`))
+	f.Add(uint64(2), uint64(2), uint64(0), "approve", uint64(0), false, uint64(0), []byte(``))
+	f.Add(uint64(9), uint64(8), uint64(1000), "", uint64(1), true, uint64(500), []byte(`{"v":2,"root":{"op":"atom"}}`))
+	f.Add(uint64(0), uint64(0), uint64(0), "x()", uint64(0), true, uint64(0), []byte(`not-json`))
+	f.Add(uint64(3), uint64(1), uint64(5), "a;;;b;()bad(", uint64(2), false, uint64(0), []byte(`null`))
+
+	f.Fuzz(func(t *testing.T, epoch, prev, base uint64, actsCSV string, tksSeed uint64, snap bool, ctr uint64, engine []byte) {
+		if len(actsCSV) > 2048 || len(engine) > 4096 {
+			t.Skip("oversized input")
+		}
+		var actions []expr.Action
+		var rawActs []string
+		for _, s := range strings.Split(actsCSV, ";") {
+			rawActs = append(rawActs, s)
+			if a, err := expr.ParseActionString(s); err == nil {
+				actions = append(actions, a)
+			}
+		}
+
+		if snap {
+			// Snapshot form. The engine payload must be valid JSON to be
+			// embeddable (the real sender marshals it, so it always is);
+			// normalize hostile bytes the way the codec does for nil.
+			raw := json.RawMessage(engine)
+			if !json.Valid(engine) {
+				raw = nil
+			}
+			s := ReplSnapshot{Epoch: epoch, CommitEpoch: prev, Steps: base, Counter: ctr, Engine: raw}
+			if tksSeed != 0 {
+				for i := range actions {
+					s.Recent = append(s.Recent, Ticket(tksSeed+uint64(i)))
+				}
+			}
+			roundTrip(t, encodeReplSnapshot(s), func(msg wireMsg) {
+				got, err := decodeReplSnapshot(msg)
+				if err != nil {
+					t.Fatalf("decode of own snapshot encoding failed: %v", err)
+				}
+				if got.Epoch != s.Epoch || got.CommitEpoch != s.CommitEpoch || got.Steps != s.Steps || got.Counter != s.Counter {
+					t.Fatalf("snapshot header changed: sent %+v got %+v", s, got)
+				}
+				if len(got.Recent) != len(s.Recent) {
+					t.Fatalf("snapshot window changed: sent %d got %d tickets", len(s.Recent), len(got.Recent))
+				}
+				for i := range got.Recent {
+					if got.Recent[i] != s.Recent[i] {
+						t.Fatalf("snapshot ticket %d changed: %d != %d", i, got.Recent[i], s.Recent[i])
+					}
+				}
+			})
+		} else {
+			fr := ReplFrame{Epoch: epoch, PrevEpoch: prev, Base: base, Actions: actions}
+			if tksSeed != 0 {
+				for i := range actions {
+					fr.Tickets = append(fr.Tickets, Ticket(tksSeed+uint64(i)))
+				}
+			}
+			roundTrip(t, encodeReplFrame(fr), func(msg wireMsg) {
+				got, err := decodeReplFrame(msg)
+				if err != nil {
+					t.Fatalf("decode of own frame encoding failed: %v", err)
+				}
+				if got.Epoch != fr.Epoch || got.PrevEpoch != fr.PrevEpoch || got.Base != fr.Base {
+					t.Fatalf("frame header changed: sent %+v got %+v", fr, got)
+				}
+				if len(got.Actions) != len(fr.Actions) {
+					t.Fatalf("frame action count changed: %d != %d", len(got.Actions), len(fr.Actions))
+				}
+				for i := range got.Actions {
+					// The action's canonical string is its wire identity
+					// (print→parse is the identity, proven by FuzzParsePrint).
+					if got.Actions[i].String() != fr.Actions[i].String() {
+						t.Fatalf("action %d changed: %q != %q", i, got.Actions[i], fr.Actions[i])
+					}
+				}
+				if len(got.Tickets) != len(fr.Tickets) {
+					t.Fatalf("ticket count changed: %d != %d", len(got.Tickets), len(fr.Tickets))
+				}
+				for i := range got.Tickets {
+					if got.Tickets[i] != fr.Tickets[i] {
+						t.Fatalf("ticket %d changed", i)
+					}
+				}
+			})
+		}
+
+		// Hostile phase: raw, unvalidated wire messages must be rejected
+		// or accepted — never panic. The tickets-length mismatch and the
+		// unparseable actions both go through here.
+		hostile := wireMsg{Op: opReplicate, Epoch: epoch, Prev: prev, Seq: base, Acts: rawActs}
+		if tksSeed != 0 {
+			hostile.Tks = []uint64{tksSeed}
+		}
+		_, _ = decodeReplFrame(hostile)
+		hostile.Snap = json.RawMessage(engine)
+		_, _ = decodeReplSnapshot(hostile)
+	})
+}
+
+// roundTrip sends msg through the actual wire representation (JSON) and
+// hands the revived message to check.
+func roundTrip(t *testing.T, msg wireMsg, check func(wireMsg)) {
+	t.Helper()
+	buf, err := json.Marshal(msg)
+	if err != nil {
+		t.Fatalf("wire marshal failed: %v", err)
+	}
+	var got wireMsg
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatalf("wire unmarshal failed: %v", err)
+	}
+	check(got)
+}

@@ -25,12 +25,16 @@ import (
 // with seq > snapshot.Steps, so a crash between snapshot write and log
 // truncation double-applies nothing.
 
-// managerSnap is the on-disk snapshot format.
+// managerSnap is the on-disk snapshot format. Epoch and CommitEpoch were
+// added with replication; absent fields decode to zero, which is exactly
+// the pre-replication epoch, so version-1 snapshots stay readable.
 type managerSnap struct {
-	V          int             `json:"v"`
-	NextTicket uint64          `json:"next_ticket"`
-	Reserved   *reservedSnap   `json:"reserved,omitempty"`
-	Engine     json.RawMessage `json:"engine"`
+	V           int             `json:"v"`
+	NextTicket  uint64          `json:"next_ticket"`
+	Epoch       uint64          `json:"epoch,omitempty"`
+	CommitEpoch uint64          `json:"commit_epoch,omitempty"`
+	Reserved    *reservedSnap   `json:"reserved,omitempty"`
+	Engine      json.RawMessage `json:"engine"`
 }
 
 // reservedSnap persists an outstanding reservation (a granted ask not yet
@@ -55,7 +59,8 @@ func (m *Manager) snapshotLocked() error {
 	if err != nil {
 		return fmt.Errorf("manager: snapshot: %w", err)
 	}
-	snap := managerSnap{V: snapVersion, NextTicket: uint64(m.nextTicket), Engine: eng}
+	snap := managerSnap{V: snapVersion, NextTicket: uint64(m.nextTicket),
+		Epoch: m.epoch, CommitEpoch: m.commitEpoch, Engine: eng}
 	if m.reserved {
 		snap.Reserved = &reservedSnap{
 			Ticket: uint64(m.ticket),
@@ -159,6 +164,8 @@ func restoreFromSnapshot(e *expr.Expr, path string) (*state.Engine, *managerSnap
 // configured timeout) is dropped immediately.
 func (m *Manager) applySnapshotMeta(snap *managerSnap) {
 	m.nextTicket = Ticket(snap.NextTicket)
+	m.epoch = snap.Epoch
+	m.commitEpoch = snap.CommitEpoch
 	if r := snap.Reserved; r != nil {
 		at := time.Unix(0, r.At)
 		if m.timeout > 0 && m.clock().Sub(at) >= m.timeout {

@@ -2,6 +2,7 @@ package manager
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -257,7 +258,10 @@ func TestConfirmIdempotentRetry(t *testing.T) {
 	if got := m.Steps(); got != 1 {
 		t.Fatalf("steps after retry: got %d want 1 (double apply)", got)
 	}
-	// Older or unknown tickets still fail.
+	// A retry of an older settled ticket is still answered from the dedup
+	// window — success, with no second transition. (Before replication
+	// this was a single-slot check and superseded tickets failed; the
+	// window widens the idempotence without ever double-applying.)
 	tk2, err := m.Ask(bg, act("b"))
 	if err != nil {
 		t.Fatal(err)
@@ -265,7 +269,14 @@ func TestConfirmIdempotentRetry(t *testing.T) {
 	if err := m.Confirm(tk2); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Confirm(tk); err == nil {
-		t.Fatal("confirm of a superseded ticket should fail")
+	if err := m.Confirm(tk); err != nil {
+		t.Fatalf("confirm retry of an older settled ticket: %v", err)
+	}
+	if got := m.Steps(); got != 2 {
+		t.Fatalf("steps after older retry: got %d want 2 (double apply)", got)
+	}
+	// Tickets never granted still fail.
+	if err := m.Confirm(tk + 999); !errors.Is(err, ErrUnknownTicket) {
+		t.Fatalf("confirm of an unknown ticket: %v", err)
 	}
 }

@@ -96,8 +96,17 @@ type (
 	// Gateway coordinates a coupled expression across remote shard
 	// servers (the distributed scale-out of Sec 7).
 	Gateway = cluster.Gateway
-	// ShardClient is a reconnecting wire client for one shard server.
+	// GatewayOptions configure a replicated gateway.
+	GatewayOptions = cluster.GatewayOptions
+	// ShardClient is a reconnecting, failing-over wire client for one
+	// shard — a single server or an ordered replica set.
 	ShardClient = cluster.ShardClient
+	// ShardOptions configure a replica-set shard client.
+	ShardOptions = cluster.ShardOptions
+	// ReplStatus identifies a replica: role, epoch and commit position.
+	ReplStatus = manager.ReplStatus
+	// ReplFrame is one replicated commit frame.
+	ReplFrame = manager.ReplFrame
 )
 
 // Word verdicts (Fig 9 of the paper).
@@ -117,6 +126,11 @@ var (
 	ErrConnLost = manager.ErrConnLost
 	// ErrSendFailed reports a request that never left this machine.
 	ErrSendFailed = manager.ErrSendFailed
+	// ErrNotPrimary reports a write sent to a follower (or deposed) replica.
+	ErrNotPrimary = manager.ErrNotPrimary
+	// ErrUncertain reports a commit applied locally whose replication acks
+	// failed under SyncReplicas — the outcome is unknown to the client.
+	ErrUncertain = manager.ErrUncertain
 )
 
 // --- building expressions ---------------------------------------------
@@ -302,8 +316,19 @@ func NewGateway(e *Expr, addrs []string) (*Gateway, error) {
 	return cluster.NewGateway(e, addrs)
 }
 
+// NewReplicatedGateway builds a gateway whose i-th coupling operand is
+// served by the ordered replica set replicas[i], with automatic failover
+// and follower promotion.
+func NewReplicatedGateway(e *Expr, replicas [][]string, opts GatewayOptions) (*Gateway, error) {
+	return cluster.NewReplicatedGateway(e, replicas, opts)
+}
+
 // NewShardClient returns a reconnecting client for one shard server.
 var NewShardClient = cluster.NewShardClient
+
+// NewShardClientSet returns a failing-over client for an ordered shard
+// replica set.
+var NewShardClientSet = cluster.NewShardClientSet
 
 // PartitionCoupling splits a coupled expression into its shard operands.
 func PartitionCoupling(e *Expr) []*Expr { return cluster.Partition(e) }
