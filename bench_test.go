@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -694,6 +695,121 @@ func BenchmarkGatewayFailover(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "confirms/s")
+	})
+}
+
+// --- E24: live shard migration ---------------------------------------------
+
+// BenchmarkShardMigration (E24): the ask/confirm path of a replicated
+// shard at steady state versus while live migrations run continuously —
+// the primary ping-pongs between the two replicas, so the measured
+// window keeps hitting drain windows, route-table updates and
+// epoch-fencing promotions. Both variants report confirms/s and the p99
+// request latency; every request must succeed (drain windows are waited
+// out, never surfaced). CI gates the migrating variant at ≤2x
+// degradation of the steady confirm rate.
+func BenchmarkShardMigration(b *testing.B) {
+	type node struct {
+		m   *manager.Manager
+		srv *manager.Server
+	}
+	setup := func(b *testing.B) (*cluster.Gateway, []string) {
+		e := ix.MustParse("(a | b)*")
+		const replicas = 2
+		lns := make([]net.Listener, replicas)
+		addrs := make([]string, replicas)
+		for i := range lns {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			lns[i], addrs[i] = ln, ln.Addr().String()
+		}
+		for i := 0; i < replicas; i++ {
+			o := manager.Options{SyncReplicas: true, Follower: i != 0}
+			for j, a := range addrs {
+				if j != i {
+					o.Replicas = append(o.Replicas, a)
+				}
+			}
+			m := manager.MustNew(e, o)
+			n := &node{m: m, srv: manager.NewServer(m, lns[i])}
+			b.Cleanup(func() { n.srv.Close(); n.m.Close() })
+		}
+		gw, err := cluster.NewReplicatedGateway(e, [][]string{addrs}, cluster.GatewayOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { gw.Close() })
+		if err := gw.Ping(bg); err != nil {
+			b.Fatal(err)
+		}
+		return gw, addrs
+	}
+	// run measures per-request latency serially, reporting throughput and
+	// p99 — the number the migration must not degrade by more than 2x.
+	run := func(b *testing.B, gw *cluster.Gateway) {
+		a := expr.ConcreteAct("a")
+		lats := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx, cancel := context.WithTimeout(bg, 30*time.Second)
+			t0 := time.Now()
+			err := gw.Request(ctx, a)
+			lats = append(lats, time.Since(t0))
+			cancel()
+			if err != nil {
+				b.Fatalf("request %d: %v", i, err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "confirms/s")
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		idx := len(lats) * 99 / 100
+		if idx >= len(lats) {
+			idx = len(lats) - 1
+		}
+		b.ReportMetric(float64(lats[idx].Microseconds()), "p99-us")
+	}
+	b.Run("steady", func(b *testing.B) {
+		gw, _ := setup(b)
+		run(b, gw)
+	})
+	b.Run("migrating", func(b *testing.B) {
+		gw, addrs := setup(b)
+		reb := gw.Rebalancer()
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			// Ping-pong the primary: the target of each migration is the
+			// node that is currently the follower.
+			for target := 1; ; target = 1 - target {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(bg, 30*time.Second)
+				err := reb.MigrateShard(ctx, 0, addrs[target], cluster.MigrateOptions{})
+				cancel()
+				if err != nil {
+					b.Errorf("migration: %v", err)
+					return
+				}
+				// Breathe between migrations: back-to-back drains would
+				// measure nothing but the drain window itself; real
+				// rebalancing migrates a shard, not a metronome.
+				select {
+				case <-stop:
+					return
+				case <-time.After(50 * time.Millisecond):
+				}
+			}
+		}()
+		run(b, gw)
+		close(stop)
+		<-done
 	})
 }
 

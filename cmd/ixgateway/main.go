@@ -20,10 +20,24 @@
 //	ixmanager -e '(submit - approve)*' -addr :7441 -follower &
 //	ixgateway -e '(submit - approve)* @ (approve - exec)*' \
 //	          -shards 127.0.0.1:7431/127.0.0.1:7441,127.0.0.1:7432 -addr :7430
+//
+// With -admin the gateway additionally serves a JSON-lines admin
+// endpoint for elastic rebalancing: live shard migration and topology
+// inspection, no restart required. One request per line:
+//
+//	{"op":"topology"}
+//	{"op":"migrate","shard":0,"target":"127.0.0.1:7451","retire":true}
+//
+// The target must already run as a follower (ixmanager -follower) for
+// the shard's operand. The migration drains the source, promotes the
+// target into a fresh epoch and repoints the gateway's route table —
+// in-flight client traffic keeps working throughout.
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -42,6 +56,7 @@ func main() {
 		shardCSV  = flag.String("shards", "", "comma-separated shard addresses, one per coupling operand; separate replica addresses within a shard with '/'")
 		addr      = flag.String("addr", "127.0.0.1:7430", "listen address")
 		readRepls = flag.Bool("read-followers", false, "serve Try probes from follower replicas")
+		adminAddr = flag.String("admin", "", "serve the JSON-lines admin endpoint (migrate/topology) on this address")
 	)
 	flag.Parse()
 
@@ -95,10 +110,79 @@ func main() {
 		fmt.Printf("  shard %d at %s: %s\n", i, strings.Join(replicas[i], "/"), p)
 	}
 
+	if *adminAddr != "" {
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer aln.Close()
+		go serveAdmin(aln, gw)
+		fmt.Printf("ixgateway: admin endpoint on %s\n", aln.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Println("ixgateway: shutting down")
+}
+
+// adminMsg is one admin request or reply (JSON lines, one per op).
+type adminMsg struct {
+	Op     string `json:"op"`
+	Shard  int    `json:"shard,omitempty"`
+	Target string `json:"target,omitempty"`
+	Retire bool   `json:"retire,omitempty"`
+
+	OK       bool               `json:"ok,omitempty"`
+	Err      string             `json:"error,omitempty"`
+	Topology []ix.ShardTopology `json:"topology,omitempty"`
+}
+
+// serveAdmin answers migrate/topology requests, one JSON line each.
+func serveAdmin(ln net.Listener, gw *ix.Gateway) {
+	reb := gw.Rebalancer()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			enc := json.NewEncoder(conn)
+			dec := json.NewDecoder(bufio.NewReader(conn))
+			for {
+				var req adminMsg
+				if err := dec.Decode(&req); err != nil {
+					return
+				}
+				resp := adminMsg{Op: req.Op}
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				switch req.Op {
+				case "topology":
+					tops, err := reb.Topology(ctx)
+					resp.Topology = tops
+					if err != nil {
+						resp.Err = err.Error()
+					} else {
+						resp.OK = true
+					}
+				case "migrate":
+					if err := reb.MigrateShard(ctx, req.Shard, req.Target,
+						ix.MigrateOptions{Retire: req.Retire}); err != nil {
+						resp.Err = err.Error()
+					} else {
+						resp.OK = true
+					}
+				default:
+					resp.Err = fmt.Sprintf("unknown admin op %q", req.Op)
+				}
+				cancel()
+				if err := enc.Encode(resp); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
 }
 
 func fatal(err error) {

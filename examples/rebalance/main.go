@@ -1,0 +1,170 @@
+// Elastic rebalancing runbook: grow the cluster, move a hot shard onto
+// the new server under live traffic, retire the old server — with zero
+// client-visible errors and zero lost acked actions.
+//
+// The migration is the Rebalancer's five-step dance over the ordinary
+// replication machinery: the fresh server attaches as a follower and
+// receives a snapshot resync over the existing replication stream;
+// repeated resyncs chase the live commit stream; the source drains (new
+// asks answer a retryable sentinel the shard clients wait out, in-flight
+// tickets settle); a final sync captures the quiescent source; the
+// target is promoted into a fresh epoch whose first frame fences the
+// source — the same epoch rule that governs failover. The gateway's
+// route table repoints mid-flight, so the concurrent workload never sees
+// an error.
+//
+// Run with: go run ./examples/rebalance
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/manager"
+	"repro/ix"
+)
+
+// The pipeline constraint: submissions are approved, approvals executed.
+// approve spans both shards, so its grants are distributed two-phase
+// commits — the protocol that must keep working while shard 0 migrates.
+const pipeline = "(submit - approve)* @ (approve - exec)*"
+
+type node struct {
+	m   *manager.Manager
+	srv *manager.Server
+}
+
+func startNode(e *ix.Expr, ln net.Listener, opts manager.Options) *node {
+	m, err := manager.New(e, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &node{m: m, srv: manager.NewServer(m, ln)}
+}
+
+func (n *node) stop() {
+	n.srv.Close()
+	n.m.Close()
+}
+
+func listen() net.Listener {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ln
+}
+
+func main() {
+	e := ix.MustParse(pipeline)
+	parts := cluster.Partition(e)
+
+	// One server per shard to start with (the cluster we are about to
+	// grow). SyncReplicas is set so the managers' lazily-grown follower
+	// streams ack synchronously — the zero-loss contract.
+	nodes := make([]*node, len(parts))
+	addrs := make([][]string, len(parts))
+	for i, part := range parts {
+		ln := listen()
+		addrs[i] = []string{ln.Addr().String()}
+		nodes[i] = startNode(part, ln, manager.Options{SyncReplicas: true})
+	}
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.stop()
+			}
+		}
+	}()
+
+	gw, err := cluster.NewReplicatedGateway(e, addrs, cluster.GatewayOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+	ctx := context.Background()
+	if err := gw.Ping(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// The live workload: full pipeline rounds, running concurrently with
+	// the migration. Every operation gets a generous per-op deadline; a
+	// drain window is waited out by the shard client, never surfaced.
+	const rounds = 60
+	word := []string{"submit", "approve", "exec"}
+	var clientErrors atomic.Int64
+	halfway := make(chan struct{}) // closed when half the rounds are done
+	workloadDone := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(workloadDone)
+		for r := 0; r < rounds; r++ {
+			if r == rounds/2 {
+				close(halfway)
+			}
+			for _, name := range word {
+				opCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+				err := gw.Request(opCtx, ix.MustAction(name))
+				cancel()
+				if err != nil {
+					clientErrors.Add(1)
+					log.Printf("round %d: %s: %v", r, name, err)
+				}
+			}
+		}
+	}()
+
+	// Mid-workload, the elastic runbook:
+	<-halfway
+	// 1. Add a server: a fresh empty follower for shard 0's operand.
+	ln := listen()
+	target := ln.Addr().String()
+	fresh := startNode(parts[0], ln, manager.Options{Follower: true, SyncReplicas: true})
+	fmt.Printf("--- new server %s up (empty follower) ---\n", target)
+
+	// 2. Migrate the hot shard onto it, retiring the source from the
+	//    route table. MigrateShard returns only when the target serves as
+	//    primary of a fresh epoch and the old server is fenced.
+	oldAddr := addrs[0][0]
+	mctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	err = gw.Rebalancer().MigrateShard(mctx, 0, target, cluster.MigrateOptions{Retire: true})
+	cancel()
+	if err != nil {
+		log.Fatalf("migration failed: %v", err)
+	}
+	fmt.Printf("--- shard 0 migrated %s -> %s: %+v ---\n", oldAddr, target, fresh.m.Status())
+
+	// 3. Retire the old server for real. Traffic — including the healing
+	//    of any subscription that lived on it — now flows to the target.
+	nodes[0].stop()
+	nodes[0] = fresh
+	fmt.Println("--- old server stopped ---")
+
+	<-workloadDone
+	elapsed := time.Since(start)
+
+	st := fresh.m.Status()
+	fmt.Printf("workload: %d rounds (%d actions) in %v, %d client-visible errors\n",
+		rounds, rounds*len(word), elapsed.Round(time.Millisecond), clientErrors.Load())
+	fmt.Printf("shard 0 now served by %s: role=%s epoch=%d steps=%d\n", target, st.Role, st.Epoch, st.Steps)
+	if clientErrors.Load() > 0 {
+		log.Fatalf("migration was not transparent: %d errors", clientErrors.Load())
+	}
+	// Zero lost acked actions: the target holds every shard-0 commit of
+	// the whole workload — submit and approve of every round.
+	if want := uint64(rounds * 2); st.Steps != want {
+		log.Fatalf("shard 0 has %d steps, want %d (lost commits?)", st.Steps, want)
+	}
+	if st.Role != manager.RolePrimary || st.Epoch == 0 {
+		log.Fatalf("target not serving as primary: %+v", st)
+	}
+	if got := gw.Shards()[0].Addrs(); len(got) != 1 || got[0] != target {
+		log.Fatalf("route table not repointed: %v", got)
+	}
+	fmt.Println("zero lost acked actions, zero client-visible errors — migration transparent")
+}

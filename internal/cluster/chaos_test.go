@@ -49,7 +49,7 @@ const chaosSeeds = 200
 
 // chaosEvent is one pre-generated fault.
 type chaosEvent struct {
-	kind  int // 0 none, 1 kill primary, 2 kill follower, 3 restart dead, 4 promote follower, 5 drop gateway conn
+	kind  int // 0 none, 1 kill primary, 2 kill follower, 3 restart dead, 4 promote follower, 5 drop gateway conn, 6 live migration
 	shard int
 }
 
@@ -70,6 +70,7 @@ type chaosHarness struct {
 	t        *testing.T
 	seed     int64
 	gw       *Gateway
+	reb      *Rebalancer
 	sets     []*replSet
 	word     []string
 	pos      int  // next occurrence index into the unbounded word
@@ -98,8 +99,8 @@ func involvedShards(name string) []int {
 
 func (h *chaosHarness) failf(format string, args ...any) {
 	h.t.Helper()
-	h.t.Errorf("seed %d (replay: -run 'TestChaosFailover/seed=%d'): %s\nschedule trace:\n  %s",
-		h.seed, h.seed, fmt.Sprintf(format, args...), strings.Join(h.trace, "\n  "))
+	h.t.Errorf("seed %d (replay: -run '%s'): %s\nschedule trace:\n  %s",
+		h.seed, h.t.Name(), fmt.Sprintf(format, args...), strings.Join(h.trace, "\n  "))
 }
 
 func (h *chaosHarness) ack(name string) {
@@ -288,6 +289,32 @@ func (h *chaosHarness) inject(ev chaosEvent) {
 		}
 	case 5: // connection drop between gateway and shard
 		h.gw.Shards()[ev.shard].dropConnForTest()
+	case 6: // live migration: ping-pong the primary onto a live follower
+		var target string
+		for i, m := range rs.ms {
+			if m != nil && m.Status().Role == manager.RoleFollower {
+				target = rs.addrs[i]
+				break
+			}
+		}
+		if target == "" {
+			return // no live follower to migrate onto
+		}
+		ctx, cancel := context.WithTimeout(bg, 10*time.Second)
+		err := h.reb.MigrateShard(ctx, ev.shard, target, MigrateOptions{})
+		cancel()
+		h.tracef("op %d migrate shard %d -> %s: %v", h.pos, ev.shard, target, err)
+		if err != nil {
+			// A migration interrupted by an earlier/concurrent fault must
+			// not leave the shard wedged: clear any lingering drain on the
+			// survivors (MigrateShard resumes the source itself when it
+			// can still reach it; this covers the cases where it cannot).
+			for _, m := range rs.ms {
+				if m != nil {
+					_ = m.Resume()
+				}
+			}
+		}
 	}
 }
 
@@ -299,8 +326,17 @@ func (h *chaosHarness) heal() bool {
 		for i := range set.ms {
 			if set.ms[i] == nil {
 				set.restartNode(i)
+			} else {
+				// A migration the schedule interrupted may have left a node
+				// draining; the heal phase lifts it (a restart clears the
+				// transient drain state anyway, so this only affects
+				// survivors).
+				_ = set.ms[i].Resume()
 			}
 		}
+	}
+	if !h.level() {
+		return false
 	}
 	for round := 0; round < 40; round++ {
 		// Settle the current (possibly half-done) occurrence first.
@@ -327,6 +363,46 @@ func (h *chaosHarness) heal() bool {
 
 func (h *chaosHarness) atBoundary() bool { return h.pos%len(h.word) == 0 }
 
+// level drives every shard up to the driver's position before the heal
+// rounds run. Denial-triggered reconciliation cannot see a shard that is
+// a whole number of rounds behind — (b - c)* at step 10 accepts the same
+// word as at step 12 — and exactly that happens when commits whose
+// outcome stayed unknown (sync acks to a dead follower) later evaporate
+// with an epoch-fenced timeline discard: perfectly legal per-shard, but
+// it would silently shear the cross-shard alignment the round-boundary
+// assertion certifies. Leveling re-commits the authoritative timeline's
+// missing tail, with the usual acked/unknown accounting.
+func (h *chaosHarness) level() bool {
+	for s := range h.sets {
+		leveled := false
+		for attempt := 0; attempt < 20; attempt++ {
+			st, ok := h.authoritative(s)
+			if !ok {
+				return false // shard fully down
+			}
+			auth, want := int(st.Steps), h.expectedSteps(s)
+			if auth >= want {
+				leveled = true
+				break
+			}
+			missing := shardActionAt(s, auth)
+			ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+			err := h.gw.Shards()[s].Request(ctx, act(missing))
+			cancel()
+			h.tracef("heal level shard %d (auth %d, want %d) commit %s: %v", s, auth, want, missing, err)
+			if err == nil {
+				h.acked[s][missing]++
+			} else if !errors.Is(err, manager.ErrDenied) {
+				h.unknown[s][missing]++
+			}
+		}
+		if !leveled {
+			return false
+		}
+	}
+	return true
+}
+
 // TestChaosFailover runs the seeded schedules.
 func TestChaosFailover(t *testing.T) {
 	seeds := chaosSeeds
@@ -337,12 +413,70 @@ func TestChaosFailover(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			runChaosSchedule(t, int64(seed))
+			runChaosSchedule(t, int64(seed), chaosFailoverEvent)
 		})
 	}
 }
 
-func runChaosSchedule(t *testing.T, seed int64) {
+// TestChaosMigration interleaves live migrations with the PR 4 fault
+// mix: primaries ping-pong between replicas mid-workload while kills,
+// restarts, out-of-band promotions and connection drops fire around
+// them. The invariants are the same — zero lost acked actions, no
+// double-applies, replica convergence, global-order equality at round
+// boundaries — now holding across drain windows, route-table updates
+// and epoch-fencing promotions too.
+func TestChaosMigration(t *testing.T) {
+	seeds := chaosSeeds
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runChaosSchedule(t, int64(seed), chaosMigrationEvent)
+		})
+	}
+}
+
+// chaosFailoverEvent is the PR 4 fault mix.
+func chaosFailoverEvent(p int) int {
+	switch {
+	case p < 25:
+		return 1
+	case p < 40:
+		return 2
+	case p < 65:
+		return 3
+	case p < 75:
+		return 4
+	case p < 90:
+		return 5
+	}
+	return 0
+}
+
+// chaosMigrationEvent biases the mix towards migrations while keeping
+// every PR 4 fault in play (migration-during-kill schedules).
+func chaosMigrationEvent(p int) int {
+	switch {
+	case p < 15:
+		return 1
+	case p < 25:
+		return 2
+	case p < 45:
+		return 3
+	case p < 52:
+		return 4
+	case p < 62:
+		return 5
+	case p < 92:
+		return 6
+	}
+	return 0
+}
+
+func runChaosSchedule(t *testing.T, seed int64, eventKind func(p int) int) {
 	rng := rand.New(rand.NewSource(seed))
 	e := parse.MustParse("(a - b)* @ (b - c)*")
 	parts := Partition(e)
@@ -368,7 +502,7 @@ func runChaosSchedule(t *testing.T, seed int64) {
 	defer gw.Close()
 
 	h := &chaosHarness{
-		t: t, seed: seed, gw: gw, sets: sets,
+		t: t, seed: seed, gw: gw, reb: gw.Rebalancer(), sets: sets,
 		word:    []string{"a", "b", "c"},
 		acked:   []map[string]int{{}, {}},
 		unknown: []map[string]int{{}, {}},
@@ -380,20 +514,7 @@ func runChaosSchedule(t *testing.T, seed int64) {
 	events := make([]chaosEvent, ops)
 	for i := range events {
 		p := rng.Intn(100)
-		ev := chaosEvent{shard: rng.Intn(len(parts))}
-		switch {
-		case p < 25:
-			ev.kind = 1
-		case p < 40:
-			ev.kind = 2
-		case p < 65:
-			ev.kind = 3
-		case p < 75:
-			ev.kind = 4
-		case p < 90:
-			ev.kind = 5
-		}
-		events[i] = ev
+		events[i] = chaosEvent{kind: eventKind(p), shard: rng.Intn(len(parts))}
 	}
 
 	for i := 0; i < ops; i++ {

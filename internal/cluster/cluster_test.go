@@ -57,9 +57,14 @@ func (sh *shard) start() {
 
 // stop simulates a crash-stop: the server goes away; the manager is
 // closed so its log is flushed (process death with a durable disk).
+// Idempotent, so tests may retire a shard the cleanup also stops.
 func (sh *shard) stop() {
+	if sh.srv == nil {
+		return
+	}
 	sh.srv.Close()
 	sh.m.Close()
+	sh.srv = nil
 }
 
 // startCluster brings up one shard server per coupling operand and a

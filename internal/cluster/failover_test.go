@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"testing"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/manager"
@@ -331,6 +332,92 @@ func TestConfirmResumeOnDeposedPrimary(t *testing.T) {
 	if err := gw.Request(bg, act("c")); err != nil {
 		t.Fatalf("c after resumed b: %v", err)
 	}
+}
+
+// waitInform drains an aggregated subscription until the wanted status
+// arrives (intermediate refinements are fine); every wait is a channel
+// receive bounded by a deadline — a deterministic protocol signal, not a
+// sleep.
+func waitInform(t *testing.T, ch <-chan manager.Inform, want bool) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case inf, ok := <-ch:
+			if !ok {
+				t.Fatal("subscription channel closed")
+			}
+			if inf.Permissible == want {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("inform %v timed out", want)
+		}
+	}
+}
+
+// TestSubscriptionSurvivesPrimaryKill is the regression test for the
+// stale-conjunction bug: a subscription opened before a primary kill
+// must keep delivering correct informs after the failover, without the
+// caller resubscribing. Before the fix, the dead shard's stream froze
+// its slot in the gateway's conjunction forever (the aggregated channel
+// only closed when ALL streams died), so the subscriber observed a
+// stale status for good.
+func TestSubscriptionSurvivesPrimaryKill(t *testing.T) {
+	e := parse.MustParse("(a - b)* @ (b - c)*")
+	parts := Partition(e)
+	rs0 := newReplSet(t, parts[0], 2, nil)
+	rs1 := newReplSet(t, parts[1], 2, nil)
+	gw, err := NewReplicatedGateway(e, [][]string{rs0.addrs, rs1.addrs}, GatewayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	ch, cancel, err := gw.Subscribe(act("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	// Initially b is blocked by shard 0 (a is due): combined false. The
+	// frozen-slot value a stale subscription would keep is exactly this
+	// false — every true below can only come from a healed stream.
+	waitInform(t, ch, false)
+
+	// Kill shard 0's primary mid-subscription. The per-shard stream dies
+	// with it; the self-healing subscription must re-elect and resume.
+	// (Restarting the node as an empty follower is the runbook step that
+	// keeps strict sync acks satisfiable.)
+	rs0.stopNode(0)
+	rs0.restartNode(0)
+
+	// Drive the write-path failover with an idempotent probe (the
+	// runbook's first step; a non-idempotent Request must not retry over
+	// a connection that died mid-flight).
+	if ok, err := gw.Try(bg, act("a")); err != nil || !ok {
+		t.Fatalf("probe across failover: ok=%v err=%v", ok, err)
+	}
+	// A commit on the promoted survivor flips b permissible on shard 0
+	// (shard 1 permits b from the start): combined true proves the
+	// subscription healed onto the new primary — a frozen slot would
+	// never flip.
+	if err := gw.Request(bg, act("a")); err != nil {
+		t.Fatalf("request across failover: %v", err)
+	}
+	waitInform(t, ch, true)
+
+	// The protocol keeps cycling through the healed stream.
+	if err := gw.Request(bg, act("b")); err != nil {
+		t.Fatal(err)
+	}
+	waitInform(t, ch, false) // shard 0 needs a again AND shard 1 needs c
+	if err := gw.Request(bg, act("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Request(bg, act("a")); err != nil {
+		t.Fatal(err)
+	}
+	waitInform(t, ch, true)
 }
 
 // TestFollowerServesReads: with ReadFromFollowers the probe traffic is

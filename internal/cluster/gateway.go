@@ -118,6 +118,23 @@ func NewReplicatedGateway(e *expr.Expr, replicas [][]string, opts GatewayOptions
 // Shards returns the shard clients (diagnostics and tests).
 func (g *Gateway) Shards() []*ShardClient { return g.shards }
 
+// SetShardAddrs replaces shard i's endpoint list — the gateway-side
+// route-table update of a live migration. Requests in flight are not
+// dropped: the serving connection survives when its endpoint stays
+// listed, and otherwise the shard client's generation bump routes
+// outstanding two-phase grants through the resume path (see
+// ShardClient.SetAddrs).
+func (g *Gateway) SetShardAddrs(shard int, addrs []string) error {
+	if shard < 0 || shard >= len(g.shards) {
+		return fmt.Errorf("cluster: shard %d out of range (%d shards)", shard, len(g.shards))
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("cluster: shard %d needs at least one endpoint", shard)
+	}
+	g.shards[shard].SetAddrs(addrs)
+	return nil
+}
+
 // Route returns the ascending shard indices whose alphabet contains a.
 func (g *Gateway) Route(a expr.Action) []int { return g.idx.Route(a) }
 
@@ -371,9 +388,13 @@ func (g *Gateway) Final(ctx context.Context) (bool, error) {
 
 // Subscribe aggregates per-shard subscriptions for a: the combined
 // status is the conjunction of the involved shards' statuses, and the
-// returned channel informs on combined flips. The channel closes when
-// the subscription is canceled or a shard connection dies (resubscribe
-// to resume). Satisfies manager.Coordinator.
+// returned channel informs on combined flips. The per-shard streams are
+// self-healing: when a shard's primary dies (or the shard migrates), the
+// shard client resubscribes through its failover election and the fresh
+// subscription's initial inform resynchronizes that shard's slot in the
+// conjunction — the subscriber keeps receiving correct informs without
+// resubscribing. The channel closes only when the subscription is
+// canceled or the gateway is closed. Satisfies manager.Coordinator.
 func (g *Gateway) Subscribe(a expr.Action) (<-chan manager.Inform, func(), error) {
 	involved := g.idx.Route(a)
 	out := make(chan manager.Inform, 16)
@@ -382,6 +403,9 @@ func (g *Gateway) Subscribe(a expr.Action) (<-chan manager.Inform, func(), error
 		close(out)
 		return out, func() {}, nil
 	}
+	// The context bounds only the subscription setup round trips; the
+	// subscriptions themselves live until canceled (ShardClient.Subscribe
+	// binds their lifetime to the cancel function, not to this context).
 	ctx, cancelCtx := context.WithTimeout(context.Background(), shardSettleTimeout)
 	defer cancelCtx()
 

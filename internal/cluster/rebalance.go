@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/manager"
+)
+
+// Live shard migration. A shard born on one server set is not pinned to
+// it: the Rebalancer moves a shard's primary onto a fresh server with
+// zero lost acked actions, composing the elastic-membership primitives
+// of internal/manager (attach/resync, drain, promote, epoch fencing)
+// in the order recoverable-request systems prescribe:
+//
+//  1. attach — the target joins the primary's replication fan-out and
+//     receives a full state snapshot over the existing stream;
+//  2. catch up — repeated resyncs chase the live commit stream until
+//     the target is within one drain window of the primary;
+//  3. drain — the source refuses new asks with ErrDraining (a retryable
+//     sentinel the shard clients wait out) while in-flight tickets and
+//     queued group commits settle;
+//  4. final sync — with the source quiescent, one more snapshot makes
+//     the target byte-identical;
+//  5. promote — the target becomes primary of a fresh epoch, and an
+//     empty frame of that epoch fences the source (the same epoch rule
+//     that already governs failover: the source demotes itself and
+//     refuses further writes);
+//  6. rewire — the new primary attaches the shard's surviving
+//     followers, so sync acks and gap healing keep working;
+//  7. retire — the source leaves the route table; the generation bump
+//     routes any still-settling two-phase grants through the gateway's
+//     resume path instead of a retired server.
+//
+// Failure at any step before promotion resumes the source, so an
+// aborted migration never wedges the shard.
+
+// Rebalancer drives live migrations against a gateway's shards.
+type Rebalancer struct {
+	gw *Gateway
+}
+
+// Rebalancer returns a migration driver for the gateway's shards.
+func (g *Gateway) Rebalancer() *Rebalancer { return &Rebalancer{gw: g} }
+
+// MigrateOptions tune one migration.
+type MigrateOptions struct {
+	// Retire drops the source from the shard's route table after the
+	// promotion (the operator will stop the server). Off, the source
+	// stays listed as a follower of the new primary — the mode chaos
+	// schedules use to ping-pong a primary inside a fixed set.
+	Retire bool
+	// CatchupRounds bounds the pre-drain resync chase (step 2); the
+	// drain closes whatever gap remains. 0 means a small default.
+	CatchupRounds int
+}
+
+// defaultCatchupRounds bounds the live catch-up chase before draining.
+const defaultCatchupRounds = 8
+
+// Topology reports every shard's endpoint list alongside the serving
+// node's view of itself (role, epoch, steps, streams, drain state).
+type ShardTopology struct {
+	Shard   int
+	Addrs   []string
+	Primary manager.TopologyInfo
+}
+
+// Topology collects the current route table and each shard's primary
+// topology (best effort: an unreachable shard reports its error).
+func (r *Rebalancer) Topology(ctx context.Context) ([]ShardTopology, error) {
+	out := make([]ShardTopology, len(r.gw.shards))
+	var firstErr error
+	for i, sc := range r.gw.shards {
+		out[i] = ShardTopology{Shard: i, Addrs: sc.Addrs()}
+		cl, _, err := sc.primaryConn(ctx)
+		if err == nil {
+			var ti manager.TopologyInfo
+			if ti, err = cl.Topology(ctx); err == nil {
+				out[i].Primary = ti
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: shard %d topology: %w", i, err)
+		}
+	}
+	return out, firstErr
+}
+
+// primaryConn returns the shard's elected serving connection and its
+// address. The connection is shared with ordinary traffic (the wire
+// client multiplexes); callers must not close it.
+func (s *ShardClient) primaryConn(ctx context.Context) (*manager.Client, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, "", manager.ErrClosed
+	}
+	if s.cl == nil {
+		if _, err := s.electLocked(ctx); err != nil {
+			return nil, "", err
+		}
+	}
+	return s.cl, s.addrs[s.cur], nil
+}
+
+// MigrateShard moves shard's primary onto the server at target (which
+// must already be running as an empty or stale follower). On success the
+// target serves the shard as primary of a fresh epoch, the source is
+// fenced, and — with opts.Retire — removed from the route table. Clients
+// keep working throughout: asks hitting the drain window are waited out
+// by the shard clients, and no acked action is lost (the promotion only
+// happens after the drained source's final snapshot is on the target).
+func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string, opts MigrateOptions) error {
+	if shard < 0 || shard >= len(r.gw.shards) {
+		return fmt.Errorf("cluster: shard %d out of range (%d shards)", shard, len(r.gw.shards))
+	}
+	sc := r.gw.shards[shard]
+	// One migration per shard at a time, across every Rebalancer over
+	// this gateway: two concurrent promotions from the same epoch would
+	// mint two primaries of epoch E+1 — a split brain whose loser's
+	// acked writes die with its timeline.
+	sc.migrateMu.Lock()
+	defer sc.migrateMu.Unlock()
+
+	// Step 0: the target joins the route table up front. Safe mid-flight:
+	// a follower never wins the election while the live primary holds the
+	// highest epoch, and after the promotion this very entry is what the
+	// failover election repoints clients to.
+	sc.AddAddr(target)
+	cl, source, err := sc.primaryConn(ctx)
+	if err != nil {
+		return fmt.Errorf("cluster: migrate shard %d: no primary: %w", shard, err)
+	}
+	if source == target {
+		return nil // already serving there
+	}
+
+	// Steps 1+2: attach and chase the live stream.
+	rounds := opts.CatchupRounds
+	if rounds <= 0 {
+		rounds = defaultCatchupRounds
+	}
+	var tgt manager.ReplStatus
+	for i := 0; ; i++ {
+		if tgt, err = cl.Migrate(ctx, target); err != nil {
+			return fmt.Errorf("cluster: migrate shard %d: attach %s: %w", shard, target, err)
+		}
+		src, err := cl.Role(ctx)
+		if err != nil {
+			return fmt.Errorf("cluster: migrate shard %d: source role: %w", shard, err)
+		}
+		if tgt.Steps >= src.Steps || i >= rounds {
+			break // caught up (or close enough — the drain freezes the rest)
+		}
+	}
+
+	// Step 3: drain the source. From here on a failure must resume it,
+	// or the shard stays wedged refusing asks — including a failure of
+	// the drain call itself: Drain leaves the manager draining when its
+	// wait times out, and the server-side drain may even complete after
+	// the RPC already failed.
+	fail := func(err error) error {
+		rctx, cancel := context.WithTimeout(context.Background(), shardSettleTimeout)
+		defer cancel()
+		if rerr := cl.Resume(rctx); rerr != nil {
+			return fmt.Errorf("%w (and resuming %s failed: %v)", err, source, rerr)
+		}
+		return err
+	}
+	if err := cl.Drain(ctx); err != nil {
+		return fail(fmt.Errorf("cluster: migrate shard %d: drain %s: %w", shard, source, err))
+	}
+
+	// Step 4: final sync against the quiescent source.
+	src, err := cl.Role(ctx)
+	if err != nil {
+		return fail(fmt.Errorf("cluster: migrate shard %d: source role: %w", shard, err))
+	}
+	if tgt, err = cl.Migrate(ctx, target); err != nil {
+		return fail(fmt.Errorf("cluster: migrate shard %d: final sync: %w", shard, err))
+	}
+	if tgt.Steps < src.Steps {
+		return fail(fmt.Errorf("cluster: migrate shard %d: target at %d steps, source at %d after drain", shard, tgt.Steps, src.Steps))
+	}
+
+	// Step 5: promote the target and fence the source with an empty frame
+	// of the new epoch. The fence's reply position check may report
+	// ErrReplGap — irrelevant: the demotion happens in the epoch adoption
+	// that precedes it, and ErrStaleEpoch means someone with an even
+	// higher epoch fenced the source already.
+	tcl, err := manager.Dial(target)
+	if err != nil {
+		return fail(fmt.Errorf("cluster: migrate shard %d: dial target: %w", shard, err))
+	}
+	defer tcl.Close()
+	epoch, err := tcl.Promote(ctx)
+	if err != nil {
+		return fail(fmt.Errorf("cluster: migrate shard %d: promote %s: %w", shard, target, err))
+	}
+	if _, err := cl.Replicate(ctx, manager.ReplFrame{Epoch: epoch}); err != nil &&
+		!errors.Is(err, manager.ErrReplGap) && !errors.Is(err, manager.ErrStaleEpoch) {
+		// The target is promoted either way; an unreachable source is
+		// fenced by the epoch rule the moment anything of the new epoch
+		// reaches it. Report, but do not resume — resuming a node the new
+		// primary cannot fence would invite a split brain.
+		return fmt.Errorf("cluster: migrate shard %d: fence %s: %w", shard, source, err)
+	}
+
+	// Step 6: the new primary takes over the shard's replication fan-out:
+	// every surviving endpoint except itself — and except the source when
+	// it is being retired — becomes a follower stream (attach is also
+	// what heals a stale follower, via its snapshot resync).
+	for _, addr := range sc.Addrs() {
+		if addr == target || (addr == source && opts.Retire) {
+			continue
+		}
+		if _, err := tcl.Migrate(ctx, addr); err != nil {
+			return fmt.Errorf("cluster: migrate shard %d: rewire %s under %s: %w", shard, addr, target, err)
+		}
+	}
+
+	// Step 7: route-table update. Retiring bumps the generation when the
+	// serving connection pointed at the source, which routes still-open
+	// two-phase grants through the gateway's resume path.
+	if opts.Retire {
+		sc.RemoveAddr(source)
+		if err := tcl.Retire(ctx, source); err != nil && !errors.Is(err, manager.ErrClosed) {
+			// The new primary never streamed to the source; detach is a
+			// no-op there, but surface real failures.
+			return fmt.Errorf("cluster: migrate shard %d: retire %s: %w", shard, source, err)
+		}
+	}
+	return nil
+}

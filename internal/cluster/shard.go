@@ -49,17 +49,22 @@ type ShardOptions struct {
 // that may have been processed (ErrConnLost mid-flight) are retried only
 // if idempotent — exactly the queued-request discipline recovery demands.
 type ShardClient struct {
-	addrs []string
-	opts  ShardOptions
+	opts ShardOptions
 
-	mu  sync.Mutex
-	cur int // index of the endpoint cl is connected to
-	cl  *manager.Client
-	gen uint64 // failover generation: bumped when the endpoint changes
+	mu     sync.Mutex
+	addrs  []string // ordered endpoint list (the shard's route-table row)
+	cur    int      // index of the endpoint cl is connected to
+	cl     *manager.Client
+	gen    uint64 // route-table generation: bumped on failover and endpoint changes
+	closed bool
 
 	rmu  sync.Mutex
 	rcur int // read rotation cursor (follower offload)
 	rcl  *manager.Client
+
+	// migrateMu serializes live migrations of this shard (Rebalancer):
+	// concurrent promotions from one epoch would split the brain.
+	migrateMu sync.Mutex
 }
 
 // NewShardClient creates a client for the single shard server at addr.
@@ -80,19 +85,112 @@ func NewShardClientSet(addrs []string, opts ShardOptions) *ShardClient {
 }
 
 // Addr returns the shard's first endpoint (diagnostics).
-func (s *ShardClient) Addr() string { return s.addrs[0] }
+func (s *ShardClient) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addrs[0]
+}
 
-// Addrs returns the shard's ordered endpoint list.
-func (s *ShardClient) Addrs() []string { return s.addrs }
+// Addrs returns a copy of the shard's ordered endpoint list.
+func (s *ShardClient) Addrs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.addrs...)
+}
 
-// Generation counts completed failovers that changed the serving
-// endpoint. A gateway compares generations taken at reserve time and at
-// confirm time: a bump in between means a ticket may have died with the
-// old primary and the grant must be resumed instead of settled.
+func (s *ShardClient) addrCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.addrs)
+}
+
+// Generation counts completed failovers and route-table updates that
+// (may have) changed the serving endpoint. A gateway compares
+// generations taken at reserve time and at confirm time: a bump in
+// between means a ticket may have died with the old primary and the
+// grant must be resumed instead of settled.
 func (s *ShardClient) Generation() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.gen
+}
+
+// SetAddrs replaces the endpoint list — the route-table update a live
+// migration ends with. The serving connection survives when its endpoint
+// is still listed (requests in flight are not dropped); when it is not,
+// the connection is invalidated and the generation bumps, so in-flight
+// two-phase grants settle through the resume path instead of trusting a
+// retired server. The read-offload rotation restarts against the new
+// table either way. An empty list is ignored.
+func (s *ShardClient) SetAddrs(addrs []string) {
+	if len(addrs) == 0 {
+		return
+	}
+	cp := append([]string(nil), addrs...)
+	s.mu.Lock()
+	cur := -1
+	if s.cl != nil {
+		curAddr := s.addrs[s.cur]
+		for i, a := range cp {
+			if a == curAddr {
+				cur = i
+				break
+			}
+		}
+	}
+	s.addrs = cp
+	var stale *manager.Client
+	if cur >= 0 {
+		s.cur = cur
+	} else {
+		s.cur = 0
+		if s.cl != nil {
+			stale, s.cl = s.cl, nil
+			s.gen++
+		}
+	}
+	s.mu.Unlock()
+	if stale != nil {
+		stale.Close()
+	}
+	s.rmu.Lock()
+	rcl := s.rcl
+	s.rcl, s.rcur = nil, 0
+	s.rmu.Unlock()
+	if rcl != nil {
+		rcl.Close()
+	}
+}
+
+// AddAddr appends an endpoint to the route table (no-op when already
+// listed). Adding is always safe mid-flight: a fresh follower never wins
+// an election while a live higher-epoch primary exists.
+func (s *ShardClient) AddAddr(addr string) {
+	s.mu.Lock()
+	for _, a := range s.addrs {
+		if a == addr {
+			s.mu.Unlock()
+			return
+		}
+	}
+	addrs := append(append([]string(nil), s.addrs...), addr)
+	s.mu.Unlock()
+	s.SetAddrs(addrs)
+}
+
+// RemoveAddr drops an endpoint from the route table (the retire step of
+// a migration). Removing the serving endpoint invalidates the connection
+// and bumps the generation; the last endpoint cannot be removed.
+func (s *ShardClient) RemoveAddr(addr string) {
+	s.mu.Lock()
+	var addrs []string
+	for _, a := range s.addrs {
+		if a != addr {
+			addrs = append(addrs, a)
+		}
+	}
+	s.mu.Unlock()
+	s.SetAddrs(addrs)
 }
 
 // electTimeout bounds each role probe and promotion during an election.
@@ -102,6 +200,9 @@ const electTimeout = 5 * time.Second
 func (s *ShardClient) client(ctx context.Context) (*manager.Client, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, manager.ErrClosed
+	}
 	if s.cl != nil {
 		return s.cl, nil
 	}
@@ -237,30 +338,49 @@ func retryable(err error, idempotent bool) bool {
 	return idempotent && errors.Is(err, manager.ErrConnLost)
 }
 
+// drainRetryDelay paces retries against a draining shard: the drain
+// window closes when the migration promotes the target, so a short wait
+// beats hammering the refusing server — but it sits on the client's
+// request latency during a migration, so it stays small.
+const drainRetryDelay = 2 * time.Millisecond
+
 // do runs op against the current connection, failing over and retrying
 // when that is safe. A replica set gets one retry per endpoint (a full
 // failover sweep); a single server keeps the historical single retry.
+// ErrDraining answers are waited out (they are transient by contract —
+// a migration is about to repoint the shard) without burning a failover
+// attempt; only the context bounds that wait.
 func (s *ShardClient) do(ctx context.Context, idempotent bool, op func(*manager.Client) error) error {
-	for attempt := 0; ; attempt++ {
+	attempts := 0
+	for {
 		cl, err := s.client(ctx)
-		if err != nil {
-			if attempt >= len(s.addrs) || !retryable(err, idempotent) || ctx.Err() != nil {
-				return err
-			}
-			continue
-		}
-		err = op(cl)
 		if err == nil {
-			return nil
+			err = op(cl)
+			if err == nil {
+				return nil
+			}
+			if errors.Is(err, manager.ErrDraining) {
+				// Not admitted anywhere: always safe to retry. The server is
+				// healthy, so keep the connection — once the target is
+				// promoted it answers ErrNotPrimary and the ordinary
+				// failover election takes over.
+				select {
+				case <-ctx.Done():
+					return err
+				case <-time.After(drainRetryDelay):
+				}
+				continue
+			}
+			if connErr(err) {
+				s.invalidate(cl)
+			} else if errors.Is(err, manager.ErrNotPrimary) {
+				// The server is alive but deposed; drop the connection and let
+				// the election find the replica that fenced it.
+				s.invalidate(cl)
+			}
 		}
-		if connErr(err) {
-			s.invalidate(cl)
-		} else if errors.Is(err, manager.ErrNotPrimary) {
-			// The server is alive but deposed; drop the connection and let
-			// the election find the replica that fenced it.
-			s.invalidate(cl)
-		}
-		if attempt >= len(s.addrs) || !retryable(err, idempotent) || ctx.Err() != nil {
+		attempts++
+		if attempts > s.addrCount() || !retryable(err, idempotent) || ctx.Err() != nil {
 			return err
 		}
 	}
@@ -305,8 +425,23 @@ func (s *ShardClient) RequestMany(ctx context.Context, actions []expr.Action) []
 	err := s.do(ctx, false, func(cl *manager.Client) error {
 		errs = cl.RequestMany(ctx, actions)
 		// Surface a transport failure (the same error in every slot) to
-		// the retry logic; per-action refusals are final results.
+		// the retry logic; per-action refusals are final results. A
+		// frame refused whole by a draining manager (nothing admitted)
+		// waits the drain window out like a single request would — but
+		// only when EVERY slot drained: a nested gateway can mix
+		// outcomes, and re-sending a burst with settled slots would
+		// double-commit them.
 		if len(errs) > 0 && errs[0] != nil && failoverErr(errs[0]) {
+			return errs[0]
+		}
+		allDraining := len(errs) > 0
+		for _, e := range errs {
+			if !errors.Is(e, manager.ErrDraining) {
+				allDraining = false
+				break
+			}
+		}
+		if allDraining {
 			return errs[0]
 		}
 		return nil
@@ -360,7 +495,7 @@ func (s *ShardClient) Final(ctx context.Context) (bool, error) {
 // so concurrent offloaded reads share the connection instead of
 // convoying behind each other.
 func (s *ShardClient) readOffloaded(op func(*manager.Client) error) bool {
-	if !s.opts.ReadFromFollowers || len(s.addrs) < 2 {
+	if !s.opts.ReadFromFollowers || s.addrCount() < 2 {
 		return false
 	}
 	s.rmu.Lock()
@@ -368,13 +503,14 @@ func (s *ShardClient) readOffloaded(op func(*manager.Client) error) bool {
 	if cl == nil {
 		s.mu.Lock()
 		primary := s.cur
+		addrs := append([]string(nil), s.addrs...)
 		s.mu.Unlock()
-		for off := 0; off < len(s.addrs); off++ {
-			idx := (s.rcur + off) % len(s.addrs)
+		for off := 0; off < len(addrs); off++ {
+			idx := (s.rcur + off) % len(addrs)
 			if idx == primary {
 				continue // the whole point is to not bother the primary
 			}
-			c, err := manager.Dial(s.addrs[idx])
+			c, err := manager.Dial(addrs[idx])
 			if err != nil {
 				continue
 			}
@@ -399,10 +535,32 @@ func (s *ShardClient) readOffloaded(op func(*manager.Client) error) bool {
 	return true
 }
 
-// Subscribe opens a subscription at the shard. The returned channel
-// closes when the subscription is canceled or the connection dies;
-// callers that outlive a reconnect resubscribe to resume informs.
+// Subscribe opens a self-healing subscription at the shard: when the
+// per-connection stream dies (the primary crashed, the shard migrated),
+// the subscription resubscribes through the ordinary failover election
+// and keeps delivering — the server's initial inform after each
+// resubscription reports the then-current status, so no flip that
+// matters is lost across the gap. ctx bounds only the initial setup; the
+// subscription itself lives until the cancel function is called (or the
+// client is closed), never on the setup context. The returned channel
+// closes on cancel or client close.
 func (s *ShardClient) Subscribe(ctx context.Context, a expr.Action) (<-chan manager.Inform, func(), error) {
+	inner, cancelInner, err := s.subscribeOnce(ctx, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	h := &healingSub{s: s, a: a, out: make(chan manager.Inform, 16), inner: inner, cancelInner: cancelInner}
+	h.ctx, h.stop = context.WithCancel(context.Background())
+	go h.run()
+	return h.out, h.cancel, nil
+}
+
+// subscribeOnce opens one subscription on the current (elected)
+// connection. The cancel function targets exactly the connection that
+// owns the subscription — not whatever connection a later failover
+// elected — and uses its own context, so a caller's canceled setup
+// context can never tear down a live subscription.
+func (s *ShardClient) subscribeOnce(ctx context.Context, a expr.Action) (<-chan manager.Inform, func(), error) {
 	var ch <-chan manager.Inform
 	var cancel func()
 	err := s.do(ctx, true, func(cl *manager.Client) error {
@@ -424,11 +582,111 @@ func (s *ShardClient) Subscribe(ctx context.Context, a expr.Action) (<-chan mana
 	return ch, cancel, nil
 }
 
-// Close tears down the connections (a later operation would re-elect).
+// healingSub forwards one shard subscription across failovers and
+// migrations, resubscribing whenever the owning connection dies.
+type healingSub struct {
+	s   *ShardClient
+	a   expr.Action
+	out chan manager.Inform
+	ctx context.Context // canceled by the subscriber's cancel func
+
+	mu          sync.Mutex
+	stop        context.CancelFunc
+	inner       <-chan manager.Inform
+	cancelInner func() // unsubscribes on the connection owning the current sub
+}
+
+// cancel is the subscriber-facing teardown.
+func (h *healingSub) cancel() {
+	h.stop()
+	h.mu.Lock()
+	cancelInner := h.cancelInner
+	h.mu.Unlock()
+	if cancelInner != nil {
+		cancelInner()
+	}
+}
+
+// run forwards informs, healing the stream on unexpected closes.
+func (h *healingSub) run() {
+	defer close(h.out)
+	for {
+		h.mu.Lock()
+		inner := h.inner
+		h.mu.Unlock()
+		for inf := range inner {
+			select {
+			case h.out <- inf:
+			default:
+				// Drop the oldest pending inform to make room for the
+				// newest: a slow subscriber always observes the latest
+				// status.
+				select {
+				case <-h.out:
+				default:
+				}
+				select {
+				case h.out <- inf:
+				default:
+				}
+			}
+		}
+		// The stream ended: canceled, or the owning connection died.
+		if h.ctx.Err() != nil {
+			return
+		}
+		if !h.resubscribe() {
+			return
+		}
+	}
+}
+
+// resubscribe re-opens the subscription through the failover election,
+// retrying with backoff until it succeeds or the subscription is
+// canceled (or the shard client closed). The generation the election
+// bumps is what distinguishes "the primary moved" from "a network blip";
+// either way the fresh subscription's initial inform resynchronizes the
+// subscriber with the authoritative status.
+func (h *healingSub) resubscribe() bool {
+	backoff := drainRetryDelay
+	for {
+		sctx, cancel := context.WithTimeout(h.ctx, shardSettleTimeout)
+		inner, cancelInner, err := h.s.subscribeOnce(sctx, h.a)
+		cancel()
+		if err == nil {
+			h.mu.Lock()
+			h.inner, h.cancelInner = inner, cancelInner
+			canceled := h.ctx.Err() != nil
+			h.mu.Unlock()
+			if canceled {
+				// Lost the race with cancel: tear the fresh sub down too.
+				cancelInner()
+				return false
+			}
+			return true
+		}
+		if errors.Is(err, manager.ErrClosed) || h.ctx.Err() != nil {
+			return false
+		}
+		select {
+		case <-h.ctx.Done():
+			return false
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 250*time.Millisecond {
+			backoff = 250 * time.Millisecond
+		}
+	}
+}
+
+// Close tears down the connections and marks the client closed: later
+// operations fail with ErrClosed and self-healing subscriptions end
+// (their channels close) instead of redialing a retired shard forever.
 func (s *ShardClient) Close() error {
 	s.mu.Lock()
 	cl := s.cl
 	s.cl = nil
+	s.closed = true
 	s.mu.Unlock()
 	s.rmu.Lock()
 	rcl := s.rcl

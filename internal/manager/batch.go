@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/expr"
@@ -42,6 +43,7 @@ type commitQueue struct {
 	drained chan struct{} // closed when no enqueuer is in flight anymore
 	stopped chan struct{} // closed when the committer goroutine exited
 	wg      sync.WaitGroup
+	pending atomic.Int64 // admitted requests not yet answered (Drain waits on 0)
 	maxSize int
 	delay   time.Duration
 }
@@ -75,9 +77,14 @@ func (m *Manager) enqueue(ctx context.Context, a expr.Action) error {
 		m.mu.Unlock()
 		return ErrNotPrimary
 	}
+	if m.draining {
+		m.mu.Unlock()
+		return ErrDraining
+	}
 	q.wg.Add(1)
+	q.pending.Add(1)
 	m.mu.Unlock()
-	defer q.wg.Done()
+	defer m.pendingDone(1)
 	req := commitReq{ctx: ctx, a: a, done: make(chan error, 1)}
 	select {
 	case q.ch <- req:
@@ -88,6 +95,20 @@ func (m *Manager) enqueue(ctx context.Context, a expr.Action) error {
 		return ctx.Err()
 	}
 	return <-req.done
+}
+
+// pendingDone retires n admitted requests. The queue-drained broadcast
+// a Drain may be waiting on is taken under m.mu: an unlocked broadcast
+// could fire between Drain's pending check and its cond registration —
+// a lost wakeup that would park the drain until its context expired.
+func (m *Manager) pendingDone(n int64) {
+	q := m.batch
+	q.wg.Done()
+	if q.pending.Add(-n) == 0 {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
 }
 
 // committer is the queue's single consumer: it collects a batch (up to
@@ -140,7 +161,10 @@ func (m *Manager) committer() {
 				break collect
 			}
 		}
-		m.commitBatch(batch)
+		// Queued requests passed the enqueue-time admission (incl. the
+		// drain check), so a drain that started later still lets them
+		// settle — they are in flight by definition.
+		m.commitBatch(batch, true)
 	}
 }
 
@@ -168,7 +192,10 @@ func (m *Manager) drainQueue() {
 // batch, not per action), then validates and applies each request in
 // arrival order, staging log entries in the write buffer. A single
 // flush — and at most a single fsync — makes the whole batch durable.
-func (m *Manager) commitBatch(batch []commitReq) {
+// admitted marks batches whose requests already passed the enqueue-time
+// admission (the committer path); fresh batches are still subject to the
+// drain check.
+func (m *Manager) commitBatch(batch []commitReq, admitted bool) {
 	errs := make([]error, len(batch))
 	m.mu.Lock()
 	for {
@@ -182,10 +209,19 @@ func (m *Manager) commitBatch(batch []commitReq) {
 		if m.role != rolePrimary {
 			// Deposed (or started as a follower): writes are refused. A
 			// batch caught by a mid-wait demotion fails the same way its
-			// requests would have individually.
+			// requests would have individually. Checked before the drain —
+			// ErrNotPrimary makes the client fail over, ErrDraining makes
+			// it wait, and a deposed node is one to leave, not wait for.
 			m.mu.Unlock()
 			for _, r := range batch {
 				r.done <- ErrNotPrimary
+			}
+			return
+		}
+		if !admitted && m.draining {
+			m.mu.Unlock()
+			for _, r := range batch {
+				r.done <- ErrDraining
 			}
 			return
 		}
@@ -343,9 +379,17 @@ func (m *Manager) RequestMany(ctx context.Context, actions []expr.Action) []erro
 			}
 			return errs
 		}
+		if m.draining {
+			m.mu.Unlock()
+			for i := range errs {
+				errs[i] = ErrDraining
+			}
+			return errs
+		}
 		q.wg.Add(1)
+		q.pending.Add(int64(len(actions)))
 		m.mu.Unlock()
-		defer q.wg.Done()
+		defer m.pendingDone(int64(len(actions)))
 		// A single sender keeps the actions in order; the committer drains
 		// the channel in that order, so they are validated and applied in
 		// sequence (possibly interleaved with other clients' requests, and
@@ -377,7 +421,7 @@ func (m *Manager) RequestMany(ctx context.Context, actions []expr.Action) []erro
 	for i, a := range actions {
 		reqs[i] = commitReq{ctx: ctx, a: a, done: make(chan error, 1)}
 	}
-	m.commitBatch(reqs)
+	m.commitBatch(reqs, false)
 	for i := range reqs {
 		errs[i] = <-reqs[i].done
 	}

@@ -137,6 +137,7 @@ type Manager struct {
 	closed bool
 
 	reserved    bool // a granted ask is outstanding (critical region)
+	draining    bool // migration drain: new asks refused, in-flight settles
 	ticket      Ticket
 	reservedAct expr.Action
 	reservedAt  time.Time
@@ -160,6 +161,8 @@ type Manager struct {
 	batch      *commitQueue // non-nil iff group commit is enabled
 	cache      *state.Cache // non-nil iff memoization is enabled
 	repl       *replicator  // non-nil iff replication is enabled
+	syncRepl   bool         // replication settings, kept for replicators
+	ackTimeout time.Duration
 }
 
 type subEntry struct {
@@ -194,6 +197,8 @@ func New(e *expr.Expr, opts Options) (*Manager, error) {
 		snapEvery:  opts.SnapshotEvery,
 		syncWrites: opts.SyncWrites,
 		confirmed:  newTicketWindow(),
+		syncRepl:   opts.SyncReplicas,
+		ackTimeout: opts.ReplAckTimeout,
 	}
 	if opts.Follower {
 		m.role = roleFollower
@@ -313,6 +318,9 @@ func (m *Manager) Ask(ctx context.Context, a expr.Action) (Ticket, error) {
 		}
 		if m.role != rolePrimary {
 			return 0, ErrNotPrimary
+		}
+		if m.draining {
+			return 0, ErrDraining
 		}
 		m.expireLocked()
 		if !m.reserved {
@@ -475,6 +483,9 @@ func (m *Manager) requestSettle(ctx context.Context, a expr.Action) (func() erro
 		}
 		if m.role != rolePrimary {
 			return nil, ErrNotPrimary
+		}
+		if m.draining {
+			return nil, ErrDraining
 		}
 		m.expireLocked()
 		if !m.reserved {

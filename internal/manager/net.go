@@ -48,6 +48,10 @@ type wireMsg struct {
 	Tks   []uint64        `json:"tks,omitempty"`
 	Snap  json.RawMessage `json:"snap,omitempty"`
 	Role  string          `json:"role,omitempty"`
+	// Elastic-membership fields (migrate/retire/drain/resume/topology).
+	Addr     string   `json:"addr,omitempty"`     // follower address to attach/detach
+	Addrs    []string `json:"addrs,omitempty"`    // topology reply: follower streams
+	Draining bool     `json:"draining,omitempty"` // topology reply: drain mode
 }
 
 // Wire operation names.
@@ -68,6 +72,12 @@ const (
 	opReplicateAck = "replicate_ack"
 	opPromote      = "promote"
 	opRole         = "role"
+	// Elastic-membership ops (live migration / rebalancing control).
+	opMigrate  = "migrate"  // attach the follower at Addr and resync it
+	opRetire   = "retire"   // detach the follower stream to Addr
+	opDrain    = "drain"    // refuse new asks, settle in-flight tickets
+	opResume   = "resume"   // leave drain mode
+	opTopology = "topology" // report role/epoch/steps + streams + drain state
 )
 
 // serverAskTimeout bounds how long a network ask may wait for the
@@ -101,6 +111,18 @@ type Coordinator interface {
 	// Subscribe opens a subscription for a. The returned cancel function
 	// tears it down and must cause the inform channel to close.
 	Subscribe(a expr.Action) (<-chan Inform, func(), error)
+}
+
+// Elastic is the optional membership surface of a wire server: the
+// primitives a live migration composes (attach/detach follower streams,
+// drain, topology). A Manager implements it; a Gateway does not — the
+// gateway is the thing being repointed, not the thing being moved.
+type Elastic interface {
+	AttachReplica(ctx context.Context, addr string) (ReplStatus, error)
+	DetachReplica(ctx context.Context, addr string) error
+	Drain(ctx context.Context) error
+	Resume(ctx context.Context) error
+	Topology(ctx context.Context) (TopologyInfo, error)
 }
 
 // BatchRequester is the optional batched extension of Coordinator: one
@@ -226,6 +248,17 @@ func (c coordAdapter) InstallReplSnapshot(ctx context.Context, s ReplSnapshot) (
 func (c coordAdapter) Promote(ctx context.Context) (uint64, error) { return c.m.Promote() }
 func (c coordAdapter) ReplStatus(ctx context.Context) (ReplStatus, error) {
 	return c.m.Status(), nil
+}
+func (c coordAdapter) AttachReplica(ctx context.Context, addr string) (ReplStatus, error) {
+	return c.m.AttachReplica(ctx, addr)
+}
+func (c coordAdapter) DetachReplica(ctx context.Context, addr string) error {
+	return c.m.DetachReplica(addr)
+}
+func (c coordAdapter) Drain(ctx context.Context) error  { return c.m.Drain(ctx) }
+func (c coordAdapter) Resume(ctx context.Context) error { return c.m.Resume() }
+func (c coordAdapter) Topology(ctx context.Context) (TopologyInfo, error) {
+	return c.m.Topology(), nil
 }
 
 // CoordinatorFor returns the Coordinator view of a local manager.
@@ -527,6 +560,62 @@ func (s *Server) handle(req wireMsg, subs map[uint64]func(), subMu *sync.Mutex, 
 		}
 		resp.OK = true
 		resp.Role, resp.Epoch, resp.Seq = st.Role, st.Epoch, st.Steps
+	case opMigrate:
+		el, ok := s.co.(Elastic)
+		if !ok {
+			return fail(errors.New("manager: coordinator is not elastic"))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
+		defer cancel()
+		st, err := el.AttachReplica(ctx, req.Addr)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Role, resp.Epoch, resp.Seq = st.Role, st.Epoch, st.Steps
+	case opRetire:
+		el, ok := s.co.(Elastic)
+		if !ok {
+			return fail(errors.New("manager: coordinator is not elastic"))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
+		defer cancel()
+		if err := el.DetachReplica(ctx, req.Addr); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	case opDrain:
+		el, ok := s.co.(Elastic)
+		if !ok {
+			return fail(errors.New("manager: coordinator is not elastic"))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
+		defer cancel()
+		if err := el.Drain(ctx); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	case opResume:
+		el, ok := s.co.(Elastic)
+		if !ok {
+			return fail(errors.New("manager: coordinator is not elastic"))
+		}
+		if err := el.Resume(context.Background()); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	case opTopology:
+		el, ok := s.co.(Elastic)
+		if !ok {
+			return fail(errors.New("manager: coordinator is not elastic"))
+		}
+		ti, err := el.Topology(context.Background())
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Role, resp.Epoch, resp.Seq = ti.Role, ti.Epoch, ti.Steps
+		resp.Addrs, resp.Draining = ti.Replicas, ti.Draining
 	default:
 		return fail(fmt.Errorf("manager: unknown op %q", req.Op))
 	}
@@ -706,7 +795,7 @@ func (c *Client) callOK(ctx context.Context, req wireMsg) (wireMsg, error) {
 // an infrastructure failure (reconnect).
 func wireError(msg string) error {
 	for _, sentinel := range []error{ErrDenied, ErrUnknownTicket, ErrClosed,
-		ErrNotPrimary, ErrStaleEpoch, ErrReplGap, ErrUncertain} {
+		ErrNotPrimary, ErrStaleEpoch, ErrReplGap, ErrUncertain, ErrDraining} {
 		s := sentinel.Error()
 		if msg == s {
 			return sentinel
@@ -837,6 +926,49 @@ func (c *Client) Role(ctx context.Context) (ReplStatus, error) {
 		return ReplStatus{}, err
 	}
 	return ReplStatus{Role: resp.Role, Epoch: resp.Epoch, Steps: resp.Seq}, nil
+}
+
+// Migrate attaches the follower server at addr to the remote primary's
+// replication fan-out and ships it a full snapshot resync; the returned
+// status is the follower's acked position (the migration's catch-up
+// probe).
+func (c *Client) Migrate(ctx context.Context, addr string) (ReplStatus, error) {
+	resp, err := c.callOK(ctx, wireMsg{Op: opMigrate, Addr: addr})
+	if err != nil {
+		return ReplStatus{}, err
+	}
+	return ReplStatus{Role: resp.Role, Epoch: resp.Epoch, Steps: resp.Seq}, nil
+}
+
+// Retire detaches the remote manager's follower stream to addr.
+func (c *Client) Retire(ctx context.Context, addr string) error {
+	_, err := c.callOK(ctx, wireMsg{Op: opRetire, Addr: addr})
+	return err
+}
+
+// Drain puts the remote manager into drain mode and returns once it is
+// quiescent: new asks there fail with ErrDraining, in-flight tickets and
+// queued group commits have settled.
+func (c *Client) Drain(ctx context.Context) error {
+	_, err := c.callOK(ctx, wireMsg{Op: opDrain})
+	return err
+}
+
+// Resume takes the remote manager out of drain mode.
+func (c *Client) Resume(ctx context.Context) error {
+	_, err := c.callOK(ctx, wireMsg{Op: opResume})
+	return err
+}
+
+// Topology reports the remote manager's replication identity, follower
+// streams and drain state.
+func (c *Client) Topology(ctx context.Context) (TopologyInfo, error) {
+	resp, err := c.callOK(ctx, wireMsg{Op: opTopology})
+	if err != nil {
+		return TopologyInfo{}, err
+	}
+	return TopologyInfo{Role: resp.Role, Epoch: resp.Epoch, Steps: resp.Seq,
+		Draining: resp.Draining, Replicas: resp.Addrs}, nil
 }
 
 // Subscribe opens a remote subscription for the action.

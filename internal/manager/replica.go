@@ -184,10 +184,20 @@ func (w *ticketWindow) list() []Ticket {
 // --- primary side: the replicator and its per-follower streams ----------
 
 // replItem is one frame queued on a stream, with an optional ack channel
-// (sync mode).
+// (sync mode) — or, when sync is non-nil, a control request to force a
+// full snapshot resync right now and report the follower's position
+// (AttachReplica's catch-up probe).
 type replItem struct {
 	frame ReplFrame
-	res   chan error // buffered(1); nil in async mode
+	res   chan error   // buffered(1); nil in async mode
+	sync  chan syncAck // buffered(1); non-nil turns the item into a resync request
+}
+
+// syncAck reports a forced resync: the follower's acked status, or why
+// it could not be reached.
+type syncAck struct {
+	st  ReplStatus
+	err error
 }
 
 // replStreamCap bounds a stream's frame backlog. Overflow in async mode
@@ -195,12 +205,14 @@ type replItem struct {
 // with a snapshot; overflow in sync mode fails the publish (uncertain).
 const replStreamCap = 1024
 
-// replicator fans committed frames out to the follower servers.
+// replicator fans committed frames out to the follower servers. The
+// stream set is dynamic (AttachReplica/DetachReplica); mutations and
+// publishes are serialized by the owning manager's mutex.
 type replicator struct {
 	m          *Manager
 	sync       bool
 	ackTimeout time.Duration
-	streams    []*replStream
+	streams    []*replStream // guarded by m.mu
 	stop       chan struct{}
 	wg         sync.WaitGroup
 }
@@ -211,6 +223,7 @@ type replStream struct {
 	r    *replicator
 	addr string
 	ch   chan replItem
+	quit chan struct{} // closed by removeStream (this stream only)
 
 	// goroutine-local:
 	cl       *Client
@@ -224,12 +237,42 @@ func newReplicator(m *Manager, addrs []string, syncAcks bool, ackTimeout time.Du
 	}
 	r := &replicator{m: m, sync: syncAcks, ackTimeout: ackTimeout, stop: make(chan struct{})}
 	for _, addr := range addrs {
-		st := &replStream{r: r, addr: addr, ch: make(chan replItem, replStreamCap)}
-		r.streams = append(r.streams, st)
-		r.wg.Add(1)
-		go st.run()
+		r.addStreamLocked(addr)
 	}
 	return r
+}
+
+// addStreamLocked starts one follower stream. Callers hold m.mu (or are
+// the constructor, before the replicator is visible to anyone).
+func (r *replicator) addStreamLocked(addr string) *replStream {
+	st := &replStream{r: r, addr: addr, ch: make(chan replItem, replStreamCap), quit: make(chan struct{})}
+	r.streams = append(r.streams, st)
+	r.wg.Add(1)
+	go st.run()
+	return st
+}
+
+// stream returns the stream to addr, creating it if absent. Callers hold
+// m.mu.
+func (r *replicator) stream(addr string) *replStream {
+	for _, st := range r.streams {
+		if st.addr == addr {
+			return st
+		}
+	}
+	return r.addStreamLocked(addr)
+}
+
+// removeStream stops and removes the stream to addr (no-op when absent).
+// Callers hold m.mu.
+func (r *replicator) removeStream(addr string) {
+	for i, st := range r.streams {
+		if st.addr == addr {
+			r.streams = append(r.streams[:i], r.streams[i+1:]...)
+			close(st.quit)
+			return
+		}
+	}
 }
 
 // close stops the streams; queued frames are dropped (their acks fail).
@@ -288,6 +331,8 @@ func (r *replicator) publish(f ReplFrame) func() error {
 
 // run drains the stream: each frame is shipped to the follower,
 // reconnecting on dead connections and healing gaps with snapshots.
+// A resync request (it.sync) forces a full snapshot ship in queue order
+// and reports the follower's acked position.
 func (st *replStream) run() {
 	defer st.r.wg.Done()
 	defer func() {
@@ -298,22 +343,40 @@ func (st *replStream) run() {
 	for {
 		select {
 		case it := <-st.ch:
+			if it.sync != nil {
+				ack, err := st.resync()
+				it.sync <- syncAck{st: ack, err: err}
+				continue
+			}
 			err := st.ship(it.frame)
 			if it.res != nil {
 				it.res <- err
 			}
 		case <-st.r.stop:
-			// Fail any queued acks so no sync waiter hangs on shutdown.
-			for {
-				select {
-				case it := <-st.ch:
-					if it.res != nil {
-						it.res <- ErrClosed
-					}
-				default:
-					return
-				}
+			st.fail(ErrClosed)
+			return
+		case <-st.quit:
+			// Detached: fail queued acks so no waiter hangs on a stream
+			// that will never ship again.
+			st.fail(errors.New("manager: replica detached"))
+			return
+		}
+	}
+}
+
+// fail answers every queued item with err (shutdown/detach path).
+func (st *replStream) fail(err error) {
+	for {
+		select {
+		case it := <-st.ch:
+			if it.res != nil {
+				it.res <- err
 			}
+			if it.sync != nil {
+				it.sync <- syncAck{err: err}
+			}
+		default:
+			return
 		}
 	}
 }
@@ -364,7 +427,7 @@ func (st *replStream) ship(f ReplFrame) error {
 			st.r.m.demoteTo(ack.Epoch)
 			return err
 		case errors.Is(err, ErrReplGap):
-			if err := st.resync(); err != nil {
+			if _, err := st.resync(); err != nil {
 				lastErr = err
 				continue
 			}
@@ -387,15 +450,16 @@ func (st *replStream) ship(f ReplFrame) error {
 }
 
 // resync ships a full state snapshot, the catch-all that heals missed
-// frames, divergent tails and brand-new followers alike.
-func (st *replStream) resync() error {
+// frames, divergent tails and brand-new followers alike. It returns the
+// follower's acked status (AttachReplica's catch-up probe reads Steps).
+func (st *replStream) resync() (ReplStatus, error) {
 	snap, err := st.r.m.replSnapshot()
 	if err != nil {
-		return err
+		return ReplStatus{}, err
 	}
 	cl, err := st.client()
 	if err != nil {
-		return err
+		return ReplStatus{}, err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), st.r.ackTimeout)
 	ack, err := cl.ReplicateSnapshot(ctx, snap)
@@ -406,10 +470,10 @@ func (st *replStream) resync() error {
 		} else if connErrLocal(err) {
 			st.drop()
 		}
-		return err
+		return ack, err
 	}
 	st.syncedTo, st.synced = ack.Steps, true
-	return nil
+	return ack, nil
 }
 
 // connErrLocal mirrors cluster.connErr for the stream's own retries.
@@ -472,6 +536,10 @@ func (m *Manager) demoteTo(epoch uint64) {
 	if m.role != roleFollower {
 		m.role = roleFollower
 		m.reserved = false
+		// The role is now what refuses writes; a drain left over from the
+		// migration that fenced this node is meaningless on a follower
+		// and must not outlive a later re-promotion by surprise.
+		m.draining = false
 		m.cond.Broadcast()
 	}
 }
@@ -493,6 +561,10 @@ func (m *Manager) Promote() (uint64, error) {
 	}
 	m.epoch++
 	m.role = rolePrimary
+	// Promotion is an explicit order to serve: a drain left over from an
+	// earlier migration attempt (the node was fenced as the source, then
+	// re-promoted later) must not keep refusing asks forever.
+	m.draining = false
 	m.cond.Broadcast()
 	return m.epoch, nil
 }
@@ -637,6 +709,8 @@ func (m *Manager) adoptEpochLocked(epoch uint64) (ReplStatus, error) {
 	if m.role != roleFollower {
 		m.role = roleFollower
 		m.reserved = false
+		// See demoteTo: a fenced migration source must not stay draining.
+		m.draining = false
 		m.cond.Broadcast()
 	}
 	return ReplStatus{}, nil

@@ -2,6 +2,7 @@ package mq
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
@@ -218,6 +219,238 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 	wg.Wait()
 	if got := <-done; got != producers*perProducer {
 		t.Errorf("consumed %d messages", got)
+	}
+}
+
+// crashForTest simulates a process crash: the queue stops dead without
+// the Close-time flush and fsync — the on-disk log is whatever previous
+// appends (which flush per record) made durable.
+func (q *Queue) crashForTest() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.f.Close()
+}
+
+// TestCompactCrashRedeliversInflight: messages dequeued but unacked at
+// the moment a concurrent Compact rewrites the log must still be
+// redelivered after a crash and reopen — the compacted log preserves
+// in-flight records as unsettled. Consumers run concurrently with
+// repeated compactions; the verification is against the consumer's own
+// ack record, so it holds under any interleaving.
+func TestCompactCrashRedeliversInflight(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.log")
+	q, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 60
+	for i := 0; i < msgs; i++ {
+		if _, err := q.Enqueue([]byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	acked := make(map[uint64]bool)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Dequeue everything, acking every other message: the rest stays
+		// in-flight across the compactions running concurrently.
+		for i := 0; ; i++ {
+			m, ok := q.Dequeue()
+			if !ok {
+				return
+			}
+			if i%2 == 0 {
+				if err := q.Ack(m.Seq); err != nil {
+					t.Errorf("ack %d: %v", m.Seq, err)
+					return
+				}
+				mu.Lock()
+				acked[m.Seq] = true
+				mu.Unlock()
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		if err := q.Compact(); err != nil {
+			t.Fatalf("compact %d: %v", i, err)
+		}
+	}
+	<-done
+	// One more compact with a fully-drained pending set: everything left
+	// on disk is in-flight records.
+	if err := q.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	q.crashForTest()
+
+	q2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen after interrupted run: %v", err)
+	}
+	defer q2.Close()
+	got := make(map[uint64]bool)
+	last := uint64(0)
+	first := true
+	for {
+		m, ok := q2.Dequeue()
+		if !ok {
+			break
+		}
+		if got[m.Seq] {
+			t.Fatalf("message %d redelivered twice", m.Seq)
+		}
+		if !first && m.Seq <= last {
+			t.Fatalf("redelivery out of order: %d after %d", m.Seq, last)
+		}
+		got[m.Seq], last, first = true, m.Seq, false
+	}
+	for seq := uint64(0); seq < msgs; seq++ {
+		if acked[seq] && got[seq] {
+			t.Errorf("acked message %d resurrected by compaction crash", seq)
+		}
+		if !acked[seq] && !got[seq] {
+			t.Errorf("unacked message %d lost across compact+crash", seq)
+		}
+	}
+}
+
+// TestInterruptedCompactTorture mirrors the manager's crash-torture
+// style on the queue: seeded random schedules of enqueue / dequeue /
+// ack / nack / compact end in a crash at an arbitrary point, and after
+// every reopen the deliverable set must be exactly the enqueued-minus-
+// acked messages, in ascending sequence order — compaction must never
+// lose an unsettled message nor resurrect a settled one, whatever state
+// it was interleaved with.
+func TestInterruptedCompactTorture(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runCompactTorture(t, int64(seed))
+		})
+	}
+}
+
+func runCompactTorture(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	path := filepath.Join(t.TempDir(), "q.log")
+	q, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enqueued := make(map[uint64]bool)
+	acked := make(map[uint64]bool)
+	var held []uint64 // dequeued, not yet acked/nacked (in-flight)
+	ops := 40 + rng.Intn(200)
+	compactions := 0
+	for i := 0; i < ops; i++ {
+		switch p := rng.Intn(100); {
+		case p < 40:
+			seq, err := q.Enqueue([]byte(fmt.Sprintf("s%d-%d", seed, i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			enqueued[seq] = true
+		case p < 65:
+			if m, ok := q.Dequeue(); ok {
+				held = append(held, m.Seq)
+			}
+		case p < 80:
+			if len(held) > 0 {
+				j := rng.Intn(len(held))
+				if err := q.Ack(held[j]); err != nil {
+					t.Fatal(err)
+				}
+				acked[held[j]] = true
+				held = append(held[:j], held[j+1:]...)
+			}
+		case p < 88:
+			if len(held) > 0 {
+				j := rng.Intn(len(held))
+				if err := q.Nack(held[j]); err != nil {
+					t.Fatal(err)
+				}
+				held = append(held[:j], held[j+1:]...)
+			}
+		default:
+			if err := q.Compact(); err != nil {
+				t.Fatalf("compact at op %d: %v", i, err)
+			}
+			compactions++
+		}
+	}
+	if compactions == 0 {
+		if err := q.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.crashForTest()
+
+	q2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("seed %d: reopen: %v", seed, err)
+	}
+	defer q2.Close()
+	last, first := uint64(0), true
+	seen := make(map[uint64]bool)
+	for {
+		m, ok := q2.Dequeue()
+		if !ok {
+			break
+		}
+		if seen[m.Seq] {
+			t.Fatalf("seed %d: %d delivered twice after reopen", seed, m.Seq)
+		}
+		if !first && m.Seq <= last {
+			t.Fatalf("seed %d: redelivery out of order: %d after %d", seed, m.Seq, last)
+		}
+		seen[m.Seq], last, first = true, m.Seq, false
+	}
+	for seq := range enqueued {
+		if acked[seq] && seen[seq] {
+			t.Errorf("seed %d: settled message %d resurrected", seed, seq)
+		}
+		if !acked[seq] && !seen[seq] {
+			t.Errorf("seed %d: unsettled message %d lost", seed, seq)
+		}
+	}
+}
+
+// TestOpenIgnoresStaleCompactTmp: a crash between writing the temp file
+// and the atomic rename leaves a stale .compact file next to the log;
+// Open must ignore it and a later Compact must replace it.
+func TestOpenIgnoresStaleCompactTmp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.log")
+	q, _ := Open(path, Options{})
+	q.Enqueue([]byte("kept"))
+	q.Close()
+	// The torn temp a crashed compaction leaves behind.
+	if err := os.WriteFile(path+".compact", []byte(`{"enq":{"seq":9,"pa`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("open with stale compact tmp: %v", err)
+	}
+	defer q2.Close()
+	m, ok := q2.Dequeue()
+	if !ok || string(m.Payload) != "kept" {
+		t.Fatalf("message lost: %v %q", ok, m.Payload)
+	}
+	if err := q2.Nack(m.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Compact(); err != nil {
+		t.Fatalf("compact over stale tmp: %v", err)
+	}
+	if m, ok = q2.Dequeue(); !ok || string(m.Payload) != "kept" {
+		t.Fatalf("message lost across compact: %v %q", ok, m.Payload)
 	}
 }
 

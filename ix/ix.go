@@ -107,6 +107,16 @@ type (
 	ReplStatus = manager.ReplStatus
 	// ReplFrame is one replicated commit frame.
 	ReplFrame = manager.ReplFrame
+	// TopologyInfo describes a manager's replication identity, follower
+	// streams and drain state.
+	TopologyInfo = manager.TopologyInfo
+	// Rebalancer drives live shard migrations against a gateway
+	// (add server → resync → drain → promote → retire).
+	Rebalancer = cluster.Rebalancer
+	// MigrateOptions tune one live migration.
+	MigrateOptions = cluster.MigrateOptions
+	// ShardTopology pairs a shard's route table with its primary's view.
+	ShardTopology = cluster.ShardTopology
 )
 
 // Word verdicts (Fig 9 of the paper).
@@ -131,6 +141,9 @@ var (
 	// ErrUncertain reports a commit applied locally whose replication acks
 	// failed under SyncReplicas — the outcome is unknown to the client.
 	ErrUncertain = manager.ErrUncertain
+	// ErrDraining reports an ask refused by a manager that is migrating
+	// away; transient and always safe to retry.
+	ErrDraining = manager.ErrDraining
 )
 
 // --- building expressions ---------------------------------------------
