@@ -18,6 +18,7 @@ import (
 	"repro/internal/complexity"
 	"repro/internal/expr"
 	"repro/internal/manager"
+	"repro/internal/obs"
 	"repro/internal/paper"
 	"repro/internal/semantics"
 	"repro/internal/state"
@@ -337,6 +338,16 @@ func BenchmarkManagerBatchedThroughput(b *testing.B) {
 	b.Run("batched", func(b *testing.B) {
 		run(b, manager.Options{BatchMaxSize: 64, BatchMaxDelay: 200 * time.Microsecond})
 	})
+	// Identical to "batched" but with the full metrics registry attached
+	// — the PR 6 overhead gate compares the two (instrumentation must
+	// cost ≤5% throughput).
+	b.Run("instrumented", func(b *testing.B) {
+		run(b, manager.Options{
+			BatchMaxSize:  64,
+			BatchMaxDelay: 200 * time.Microsecond,
+			Metrics:       obs.NewRegistry(),
+		})
+	})
 }
 
 // BenchmarkGatewayPipelined (E20): the framed multi-op wire path. The
@@ -347,21 +358,32 @@ func BenchmarkManagerBatchedThroughput(b *testing.B) {
 // per-action round trip away (≥2x confirms/s).
 func BenchmarkGatewayPipelined(b *testing.B) {
 	const burstLen = 48
-	setup := func(b *testing.B) *cluster.Gateway {
+	setup := func(b *testing.B, instrumented bool) *cluster.Gateway {
 		e := ix.MustParse("(a1 | b1)* @ (a2 | b2)* @ (a3 | b3)*")
 		parts := cluster.Partition(e)
-		addrs := make([]string, len(parts))
+		replicas := make([][]string, len(parts))
 		for i, part := range parts {
-			m := manager.MustNew(part, manager.Options{BatchMaxSize: 64, BatchMaxDelay: 100 * time.Microsecond})
+			mopts := manager.Options{BatchMaxSize: 64, BatchMaxDelay: 100 * time.Microsecond}
+			if instrumented {
+				mopts.Metrics = obs.NewRegistry()
+			}
+			m := manager.MustNew(part, mopts)
 			ln, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
 				b.Fatal(err)
 			}
 			srv := manager.NewServer(m, ln)
-			addrs[i] = srv.Addr()
+			replicas[i] = []string{srv.Addr()}
 			b.Cleanup(func() { srv.Close(); m.Close() })
 		}
-		gw, err := cluster.NewGateway(e, addrs)
+		var gopts cluster.GatewayOptions
+		if instrumented {
+			gopts.Metrics = obs.NewRegistry()
+			gopts.TraceCapacity = cluster.DefaultTraceCapacity
+		} else {
+			gopts.TraceCapacity = -1
+		}
+		gw, err := cluster.NewReplicatedGateway(e, replicas, gopts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -374,18 +396,8 @@ func BenchmarkGatewayPipelined(b *testing.B) {
 	workload := func(i int) expr.Action {
 		return expr.ConcreteAct(fmt.Sprintf("a%d", i%3+1))
 	}
-	b.Run("sequential", func(b *testing.B) {
-		gw := setup(b)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if err := gw.Request(bg, workload(i)); err != nil {
-				b.Fatal(err)
-			}
-		}
-		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "confirms/s")
-	})
-	b.Run("pipelined", func(b *testing.B) {
-		gw := setup(b)
+	runPipelined := func(b *testing.B, instrumented bool) {
+		gw := setup(b, instrumented)
 		b.ResetTimer()
 		for done := 0; done < b.N; {
 			n := burstLen
@@ -404,7 +416,22 @@ func BenchmarkGatewayPipelined(b *testing.B) {
 			done += n
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "confirms/s")
+	}
+	b.Run("sequential", func(b *testing.B) {
+		gw := setup(b, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := gw.Request(bg, workload(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "confirms/s")
 	})
+	b.Run("pipelined", func(b *testing.B) { runPipelined(b, false) })
+	// The same pipelined workload with metrics registries on the gateway,
+	// every shard manager and every wire server, plus grant tracing — the
+	// PR 6 overhead gate's instrumented side.
+	b.Run("pipelined-instrumented", func(b *testing.B) { runPipelined(b, true) })
 }
 
 // BenchmarkManagerAskConfirm: the full critical-region cycle.

@@ -3,11 +3,21 @@
 package cmd_test
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/ix"
 )
 
 // buildTool compiles one command into a temp dir and returns its path.
@@ -87,6 +97,218 @@ func TestIxcheckActionProblem(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "Error:") {
 		t.Errorf("malformed action should report an error: %q", out)
+	}
+}
+
+// freePort reserves a loopback port and releases it for a subprocess.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startProc launches a tool subprocess and kills it at cleanup.
+func startProc(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", filepath.Base(bin), err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd
+}
+
+// waitPort blocks until the address accepts connections.
+func waitPort(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s never came up", addr)
+}
+
+// adminReply mirrors ixgateway's admin response shape.
+type adminReply struct {
+	Op       string             `json:"op"`
+	OK       bool               `json:"ok"`
+	Err      string             `json:"error"`
+	Topology []ix.ShardTopology `json:"topology"`
+	Stats    []ix.ShardStats    `json:"stats"`
+	Traces   []ix.GrantTrace    `json:"traces"`
+}
+
+// TestIxgatewayAdminEndpoint spins up a two-shard cluster as real
+// subprocesses and exercises the gateway's admin endpoint end to end:
+// topology, per-shard stats, grant traces, live migration, and the
+// error paths (malformed JSON line, unknown op) — plus the Prometheus
+// metrics endpoint.
+func TestIxgatewayAdminEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	mgrBin := buildTool(t, "ixmanager")
+	gwBin := buildTool(t, "ixgateway")
+
+	shard0 := freePort(t)
+	shard1 := freePort(t)
+	gwAddr := freePort(t)
+	admAddr := freePort(t)
+	metAddr := freePort(t)
+
+	startProc(t, mgrBin, "-e", "(a - b)*", "-addr", shard0)
+	startProc(t, mgrBin, "-e", "(a - c)*", "-addr", shard1)
+	waitPort(t, shard0)
+	waitPort(t, shard1)
+	startProc(t, gwBin,
+		"-e", "(a - b)* @ (a - c)*",
+		"-shards", shard0+","+shard1,
+		"-addr", gwAddr, "-admin", admAddr, "-metrics", metAddr, "-trace", "16")
+	waitPort(t, gwAddr)
+	waitPort(t, admAddr)
+	waitPort(t, metAddr)
+
+	// Traffic through the gateway so stats and traces have content.
+	cl, err := ix.Dial(gwAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	a, err := ix.ParseAction("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := cl.Ask(ctx, a)
+	if err != nil {
+		t.Fatalf("ask through gateway: %v", err)
+	}
+	if err := cl.Confirm(ctx, tk); err != nil {
+		t.Fatalf("confirm through gateway: %v", err)
+	}
+
+	// Admin conversation, one JSON line per op.
+	conn, err := net.Dial("tcp", admAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	roundTrip := func(line string) adminReply {
+		t.Helper()
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatalf("admin write: %v", err)
+		}
+		if !sc.Scan() {
+			t.Fatalf("admin read after %q: %v", line, sc.Err())
+		}
+		var rep adminReply
+		if err := json.Unmarshal(sc.Bytes(), &rep); err != nil {
+			t.Fatalf("admin reply %q: %v", sc.Text(), err)
+		}
+		return rep
+	}
+
+	if rep := roundTrip(`{"op":"topology"}`); !rep.OK || len(rep.Topology) != 2 {
+		t.Errorf("topology: %+v", rep)
+	}
+	rep := roundTrip(`{"op":"stats"}`)
+	if !rep.OK || len(rep.Stats) != 2 {
+		t.Fatalf("stats: %+v", rep)
+	}
+	for _, ss := range rep.Stats {
+		if ss.Err != "" || ss.Stats.Role != "primary" {
+			t.Errorf("shard %d stats: %+v", ss.Shard, ss)
+		}
+		if ss.Stats.AskRate < 0 || ss.Stats.QueueDepth != 0 {
+			t.Errorf("shard %d load: %+v", ss.Shard, ss.Stats)
+		}
+	}
+	// Both shards saw the shared 'a'.
+	if rep.Stats[0].Stats.Steps != 1 || rep.Stats[1].Stats.Steps != 1 {
+		t.Errorf("shard steps: %d / %d want 1 / 1",
+			rep.Stats[0].Stats.Steps, rep.Stats[1].Stats.Steps)
+	}
+	rep = roundTrip(`{"op":"trace"}`)
+	if !rep.OK || len(rep.Traces) == 0 {
+		t.Fatalf("trace: %+v", rep)
+	}
+	var confirmed bool
+	for _, tr := range rep.Traces {
+		if tr.Outcome == "confirmed" && len(tr.Events) >= 4 {
+			confirmed = true
+		}
+	}
+	if !confirmed {
+		t.Errorf("no confirmed grant trace: %+v", rep.Traces)
+	}
+
+	// Error paths: a malformed line gets an error reply and the
+	// connection keeps working; an unknown op is rejected by name.
+	if rep := roundTrip(`{not json`); rep.Err == "" || !strings.Contains(rep.Err, "malformed") {
+		t.Errorf("malformed line: %+v", rep)
+	}
+	if rep := roundTrip(`{"op":"bogus"}`); rep.Err == "" || !strings.Contains(rep.Err, "unknown admin op") {
+		t.Errorf("unknown op: %+v", rep)
+	}
+	if rep := roundTrip(`{"op":"topology"}`); !rep.OK {
+		t.Errorf("connection unusable after malformed line: %+v", rep)
+	}
+
+	// Live migration via admin: move shard 0 onto a fresh follower.
+	target := freePort(t)
+	startProc(t, mgrBin, "-e", "(a - b)*", "-addr", target, "-follower")
+	waitPort(t, target)
+	if rep := roundTrip(fmt.Sprintf(`{"op":"migrate","shard":0,"target":%q,"retire":true}`, target)); !rep.OK {
+		t.Fatalf("migrate: %+v", rep)
+	}
+	if rep := roundTrip(`{"op":"topology"}`); !rep.OK ||
+		len(rep.Topology[0].Addrs) != 1 || rep.Topology[0].Addrs[0] != target {
+		t.Errorf("topology after migrate: %+v", rep)
+	}
+	// The migrated shard still serves: finish the round through it.
+	b, _ := ix.ParseAction("b")
+	if err := cl.Request(ctx, b); err != nil {
+		t.Errorf("request b after migration: %v", err)
+	}
+
+	// Prometheus endpoint.
+	httpc := http.Client{Timeout: 5 * time.Second}
+	resp, err := httpc.Get("http://" + metAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics endpoint: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"ix_gateway_reserves_total",
+		"ix_gateway_grant_ns",
+		`ix_shard_asks_total{shard="0"}`,
+		"ix_migrate_phase_ns",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %s", want)
+		}
 	}
 }
 

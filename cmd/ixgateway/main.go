@@ -22,11 +22,18 @@
 //	          -shards 127.0.0.1:7431/127.0.0.1:7441,127.0.0.1:7432 -addr :7430
 //
 // With -admin the gateway additionally serves a JSON-lines admin
-// endpoint for elastic rebalancing: live shard migration and topology
-// inspection, no restart required. One request per line:
+// endpoint for elastic rebalancing and observability: live shard
+// migration, topology inspection, per-shard load stats and grant traces,
+// no restart required. One request per line:
 //
 //	{"op":"topology"}
 //	{"op":"migrate","shard":0,"target":"127.0.0.1:7451","retire":true}
+//	{"op":"stats"}
+//	{"op":"trace"}
+//
+// With -metrics the gateway serves its registry (wire traffic, per-shard
+// ask rates, two-phase grant outcomes and latencies, migration phase
+// durations) in Prometheus text format at http://ADDR/metrics.
 //
 // The target must already run as a follower (ixmanager -follower) for
 // the shard's operand. The migration drains the source, promotes the
@@ -41,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,8 +63,10 @@ func main() {
 		exprFile  = flag.String("f", "", "file containing the expression")
 		shardCSV  = flag.String("shards", "", "comma-separated shard addresses, one per coupling operand; separate replica addresses within a shard with '/'")
 		addr      = flag.String("addr", "127.0.0.1:7430", "listen address")
-		readRepls = flag.Bool("read-followers", false, "serve Try probes from follower replicas")
-		adminAddr = flag.String("admin", "", "serve the JSON-lines admin endpoint (migrate/topology) on this address")
+		readRepls  = flag.Bool("read-followers", false, "serve Try probes from follower replicas")
+		adminAddr  = flag.String("admin", "", "serve the JSON-lines admin endpoint (migrate/topology/stats/trace) on this address")
+		metricAddr = flag.String("metrics", "", "serve Prometheus-text metrics over HTTP on this address (path /metrics)")
+		traceCap   = flag.Int("trace", 0, "grant trace ring capacity (0 = default 256, negative = tracing off)")
 	)
 	flag.Parse()
 
@@ -85,7 +95,12 @@ func main() {
 		}
 	}
 
-	gw, err := ix.NewReplicatedGateway(e, replicas, ix.GatewayOptions{ReadFromFollowers: *readRepls})
+	reg := ix.NewMetricsRegistry()
+	gw, err := ix.NewReplicatedGateway(e, replicas, ix.GatewayOptions{
+		ReadFromFollowers: *readRepls,
+		Metrics:           reg,
+		TraceCapacity:     *traceCap,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -120,6 +135,16 @@ func main() {
 		fmt.Printf("ixgateway: admin endpoint on %s\n", aln.Addr())
 	}
 
+	if *metricAddr != "" {
+		mln, err := net.Listen("tcp", *metricAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer mln.Close()
+		go serveMetrics(mln, reg)
+		fmt.Printf("ixgateway: metrics on http://%s/metrics\n", mln.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
@@ -136,9 +161,13 @@ type adminMsg struct {
 	OK       bool               `json:"ok,omitempty"`
 	Err      string             `json:"error,omitempty"`
 	Topology []ix.ShardTopology `json:"topology,omitempty"`
+	Stats    []ix.ShardStats    `json:"stats,omitempty"`
+	Traces   []ix.GrantTrace    `json:"traces,omitempty"`
 }
 
-// serveAdmin answers migrate/topology requests, one JSON line each.
+// serveAdmin answers migrate/topology/stats/trace requests, one JSON
+// line each. Requests are read line-wise so a malformed line earns an
+// error reply instead of poisoning the connection.
 func serveAdmin(ln net.Listener, gw *ix.Gateway) {
 	reb := gw.Rebalancer()
 	for {
@@ -149,11 +178,19 @@ func serveAdmin(ln net.Listener, gw *ix.Gateway) {
 		go func(conn net.Conn) {
 			defer conn.Close()
 			enc := json.NewEncoder(conn)
-			dec := json.NewDecoder(bufio.NewReader(conn))
-			for {
+			sc := bufio.NewScanner(conn)
+			sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if line == "" {
+					continue
+				}
 				var req adminMsg
-				if err := dec.Decode(&req); err != nil {
-					return
+				if err := json.Unmarshal([]byte(line), &req); err != nil {
+					if err := enc.Encode(adminMsg{Err: fmt.Sprintf("malformed request: %v", err)}); err != nil {
+						return
+					}
+					continue
 				}
 				resp := adminMsg{Op: req.Op}
 				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -173,6 +210,17 @@ func serveAdmin(ln net.Listener, gw *ix.Gateway) {
 					} else {
 						resp.OK = true
 					}
+				case "stats":
+					stats, err := reb.Stats(ctx)
+					resp.Stats = stats
+					if err != nil {
+						resp.Err = err.Error()
+					} else {
+						resp.OK = true
+					}
+				case "trace":
+					resp.Traces = gw.Traces()
+					resp.OK = true
 				default:
 					resp.Err = fmt.Sprintf("unknown admin op %q", req.Op)
 				}
@@ -183,6 +231,16 @@ func serveAdmin(ln net.Listener, gw *ix.Gateway) {
 			}
 		}(conn)
 	}
+}
+
+// serveMetrics exposes the gateway's registry in Prometheus text format.
+func serveMetrics(ln net.Listener, reg *ix.MetricsRegistry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	http.Serve(ln, mux)
 }
 
 func fatal(err error) {

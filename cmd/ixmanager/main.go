@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -42,6 +43,7 @@ func main() {
 		replicaCSV = flag.String("replicas", "", "comma-separated follower server addresses to stream commits to")
 		syncRepl   = flag.Bool("sync-replicas", false, "acknowledge commits only after every follower acked (no-loss failover)")
 		follower   = flag.Bool("follower", false, "start as a read-only follower (writes fail until promoted)")
+		metricAddr = flag.String("metrics", "", "serve Prometheus-text metrics over HTTP on this address (path /metrics)")
 	)
 	flag.Parse()
 
@@ -69,6 +71,7 @@ func main() {
 			replicas = append(replicas, strings.TrimSpace(a))
 		}
 	}
+	reg := ix.NewMetricsRegistry()
 	m, err := ix.NewManager(e, ix.ManagerOptions{
 		LogPath:            *logPath,
 		SnapshotPath:       *snapPath,
@@ -81,6 +84,7 @@ func main() {
 		Replicas:           replicas,
 		SyncReplicas:       *syncRepl,
 		Follower:           *follower,
+		Metrics:            reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -103,6 +107,16 @@ func main() {
 	}
 	fmt.Println()
 
+	if *metricAddr != "" {
+		mln, err := net.Listen("tcp", *metricAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer mln.Close()
+		go serveMetrics(mln, reg)
+		fmt.Printf("ixmanager: metrics on http://%s/metrics\n", mln.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
@@ -113,6 +127,16 @@ func main() {
 		fmt.Printf("ixmanager: state cache: %d nodes, %d/%d memo hits/misses, %d evictions\n",
 			cs.Nodes, cs.MemoHits, cs.MemoMisses, cs.MemoEvictions)
 	}
+}
+
+// serveMetrics exposes the registry in Prometheus text format.
+func serveMetrics(ln net.Listener, reg *ix.MetricsRegistry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	http.Serve(ln, mux)
 }
 
 func fatal(err error) {

@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/expr"
 	"repro/internal/manager"
+	"repro/internal/obs"
 )
 
 // Gateway coordinates one coupled interaction expression across N remote
@@ -32,6 +35,34 @@ type Gateway struct {
 	mu     sync.Mutex
 	nextTk manager.Ticket
 	grants map[manager.Ticket]grantEntry
+
+	reg     *obs.Registry // nil: metrics disabled
+	gm      gatewayMetrics
+	traces  *traceRing // nil: grant tracing disabled
+	traceID atomic.Uint64
+}
+
+// gatewayMetrics counts two-phase protocol outcomes (nil handles no-op).
+type gatewayMetrics struct {
+	reserves        *obs.Counter
+	reserveRefusals *obs.Counter
+	confirms        *obs.Counter
+	confirmFailures *obs.Counter
+	aborts          *obs.Counter
+	resumes         *obs.Counter
+	grantNs         *obs.Histogram
+}
+
+func newGatewayMetrics(reg *obs.Registry) gatewayMetrics {
+	return gatewayMetrics{
+		reserves:        reg.Counter("ix_gateway_reserves_total"),
+		reserveRefusals: reg.Counter("ix_gateway_reserve_refusals_total"),
+		confirms:        reg.Counter("ix_gateway_confirms_total"),
+		confirmFailures: reg.Counter("ix_gateway_confirm_failures_total"),
+		aborts:          reg.Counter("ix_gateway_aborts_total"),
+		resumes:         reg.Counter("ix_gateway_resumes_total"),
+		grantNs:         reg.Histogram("ix_gateway_grant_ns"),
+	}
 }
 
 // grantEntry records one gateway-level grant and when it was taken, so
@@ -43,6 +74,7 @@ type grantEntry struct {
 	act    expr.Action
 	grants []shardGrant
 	at     time.Time
+	tr     *GrantTrace // nil when tracing is disabled
 }
 
 // grantTTL bounds how long an unsettled gateway grant is remembered. It
@@ -74,6 +106,16 @@ type GatewayOptions struct {
 	// ReadFromFollowers routes Try probes to follower replicas (see
 	// ShardOptions.ReadFromFollowers).
 	ReadFromFollowers bool
+	// DrainRetryDelay is handed to every shard client (see
+	// ShardOptions.DrainRetryDelay).
+	DrainRetryDelay time.Duration
+	// Metrics, if non-nil, makes the gateway (and its shard clients)
+	// report into the registry: two-phase reserve/confirm outcomes, grant
+	// latency, and per-shard asks/drain-waits/failovers/heals.
+	Metrics *obs.Registry
+	// TraceCapacity sizes the completed-grant trace ring. Zero means
+	// DefaultTraceCapacity; negative disables grant tracing.
+	TraceCapacity int
 }
 
 // NewGateway builds a gateway for e whose i-th coupling operand is served
@@ -102,6 +144,13 @@ func NewReplicatedGateway(e *expr.Expr, replicas [][]string, opts GatewayOptions
 		return nil, fmt.Errorf("cluster: expression has %d shards, got %d replica sets", len(parts), len(replicas))
 	}
 	g := &Gateway{parts: parts, grants: make(map[manager.Ticket]grantEntry)}
+	g.reg = opts.Metrics
+	g.gm = newGatewayMetrics(opts.Metrics)
+	tcap := opts.TraceCapacity
+	if tcap == 0 {
+		tcap = DefaultTraceCapacity
+	}
+	g.traces = newTraceRing(tcap) // nil when tcap < 0
 	for i, part := range parts {
 		if len(replicas[i]) == 0 {
 			return nil, fmt.Errorf("cluster: shard %d has no endpoints", i)
@@ -109,10 +158,57 @@ func NewReplicatedGateway(e *expr.Expr, replicas [][]string, opts GatewayOptions
 		g.alphas = append(g.alphas, expr.AlphabetOf(part))
 		g.shards = append(g.shards, NewShardClientSet(replicas[i], ShardOptions{
 			ReadFromFollowers: opts.ReadFromFollowers,
+			DrainRetryDelay:   opts.DrainRetryDelay,
+			Metrics:           opts.Metrics,
+			Label:             strconv.Itoa(i),
 		}))
 	}
 	g.idx = manager.NewNameIndex(g.alphas)
 	return g, nil
+}
+
+// MetricsRegistry exposes the gateway's obs registry (nil when metrics
+// are disabled); the wire server discovers it via manager.MetricsSource.
+func (g *Gateway) MetricsRegistry() *obs.Registry { return g.reg }
+
+// newTrace starts a grant trace when tracing is enabled (nil otherwise;
+// GrantTrace methods no-op on nil).
+func (g *Gateway) newTrace(a expr.Action) *GrantTrace {
+	if g.traces == nil {
+		return nil
+	}
+	return &GrantTrace{
+		ID:      g.traceID.Add(1),
+		Action:  a.String(),
+		Start:   time.Now(),
+		Outcome: OutcomePending,
+	}
+}
+
+// finishTrace stamps the outcome and publishes the trace to the ring.
+func (g *Gateway) finishTrace(tr *GrantTrace, outcome string) {
+	if tr == nil {
+		return
+	}
+	tr.End = time.Now()
+	tr.Outcome = outcome
+	g.traces.add(tr)
+}
+
+// Traces returns the gateway's grant traces: completed grants from the
+// ring (oldest first), then still-pending ask-path grants.
+func (g *Gateway) Traces() []GrantTrace {
+	out := g.traces.list()
+	g.mu.Lock()
+	for t, e := range g.grants {
+		if e.tr != nil {
+			tr := e.tr.clone()
+			tr.Ticket = t
+			out = append(out, tr)
+		}
+	}
+	g.mu.Unlock()
+	return out
 }
 
 // Shards returns the shard clients (diagnostics and tests).
@@ -151,14 +247,18 @@ func (g *Gateway) Ping(ctx context.Context) error {
 
 // askShards runs phase 1: reservations at every involved shard in
 // ascending order, rolling back on the first refusal.
-func (g *Gateway) askShards(ctx context.Context, a expr.Action, involved []int) ([]shardGrant, error) {
+func (g *Gateway) askShards(ctx context.Context, a expr.Action, involved []int, tr *GrantTrace) ([]shardGrant, error) {
 	grants := make([]shardGrant, 0, len(involved))
 	for _, i := range involved {
+		start := time.Now()
 		t, err := g.shards[i].Ask(ctx, a)
+		tr.event(PhaseReserve, i, t, start, err)
 		if err != nil {
-			g.abortGrants(grants)
+			g.gm.reserveRefusals.Inc()
+			g.abortGrants(grants, tr)
 			return nil, err
 		}
+		g.gm.reserves.Inc()
 		grants = append(grants, shardGrant{shard: i, ticket: t, gen: g.shards[i].Generation()})
 	}
 	return grants, nil
@@ -168,11 +268,13 @@ func (g *Gateway) askShards(ctx context.Context, a expr.Action, involved []int) 
 // secondary (the grant already failed); an unreachable shard's
 // reservation falls to its manager's reservation timeout, the paper's
 // remedy for clients that die inside the critical region.
-func (g *Gateway) abortGrants(grants []shardGrant) {
+func (g *Gateway) abortGrants(grants []shardGrant, tr *GrantTrace) {
 	ctx, cancel := context.WithTimeout(context.Background(), shardSettleTimeout)
 	defer cancel()
 	for _, gr := range grants {
-		_ = g.shards[gr.shard].Abort(ctx, gr.ticket)
+		start := time.Now()
+		err := g.shards[gr.shard].Abort(ctx, gr.ticket)
+		tr.event(PhaseAbort, gr.shard, gr.ticket, start, err)
 	}
 }
 
@@ -186,11 +288,13 @@ func (g *Gateway) abortGrants(grants []shardGrant) {
 // a resume is a fresh Ask, and taking one while still holding
 // higher-numbered reservations would break the global acquisition order
 // that keeps concurrent multi-shard grants deadlock-free.
-func (g *Gateway) confirmGrants(ctx context.Context, a expr.Action, grants []shardGrant) error {
+func (g *Gateway) confirmGrants(ctx context.Context, a expr.Action, grants []shardGrant, tr *GrantTrace) error {
 	var firstErr error
 	var resume []int
 	for _, gr := range grants {
+		start := time.Now()
 		err := g.shards[gr.shard].Confirm(ctx, gr.ticket)
+		tr.event(PhaseConfirm, gr.shard, gr.ticket, start, err)
 		if errors.Is(err, manager.ErrUnknownTicket) && g.shards[gr.shard].Generation() != gr.gen {
 			resume = append(resume, gr.shard)
 			continue
@@ -200,9 +304,18 @@ func (g *Gateway) confirmGrants(ctx context.Context, a expr.Action, grants []sha
 		}
 	}
 	for _, shard := range resume {
-		if err := g.shards[shard].Request(ctx, a); err != nil && firstErr == nil {
+		g.gm.resumes.Inc()
+		start := time.Now()
+		err := g.shards[shard].Request(ctx, a)
+		tr.event(PhaseResume, shard, 0, start, err)
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if firstErr == nil {
+		g.gm.confirms.Inc()
+	} else {
+		g.gm.confirmFailures.Inc()
 	}
 	return firstErr
 }
@@ -218,8 +331,10 @@ func (g *Gateway) Ask(ctx context.Context, a expr.Action) (manager.Ticket, error
 	if len(involved) == 0 {
 		return 0, fmt.Errorf("%w: %s (not in any shard's alphabet)", manager.ErrDenied, a)
 	}
-	grants, err := g.askShards(ctx, a, involved)
+	tr := g.newTrace(a)
+	grants, err := g.askShards(ctx, a, involved, tr)
 	if err != nil {
+		g.finishTrace(tr, OutcomeRefused)
 		return 0, err
 	}
 	now := time.Now()
@@ -228,12 +343,16 @@ func (g *Gateway) Ask(ctx context.Context, a expr.Action) (manager.Ticket, error
 	// Confirm/Abort, so the map stays bounded over a gateway's lifetime.
 	for k, e := range g.grants {
 		if now.Sub(e.at) >= grantTTL {
+			g.traces.add(e.tr) // keep the abandoned trace, still "pending"
 			delete(g.grants, k)
 		}
 	}
 	g.nextTk++
 	t := g.nextTk
-	g.grants[t] = grantEntry{act: a, grants: grants, at: now}
+	if tr != nil {
+		tr.Ticket = t
+	}
+	g.grants[t] = grantEntry{act: a, grants: grants, at: now, tr: tr}
 	g.mu.Unlock()
 	return t, nil
 }
@@ -257,7 +376,14 @@ func (g *Gateway) Confirm(ctx context.Context, t manager.Ticket) error {
 	if err != nil {
 		return err
 	}
-	return g.confirmGrants(ctx, e.act, e.grants)
+	cerr := g.confirmGrants(ctx, e.act, e.grants, e.tr)
+	if cerr == nil {
+		g.gm.grantNs.Since(e.at)
+		g.finishTrace(e.tr, OutcomeConfirmed)
+	} else {
+		g.finishTrace(e.tr, OutcomeFailed)
+	}
+	return cerr
 }
 
 // Abort releases a gateway-level grant without a state transition.
@@ -268,10 +394,15 @@ func (g *Gateway) Abort(ctx context.Context, t manager.Ticket) error {
 	}
 	var firstErr error
 	for _, gr := range e.grants {
-		if err := g.shards[gr.shard].Abort(ctx, gr.ticket); err != nil && firstErr == nil {
-			firstErr = err
+		start := time.Now()
+		aerr := g.shards[gr.shard].Abort(ctx, gr.ticket)
+		e.tr.event(PhaseAbort, gr.shard, gr.ticket, start, aerr)
+		if aerr != nil && firstErr == nil {
+			firstErr = aerr
 		}
 	}
+	g.gm.aborts.Inc()
+	g.finishTrace(e.tr, OutcomeAborted)
 	return firstErr
 }
 
@@ -286,11 +417,21 @@ func (g *Gateway) Request(ctx context.Context, a expr.Action) error {
 	case 1:
 		return g.shards[involved[0]].Request(ctx, a)
 	}
-	grants, err := g.askShards(ctx, a, involved)
+	start := time.Now()
+	tr := g.newTrace(a)
+	grants, err := g.askShards(ctx, a, involved, tr)
 	if err != nil {
+		g.finishTrace(tr, OutcomeRefused)
 		return err
 	}
-	return g.confirmGrants(ctx, a, grants)
+	err = g.confirmGrants(ctx, a, grants, tr)
+	if err == nil {
+		g.gm.grantNs.Since(start)
+		g.finishTrace(tr, OutcomeConfirmed)
+	} else {
+		g.finishTrace(tr, OutcomeFailed)
+	}
+	return err
 }
 
 // RequestMany performs a burst of atomic distributed grants and reports

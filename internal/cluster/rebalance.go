@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/manager"
 )
@@ -88,6 +89,50 @@ func (r *Rebalancer) Topology(ctx context.Context) ([]ShardTopology, error) {
 	return out, firstErr
 }
 
+// observePhase records one migration step's duration into the gateway's
+// metrics registry as ix_migrate_phase_ns{phase="..."} (no-op without a
+// registry — obs metrics are nil-safe).
+func (r *Rebalancer) observePhase(name string, start time.Time) {
+	r.gw.reg.Histogram(`ix_migrate_phase_ns{phase="` + name + `"}`).Since(start)
+}
+
+// ShardStats pairs a shard's route info with its serving primary's stats
+// snapshot — the per-shard load view (asks/s, queue depth, memo hit rate)
+// a rebalancing controller reads before picking a migration.
+type ShardStats struct {
+	Shard   int                   `json:"shard"`
+	Addrs   []string              `json:"addrs"`
+	Primary string                `json:"primary,omitempty"`
+	Stats   manager.StatsSnapshot `json:"stats"`
+	Err     string                `json:"err,omitempty"`
+}
+
+// Stats collects every shard primary's stats snapshot (best effort: an
+// unreachable shard reports its error and the first failure is returned
+// alongside the partial result).
+func (r *Rebalancer) Stats(ctx context.Context) ([]ShardStats, error) {
+	out := make([]ShardStats, len(r.gw.shards))
+	var firstErr error
+	for i, sc := range r.gw.shards {
+		out[i] = ShardStats{Shard: i, Addrs: sc.Addrs()}
+		cl, addr, err := sc.primaryConn(ctx)
+		if err == nil {
+			out[i].Primary = addr
+			var st manager.StatsSnapshot
+			if st, err = cl.Stats(ctx); err == nil {
+				out[i].Stats = st
+			}
+		}
+		if err != nil {
+			out[i].Err = err.Error()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: shard %d stats: %w", i, err)
+			}
+		}
+	}
+	return out, firstErr
+}
+
 // primaryConn returns the shard's elected serving connection and its
 // address. The connection is shared with ordinary traffic (the wire
 // client multiplexes); callers must not close it.
@@ -143,9 +188,14 @@ func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string,
 		rounds = defaultCatchupRounds
 	}
 	var tgt manager.ReplStatus
+	phaseStart := time.Now()
 	for i := 0; ; i++ {
 		if tgt, err = cl.Migrate(ctx, target); err != nil {
 			return fmt.Errorf("cluster: migrate shard %d: attach %s: %w", shard, target, err)
+		}
+		if i == 0 {
+			r.observePhase("attach", phaseStart)
+			phaseStart = time.Now()
 		}
 		src, err := cl.Role(ctx)
 		if err != nil {
@@ -155,6 +205,7 @@ func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string,
 			break // caught up (or close enough — the drain freezes the rest)
 		}
 	}
+	r.observePhase("catchup", phaseStart)
 
 	// Step 3: drain the source. From here on a failure must resume it,
 	// or the shard stays wedged refusing asks — including a failure of
@@ -169,11 +220,14 @@ func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string,
 		}
 		return err
 	}
+	phaseStart = time.Now()
 	if err := cl.Drain(ctx); err != nil {
 		return fail(fmt.Errorf("cluster: migrate shard %d: drain %s: %w", shard, source, err))
 	}
+	r.observePhase("drain", phaseStart)
 
 	// Step 4: final sync against the quiescent source.
+	phaseStart = time.Now()
 	src, err := cl.Role(ctx)
 	if err != nil {
 		return fail(fmt.Errorf("cluster: migrate shard %d: source role: %w", shard, err))
@@ -184,12 +238,14 @@ func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string,
 	if tgt.Steps < src.Steps {
 		return fail(fmt.Errorf("cluster: migrate shard %d: target at %d steps, source at %d after drain", shard, tgt.Steps, src.Steps))
 	}
+	r.observePhase("final_sync", phaseStart)
 
 	// Step 5: promote the target and fence the source with an empty frame
 	// of the new epoch. The fence's reply position check may report
 	// ErrReplGap — irrelevant: the demotion happens in the epoch adoption
 	// that precedes it, and ErrStaleEpoch means someone with an even
 	// higher epoch fenced the source already.
+	phaseStart = time.Now()
 	tcl, err := manager.Dial(target)
 	if err != nil {
 		return fail(fmt.Errorf("cluster: migrate shard %d: dial target: %w", shard, err))
@@ -207,11 +263,13 @@ func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string,
 		// primary cannot fence would invite a split brain.
 		return fmt.Errorf("cluster: migrate shard %d: fence %s: %w", shard, source, err)
 	}
+	r.observePhase("promote", phaseStart)
 
 	// Step 6: the new primary takes over the shard's replication fan-out:
 	// every surviving endpoint except itself — and except the source when
 	// it is being retired — becomes a follower stream (attach is also
 	// what heals a stale follower, via its snapshot resync).
+	phaseStart = time.Now()
 	for _, addr := range sc.Addrs() {
 		if addr == target || (addr == source && opts.Retire) {
 			continue
@@ -220,17 +278,20 @@ func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string,
 			return fmt.Errorf("cluster: migrate shard %d: rewire %s under %s: %w", shard, addr, target, err)
 		}
 	}
+	r.observePhase("rewire", phaseStart)
 
 	// Step 7: route-table update. Retiring bumps the generation when the
 	// serving connection pointed at the source, which routes still-open
 	// two-phase grants through the gateway's resume path.
 	if opts.Retire {
+		phaseStart = time.Now()
 		sc.RemoveAddr(source)
 		if err := tcl.Retire(ctx, source); err != nil && !errors.Is(err, manager.ErrClosed) {
 			// The new primary never streamed to the source; detach is a
 			// no-op there, but surface real failures.
 			return fmt.Errorf("cluster: migrate shard %d: retire %s: %w", shard, source, err)
 		}
+		r.observePhase("retire", phaseStart)
 	}
 	return nil
 }

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/manager"
+	"repro/internal/obs"
 )
 
 // ShardOptions configure a replica-set shard client.
@@ -39,6 +40,46 @@ type ShardOptions struct {
 	// with async replication a follower's answer may additionally lag the
 	// primary by the un-acked frames.
 	ReadFromFollowers bool
+	// DrainRetryDelay paces retries against a shard refusing with
+	// ErrDraining (a migration is moving it). Zero keeps the historical
+	// 2ms; a negative value disables the wait-out entirely, surfacing
+	// ErrDraining to the caller — for callers that would rather reroute
+	// than block. The wait is always context-cancellable.
+	DrainRetryDelay time.Duration
+	// Metrics, if non-nil, makes the shard client count asks (as a rate
+	// meter), drain-waits, failover elections and subscription heals into
+	// the registry. Label tags the metric names (e.g. the shard index) so
+	// one gateway registry keeps its shards apart.
+	Metrics *obs.Registry
+	// Label distinguishes this shard's metrics inside a shared registry;
+	// empty leaves the names unlabeled (single-shard setups).
+	Label string
+}
+
+// shardMetrics caches the shard client's obs handles (nil-safe no-ops
+// when ShardOptions.Metrics is nil).
+type shardMetrics struct {
+	asks       *obs.Meter
+	drainWaits *obs.Counter
+	failovers  *obs.Counter
+	subHeals   *obs.Counter
+}
+
+// shardMetricName tags a base metric name with the shard label.
+func shardMetricName(base, label string) string {
+	if label == "" {
+		return base
+	}
+	return base + `{shard="` + label + `"}`
+}
+
+func newShardMetrics(reg *obs.Registry, label string) shardMetrics {
+	return shardMetrics{
+		asks:       reg.Meter(shardMetricName("ix_shard_asks", label)),
+		drainWaits: reg.Counter(shardMetricName("ix_shard_drain_waits_total", label)),
+		failovers:  reg.Counter(shardMetricName("ix_shard_failovers_total", label)),
+		subHeals:   reg.Counter(shardMetricName("ix_shard_sub_heals_total", label)),
+	}
 }
 
 // ShardClient is a self-healing wire client for one shard — a single
@@ -49,7 +90,9 @@ type ShardOptions struct {
 // that may have been processed (ErrConnLost mid-flight) are retried only
 // if idempotent — exactly the queued-request discipline recovery demands.
 type ShardClient struct {
-	opts ShardOptions
+	opts       ShardOptions
+	drainDelay time.Duration // resolved ErrDraining retry pacing
+	metrics    shardMetrics
 
 	mu     sync.Mutex
 	addrs  []string // ordered endpoint list (the shard's route-table row)
@@ -81,7 +124,12 @@ func NewShardClient(addr string) *ShardClient {
 // front any Coordinator (e.g. another gateway), like NewShardClient
 // always could.
 func NewShardClientSet(addrs []string, opts ShardOptions) *ShardClient {
-	return &ShardClient{addrs: addrs, opts: opts}
+	s := &ShardClient{addrs: addrs, opts: opts, drainDelay: opts.DrainRetryDelay}
+	if s.drainDelay == 0 {
+		s.drainDelay = drainRetryDelay
+	}
+	s.metrics = newShardMetrics(opts.Metrics, opts.Label)
+	return s
 }
 
 // Addr returns the shard's first endpoint (diagnostics).
@@ -285,6 +333,7 @@ func (s *ShardClient) electLocked(ctx context.Context) (*manager.Client, error) 
 	// new epoch means tickets granted before the election may be gone.
 	if chosen.idx != s.cur || promoted {
 		s.gen++
+		s.metrics.failovers.Inc()
 	}
 	s.cur = chosen.idx
 	s.cl = chosen.cl
@@ -341,7 +390,8 @@ func retryable(err error, idempotent bool) bool {
 // drainRetryDelay paces retries against a draining shard: the drain
 // window closes when the migration promotes the target, so a short wait
 // beats hammering the refusing server — but it sits on the client's
-// request latency during a migration, so it stays small.
+// request latency during a migration, so it stays small. This is the
+// default; ShardOptions.DrainRetryDelay overrides it.
 const drainRetryDelay = 2 * time.Millisecond
 
 // do runs op against the current connection, failing over and retrying
@@ -363,11 +413,19 @@ func (s *ShardClient) do(ctx context.Context, idempotent bool, op func(*manager.
 				// Not admitted anywhere: always safe to retry. The server is
 				// healthy, so keep the connection — once the target is
 				// promoted it answers ErrNotPrimary and the ordinary
-				// failover election takes over.
+				// failover election takes over. A negative DrainRetryDelay
+				// opts out of the wait: the caller sees ErrDraining and can
+				// reroute instead of blocking on the migration window.
+				if s.drainDelay < 0 {
+					return err
+				}
+				s.metrics.drainWaits.Inc()
+				t := time.NewTimer(s.drainDelay)
 				select {
 				case <-ctx.Done():
+					t.Stop()
 					return err
-				case <-time.After(drainRetryDelay):
+				case <-t.C:
 				}
 				continue
 			}
@@ -388,6 +446,7 @@ func (s *ShardClient) do(ctx context.Context, idempotent bool, op func(*manager.
 
 // Ask reserves a at the shard (step 1/2 of the coordination protocol).
 func (s *ShardClient) Ask(ctx context.Context, a expr.Action) (manager.Ticket, error) {
+	s.metrics.asks.Mark(1)
 	var t manager.Ticket
 	err := s.do(ctx, false, func(cl *manager.Client) error {
 		var err error
@@ -413,6 +472,7 @@ func (s *ShardClient) Abort(ctx context.Context, t manager.Ticket) error {
 
 // Request runs the atomic ask+confirm at the shard.
 func (s *ShardClient) Request(ctx context.Context, a expr.Action) error {
+	s.metrics.asks.Mark(1)
 	return s.do(ctx, false, func(cl *manager.Client) error { return cl.Request(ctx, a) })
 }
 
@@ -421,6 +481,7 @@ func (s *ShardClient) Request(ctx context.Context, a expr.Action) error {
 // burst is not idempotent: only a send that provably never left this
 // machine (or was refused whole by a follower) is retried.
 func (s *ShardClient) RequestMany(ctx context.Context, actions []expr.Action) []error {
+	s.metrics.asks.Mark(uint64(len(actions)))
 	var errs []error
 	err := s.do(ctx, false, func(cl *manager.Client) error {
 		errs = cl.RequestMany(ctx, actions)
@@ -663,6 +724,7 @@ func (h *healingSub) resubscribe() bool {
 				cancelInner()
 				return false
 			}
+			h.s.metrics.subHeals.Inc()
 			return true
 		}
 		if errors.Is(err, manager.ErrClosed) || h.ctx.Err() != nil {

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/manager"
+)
+
+// Grant tracing. Every two-phase grant the gateway runs (ask-path or the
+// multi-shard atomic request) gets a ticket-scoped trace: one timestamped
+// event per shard-side reserve, confirm, abort and resume, with the wire
+// round-trip duration and the error if any. Completed traces land in a
+// fixed-capacity ring; unsettled ask-path grants stay attached to their
+// gateway ticket and are reported as pending — so a cross-shard latency
+// outlier or a stuck grant is a one-command diagnosis (admin "trace").
+
+// Trace event phases.
+const (
+	PhaseReserve = "reserve"
+	PhaseConfirm = "confirm"
+	PhaseAbort   = "abort"
+	PhaseResume  = "resume"
+)
+
+// Trace outcomes.
+const (
+	OutcomePending   = "pending"
+	OutcomeConfirmed = "confirmed"
+	OutcomeAborted   = "aborted"
+	OutcomeRefused   = "refused"
+	OutcomeFailed    = "failed"
+)
+
+// TraceEvent is one shard-side step of a two-phase grant.
+type TraceEvent struct {
+	Phase  string         `json:"phase"` // reserve | confirm | abort | resume
+	Shard  int            `json:"shard"`
+	Ticket manager.Ticket `json:"ticket,omitempty"`
+	At     time.Time      `json:"at"`     // when the step started
+	DurNs  int64          `json:"dur_ns"` // wire round-trip duration
+	Err    string         `json:"err,omitempty"`
+}
+
+// GrantTrace is the full record of one gateway-level grant. Methods are
+// nil-safe, so tracing can be disabled without branching at call sites.
+type GrantTrace struct {
+	ID      uint64         `json:"id"`
+	Ticket  manager.Ticket `json:"ticket,omitempty"` // gateway ticket (ask-path grants)
+	Action  string         `json:"action"`
+	Start   time.Time      `json:"start"`
+	End     time.Time      `json:"end"`
+	Outcome string         `json:"outcome"`
+	Events  []TraceEvent   `json:"events"`
+}
+
+// event appends one step. The trace is thread-confined while being
+// built (one goroutine runs the two-phase protocol), so no lock.
+func (t *GrantTrace) event(phase string, shard int, tk manager.Ticket, start time.Time, err error) {
+	if t == nil {
+		return
+	}
+	ev := TraceEvent{Phase: phase, Shard: shard, Ticket: tk, At: start, DurNs: time.Since(start).Nanoseconds()}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	t.Events = append(t.Events, ev)
+}
+
+// clone deep-copies the trace so readers never alias a live event slice.
+func (t *GrantTrace) clone() GrantTrace {
+	cp := *t
+	cp.Events = append([]TraceEvent(nil), t.Events...)
+	return cp
+}
+
+// DefaultTraceCapacity is the ring size when GatewayOptions.TraceCapacity
+// is zero.
+const DefaultTraceCapacity = 256
+
+// traceRing keeps the most recent completed grant traces.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []*GrantTrace
+	next int
+	n    int
+}
+
+func newTraceRing(capacity int) *traceRing {
+	if capacity <= 0 {
+		return nil
+	}
+	return &traceRing{buf: make([]*GrantTrace, capacity)}
+}
+
+func (r *traceRing) add(t *GrantTrace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// list returns the retained traces, oldest first.
+func (r *traceRing) list() []GrantTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]GrantTrace, 0, r.n)
+	start := (r.next - r.n + len(r.buf)) % len(r.buf)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)].clone())
+	}
+	return out
+}

@@ -78,6 +78,7 @@ func (m *Manager) enqueue(ctx context.Context, a expr.Action) error {
 		return ErrNotPrimary
 	}
 	if m.draining {
+		m.metrics.drainRefusals.Inc()
 		m.mu.Unlock()
 		return ErrDraining
 	}
@@ -219,6 +220,7 @@ func (m *Manager) commitBatch(batch []commitReq, admitted bool) {
 			return
 		}
 		if !admitted && m.draining {
+			m.metrics.drainRefusals.Add(uint64(len(batch)))
 			m.mu.Unlock()
 			for _, r := range batch {
 				r.done <- ErrDraining
@@ -265,12 +267,14 @@ func (m *Manager) commitBatch(batch []commitReq, admitted bool) {
 			continue
 		}
 		m.stats.Asks++
+		m.metrics.asks.Inc()
 		if err := r.ctx.Err(); err != nil {
 			errs[i] = err
 			continue
 		}
 		if !m.en.Try(r.a) {
 			m.stats.Denies++
+			m.metrics.denies.Inc()
 			errs[i] = deniedErr(r.a)
 			continue
 		}
@@ -291,9 +295,14 @@ func (m *Manager) commitBatch(batch []commitReq, admitted bool) {
 		applied++
 		appliedActs = append(appliedActs, r.a)
 	}
+	m.metrics.askMeter.Mark(uint64(len(batch)))
+	m.metrics.grants.Add(uint64(applied))
+	m.metrics.confirms.Add(uint64(applied))
 	var wait func() error
 	if applied > 0 {
+		m.metrics.batchSize.Observe(uint64(applied))
 		if m.log != nil {
+			flushStart := time.Now()
 			if err := m.log.Commit(m.syncWrites); err != nil {
 				// The flush failed after the engine advanced: the in-memory
 				// state may be ahead of the durable log, exactly the exposure
@@ -307,6 +316,7 @@ func (m *Manager) commitBatch(batch []commitReq, admitted bool) {
 				}
 				return
 			}
+			m.metrics.flushNs.Since(flushStart)
 		}
 		// One replication frame per batch: the followers pay one apply pass
 		// and one durability point for the whole group commit, exactly
@@ -380,6 +390,7 @@ func (m *Manager) RequestMany(ctx context.Context, actions []expr.Action) []erro
 			return errs
 		}
 		if m.draining {
+			m.metrics.drainRefusals.Add(uint64(len(actions)))
 			m.mu.Unlock()
 			for i := range errs {
 				errs[i] = ErrDraining

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/state"
 )
 
@@ -123,6 +124,10 @@ type Options struct {
 	// the wire "promote" op), while Try/Final/Subscribe serve reads and
 	// replication frames keep the state current.
 	Follower bool
+	// Metrics, if non-nil, makes the manager report counters, rate
+	// meters and latency histograms into the given registry (package
+	// obs). Nil leaves every instrumentation point a no-op.
+	Metrics *obs.Registry
 	// Clock, for tests; defaults to time.Now.
 	Clock func() time.Time
 }
@@ -161,6 +166,9 @@ type Manager struct {
 	batch      *commitQueue // non-nil iff group commit is enabled
 	cache      *state.Cache // non-nil iff memoization is enabled
 	repl       *replicator  // non-nil iff replication is enabled
+
+	reg     *obs.Registry  // nil: metrics disabled
+	metrics managerMetrics // cached handles; nil members no-op
 	syncRepl   bool         // replication settings, kept for replicators
 	ackTimeout time.Duration
 }
@@ -279,6 +287,9 @@ func New(e *expr.Expr, opts Options) (*Manager, error) {
 	if len(opts.Replicas) > 0 {
 		m.repl = newReplicator(m, opts.Replicas, opts.SyncReplicas, opts.ReplAckTimeout)
 	}
+	// Metrics attach last so the gauge callbacks see the final batch
+	// queue and cache wiring.
+	m.initMetrics(opts.Metrics)
 	return m, nil
 }
 
@@ -299,6 +310,7 @@ func (m *Manager) expireLocked() {
 	if m.reserved && m.timeout > 0 && m.clock().Sub(m.reservedAt) >= m.timeout {
 		m.reserved = false
 		m.stats.Aborts++
+		m.metrics.aborts.Inc()
 		m.cond.Broadcast()
 	}
 }
@@ -312,6 +324,8 @@ func (m *Manager) Ask(ctx context.Context, a expr.Action) (Ticket, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Asks++
+	m.metrics.asks.Inc()
+	m.metrics.askMeter.Mark(1)
 	for {
 		if m.closed {
 			return 0, ErrClosed
@@ -320,6 +334,7 @@ func (m *Manager) Ask(ctx context.Context, a expr.Action) (Ticket, error) {
 			return 0, ErrNotPrimary
 		}
 		if m.draining {
+			m.metrics.drainRefusals.Inc()
 			return 0, ErrDraining
 		}
 		m.expireLocked()
@@ -335,6 +350,7 @@ func (m *Manager) Ask(ctx context.Context, a expr.Action) (Ticket, error) {
 	}
 	if !m.en.Try(a) {
 		m.stats.Denies++
+		m.metrics.denies.Inc()
 		return 0, fmt.Errorf("%w: %s", ErrDenied, a)
 	}
 	m.reserved = true
@@ -343,6 +359,7 @@ func (m *Manager) Ask(ctx context.Context, a expr.Action) (Ticket, error) {
 	m.reservedAct = a
 	m.reservedAt = m.clock()
 	m.stats.Grants++
+	m.metrics.grants.Inc()
 	return m.ticket, nil
 }
 
@@ -426,6 +443,7 @@ func (m *Manager) confirmSettle(t Ticket) (func() error, error) {
 	}
 	m.stats.Confirms++
 	m.stats.Transits++
+	m.metrics.confirms.Inc()
 	m.reserved = false
 	m.confirmed.add(t)
 	wait := m.replicateLocked(base, []expr.Action{a}, []Ticket{t})
@@ -449,6 +467,7 @@ func (m *Manager) Abort(t Ticket) error {
 	}
 	m.reserved = false
 	m.stats.Aborts++
+	m.metrics.aborts.Inc()
 	m.cond.Broadcast()
 	return nil
 }
@@ -477,6 +496,8 @@ func (m *Manager) requestSettle(ctx context.Context, a expr.Action) (func() erro
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Asks++
+	m.metrics.asks.Inc()
+	m.metrics.askMeter.Mark(1)
 	for {
 		if m.closed {
 			return nil, ErrClosed
@@ -485,6 +506,7 @@ func (m *Manager) requestSettle(ctx context.Context, a expr.Action) (func() erro
 			return nil, ErrNotPrimary
 		}
 		if m.draining {
+			m.metrics.drainRefusals.Inc()
 			return nil, ErrDraining
 		}
 		m.expireLocked()
@@ -498,6 +520,7 @@ func (m *Manager) requestSettle(ctx context.Context, a expr.Action) (func() erro
 	}
 	if !m.en.Try(a) {
 		m.stats.Denies++
+		m.metrics.denies.Inc()
 		return nil, fmt.Errorf("%w: %s", ErrDenied, a)
 	}
 	if m.log != nil {
@@ -512,6 +535,8 @@ func (m *Manager) requestSettle(ctx context.Context, a expr.Action) (func() erro
 	m.stats.Grants++
 	m.stats.Confirms++
 	m.stats.Transits++
+	m.metrics.grants.Inc()
+	m.metrics.confirms.Inc()
 	wait := m.replicateLocked(base, []expr.Action{a}, nil)
 	m.notifyLocked()
 	m.maybeSnapshotLocked()
@@ -526,7 +551,10 @@ func (m *Manager) appendDurable(a expr.Action) error {
 		return err
 	}
 	if m.syncWrites {
-		return m.log.Sync()
+		start := time.Now()
+		err := m.log.Sync()
+		m.metrics.flushNs.Since(start)
+		return err
 	}
 	return nil
 }

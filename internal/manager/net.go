@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 )
 
 // The wire protocol is JSON lines over TCP. Clients send requests with a
@@ -52,6 +53,10 @@ type wireMsg struct {
 	Addr     string   `json:"addr,omitempty"`     // follower address to attach/detach
 	Addrs    []string `json:"addrs,omitempty"`    // topology reply: follower streams
 	Draining bool     `json:"draining,omitempty"` // topology reply: drain mode
+	// Stats is the reply payload of the stats op: the manager's full
+	// observability readout (role, protocol counters, cache counters,
+	// metric snapshot with latency histograms).
+	Stats *StatsSnapshot `json:"stats,omitempty"`
 }
 
 // Wire operation names.
@@ -78,6 +83,9 @@ const (
 	opDrain    = "drain"    // refuse new asks, settle in-flight tickets
 	opResume   = "resume"   // leave drain mode
 	opTopology = "topology" // report role/epoch/steps + streams + drain state
+	// Observability op: report the manager's StatsSnapshot (role, protocol
+	// counters, memo-cache counters, metric snapshot).
+	opStats = "stats"
 )
 
 // serverAskTimeout bounds how long a network ask may wait for the
@@ -133,6 +141,22 @@ type Elastic interface {
 // coordinator call instead of n.
 type BatchRequester interface {
 	RequestMany(ctx context.Context, actions []expr.Action) []error
+}
+
+// StatsProvider is the optional observability surface of a Coordinator:
+// the wire server answers the stats op through it. A Manager implements
+// it via its StatsSnapshot readout.
+type StatsProvider interface {
+	StatsSnapshot(ctx context.Context) (StatsSnapshot, error)
+}
+
+// MetricsSource lets a wire server discover the obs registry of the
+// coordinator it serves (to count frames/bytes and time ops into it)
+// without widening the Coordinator interface. Both Manager and
+// cluster.Gateway implement it; a coordinator without metrics simply
+// does not, and the server stays uninstrumented.
+type MetricsSource interface {
+	MetricsRegistry() *obs.Registry
 }
 
 // --- replication frame codecs -------------------------------------------
@@ -260,6 +284,10 @@ func (c coordAdapter) Resume(ctx context.Context) error { return c.m.Resume() }
 func (c coordAdapter) Topology(ctx context.Context) (TopologyInfo, error) {
 	return c.m.Topology(), nil
 }
+func (c coordAdapter) StatsSnapshot(ctx context.Context) (StatsSnapshot, error) {
+	return c.m.StatsSnapshot(), nil
+}
+func (c coordAdapter) MetricsRegistry() *obs.Registry { return c.m.MetricsRegistry() }
 
 // CoordinatorFor returns the Coordinator view of a local manager.
 func CoordinatorFor(m *Manager) Coordinator { return coordAdapter{m: m} }
@@ -268,11 +296,87 @@ func CoordinatorFor(m *Manager) Coordinator { return coordAdapter{m: m} }
 type Server struct {
 	co Coordinator
 	ln net.Listener
+	sm *serverMetrics
 
 	mu    sync.Mutex
 	conns map[net.Conn]bool
 	done  chan struct{}
 	wg    sync.WaitGroup
+}
+
+// serverMetrics instruments the wire layer: frames and bytes each way,
+// and a per-op service-latency histogram. All handles are nil when the
+// coordinator exposes no registry, making every observation a no-op.
+type serverMetrics struct {
+	enabled   bool
+	reg       *obs.Registry
+	framesIn  *obs.Counter
+	framesOut *obs.Counter
+	bytesIn   *obs.Counter
+	bytesOut  *obs.Counter
+	opMu      sync.RWMutex
+	opNs      map[string]*obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		enabled:   reg != nil,
+		reg:       reg,
+		framesIn:  reg.Counter("ix_wire_frames_in_total"),
+		framesOut: reg.Counter("ix_wire_frames_out_total"),
+		bytesIn:   reg.Counter("ix_wire_bytes_in_total"),
+		bytesOut:  reg.Counter("ix_wire_bytes_out_total"),
+		opNs:      map[string]*obs.Histogram{},
+	}
+}
+
+// opHist returns the latency histogram for one wire op, created on first
+// use (ops are a small fixed set, so the map stays tiny).
+func (sm *serverMetrics) opHist(op string) *obs.Histogram {
+	if !sm.enabled {
+		return nil
+	}
+	sm.opMu.RLock()
+	h := sm.opNs[op]
+	sm.opMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	sm.opMu.Lock()
+	defer sm.opMu.Unlock()
+	if h = sm.opNs[op]; h == nil {
+		h = sm.reg.Histogram(`ix_wire_op_ns{op="` + op + `"}`)
+		sm.opNs[op] = h
+	}
+	return h
+}
+
+// countingReader feeds the bytes-in counter as a side effect of reads.
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.c.Add(uint64(n))
+	}
+	return n, err
+}
+
+// countingWriter feeds the bytes-out counter as a side effect of writes.
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if n > 0 {
+		cw.c.Add(uint64(n))
+	}
+	return n, err
 }
 
 // NewServer starts serving the manager on the listener. Serve returns
@@ -285,6 +389,11 @@ func NewServer(m *Manager, ln net.Listener) *Server {
 // gateway — on the listener.
 func NewCoordServer(co Coordinator, ln net.Listener) *Server {
 	s := &Server{co: co, ln: ln, conns: make(map[net.Conn]bool), done: make(chan struct{})}
+	var reg *obs.Registry
+	if ms, ok := co.(MetricsSource); ok {
+		reg = ms.MetricsRegistry()
+	}
+	s.sm = newServerMetrics(reg)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -322,7 +431,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		w := bufio.NewWriter(conn)
+		w := bufio.NewWriter(&countingWriter{w: conn, c: s.sm.bytesOut})
 		enc := json.NewEncoder(w)
 		for msg := range out {
 			if err := enc.Encode(msg); err != nil {
@@ -331,6 +440,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			if err := w.Flush(); err != nil {
 				return
 			}
+			s.sm.framesOut.Inc()
 		}
 	}()
 
@@ -356,16 +466,24 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}
 
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	dec := json.NewDecoder(bufio.NewReader(&countingReader{r: conn, c: s.sm.bytesIn}))
 	for {
 		var req wireMsg
 		if err := dec.Decode(&req); err != nil {
 			return // connection closed or garbage
 		}
+		s.sm.framesIn.Inc()
 		handlers.Add(1)
 		go func() {
 			defer handlers.Done()
+			var start time.Time
+			if s.sm.enabled {
+				start = time.Now()
+			}
 			resp, skip := s.handle(req, subs, &subMu, &nextSub, send)
+			if s.sm.enabled {
+				s.sm.opHist(req.Op).Since(start)
+			}
 			if !skip {
 				send(resp)
 			}
@@ -616,6 +734,19 @@ func (s *Server) handle(req wireMsg, subs map[uint64]func(), subMu *sync.Mutex, 
 		resp.OK = true
 		resp.Role, resp.Epoch, resp.Seq = ti.Role, ti.Epoch, ti.Steps
 		resp.Addrs, resp.Draining = ti.Replicas, ti.Draining
+	case opStats:
+		sp, ok := s.co.(StatsProvider)
+		if !ok {
+			return fail(errors.New("manager: coordinator reports no stats"))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
+		defer cancel()
+		snap, err := sp.StatsSnapshot(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Stats = &snap
 	default:
 		return fail(fmt.Errorf("manager: unknown op %q", req.Op))
 	}
@@ -969,6 +1100,21 @@ func (c *Client) Topology(ctx context.Context) (TopologyInfo, error) {
 	}
 	return TopologyInfo{Role: resp.Role, Epoch: resp.Epoch, Steps: resp.Seq,
 		Draining: resp.Draining, Replicas: resp.Addrs}, nil
+}
+
+// Stats fetches the remote manager's observability readout: role and
+// progress, protocol counters, the memo-cache counters (previously
+// process-local only) and, when the server runs with a metrics registry,
+// a full metric snapshot including latency histograms.
+func (c *Client) Stats(ctx context.Context) (StatsSnapshot, error) {
+	resp, err := c.callOK(ctx, wireMsg{Op: opStats})
+	if err != nil {
+		return StatsSnapshot{}, err
+	}
+	if resp.Stats == nil {
+		return StatsSnapshot{}, errors.New("manager: stats reply carried no payload")
+	}
+	return *resp.Stats, nil
 }
 
 // Subscribe opens a remote subscription for the action.

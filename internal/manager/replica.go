@@ -417,10 +417,12 @@ func (st *replStream) ship(f ReplFrame) error {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), st.r.ackTimeout)
+		ackStart := time.Now()
 		ack, err := cl.Replicate(ctx, f)
 		cancel()
 		switch {
 		case err == nil:
+			st.r.m.metrics.replAckNs.Since(ackStart)
 			st.syncedTo, st.synced = ack.Steps, true
 			return nil
 		case errors.Is(err, ErrStaleEpoch):
@@ -446,6 +448,7 @@ func (st *replStream) ship(f ReplFrame) error {
 			return lastErr
 		}
 	}
+	st.r.m.metrics.replShipErrs.Inc()
 	return lastErr
 }
 
@@ -473,6 +476,7 @@ func (st *replStream) resync() (ReplStatus, error) {
 		return ack, err
 	}
 	st.syncedTo, st.synced = ack.Steps, true
+	st.r.m.metrics.replResyncs.Inc()
 	return ack, nil
 }
 
@@ -638,6 +642,7 @@ func (m *Manager) ApplyReplicated(f ReplFrame) (ReplStatus, error) {
 	}
 	m.commitEpoch = f.Epoch
 	m.stats.ReplFrames++
+	m.metrics.replFrames.Inc()
 	if n := len(f.Actions); n > 0 {
 		m.notifyLocked()
 		m.sinceSnap += n - 1
@@ -675,6 +680,7 @@ func (m *Manager) InstallReplSnapshot(s ReplSnapshot) (ReplStatus, error) {
 		m.confirmed.add(t)
 	}
 	m.stats.ReplResyncs++
+	m.metrics.replResyncs.Inc()
 	// Persist the new timeline: the old log entries belong to a history
 	// this replica no longer has, so they must not be replayed on top of
 	// the installed state after a restart. A failed checkpoint fails the

@@ -19,6 +19,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Msg is one queued message.
@@ -49,6 +51,10 @@ type Queue struct {
 	sync     bool
 	closed   bool
 	notify   chan struct{} // signalled on enqueue and nack
+
+	enqueues     *obs.Counter // ix_mq_enqueues_total
+	redeliveries *obs.Counter // ix_mq_redeliveries_total (nack requeues)
+	replayed     *obs.Counter // ix_mq_replayed_total (recovered at open)
 }
 
 // Options configure a queue.
@@ -57,6 +63,33 @@ type Options struct {
 	// durability against machine crashes (process crashes are always
 	// covered).
 	Sync bool
+	// Metrics, when set, registers the queue's gauges and counters
+	// (depth, in-flight, enqueues, redeliveries) under Name.
+	Metrics *obs.Registry
+	// Name labels this queue's metrics, e.g. ix_mq_depth{queue="name"}.
+	// Empty means an unlabelled metric family.
+	Name string
+}
+
+// mqMetricName labels a metric family with the queue name.
+func mqMetricName(base, name string) string {
+	if name == "" {
+		return base
+	}
+	return base + `{queue="` + name + `"}`
+}
+
+// initMetrics registers the queue's instruments. Nil-safe: with a nil
+// registry every instrument is nil and every update is a no-op.
+func (q *Queue) initMetrics(reg *obs.Registry, name string) {
+	q.enqueues = reg.Counter(mqMetricName("ix_mq_enqueues_total", name))
+	q.redeliveries = reg.Counter(mqMetricName("ix_mq_redeliveries_total", name))
+	q.replayed = reg.Counter(mqMetricName("ix_mq_replayed_total", name))
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc(mqMetricName("ix_mq_depth", name), func() int64 { return int64(q.Len()) })
+	reg.GaugeFunc(mqMetricName("ix_mq_inflight", name), func() int64 { return int64(q.InFlight()) })
 }
 
 // Open opens or creates the queue backed by the given file and replays
@@ -84,6 +117,11 @@ func Open(path string, opts Options) (*Queue, error) {
 		return nil, fmt.Errorf("mq: seek: %w", err)
 	}
 	q.w = bufio.NewWriter(f)
+	q.initMetrics(opts.Metrics, opts.Name)
+	// Messages recovered from the log are potential redeliveries: they
+	// were enqueued before this open and may already have been handed to
+	// a consumer that crashed before acking.
+	q.replayed.Add(uint64(len(q.pending)))
 	return q, nil
 }
 
@@ -165,6 +203,7 @@ func (q *Queue) Enqueue(payload []byte) (uint64, error) {
 		return 0, err
 	}
 	q.pending = append(q.pending, m)
+	q.enqueues.Inc()
 	q.signal()
 	return m.Seq, nil
 }
@@ -215,6 +254,7 @@ func (q *Queue) Nack(seq uint64) error {
 	}
 	delete(q.inflight, seq)
 	q.pending = append([]Msg{m}, q.pending...)
+	q.redeliveries.Inc()
 	q.signal()
 	return nil
 }

@@ -1,0 +1,574 @@
+// Package obs is a zero-dependency, low-overhead metrics core: atomic
+// counters and gauges, sliding-window rate meters, and fixed-bucket
+// log-scale latency histograms with quantile readout, collected in a
+// registry with stable names.
+//
+// Every metric type is safe for concurrent use, and every method is a
+// no-op on a nil receiver, so instrumented code can run unconditionally
+// against an absent registry without branching:
+//
+//	var reg *obs.Registry // nil: metrics disabled
+//	reg.Counter("ix_manager_asks_total").Inc() // no-op, no panic
+//
+// Metric names may embed Prometheus-style labels directly, e.g.
+// "ix_shard_asks_total{shard=\"0\"}"; the registry treats the full
+// string as the identity and the Prometheus renderer splices extra
+// labels (quantile, le) inside the braces.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 on nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous signed value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the value by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Load returns the current value (0 on nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// meterSlots is the ring size; meterWindow the trailing seconds averaged
+// by Rate. The ring is larger than the window so a slot is never read
+// and rewritten for the same instant.
+const (
+	meterSlots  = 16
+	meterWindow = 10
+)
+
+// Meter counts events into one-second slots and reports a trailing
+// 10-second rate. The current (incomplete) second is excluded from the
+// rate so a burst just now does not read as a sustained rate.
+type Meter struct {
+	mu    sync.Mutex
+	now   func() int64 // unix seconds; replaceable for tests
+	secs  [meterSlots]int64
+	count [meterSlots]uint64
+	total uint64
+}
+
+func newMeter() *Meter {
+	return &Meter{now: func() int64 { return time.Now().Unix() }}
+}
+
+// Mark records n events at the current second.
+func (m *Meter) Mark(n uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	sec := m.now()
+	i := int(sec % meterSlots)
+	if m.secs[i] != sec {
+		m.secs[i] = sec
+		m.count[i] = 0
+	}
+	m.count[i] += n
+	m.total += n
+	m.mu.Unlock()
+}
+
+// Rate returns events per second averaged over the trailing complete
+// 10-second window.
+func (m *Meter) Rate() float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sec := m.now()
+	var sum uint64
+	for s := sec - meterWindow; s < sec; s++ {
+		i := int(s % meterSlots)
+		if m.secs[i] == s {
+			sum += m.count[i]
+		}
+	}
+	return float64(sum) / meterWindow
+}
+
+// Total returns the cumulative event count since creation.
+func (m *Meter) Total() uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// Histogram bucket layout: values 0..15 get exact buckets; above that,
+// each power-of-two octave [2^(k-1), 2^k) is split into 8 sub-buckets,
+// giving a worst-case relative quantile error of one eighth of an
+// octave (~12.5%) across the full uint64 range in 496 buckets.
+const histBuckets = 496
+
+func bucketIdx(v uint64) int {
+	if v < 16 {
+		return int(v)
+	}
+	exp := bits.Len64(v) // >= 5
+	return (exp-3)*8 + int((v>>(exp-4))&7)
+}
+
+// bucketLow returns the smallest value that maps to bucket idx.
+func bucketLow(idx int) uint64 {
+	if idx < 8 {
+		return uint64(idx)
+	}
+	return uint64(8+idx&7) << (uint(idx>>3) - 1)
+}
+
+// Histogram records a distribution of uint64 observations (typically
+// nanosecond latencies) in fixed log-scale buckets.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketIdx(v)].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds (negative clamps to 0).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Since records the time elapsed from start; use with a deferred call or
+// around an instrumented section.
+func (h *Histogram) Since(start time.Time) {
+	if h != nil {
+		h.ObserveDuration(time.Since(start))
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Max   uint64 `json:"max"`
+	P50   uint64 `json:"p50"`
+	P90   uint64 `json:"p90"`
+	P99   uint64 `json:"p99"`
+	P999  uint64 `json:"p999"`
+}
+
+// Mean returns the arithmetic mean of all observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot summarises the histogram. Concurrent observations may be
+// partially visible; quantiles are bucket-midpoint estimates.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	snap := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if total == 0 {
+		return snap
+	}
+	q := func(p float64) uint64 {
+		rank := uint64(p * float64(total))
+		if rank >= total {
+			rank = total - 1
+		}
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if cum > rank {
+				lo := bucketLow(i)
+				hi := lo
+				if i+1 < histBuckets {
+					hi = bucketLow(i+1) - 1
+				}
+				return (lo + hi) / 2
+			}
+		}
+		return snap.Max
+	}
+	snap.P50 = q(0.50)
+	snap.P90 = q(0.90)
+	snap.P99 = q(0.99)
+	snap.P999 = q(0.999)
+	return snap
+}
+
+// Reset zeroes the histogram (snapshot-and-reset readers call Snapshot
+// then Reset; observations racing the pair land in the next window).
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Registry holds named metrics. The zero value is not usable; construct
+// with NewRegistry. A nil *Registry is valid and hands out nil metrics,
+// so instrumentation can be left in place unconditionally.
+type Registry struct {
+	mu     sync.RWMutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	funcs  map[string]func() int64
+	meters map[string]*Meter
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		funcs:  make(map[string]func() int64),
+		meters: make(map[string]*Meter),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if new.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counts[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counts[name]; c == nil {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback evaluated at snapshot time. Re-registering
+// a name replaces the callback (the source object may be rebuilt).
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// Meter returns the rate meter registered under name, creating it if new.
+func (r *Registry) Meter(name string) *Meter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	m := r.meters[name]
+	r.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m = r.meters[name]; m == nil {
+		m = newMeter()
+		r.meters[name] = m
+	}
+	return m
+}
+
+// Histogram returns the histogram registered under name, creating it if new.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time view of every metric in a registry.
+type Snapshot struct {
+	At       time.Time                    `json:"at"`
+	Counters map[string]uint64            `json:"counters,omitempty"`
+	Gauges   map[string]int64             `json:"gauges,omitempty"`
+	Rates    map[string]float64           `json:"rates,omitempty"`
+	Hists    map[string]HistogramSnapshot `json:"hists,omitempty"`
+}
+
+// Snapshot captures all metrics. Gauge funcs are evaluated inline.
+func (r *Registry) Snapshot() *Snapshot {
+	return r.snapshot(false)
+}
+
+// SnapshotReset captures all metrics and resets the histograms, so each
+// reader of a polling loop sees per-interval distributions. Counters,
+// gauges and meters are cumulative and are not reset.
+func (r *Registry) SnapshotReset() *Snapshot {
+	return r.snapshot(true)
+}
+
+func (r *Registry) snapshot(reset bool) *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{
+		At:       time.Now(),
+		Counters: make(map[string]uint64),
+		Gauges:   make(map[string]int64),
+		Rates:    make(map[string]float64),
+		Hists:    make(map[string]HistogramSnapshot),
+	}
+	r.mu.RLock()
+	counts := make(map[string]*Counter, len(r.counts))
+	for k, v := range r.counts {
+		counts[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	meters := make(map[string]*Meter, len(r.meters))
+	for k, v := range r.meters {
+		meters[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	for k, c := range counts {
+		s.Counters[k] = c.Load()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Load()
+	}
+	for k, fn := range funcs {
+		s.Gauges[k] = fn()
+	}
+	for k, m := range meters {
+		s.Rates[k] = m.Rate()
+		s.Counters[spliceOrAppend(k, "_total")] = m.Total()
+	}
+	for k, h := range hists {
+		s.Hists[k] = h.Snapshot()
+		if reset {
+			h.Reset()
+		}
+	}
+	return s
+}
+
+// spliceLabel inserts an extra label into a metric name that may already
+// carry a {label="x"} suffix: spliceLabel(`a{b="c"}`, `q="0.5"`) returns
+// `a{b="c",q="0.5"}`.
+func spliceLabel(name, label string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// baseName strips a {label} suffix for Prometheus TYPE lines.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (counters, gauges, and summary-style histogram quantiles).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	var b strings.Builder
+	typed := make(map[string]bool)
+	writeType := func(name, typ string) {
+		base := baseName(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		writeType(name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		writeType(name, "gauge")
+		fmt.Fprintf(&b, "%s %d\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Rates) {
+		rateName := spliceOrAppend(name, "_rate")
+		writeType(rateName, "gauge")
+		fmt.Fprintf(&b, "%s %g\n", rateName, s.Rates[name])
+	}
+	for _, name := range sortedKeys(s.Hists) {
+		h := s.Hists[name]
+		writeType(name, "summary")
+		fmt.Fprintf(&b, "%s %d\n", spliceLabel(name, `quantile="0.5"`), h.P50)
+		fmt.Fprintf(&b, "%s %d\n", spliceLabel(name, `quantile="0.9"`), h.P90)
+		fmt.Fprintf(&b, "%s %d\n", spliceLabel(name, `quantile="0.99"`), h.P99)
+		fmt.Fprintf(&b, "%s %d\n", spliceLabel(name, `quantile="0.999"`), h.P999)
+		fmt.Fprintf(&b, "%s %d\n", spliceOrAppend(name, "_sum"), h.Sum)
+		fmt.Fprintf(&b, "%s %d\n", spliceOrAppend(name, "_count"), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// spliceOrAppend appends a suffix to the metric family name, keeping any
+// {label} part at the end: spliceOrAppend(`a{b="c"}`, "_sum") returns
+// `a_sum{b="c"}`.
+func spliceOrAppend(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+func sortedKeys[M map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SetMeterClock replaces a meter's second source; tests use this to make
+// rates deterministic. It returns the meter for chaining.
+func SetMeterClock(m *Meter, now func() int64) *Meter {
+	if m != nil && now != nil {
+		m.mu.Lock()
+		m.now = now
+		m.mu.Unlock()
+	}
+	return m
+}

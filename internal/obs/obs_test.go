@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every bucket's low value must map back to that bucket, and indexes
+	// must be monotone in the value.
+	for idx := 0; idx < histBuckets; idx++ {
+		lo := bucketLow(idx)
+		if got := bucketIdx(lo); got != idx {
+			t.Fatalf("bucketIdx(bucketLow(%d)=%d) = %d", idx, lo, got)
+		}
+	}
+	prev := -1
+	for _, v := range []uint64{0, 1, 7, 8, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, 1 << 40, 1<<63 + 12345} {
+		idx := bucketIdx(v)
+		if idx < prev {
+			t.Fatalf("bucketIdx not monotone at %d: %d < %d", v, idx, prev)
+		}
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIdx(%d) = %d out of range", v, idx)
+		}
+		prev = idx
+	}
+	if got := bucketIdx(^uint64(0)); got != histBuckets-1 {
+		t.Fatalf("bucketIdx(max) = %d, want %d", got, histBuckets-1)
+	}
+}
+
+func TestHistogramQuantilesExact(t *testing.T) {
+	// Values 0..15 have exact buckets, so quantiles are exact there.
+	h := &Histogram{}
+	for v := uint64(0); v < 16; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 16 || s.Max != 15 {
+		t.Fatalf("count=%d max=%d", s.Count, s.Max)
+	}
+	if s.P50 != 8 {
+		t.Fatalf("p50 = %d, want 8", s.P50)
+	}
+	if s.P99 != 15 {
+		t.Fatalf("p99 = %d, want 15", s.P99)
+	}
+}
+
+func TestHistogramQuantilesSynthetic(t *testing.T) {
+	// A known synthetic distribution: 89% of observations at ~1ms, 10% at
+	// ~10ms, 1% at ~100ms (in nanoseconds). p50 must land in the 1ms
+	// mode, p90 in the 10ms mode, p99 and p999 in the 100ms mode, each
+	// within the histogram's one-eighth-octave resolution.
+	h := &Histogram{}
+	const n = 100000
+	rng := rand.New(rand.NewSource(42))
+	val := func(base float64) uint64 {
+		// ±5% jitter keeps the mode inside adjacent buckets.
+		return uint64(base * (0.95 + 0.1*rng.Float64()))
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case i%100 == 0:
+			h.Observe(val(100e6))
+		case i%10 == 0:
+			h.Observe(val(10e6))
+		default:
+			h.Observe(val(1e6))
+		}
+	}
+	s := h.Snapshot()
+	check := func(name string, got uint64, want float64) {
+		t.Helper()
+		lo, hi := want*0.80, want*1.20
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("%s = %d, want within 20%% of %g", name, got, want)
+		}
+	}
+	check("p50", s.P50, 1e6)
+	check("p90", s.P90, 10e6)
+	check("p99", s.P99, 100e6)
+	check("p999", s.P999, 100e6)
+	if s.Max < uint64(95e6) {
+		t.Errorf("max = %d, want >= 95e6", s.Max)
+	}
+	if mean := s.Mean(); mean < 2.5e6 || mean > 4.5e6 {
+		// 0.89*1 + 0.10*10 + 0.01*100 ≈ 2.89ms expected mean.
+		t.Errorf("mean = %g, want ~2.9e6", mean)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(100)
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 || s.Max != 0 || s.P50 != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				h.Observe(uint64(rng.Intn(1 << 20)))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	var sec int64 = 1000
+	m := SetMeterClock(newMeter(), func() int64 { return sec })
+	// 50 events/sec for 10 complete seconds.
+	for s := 0; s < 10; s++ {
+		m.Mark(50)
+		sec++
+	}
+	// Now at second 1010; window covers 1000..1009, all complete.
+	if got := m.Rate(); got != 50 {
+		t.Fatalf("rate = %g, want 50", got)
+	}
+	// The current second's events are excluded until it completes.
+	m.Mark(1000)
+	if got := m.Rate(); got != 50 {
+		t.Fatalf("rate with current-second burst = %g, want 50", got)
+	}
+	sec += meterWindow + 1 // idle until the burst second leaves the window
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("rate after idle = %g, want 0", got)
+	}
+	if m.Total() != 1500 {
+		t.Fatalf("total = %d, want 1500", m.Total())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("a").Inc()
+	reg.Counter("a").Add(3)
+	reg.Gauge("b").Set(7)
+	reg.Gauge("b").Add(-2)
+	reg.Meter("c").Mark(1)
+	reg.Histogram("d").Observe(5)
+	reg.Histogram("d").ObserveDuration(time.Millisecond)
+	reg.Histogram("d").Since(time.Now())
+	reg.GaugeFunc("e", func() int64 { return 1 })
+	if reg.Counter("a").Load() != 0 || reg.Gauge("b").Load() != 0 {
+		t.Fatal("nil registry leaked state")
+	}
+	if reg.Meter("c").Rate() != 0 || reg.Histogram("d").Snapshot().Count != 0 {
+		t.Fatal("nil metric returned data")
+	}
+	if reg.Snapshot() != nil || reg.SnapshotReset() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+	if err := reg.WritePrometheus(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryStableIdentity(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Fatal("counter identity not stable")
+	}
+	if reg.Histogram("h") != reg.Histogram("h") {
+		t.Fatal("histogram identity not stable")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				reg.Counter("race").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("race").Load(); got != 800 {
+		t.Fatalf("race counter = %d, want 800", got)
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total").Add(5)
+	reg.Gauge("g").Set(-3)
+	reg.GaugeFunc("fn", func() int64 { return 42 })
+	reg.Histogram("h_ns").Observe(1000)
+	s := reg.SnapshotReset()
+	if s.Counters["c_total"] != 5 {
+		t.Fatalf("counter = %d", s.Counters["c_total"])
+	}
+	if s.Gauges["g"] != -3 || s.Gauges["fn"] != 42 {
+		t.Fatalf("gauges = %v", s.Gauges)
+	}
+	if s.Hists["h_ns"].Count != 1 {
+		t.Fatalf("hist = %+v", s.Hists["h_ns"])
+	}
+	// Histograms reset, counters cumulative.
+	s2 := reg.Snapshot()
+	if s2.Hists["h_ns"].Count != 0 {
+		t.Fatalf("hist not reset: %+v", s2.Hists["h_ns"])
+	}
+	if s2.Counters["c_total"] != 5 {
+		t.Fatalf("counter reset unexpectedly: %d", s2.Counters["c_total"])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ix_frames_total").Add(9)
+	reg.Counter(`ix_shard_asks_total{shard="0"}`).Add(4)
+	reg.Gauge("ix_depth").Set(2)
+	reg.Meter(`ix_asks{shard="1"}`).Mark(1)
+	reg.Histogram(`ix_op_ns{op="ask"}`).Observe(1 << 10)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ix_frames_total counter",
+		"ix_frames_total 9",
+		`ix_shard_asks_total{shard="0"} 4`,
+		"ix_depth 2",
+		`ix_asks_rate{shard="1"}`,
+		`ix_asks_total{shard="1"} 1`,
+		`ix_op_ns{op="ask",quantile="0.5"}`,
+		`ix_op_ns_sum{op="ask"} 1024`,
+		`ix_op_ns_count{op="ask"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/manager"
 	"repro/internal/mq"
+	"repro/internal/obs"
 	"repro/internal/parse"
 	"repro/internal/semantics"
 	"repro/internal/state"
@@ -117,6 +118,24 @@ type (
 	MigrateOptions = cluster.MigrateOptions
 	// ShardTopology pairs a shard's route table with its primary's view.
 	ShardTopology = cluster.ShardTopology
+	// MetricsRegistry names, holds and renders the observability
+	// instruments (counters, gauges, meters, latency histograms).
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time reading of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramSnapshot carries a histogram's count/sum/max and the
+	// p50/p90/p99/p999 quantile estimates.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// StatsSnapshot is a manager's load-accounting view (role, rates,
+	// queue depth, cache hit rates) served by the stats wire op.
+	StatsSnapshot = manager.StatsSnapshot
+	// ShardStats pairs a shard's route info with its primary's
+	// StatsSnapshot — the Rebalancer's per-shard load view.
+	ShardStats = cluster.ShardStats
+	// GrantTrace is the event record of one two-phase gateway grant.
+	GrantTrace = cluster.GrantTrace
+	// TraceEvent is one shard-side step of a grant trace.
+	TraceEvent = cluster.TraceEvent
 )
 
 // Word verdicts (Fig 9 of the paper).
@@ -363,6 +382,12 @@ func NewQueuedServer(m *Manager, req, rep *Queue, journalPath string) (*QueuedSe
 func NewQueuedClient(req, rep *Queue, prefix string) *QueuedClient {
 	return manager.NewQueuedClient(req, rep, prefix)
 }
+
+// NewMetricsRegistry creates an empty metrics registry. Pass it via
+// ManagerOptions.Metrics / GatewayOptions.Metrics / QueueOptions.Metrics
+// to instrument those components, and render it with WritePrometheus or
+// read it with Snapshot.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // --- analysis ------------------------------------------------------------
 
