@@ -2,8 +2,10 @@
 // partitions a top-level coupling y1 @ y2 @ ... @ yn by operand, routes
 // every action to the shards whose alphabet mentions it, and executes the
 // two-phase reserve/confirm grant across them — then serves the result on
-// its own address, speaking the same JSON-lines wire protocol as a single
-// manager. Clients cannot tell a gateway from a manager.
+// its own address, speaking the same wire protocol as a single manager
+// (binary v2 negotiated at connect time, JSON lines as the fallback;
+// -protocol json pins the gateway to JSON lines). Clients cannot tell a
+// gateway from a manager.
 //
 // Usage (shard i of the coupling must be served at the i-th address):
 //
@@ -67,8 +69,13 @@ func main() {
 		adminAddr  = flag.String("admin", "", "serve the JSON-lines admin endpoint (migrate/topology/stats/trace) on this address")
 		metricAddr = flag.String("metrics", "", "serve Prometheus-text metrics over HTTP on this address (path /metrics)")
 		traceCap   = flag.Int("trace", 0, "grant trace ring capacity (0 = default 256, negative = tracing off)")
+		protocol   = flag.String("protocol", "binary", "wire protocol: binary (negotiate v2 framing, JSON fallback) or json (JSON lines only)")
 	)
 	flag.Parse()
+	if *protocol != "binary" && *protocol != ix.ProtoJSON {
+		fmt.Fprintf(os.Stderr, "ixgateway: unknown -protocol %q (want binary or json)\n", *protocol)
+		os.Exit(2)
+	}
 
 	src := *exprSrc
 	if *exprFile != "" {
@@ -116,7 +123,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := ix.NewCoordServer(gw, ln)
+	srv := ix.NewCoordServerWith(gw, ln,
+		ix.ServerOptions{JSONOnly: *protocol == ix.ProtoJSON})
 	defer srv.Close()
 
 	parts := ix.PartitionCoupling(e)

@@ -5,12 +5,14 @@
 //
 //	ixmanager -e 'all p: (call(p) - perform(p))*' -addr :7431 -log actions.log
 //
-// Clients speak the JSON-lines wire protocol (see internal/manager);
-// the ix package's Dial returns a typed client. With -log the manager
-// persists confirmed actions and recovers its state from the log on
-// restart. With -multi a top-level coupling ("x @ y @ z") is split into
-// one manager per operand behind a shared router — actions are granted
-// iff every involved manager grants them.
+// Clients speak the wire protocol of internal/manager: connections
+// negotiate the compact binary framing (v2) at connect time and fall
+// back to JSON lines for pre-v2 clients; -protocol json pins the server
+// to JSON lines entirely. The ix package's Dial returns a typed client.
+// With -log the manager persists confirmed actions and recovers its
+// state from the log on restart. With -multi a top-level coupling
+// ("x @ y @ z") is split into one manager per operand behind a shared
+// router — actions are granted iff every involved manager grants them.
 package main
 
 import (
@@ -44,8 +46,13 @@ func main() {
 		syncRepl   = flag.Bool("sync-replicas", false, "acknowledge commits only after every follower acked (no-loss failover)")
 		follower   = flag.Bool("follower", false, "start as a read-only follower (writes fail until promoted)")
 		metricAddr = flag.String("metrics", "", "serve Prometheus-text metrics over HTTP on this address (path /metrics)")
+		protocol   = flag.String("protocol", "binary", "wire protocol: binary (negotiate v2 framing, JSON fallback) or json (JSON lines only)")
 	)
 	flag.Parse()
+	if *protocol != "binary" && *protocol != ix.ProtoJSON {
+		fmt.Fprintf(os.Stderr, "ixmanager: unknown -protocol %q (want binary or json)\n", *protocol)
+		os.Exit(2)
+	}
 
 	src := *exprSrc
 	if *exprFile != "" {
@@ -95,7 +102,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := ix.NewServer(m, ln)
+	srv := ix.NewCoordServerWith(ix.CoordinatorFor(m), ln,
+		ix.ServerOptions{JSONOnly: *protocol == ix.ProtoJSON})
 	defer srv.Close()
 
 	fmt.Printf("ixmanager: serving %q on %s", e, srv.Addr())

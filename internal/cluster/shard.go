@@ -105,6 +105,11 @@ type ShardClient struct {
 	rcur int // read rotation cursor (follower offload)
 	rcl  *manager.Client
 
+	// smu guards the subscription mux table: one healing wire
+	// subscription per distinct action, shared by every local subscriber.
+	smu  sync.Mutex
+	smux map[string]*subMux
+
 	// migrateMu serializes live migrations of this shard (Rebalancer):
 	// concurrent promotions from one epoch would split the brain.
 	migrateMu sync.Mutex
@@ -124,7 +129,8 @@ func NewShardClient(addr string) *ShardClient {
 // front any Coordinator (e.g. another gateway), like NewShardClient
 // always could.
 func NewShardClientSet(addrs []string, opts ShardOptions) *ShardClient {
-	s := &ShardClient{addrs: addrs, opts: opts, drainDelay: opts.DrainRetryDelay}
+	s := &ShardClient{addrs: addrs, opts: opts, drainDelay: opts.DrainRetryDelay,
+		smux: make(map[string]*subMux)}
 	if s.drainDelay == 0 {
 		s.drainDelay = drainRetryDelay
 	}
@@ -605,15 +611,128 @@ func (s *ShardClient) readOffloaded(op func(*manager.Client) error) bool {
 // subscription itself lives until the cancel function is called (or the
 // client is closed), never on the setup context. The returned channel
 // closes on cancel or client close.
+//
+// Subscriptions to the same action share one wire subscription (and one
+// healing loop): N local subscribers cost the shard a single stream,
+// and a failover heals once per action instead of once per subscriber.
+// Joiners get their initial status from the shared stream's cache.
 func (s *ShardClient) Subscribe(ctx context.Context, a expr.Action) (<-chan manager.Inform, func(), error) {
+	key := a.Key()
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if mux := s.smux[key]; mux != nil {
+		if ch, cancel, ok := mux.join(); ok {
+			return ch, cancel, nil
+		}
+		delete(s.smux, key) // wound down concurrently: open a fresh stream
+	}
 	inner, cancelInner, err := s.subscribeOnce(ctx, a)
 	if err != nil {
 		return nil, nil, err
 	}
 	h := &healingSub{s: s, a: a, out: make(chan manager.Inform, 16), inner: inner, cancelInner: cancelInner}
 	h.ctx, h.stop = context.WithCancel(context.Background())
+	mux := &subMux{s: s, key: key, h: h, members: make(map[uint64]chan manager.Inform)}
+	ch, cancel, _ := mux.join() // registered before forwarding starts: the initial inform is not missable
+	s.smux[key] = mux
 	go h.run()
-	return h.out, h.cancel, nil
+	go mux.forward(h.out)
+	return ch, cancel, nil
+}
+
+// subMux fans one healing shard subscription out to every local
+// subscriber of its action.
+type subMux struct {
+	s   *ShardClient
+	key string
+	h   *healingSub
+
+	mu      sync.Mutex
+	nextID  uint64
+	members map[uint64]chan manager.Inform
+	known   bool // an inform has arrived; last is meaningful
+	last    manager.Inform
+	done    bool
+}
+
+// join adds a member. It reports false when the mux has already wound
+// down (the last member left or the stream ended) and cannot be joined.
+func (m *subMux) join() (<-chan manager.Inform, func(), bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return nil, nil, false
+	}
+	m.nextID++
+	id := m.nextID
+	ch := make(chan manager.Inform, 16)
+	m.members[id] = ch
+	if m.known {
+		ch <- m.last // fresh buffered channel: never blocks
+	}
+	return ch, func() { m.leave(id) }, true
+}
+
+// leave removes a member; the last one out cancels the shared stream.
+func (m *subMux) leave(id uint64) {
+	m.mu.Lock()
+	ch, ok := m.members[id]
+	if !ok {
+		m.mu.Unlock() // canceled twice, or the stream closed it already
+		return
+	}
+	delete(m.members, id)
+	close(ch)
+	empty := len(m.members) == 0
+	if empty {
+		m.done = true
+	}
+	m.mu.Unlock()
+	if empty {
+		m.s.smu.Lock()
+		if m.s.smux[m.key] == m {
+			delete(m.s.smux, m.key)
+		}
+		m.s.smu.Unlock()
+		m.h.cancel()
+	}
+}
+
+// forward broadcasts the healing stream to every member with the usual
+// drop-oldest policy, then closes the members when the stream ends
+// (cancel, or the shard client closed).
+func (m *subMux) forward(in <-chan manager.Inform) {
+	for inf := range in {
+		m.mu.Lock()
+		m.known, m.last = true, inf
+		for _, ch := range m.members {
+			select {
+			case ch <- inf:
+			default:
+				select {
+				case <-ch:
+				default:
+				}
+				select {
+				case ch <- inf:
+				default:
+				}
+			}
+		}
+		m.mu.Unlock()
+	}
+	m.mu.Lock()
+	m.done = true
+	for id, ch := range m.members {
+		delete(m.members, id)
+		close(ch)
+	}
+	m.mu.Unlock()
+	m.s.smu.Lock()
+	if m.s.smux[m.key] == m {
+		delete(m.s.smux, m.key)
+	}
+	m.s.smu.Unlock()
 }
 
 // subscribeOnce opens one subscription on the current (elected)

@@ -1,0 +1,98 @@
+package manager
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// benchWireMix is the steady-state hot-path message mix the CI gate
+// measures: the ask/confirm cycle, its replies, and an inform.
+func benchWireMix() []wireMsg {
+	return []wireMsg{
+		{Op: opAsk, ID: 101, Action: "call(pat3,sono)"},
+		{Op: opReply, ID: 101, OK: true, Ticket: 4711},
+		{Op: opConfirm, ID: 102, Ticket: 4711},
+		{Op: opReply, ID: 102, OK: true},
+		{Op: opRequest, ID: 103, Action: "perform(pat3,sono)"},
+		{Op: opReply, ID: 103, OK: true},
+		{Op: opInform, Sub: 9, Action: "call(pat3,sono)", Perm: true},
+	}
+}
+
+// BenchmarkWireCodec compares the v2 binary framing against the JSON
+// lines fallback on the hot-path mix. The CI gate (BENCH_pr7) requires
+// bin2 to be ≥2x the JSON throughput on encode and decode, with zero
+// steady-state allocations for bin2. ns/op is per message.
+func BenchmarkWireCodec(b *testing.B) {
+	msgs := benchWireMix()
+
+	encoders := []struct {
+		name string
+		mk   func(w *bufio.Writer) frameEncoder
+	}{
+		{"json", func(w *bufio.Writer) frameEncoder { return newJSONEncoder(w) }},
+		{"bin2", func(w *bufio.Writer) frameEncoder { return newBinEncoder(w) }},
+	}
+	for _, e := range encoders {
+		b.Run("encode/"+e.name, func(b *testing.B) {
+			enc := e.mk(bufio.NewWriter(io.Discard))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := enc.encode(&msgs[i%len(msgs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Decode from a pre-encoded in-memory stream, resetting the reader
+	// when it runs dry (the reset is amortized over many repetitions).
+	const reps = 256
+	decoders := []struct {
+		name   string
+		stream []byte
+		mk     func(r *bufio.Reader) frameDecoder
+	}{
+		{"json", nil, func(r *bufio.Reader) frameDecoder { return newJSONDecoder(r) }},
+		{"bin2", nil, func(r *bufio.Reader) frameDecoder { return newBinDecoder(r) }},
+	}
+	for i := range decoders {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		enc := encoders[i].mk(w)
+		for r := 0; r < reps; r++ {
+			for j := range msgs {
+				if err := enc.encode(&msgs[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		decoders[i].stream = buf.Bytes()
+	}
+	for _, d := range decoders {
+		b.Run("decode/"+d.name, func(b *testing.B) {
+			r := bytes.NewReader(d.stream)
+			br := bufio.NewReader(r)
+			dec := d.mk(br)
+			left := reps * len(msgs)
+			var msg wireMsg
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if left == 0 {
+					r.Reset(d.stream)
+					br.Reset(r)
+					dec = d.mk(br)
+					left = reps * len(msgs)
+				}
+				if err := dec.decode(&msg); err != nil {
+					b.Fatal(err)
+				}
+				left--
+			}
+		})
+	}
+}

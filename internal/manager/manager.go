@@ -155,7 +155,8 @@ type Manager struct {
 	clock       func() time.Time
 	stats       Stats
 	nextSubID   uint64
-	subs        map[uint64]*subEntry
+	subs        map[uint64]*subGroup // subscription id → its action's group
+	subsByAct   map[string]*subGroup // action key → shared group
 
 	snapPath  string
 	snapEvery int
@@ -173,10 +174,14 @@ type Manager struct {
 	ackTimeout time.Duration
 }
 
-type subEntry struct {
-	action expr.Action
-	ch     chan Inform
-	last   bool
+// subGroup fans one action's status out to every subscriber on it.
+// Grouping by action makes a transition cost one status evaluation per
+// distinct subscribed action, not one per subscriber — the difference
+// between O(actions) and O(subscribers) on the commit path.
+type subGroup struct {
+	action  expr.Action
+	last    bool
+	members map[uint64]chan Inform
 }
 
 // Stats counts protocol traffic for the experiments of Sec 7 (E13/E15).
@@ -200,7 +205,8 @@ func New(e *expr.Expr, opts Options) (*Manager, error) {
 	m := &Manager{
 		timeout:    opts.ReservationTimeout,
 		clock:      opts.Clock,
-		subs:       make(map[uint64]*subEntry),
+		subs:       make(map[uint64]*subGroup),
+		subsByAct:  make(map[string]*subGroup),
 		snapPath:   opts.SnapshotPath,
 		snapEvery:  opts.SnapshotEvery,
 		syncWrites: opts.SyncWrites,
@@ -620,10 +626,19 @@ func (m *Manager) Subscribe(a expr.Action) *Subscription {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.nextSubID++
-	ent := &subEntry{action: a, ch: make(chan Inform, 16), last: m.en.Try(a)}
-	m.subs[m.nextSubID] = ent
-	sub := &Subscription{C: ent.ch, id: m.nextSubID, action: a}
-	ent.send(Inform{Action: a, Permissible: ent.last})
+	key := a.Key()
+	g := m.subsByAct[key]
+	if g == nil {
+		g = &subGroup{action: a, last: m.en.Try(a), members: make(map[uint64]chan Inform)}
+		m.subsByAct[key] = g
+	}
+	ch := make(chan Inform, 16)
+	g.members[m.nextSubID] = ch
+	m.subs[m.nextSubID] = g
+	sub := &Subscription{C: ch, id: m.nextSubID, action: a}
+	// The joiner's initial status comes from the group's cache: notify
+	// runs after every transition, so last is always current.
+	sendInform(ch, Inform{Action: g.action, Permissible: g.last})
 	m.stats.Informs++
 	return sub
 }
@@ -632,24 +647,30 @@ func (m *Manager) Subscribe(a expr.Action) *Subscription {
 func (m *Manager) Unsubscribe(s *Subscription) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if ent, ok := m.subs[s.id]; ok {
+	if g, ok := m.subs[s.id]; ok {
 		delete(m.subs, s.id)
-		close(ent.ch)
+		if ch, ok := g.members[s.id]; ok {
+			delete(g.members, s.id)
+			close(ch)
+		}
+		if len(g.members) == 0 {
+			delete(m.subsByAct, g.action.Key())
+		}
 	}
 }
 
-func (e *subEntry) send(i Inform) {
+func sendInform(ch chan Inform, i Inform) {
 	select {
-	case e.ch <- i:
+	case ch <- i:
 	default:
 		// Drop the oldest pending inform to make room for the newest:
 		// the subscriber only needs the latest status.
 		select {
-		case <-e.ch:
+		case <-ch:
 		default:
 		}
 		select {
-		case e.ch <- i:
+		case ch <- i:
 		default:
 		}
 	}
@@ -657,12 +678,18 @@ func (e *subEntry) send(i Inform) {
 
 // notifyLocked recomputes subscribed action statuses after a transition
 // and sends informs for flips (step 2/3 of the subscription protocol).
+// Each distinct action is evaluated once, however many subscribers it
+// fans out to.
 func (m *Manager) notifyLocked() {
-	for _, ent := range m.subs {
-		now := m.en.Try(ent.action)
-		if now != ent.last {
-			ent.last = now
-			ent.send(Inform{Action: ent.action, Permissible: now})
+	for _, g := range m.subsByAct {
+		now := m.en.Try(g.action)
+		if now == g.last {
+			continue
+		}
+		g.last = now
+		inf := Inform{Action: g.action, Permissible: now}
+		for _, ch := range g.members {
+			sendInform(ch, inf)
 			m.stats.Informs++
 		}
 	}
@@ -678,9 +705,15 @@ func (m *Manager) Close() error {
 		return nil
 	}
 	m.closed = true
-	for id, ent := range m.subs {
+	for id, g := range m.subs {
 		delete(m.subs, id)
-		close(ent.ch)
+		if ch, ok := g.members[id]; ok {
+			delete(g.members, id)
+			close(ch)
+		}
+		if len(g.members) == 0 {
+			delete(m.subsByAct, g.action.Key())
+		}
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -57,6 +58,14 @@ type wireMsg struct {
 	// observability readout (role, protocol counters, cache counters,
 	// metric snapshot with latency histograms).
 	Stats *StatsSnapshot `json:"stats,omitempty"`
+	// Proto is the hello negotiation payload: the protocol the client
+	// proposes, echoed back as the protocol the server selected.
+	Proto string `json:"proto,omitempty"`
+	// Subs carries the subscription ids of a multiplexed inform: on
+	// binary connections one status flip for an action produces a single
+	// frame naming every subscription on it, instead of one frame per
+	// subscriber. JSON connections never see it (old clients expect Sub).
+	Subs []uint64 `json:"subs,omitempty"`
 }
 
 // Wire operation names.
@@ -88,9 +97,10 @@ const (
 	opStats = "stats"
 )
 
-// serverAskTimeout bounds how long a network ask may wait for the
-// critical region; it must exceed any configured reservation timeout.
-const serverAskTimeout = 30 * time.Second
+// serverAskTimeout bounds how long any handler may wait on the
+// coordinator; it must exceed any configured reservation timeout. It is
+// a variable only so the hung-coordinator regression test can shrink it.
+var serverAskTimeout = 30 * time.Second
 
 // Wire-level error sentinels, for clients that need to distinguish "the
 // request never left this machine" (safe to retry on a fresh connection)
@@ -294,14 +304,25 @@ func CoordinatorFor(m *Manager) Coordinator { return coordAdapter{m: m} }
 
 // Server exposes a Coordinator to interaction clients over TCP.
 type Server struct {
-	co Coordinator
-	ln net.Listener
-	sm *serverMetrics
+	co       Coordinator
+	ln       net.Listener
+	sm       *serverMetrics
+	jsonOnly bool
 
 	mu    sync.Mutex
 	conns map[net.Conn]bool
 	done  chan struct{}
 	wg    sync.WaitGroup
+}
+
+// ServerOptions tunes a wire server.
+type ServerOptions struct {
+	// JSONOnly disables the binary codec: the hello negotiation is
+	// answered the way a pre-v2 server answers it (unknown op), pinning
+	// every connection to JSON lines. v2 clients fall back transparently.
+	// The IX_WIRE_SERVER_PROTO=json environment variable forces it
+	// process-wide (interop matrices, wire debugging with text tools).
+	JSONOnly bool
 }
 
 // serverMetrics instruments the wire layer: frames and bytes each way,
@@ -386,9 +407,17 @@ func NewServer(m *Manager, ln net.Listener) *Server {
 }
 
 // NewCoordServer serves any Coordinator — a local manager or a cluster
-// gateway — on the listener.
+// gateway — on the listener, with default options (binary negotiation
+// enabled).
 func NewCoordServer(co Coordinator, ln net.Listener) *Server {
-	s := &Server{co: co, ln: ln, conns: make(map[net.Conn]bool), done: make(chan struct{})}
+	return NewCoordServerWith(co, ln, ServerOptions{})
+}
+
+// NewCoordServerWith serves a Coordinator with explicit options.
+func NewCoordServerWith(co Coordinator, ln net.Listener, opts ServerOptions) *Server {
+	jsonOnly := opts.JSONOnly || os.Getenv("IX_WIRE_SERVER_PROTO") == ProtoJSON
+	s := &Server{co: co, ln: ln, jsonOnly: jsonOnly,
+		conns: make(map[net.Conn]bool), done: make(chan struct{})}
 	var reg *obs.Registry
 	if ms, ok := co.(MetricsSource); ok {
 		reg = ms.MetricsRegistry()
@@ -417,6 +446,42 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// outFrame is one queued write. switchBin tells the writer to swap to
+// the binary encoder after this message goes out — the hello reply is
+// the last JSON line a negotiated connection ever sends.
+type outFrame struct {
+	msg       wireMsg
+	switchBin bool
+}
+
+// connState is the per-connection subscription table. Wire subscriptions
+// to the same action share one coordinator subscription and one
+// forwarder goroutine; multi tracks whether the negotiated codec may
+// batch the shared ids into a single multi-id inform frame.
+type connState struct {
+	multi bool
+
+	mu      sync.Mutex
+	nextSub uint64
+	byID    map[uint64]*connActSub
+	byAct   map[string]*connActSub
+	fwd     sync.WaitGroup
+}
+
+// connActSub is one shared stream: the coordinator subscription for one
+// action, fanned out to every wire subscription id on it.
+type connActSub struct {
+	key    string
+	ids    []uint64
+	cancel func()
+	known  bool // an inform has arrived; last is meaningful
+	last   bool
+}
+
+func newConnState() *connState {
+	return &connState{byID: make(map[uint64]*connActSub), byAct: make(map[string]*connActSub)}
+}
+
 // serveConn handles one client connection.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
@@ -427,52 +492,98 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 
-	out := make(chan wireMsg, 64)
+	out := make(chan outFrame, 64)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		w := bufio.NewWriter(&countingWriter{w: conn, c: s.sm.bytesOut})
-		enc := json.NewEncoder(w)
-		for msg := range out {
-			if err := enc.Encode(msg); err != nil {
-				return
+		var enc frameEncoder = newJSONEncoder(w)
+		broken := false
+		for f := range out {
+			if broken {
+				continue // drain so senders never block on a dead writer
 			}
-			if err := w.Flush(); err != nil {
-				return
+			if err := enc.encode(&f.msg); err != nil {
+				broken = true
+				continue
 			}
 			s.sm.framesOut.Inc()
+			if f.switchBin {
+				enc = newBinEncoder(w)
+			}
 		}
 	}()
 
-	subs := make(map[uint64]func()) // subscription id → cancel
-	var subMu sync.Mutex
-	var nextSub uint64
+	cs := newConnState()
 	var handlers sync.WaitGroup
 	defer func() {
 		handlers.Wait()
-		subMu.Lock()
-		for _, cancel := range subs {
+		cs.mu.Lock()
+		cancels := make(map[*connActSub]func())
+		for _, as := range cs.byID {
+			if as.cancel != nil {
+				cancels[as] = as.cancel
+			}
+		}
+		cs.byID = map[uint64]*connActSub{}
+		cs.byAct = map[string]*connActSub{}
+		cs.mu.Unlock()
+		for _, cancel := range cancels {
 			cancel()
 		}
-		subMu.Unlock()
+		// Forwarders must be done before out closes: one could be mid-send.
+		cs.fwd.Wait()
 		close(out)
 		<-writerDone
 	}()
 
 	send := func(msg wireMsg) {
 		select {
-		case out <- msg:
+		case out <- outFrame{msg: msg}:
 		case <-s.done:
 		}
 	}
 
-	dec := json.NewDecoder(bufio.NewReader(&countingReader{r: conn, c: s.sm.bytesIn}))
+	br := bufio.NewReader(&countingReader{r: conn, c: s.sm.bytesIn})
+	var dec frameDecoder // nil while the connection still speaks JSON lines
+	first := true
 	for {
 		var req wireMsg
-		if err := dec.Decode(&req); err != nil {
+		var err error
+		if dec != nil {
+			err = dec.decode(&req)
+		} else {
+			// Line-based, not a streaming json.Decoder: the reader must not
+			// buffer past the message terminator, or the switch to binary
+			// after a hello would lose the bytes the decoder read ahead.
+			err = readJSONLine(br, &req)
+		}
+		if err != nil {
 			return // connection closed or garbage
 		}
 		s.sm.framesIn.Inc()
+		if req.Op == opHello && !s.jsonOnly {
+			// Negotiation: only meaningful as the very first frame; a v2
+			// proposal switches both directions, anything else pins JSON.
+			// With jsonOnly the op falls through to the handler and earns
+			// the same "unknown op" error a pre-v2 server would send.
+			resp := wireMsg{ID: req.ID, Op: opReply, OK: true, Proto: ProtoJSON}
+			if first && req.Proto == ProtoBinary {
+				resp.Proto = ProtoBinary
+				select {
+				case out <- outFrame{msg: resp, switchBin: true}:
+				case <-s.done:
+					return
+				}
+				dec = newBinDecoder(br)
+				cs.multi = true
+			} else {
+				send(resp)
+			}
+			first = false
+			continue
+		}
+		first = false
 		handlers.Add(1)
 		go func() {
 			defer handlers.Done()
@@ -480,7 +591,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			if s.sm.enabled {
 				start = time.Now()
 			}
-			resp, skip := s.handle(req, subs, &subMu, &nextSub, send)
+			resp, skip := s.handle(req, cs, send)
 			if s.sm.enabled {
 				s.sm.opHist(req.Op).Since(start)
 			}
@@ -494,7 +605,7 @@ func (s *Server) serveConn(conn net.Conn) {
 // handle processes one request. It returns the reply and whether it was
 // already sent (subscription replies must precede the first inform, so
 // that op sends its own reply before starting the forwarder).
-func (s *Server) handle(req wireMsg, subs map[uint64]func(), subMu *sync.Mutex, nextSub *uint64, send func(wireMsg)) (wireMsg, bool) {
+func (s *Server) handle(req wireMsg, cs *connState, send func(wireMsg)) (wireMsg, bool) {
 	resp := wireMsg{ID: req.ID, Op: opReply}
 	fail := func(err error) (wireMsg, bool) {
 		resp.OK = false
@@ -519,12 +630,19 @@ func (s *Server) handle(req wireMsg, subs map[uint64]func(), subMu *sync.Mutex, 
 		resp.OK = true
 		resp.Ticket = t
 	case opConfirm:
-		if err := s.co.Confirm(context.Background(), req.Ticket); err != nil {
+		// Bounded like every other op: a coordinator stuck waiting on a
+		// sync-replication ack during a partition must not wedge the
+		// handler goroutine (and the client) forever.
+		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
+		defer cancel()
+		if err := s.co.Confirm(ctx, req.Ticket); err != nil {
 			return fail(err)
 		}
 		resp.OK = true
 	case opAbort:
-		if err := s.co.Abort(context.Background(), req.Ticket); err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
+		defer cancel()
+		if err := s.co.Abort(ctx, req.Ticket); err != nil {
 			return fail(err)
 		}
 		resp.OK = true
@@ -578,14 +696,18 @@ func (s *Server) handle(req wireMsg, subs map[uint64]func(), subMu *sync.Mutex, 
 		if err != nil {
 			return fail(err)
 		}
-		perm, err := s.co.Try(context.Background(), a)
+		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
+		defer cancel()
+		perm, err := s.co.Try(ctx, a)
 		if err != nil {
 			return fail(err)
 		}
 		resp.OK = true
 		resp.Perm = perm
 	case opFinal:
-		fin, err := s.co.Final(context.Background())
+		ctx, cancel := context.WithTimeout(context.Background(), serverAskTimeout)
+		defer cancel()
+		fin, err := s.co.Final(ctx)
 		if err != nil {
 			return fail(err)
 		}
@@ -596,35 +718,79 @@ func (s *Server) handle(req wireMsg, subs map[uint64]func(), subMu *sync.Mutex, 
 		if err != nil {
 			return fail(err)
 		}
+		key := a.String()
+		// Fast path: another wire subscription on this connection already
+		// streams this action — join it instead of opening a second
+		// coordinator subscription and forwarder goroutine.
+		cs.mu.Lock()
+		if as := cs.byAct[key]; as != nil {
+			cs.nextSub++
+			id := cs.nextSub
+			as.ids = append(as.ids, id)
+			cs.byID[id] = as
+			resp.OK = true
+			resp.Sub = id
+			send(resp)
+			if as.known {
+				// The joiner still gets its initial status inform — from
+				// the shared stream's cache, not a coordinator round trip.
+				send(wireMsg{Op: opInform, Sub: id, Action: as.key, Perm: as.last})
+			}
+			cs.mu.Unlock()
+			return resp, true
+		}
+		cs.mu.Unlock()
 		ch, cancel, err := s.co.Subscribe(a)
 		if err != nil {
 			return fail(err)
 		}
-		subMu.Lock()
-		*nextSub++
-		id := *nextSub
-		subs[id] = cancel
-		subMu.Unlock()
+		cs.mu.Lock()
+		as := &connActSub{key: key, cancel: cancel}
+		cs.nextSub++
+		id := cs.nextSub
+		as.ids = []uint64{id}
+		cs.byID[id] = as
+		if cs.byAct[key] == nil {
+			// A concurrent subscribe to the same action may have won the
+			// race; the loser keeps its own stream but future joiners
+			// share whichever entry the table holds.
+			cs.byAct[key] = as
+		}
 		// The reply must reach the client before the first inform so the
 		// client knows the subscription id; send it here, then forward.
 		resp.OK = true
 		resp.Sub = id
 		send(resp)
-		go func() {
-			for inf := range ch {
-				send(wireMsg{Op: opInform, Sub: id, Action: inf.Action.String(), Perm: inf.Permissible})
-			}
-		}()
+		cs.mu.Unlock()
+		cs.fwd.Add(1)
+		go s.forwardInforms(cs, as, ch, send)
 		return resp, true
 	case opUnsubscribe:
-		subMu.Lock()
-		cancel, ok := subs[req.Sub]
-		delete(subs, req.Sub)
-		subMu.Unlock()
+		cs.mu.Lock()
+		as, ok := cs.byID[req.Sub]
+		var cancel func()
+		if ok {
+			delete(cs.byID, req.Sub)
+			for i, sid := range as.ids {
+				if sid == req.Sub {
+					as.ids = append(as.ids[:i], as.ids[i+1:]...)
+					break
+				}
+			}
+			if len(as.ids) == 0 {
+				if cs.byAct[as.key] == as {
+					delete(cs.byAct, as.key)
+				}
+				cancel = as.cancel
+			}
+		}
+		cs.mu.Unlock()
 		if !ok {
 			return fail(errors.New("manager: unknown subscription"))
 		}
-		cancel()
+		if cancel != nil {
+			cancel() // last subscriber left: tear down the shared stream
+		}
 		resp.OK = true
 	case opReplicate:
 		rt, ok := s.co.(ReplicaTarget)
@@ -753,6 +919,46 @@ func (s *Server) handle(req wireMsg, subs map[uint64]func(), subMu *sync.Mutex, 
 	return resp, false
 }
 
+// forwardInforms fans one shared coordinator subscription out to every
+// wire subscription id on it. A binary connection gets one multi-id
+// frame per status flip; a JSON connection gets one frame per id, which
+// is what pre-v2 clients expect.
+func (s *Server) forwardInforms(cs *connState, as *connActSub, ch <-chan Inform, send func(wireMsg)) {
+	defer cs.fwd.Done()
+	var ids []uint64 // reused snapshot of as.ids, taken under the lock
+	for inf := range ch {
+		cs.mu.Lock()
+		as.known, as.last = true, inf.Permissible
+		ids = append(ids[:0], as.ids...)
+		cs.mu.Unlock()
+		switch {
+		case len(ids) == 0:
+			// Subscribers left between the flip and this delivery.
+		case cs.multi && len(ids) > 1:
+			send(wireMsg{Op: opInform, Subs: append([]uint64(nil), ids...),
+				Action: as.key, Perm: inf.Permissible})
+		default:
+			for _, id := range ids {
+				send(wireMsg{Op: opInform, Sub: id, Action: as.key, Perm: inf.Permissible})
+			}
+		}
+	}
+	// The coordinator closed the stream (shutdown or cancel): drop the
+	// table entries so late unsubscribes fail cleanly instead of
+	// cancelling a dead stream.
+	cs.mu.Lock()
+	if cs.byAct[as.key] == as {
+		delete(cs.byAct, as.key)
+	}
+	for _, id := range as.ids {
+		if cs.byID[id] == as {
+			delete(cs.byID, id)
+		}
+	}
+	as.ids = as.ids[:0]
+	cs.mu.Unlock()
+}
+
 // Close stops accepting, closes all connections and waits for handlers.
 func (s *Server) Close() error {
 	close(s.done)
@@ -769,9 +975,15 @@ func (s *Server) Close() error {
 // Client is an interaction client speaking the wire protocol; it mirrors
 // the Manager API over a TCP connection. Safe for concurrent use.
 type Client struct {
-	conn net.Conn
-	enc  *json.Encoder
-	wmu  sync.Mutex // serializes writes
+	conn  net.Conn
+	enc   frameEncoder
+	proto string
+	wmu   sync.Mutex // serializes writes
+
+	// actCache memoizes parsed inform actions. Only the read loop touches
+	// it, so it needs no lock; the bound guards against a server with an
+	// unbounded action vocabulary.
+	actCache map[string]expr.Action
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -784,34 +996,114 @@ type Client struct {
 	readErr error
 }
 
+// pendingInformCap bounds the per-subscription pending buffer. Once
+// full it behaves as a ring: the oldest inform is evicted, matching the
+// "latest status wins" drop policy of the registered path.
+const pendingInformCap = 16
+
 // ClientSubscription is a remote subscription delivering informs.
 type ClientSubscription struct {
 	C  <-chan Inform
 	id uint64
 }
 
-// Dial connects to a manager server.
+// DialOptions tunes a client connection.
+type DialOptions struct {
+	// Protocol selects the wire encoding. ProtoBinary (the default)
+	// proposes the v2 binary framing at connect time and falls back to
+	// JSON lines when the server predates it; ProtoJSON skips the
+	// negotiation entirely and speaks JSON lines like a pre-v2 client.
+	// The IX_WIRE_PROTO=json environment variable forces JSON for every
+	// default-protocol dial in the process (interop matrices, debugging
+	// captures with text tools).
+	Protocol string
+}
+
+// Dial connects to a manager server, negotiating the binary protocol.
 func Dial(addr string) (*Client, error) {
+	return DialWith(addr, DialOptions{})
+}
+
+// DialWith connects with explicit options.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	proto := opts.Protocol
+	if proto == "" {
+		proto = ProtoBinary
+		if os.Getenv("IX_WIRE_PROTO") == ProtoJSON {
+			proto = ProtoJSON
+		}
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("manager: dial: %w", err)
 	}
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
 	c := &Client{
-		conn:    conn,
-		enc:     json.NewEncoder(conn),
-		waiting: make(map[uint64]chan wireMsg),
-		subs:    make(map[uint64]chan Inform),
-		pending: make(map[uint64][]Inform),
+		conn:     conn,
+		proto:    ProtoJSON,
+		actCache: make(map[string]expr.Action),
+		waiting:  make(map[uint64]chan wireMsg),
+		subs:     make(map[uint64]chan Inform),
+		pending:  make(map[uint64][]Inform),
 	}
-	go c.readLoop()
+	c.nextID = 1 // id 1 is the hello's, whether or not one is sent
+	if proto == ProtoBinary {
+		if err := c.negotiate(conn, br, bw); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	var dec frameDecoder
+	if c.proto == ProtoBinary {
+		c.enc = newBinEncoder(bw)
+		dec = newBinDecoder(br)
+	} else {
+		c.enc = newJSONEncoder(bw)
+		// The JSON phase never switches codecs after this point, so the
+		// streaming decoder's read-ahead is harmless.
+		dec = newJSONDecoder(br)
+	}
+	go c.readLoop(dec)
 	return c, nil
 }
 
-func (c *Client) readLoop() {
-	dec := json.NewDecoder(bufio.NewReader(c.conn))
+// negotiate sends the hello as a JSON line and interprets the reply. A
+// v2 server acknowledges with Proto=bin2 and both directions switch; a
+// pre-v2 server answers "unknown op" (or anything else), and the client
+// simply stays on JSON lines. Transport errors fail the dial.
+func (c *Client) negotiate(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) error {
+	deadline := time.Now().Add(10 * time.Second)
+	_ = conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	hello, err := json.Marshal(wireMsg{ID: 1, Op: opHello, Proto: ProtoBinary})
+	if err != nil {
+		return err
+	}
+	hello = append(hello, '\n')
+	if _, err := bw.Write(hello); err != nil {
+		return fmt.Errorf("manager: negotiate: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("manager: negotiate: %w", err)
+	}
+	var resp wireMsg
+	if err := readJSONLine(br, &resp); err != nil {
+		return fmt.Errorf("manager: negotiate: %w", err)
+	}
+	if resp.OK && resp.Proto == ProtoBinary {
+		c.proto = ProtoBinary
+	}
+	return nil
+}
+
+// Proto reports the negotiated wire encoding (ProtoBinary or ProtoJSON).
+func (c *Client) Proto() string { return c.proto }
+
+func (c *Client) readLoop(dec frameDecoder) {
+	var msg wireMsg
 	for {
-		var msg wireMsg
-		if err := dec.Decode(&msg); err != nil {
+		if err := dec.decode(&msg); err != nil {
 			c.mu.Lock()
 			c.readErr = err
 			for id, ch := range c.waiting {
@@ -827,26 +1119,17 @@ func (c *Client) readLoop() {
 		}
 		switch msg.Op {
 		case opInform:
-			a, err := expr.ParseActionString(msg.Action)
+			a, err := c.parseInformAction(msg.Action)
 			if err != nil {
 				continue
 			}
 			inf := Inform{Action: a, Permissible: msg.Perm}
-			c.mu.Lock()
-			ch := c.subs[msg.Sub]
-			if ch == nil {
-				// Subscription not registered yet (the reply is still in
-				// flight to the Subscribe caller): buffer, bounded.
-				if len(c.pending[msg.Sub]) < 16 {
-					c.pending[msg.Sub] = append(c.pending[msg.Sub], inf)
+			if len(msg.Subs) > 0 {
+				for _, id := range msg.Subs {
+					c.deliverInform(id, inf)
 				}
-				c.mu.Unlock()
-				continue
-			}
-			c.mu.Unlock()
-			select {
-			case ch <- inf:
-			default: // slow subscriber: drop, latest status wins
+			} else {
+				c.deliverInform(msg.Sub, inf)
 			}
 		default:
 			c.mu.Lock()
@@ -856,6 +1139,56 @@ func (c *Client) readLoop() {
 			if ch != nil {
 				ch <- msg
 			}
+		}
+	}
+}
+
+// parseInformAction parses an inform's action through the bounded memo
+// cache, so steady-state inform delivery re-parses nothing.
+func (c *Client) parseInformAction(s string) (expr.Action, error) {
+	if a, ok := c.actCache[s]; ok {
+		return a, nil
+	}
+	a, err := expr.ParseActionString(s)
+	if err == nil && len(c.actCache) < 1024 {
+		c.actCache[s] = a
+	}
+	return a, err
+}
+
+// deliverInform routes one inform to its subscription, buffering it when
+// the subscription is not registered yet. Both paths drop the oldest
+// inform when full: the latest status wins.
+func (c *Client) deliverInform(id uint64, inf Inform) {
+	c.mu.Lock()
+	ch := c.subs[id]
+	if ch == nil {
+		// Subscription not registered yet (the reply is still in flight
+		// to the Subscribe caller): buffer as a bounded ring.
+		p := c.pending[id]
+		if len(p) >= pendingInformCap {
+			copy(p, p[1:])
+			p[len(p)-1] = inf
+		} else {
+			c.pending[id] = append(p, inf)
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	select {
+	case ch <- inf:
+	default:
+		// Slow subscriber: evict the oldest buffered inform and retry
+		// once. If the subscriber raced us to the slot, dropping inf is
+		// the same policy one step later.
+		select {
+		case <-ch:
+		default:
+		}
+		select {
+		case ch <- inf:
+		default:
 		}
 	}
 }
@@ -884,7 +1217,7 @@ func (c *Client) call(ctx context.Context, req wireMsg) (wireMsg, error) {
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := c.enc.Encode(req)
+	err := c.enc.encode(&req)
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()

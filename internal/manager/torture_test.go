@@ -22,9 +22,12 @@ import (
 func (m *Manager) crashForTest() {
 	m.mu.Lock()
 	m.closed = true
-	for id, ent := range m.subs {
+	for id, g := range m.subs {
 		delete(m.subs, id)
-		close(ent.ch)
+		if ch, ok := g.members[id]; ok {
+			delete(g.members, id)
+			close(ch)
+		}
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
