@@ -11,6 +11,17 @@
 // partial or illegal (exit status 0, 0 and 1 respectively). With -i it
 // reads one action per line from stdin and answers Accept/Reject,
 // mirroring the action() loop of the paper.
+//
+// ixcheck is also the front door of the deterministic cluster
+// simulator (internal/sim):
+//
+//	ixcheck -explore 10000 -artifacts out/   # sweep seeded chaos schedules
+//	ixcheck -replay out/seed42-failover.ixj  # re-run a recorded failure
+//
+// -explore runs seeded chaos schedules over the in-process simulated
+// cluster and writes each failing schedule's journal — the complete
+// record of every nondeterministic choice — as an artifact; -replay
+// re-executes a journal bit-identically.
 package main
 
 import (
@@ -30,8 +41,29 @@ func main() {
 		interactive = flag.Bool("i", false, "action problem: read actions line by line from stdin")
 		classify    = flag.Bool("c", false, "print the Sec 6 complexity classification and exit")
 		showState   = flag.Bool("s", false, "print state size after every action")
+
+		explore   = flag.Int("explore", 0, "run N seeded chaos schedules on the deterministic simulator")
+		seedBase  = flag.Int64("seed-base", 0, "first seed of the -explore sweep")
+		mix       = flag.String("mix", "all", "fault mix for -explore: failover, migration or all")
+		events    = flag.Int("events", 0, "faults per schedule (0 = default 18)")
+		jobs      = flag.Int("jobs", 0, "concurrent schedules (0 = 2x GOMAXPROCS)")
+		artifacts = flag.String("artifacts", "", "directory for failing schedules' journals and traces")
+		replay    = flag.String("replay", "", "re-run the recorded schedule in the given journal file")
+		showTrace = flag.Bool("trace", false, "print the schedule trace during -replay")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		runReplay(*replay, *showTrace)
+		return
+	}
+	if *explore > 0 {
+		runExplore(exploreConfig{
+			schedules: *explore, seedBase: *seedBase, mix: *mix,
+			events: *events, jobs: *jobs, artifacts: *artifacts,
+		})
+		return
+	}
 
 	src := *exprSrc
 	if *exprFile != "" {

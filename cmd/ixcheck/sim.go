@@ -1,0 +1,149 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// exploreConfig carries the -explore / -replay flag values from main.
+type exploreConfig struct {
+	schedules int
+	seedBase  int64
+	mix       string
+	events    int
+	jobs      int
+	artifacts string
+	trace     bool
+}
+
+// runExplore sweeps cfg.schedules seeded chaos schedules through the
+// deterministic simulator, cfg.jobs at a time. Every failing schedule's
+// journal (and trace) is written under cfg.artifacts; the journal is
+// the complete reproduction recipe for ixcheck -replay. Exits nonzero
+// when any schedule breaks an invariant.
+func runExplore(cfg exploreConfig) {
+	mixes := []string{cfg.mix}
+	if cfg.mix == "all" {
+		mixes = []string{"failover", "migration"}
+	}
+	for _, m := range mixes {
+		if _, ok := sim.Mixes[m]; !ok {
+			fatal(fmt.Errorf("unknown fault mix %q", m))
+		}
+	}
+	if cfg.jobs <= 0 {
+		// Schedules spend part of their wall time in pacer stalls;
+		// oversubscribing the CPUs overlaps those across schedules.
+		cfg.jobs = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.artifacts != "" {
+		if err := os.MkdirAll(cfg.artifacts, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, cfg.jobs)
+		done     atomic.Int64
+		failures atomic.Int64
+		mu       sync.Mutex // serializes failure reporting
+	)
+	for i := 0; i < cfg.schedules; i++ {
+		seed := cfg.seedBase + int64(i)
+		mix := mixes[i%len(mixes)]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(seed int64, mix string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := sim.RunChaos(sim.ChaosConfig{Seed: seed, Mix: mix, Events: cfg.events})
+			if err != nil {
+				mu.Lock()
+				fmt.Fprintf(os.Stderr, "ixcheck: seed %d (%s): %v\n", seed, mix, err)
+				mu.Unlock()
+				failures.Add(1)
+				return
+			}
+			if n := done.Add(1); n%5000 == 0 {
+				fmt.Fprintf(os.Stderr, "ixcheck: %d/%d schedules done\n", n, cfg.schedules)
+			}
+			if !res.Failed() {
+				return
+			}
+			failures.Add(1)
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "ixcheck: seed %d (%s) FAILED:\n", seed, mix)
+			for _, f := range res.Failures {
+				fmt.Fprintf(os.Stderr, "  invariant broken: %s\n", f)
+			}
+			if cfg.artifacts != "" {
+				base := filepath.Join(cfg.artifacts, fmt.Sprintf("seed%d-%s", seed, mix))
+				if err := res.Journal.WriteFile(base + ".ixj"); err != nil {
+					fmt.Fprintf(os.Stderr, "  write journal: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "  journal: %s.ixj (re-run: ixcheck -replay %s.ixj)\n", base, base)
+				}
+				trace := ""
+				for _, l := range res.Trace {
+					trace += l + "\n"
+				}
+				if err := os.WriteFile(base+".trace", []byte(trace), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "  write trace: %v\n", err)
+				}
+			}
+		}(seed, mix)
+	}
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "ixcheck: %d of %d schedules failed\n", n, cfg.schedules)
+		os.Exit(1)
+	}
+	fmt.Printf("ixcheck: %d schedules passed (seeds %d..%d)\n",
+		cfg.schedules, cfg.seedBase, cfg.seedBase+int64(cfg.schedules)-1)
+}
+
+// runReplay re-executes a recorded schedule from its journal. The replay
+// draws every nondeterministic choice from the journal instead of the
+// PRNG and re-records as it goes; a recording that is not byte-identical
+// to the input means the simulation diverged and the journal (or the
+// code under test) no longer matches. Exits 1 when the replayed
+// schedule breaks invariants, 2 on divergence.
+func runReplay(path string, showTrace bool) {
+	j, err := sim.ReadJournalFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replaying seed=%d events=%d mix=%s transport=%s draws=%d recorded-verdict=%q\n",
+		j.Seed, j.Events, j.Mix, j.Transport, len(j.Draws), j.Verdict)
+	res, err := sim.RunChaos(sim.ChaosConfig{Replay: j})
+	if err != nil {
+		fatal(err)
+	}
+	if showTrace {
+		for _, l := range res.Trace {
+			fmt.Println(l)
+		}
+	}
+	fmt.Printf("final steps: %v\n", res.Steps)
+	replayed := res.Journal
+	replayed.Verdict = j.Verdict // verdicts may legitimately differ pre/post fix; compare draws only
+	if string(replayed.Encode()) != string(j.Encode()) {
+		fmt.Fprintln(os.Stderr, "ixcheck: replay DIVERGED from the recorded journal")
+		os.Exit(2)
+	}
+	if res.Failed() {
+		for _, f := range res.Failures {
+			fmt.Fprintf(os.Stderr, "ixcheck: invariant broken: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("replay passed: schedule reproduced bit-identically, all invariants hold")
+}

@@ -1,0 +1,73 @@
+// Package clock abstracts time for the coordination stack. Every
+// component that reads the wall clock or arms a timer on a commit,
+// failover or retry path takes a Clock instead of calling the time
+// package directly, so the deterministic simulator (internal/sim) can
+// substitute a logical clock and own *when* every timer fires — the
+// difference between a chaos schedule that replays bit-identically and
+// one at the mercy of the host's scheduler.
+//
+// The zero value of every Options struct keeps the historical behavior:
+// a nil Clock means Real, which delegates to the time package.
+package clock
+
+import "time"
+
+// Clock is the time surface the coordination stack consumes: absolute
+// reads for deadlines and latency math, channels for timer fires.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Since returns the elapsed time on this clock since t.
+	Since(t time.Time) time.Duration
+	// After returns a channel that delivers one tick once d has elapsed
+	// on this clock. Like time.After, the timer cannot be stopped; use
+	// NewTimer when the wait may be abandoned early.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a stoppable timer firing after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is a stoppable pending fire (the subset of time.Timer the stack
+// uses).
+type Timer interface {
+	// C returns the fire channel.
+	C() <-chan time.Time
+	// Stop abandons the timer; it reports whether the fire was averted.
+	Stop() bool
+}
+
+// Real is the wall clock: the time package, unchanged.
+var Real Clock = realClock{}
+
+// Or returns c, or Real when c is nil — the resolution every Options
+// consumer applies.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Real
+	}
+	return c
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) NewTimer(d time.Duration) Timer         { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }
+
+// Func adapts a plain now-function to a Clock whose timers still run on
+// real time — enough for tests that only skew Now (e.g. expiring a
+// reservation on restart) without simulating timer delivery.
+func Func(now func() time.Time) Clock { return funcClock{now: now} }
+
+type funcClock struct{ now func() time.Time }
+
+func (c funcClock) Now() time.Time                         { return c.now() }
+func (c funcClock) Since(t time.Time) time.Duration        { return c.now().Sub(t) }
+func (c funcClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (c funcClock) NewTimer(d time.Duration) Timer         { return realTimer{time.NewTimer(d)} }

@@ -1,0 +1,60 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClock(t *testing.T) {
+	before := time.Now()
+	now := Real.Now()
+	if now.Before(before) {
+		t.Fatalf("Real.Now went backwards: %v < %v", now, before)
+	}
+	if d := Real.Since(before); d < 0 {
+		t.Fatalf("Real.Since negative: %v", d)
+	}
+	select {
+	case <-Real.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After never fired")
+	}
+	tm := Real.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Fatal("stopping a pending real timer should report true")
+	}
+	tm2 := Real.NewTimer(0)
+	select {
+	case <-tm2.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("zero-duration timer never fired")
+	}
+}
+
+func TestOr(t *testing.T) {
+	if Or(nil) != Real {
+		t.Fatal("Or(nil) must resolve to Real")
+	}
+	fixed := time.Unix(42, 0)
+	c := Func(func() time.Time { return fixed })
+	if !Or(c).Now().Equal(fixed) {
+		t.Fatal("Or must pass a non-nil clock through")
+	}
+}
+
+func TestFuncClock(t *testing.T) {
+	fixed := time.Unix(1000, 0)
+	c := Func(func() time.Time { return fixed })
+	if !c.Now().Equal(fixed) {
+		t.Fatalf("Func clock Now: %v", c.Now())
+	}
+	if d := c.Since(fixed.Add(-time.Minute)); d != time.Minute {
+		t.Fatalf("Func clock Since: %v", d)
+	}
+	// Timers still run on real time.
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Func.After never fired")
+	}
+}

@@ -1,409 +1,46 @@
-package cluster
+package cluster_test
+
+// Seeded chaos schedules over real TCP sockets. The scenario itself —
+// the sequential pipeline, the fault mixes, the ground-truth ledger and
+// the invariant verdicts — lives in internal/sim (chaos.go) and is
+// shared with the deterministic simulator: this file only binds it to
+// the TCPTransport. The simulator runs the same schedules by the tens
+// of thousands in seconds; the TCP runs here keep the scenario honest
+// against kernel sockets, real timers and true parallelism.
 
 import (
-	"context"
-	"errors"
 	"fmt"
-	"math/rand"
-	"path/filepath"
-	"strings"
 	"testing"
-	"time"
 
-	"repro/internal/manager"
-	"repro/internal/parse"
+	"repro/internal/sim"
 )
 
-// Seeded fault-injection harness. Each schedule drives the sequential
-// pipeline word a b c a b c ... through a replicated 2-shard gateway
-// ((a - b)* @ (b - c)*, so every b is a distributed two-phase commit)
-// while a deterministic rand.New(seed) schedule of primary kills,
-// follower kills, restarts, out-of-band promotions and connection drops
-// fires between operations. Afterwards the cluster is healed and the
-// harness asserts, per shard:
-//
-//   - no committed action lost and none double-applied: the surviving
-//     replicas' step count lies in [Σ acked, Σ acked + Σ unknown], where
-//     acked counts operations the client saw succeed (under SyncReplicas
-//     an ack proves the commit is on every replica) and unknown counts
-//     attempts whose outcome the client could not learn;
-//   - the gateway's global-order invariant: at a round boundary both
-//     shards have executed exactly the same number of shared b actions
-//     interleaved with their private actions, so their step counts are
-//     equal and even — any lost, duplicated or reordered commit on
-//     either side breaks the equality (or deadlocks the healing rounds,
-//     which require full a b c rounds to complete in order);
-//   - replica convergence: primary and follower of each shard finish on
-//     identical state keys and step counts (the last sync ack proves
-//     every commit reached every replica).
-//
-// Timing never decides correctness: faults are injected between
-// synchronous client operations, every wait is a protocol reply, and a
-// schedule that wedges a shard merely accumulates "unknown" outcomes
-// until the heal phase restarts the dead nodes. Failures log the seed
-// for replay.
-
 // chaosSeeds is the number of seeded schedules a full run executes (the
-// CI budget); -short runs a subset.
+// short run keeps a representative slice for quick signal).
 const chaosSeeds = 200
 
-// chaosEvent is one pre-generated fault.
-type chaosEvent struct {
-	kind  int // 0 none, 1 kill primary, 2 kill follower, 3 restart dead, 4 promote follower, 5 drop gateway conn, 6 live migration
-	shard int
-}
-
-// dropConnForTest severs the client's current primary connection (a
-// network blip between gateway and shard; the server keeps running).
-func (s *ShardClient) dropConnForTest() {
-	s.mu.Lock()
-	cl := s.cl
-	s.cl = nil
-	s.mu.Unlock()
-	if cl != nil {
-		cl.Close()
+func runTCPChaos(t *testing.T, seed int64, mix string) {
+	t.Helper()
+	res, err := sim.RunChaos(sim.ChaosConfig{
+		Seed:      seed,
+		Mix:       mix,
+		Transport: sim.TCPTransport{},
+		Dir:       t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
 	}
-}
-
-// chaosHarness runs one seeded schedule.
-type chaosHarness struct {
-	t        *testing.T
-	seed     int64
-	gw       *Gateway
-	reb      *Rebalancer
-	sets     []*replSet
-	word     []string
-	pos      int  // next occurrence index into the unbounded word
-	occClean bool // last occurrence acked on its first attempt
-	// Per shard per action-name tallies.
-	acked   []map[string]int
-	unknown []map[string]int
-	trace   []string // chronological schedule log, dumped on failure
-}
-
-func (h *chaosHarness) tracef(format string, args ...any) {
-	h.trace = append(h.trace, fmt.Sprintf(format, args...))
-}
-
-// involvedShards mirrors the routing of the pipeline expression.
-func involvedShards(name string) []int {
-	switch name {
-	case "a":
-		return []int{0}
-	case "b":
-		return []int{0, 1}
-	default:
-		return []int{1}
-	}
-}
-
-func (h *chaosHarness) failf(format string, args ...any) {
-	h.t.Helper()
-	h.t.Errorf("seed %d (replay: -run '%s'): %s\nschedule trace:\n  %s",
-		h.seed, h.t.Name(), fmt.Sprintf(format, args...), strings.Join(h.trace, "\n  "))
-}
-
-func (h *chaosHarness) ack(name string) {
-	for _, s := range involvedShards(name) {
-		h.acked[s][name]++
-	}
-}
-
-func (h *chaosHarness) unk(name string) {
-	for _, s := range involvedShards(name) {
-		h.unknown[s][name]++
-	}
-}
-
-// commit settles one occurrence of name, tolerating faults: unknown
-// outcomes are retried, and a denial means the driver's position and
-// some shard's position disagree — an unknown attempt landed invisibly
-// (shard ahead) or an earlier un-acked commit evaporated with a failover
-// (shard behind; the legal async window of an unacknowledged outcome).
-// reconcile levels every involved shard against ground truth. Returns
-// false when the occurrence could not be settled yet (shard down until
-// the heal phase).
-func (h *chaosHarness) commit(name string) bool {
-	h.occClean = false
-	for attempt := 0; attempt < 10; attempt++ {
-		ctx, cancel := context.WithTimeout(bg, 5*time.Second)
-		err := h.gw.Request(ctx, act(name))
-		cancel()
-		h.tracef("op %d %s attempt %d: %v", h.pos, name, attempt, err)
-		if err == nil {
-			h.ack(name)
-			h.occClean = attempt == 0
-			return true
+	if res.Failed() {
+		for _, line := range res.Trace {
+			t.Log(line)
 		}
-		if errors.Is(err, manager.ErrDenied) {
-			if h.reconcile(name) {
-				return true
-			}
-			continue
-		}
-		h.unk(name)
-	}
-	return false
-}
-
-// authoritative returns the ground-truth position of shard s: the steps
-// of the replica the election would settle on (highest epoch, then
-// primaries, then most commits). The harness may be omniscient — it
-// holds the manager objects in process — the system under test may not.
-func (h *chaosHarness) authoritative(s int) (manager.ReplStatus, bool) {
-	var best manager.ReplStatus
-	found := false
-	for _, m := range h.sets[s].ms {
-		if m == nil {
-			continue
-		}
-		st := m.Status()
-		if !found || better(st, best) {
-			best, found = st, true
-		}
-	}
-	return best, found
-}
-
-// shardActionAt is the pipeline's per-shard script: shard 0 alternates
-// a, b; shard 1 alternates b, c.
-func shardActionAt(s, steps int) string {
-	if s == 0 {
-		if steps%2 == 0 {
-			return "a"
-		}
-		return "b"
-	}
-	if steps%2 == 0 {
-		return "b"
-	}
-	return "c"
-}
-
-// expectedSteps is the position shard s should be at before the current
-// occurrence h.pos of the global word.
-func (h *chaosHarness) expectedSteps(s int) int {
-	full, rem := h.pos/3, h.pos%3
-	if s == 0 {
-		n := 2 * full
-		if rem >= 1 {
-			n++ // this round's a is done
-		}
-		if rem >= 2 {
-			n++ // this round's b is done
-		}
-		return n
-	}
-	n := 2 * full
-	if rem >= 2 {
-		n++ // this round's b is done
-	}
-	return n
-}
-
-// reconcile drives every shard involved in the current occurrence to the
-// position after it, committing whatever actions the authoritative
-// timeline is missing. The writes double as probes: a deposed primary
-// refuses them (ErrNotPrimary) and the retry elects the authoritative
-// replica — a read probe would instead trust the deposed node's
-// divergent, soon-to-be-discarded state. Returns false when a shard
-// stayed unreachable (the heal phase will retry).
-func (h *chaosHarness) reconcile(name string) bool {
-	for _, sIdx := range involvedShards(name) {
-		sc := h.gw.Shards()[sIdx]
-		settled := false
-		for attempt := 0; attempt < 10; attempt++ {
-			st, ok := h.authoritative(sIdx)
-			if !ok {
-				return false // shard fully down
-			}
-			auth, want := int(st.Steps), h.expectedSteps(sIdx)+1
-			if auth >= want {
-				if auth > want {
-					h.failf("shard %d ahead of the driver: %d steps, expected ≤ %d (duplicated commit)", sIdx, auth, want)
-				}
-				settled = true
-				break
-			}
-			missing := shardActionAt(sIdx, auth)
-			ctx, cancel := context.WithTimeout(bg, 5*time.Second)
-			err := sc.Request(ctx, act(missing))
-			cancel()
-			h.tracef("op %d reconcile shard %d (auth %d, want %d) commit %s: %v", h.pos, sIdx, auth, want, missing, err)
-			if err == nil {
-				h.acked[sIdx][missing]++
-			} else if !errors.Is(err, manager.ErrDenied) {
-				h.unknown[sIdx][missing]++
-			}
-			// On denial the state moved under us (a deposed node's commit
-			// evaporated, or our own unknown attempt landed): re-read the
-			// ground truth and continue.
-		}
-		if !settled {
-			return false
-		}
-	}
-	return true
-}
-
-// advance moves to the next occurrence.
-func (h *chaosHarness) advance() { h.pos++ }
-
-// inject fires one pre-generated fault.
-func (h *chaosHarness) inject(ev chaosEvent) {
-	h.tracef("op %d inject kind=%d shard=%d", h.pos, ev.kind, ev.shard)
-	rs := h.sets[ev.shard]
-	switch ev.kind {
-	case 1, 2: // kill primary / kill follower
-		wantPrimary := ev.kind == 1
-		for i, m := range rs.ms {
-			if m == nil {
-				continue
-			}
-			if (m.Status().Role == manager.RolePrimary) == wantPrimary {
-				rs.stopNode(i)
-				return
-			}
-		}
-		// No node in the wanted role: kill the first live one.
-		for i, m := range rs.ms {
-			if m != nil {
-				rs.stopNode(i)
-				return
-			}
-		}
-	case 3: // restart every dead node (as followers)
-		for _, set := range h.sets {
-			for i := range set.ms {
-				if set.ms[i] == nil {
-					set.restartNode(i)
-				}
-			}
-		}
-	case 4: // out-of-band promotion (split brain when a primary exists)
-		for _, m := range rs.ms {
-			if m != nil && m.Status().Role == manager.RoleFollower {
-				_, _ = m.Promote()
-				return
-			}
-		}
-	case 5: // connection drop between gateway and shard
-		h.gw.Shards()[ev.shard].dropConnForTest()
-	case 6: // live migration: ping-pong the primary onto a live follower
-		var target string
-		for i, m := range rs.ms {
-			if m != nil && m.Status().Role == manager.RoleFollower {
-				target = rs.addrs[i]
-				break
-			}
-		}
-		if target == "" {
-			return // no live follower to migrate onto
-		}
-		ctx, cancel := context.WithTimeout(bg, 10*time.Second)
-		err := h.reb.MigrateShard(ctx, ev.shard, target, MigrateOptions{})
-		cancel()
-		h.tracef("op %d migrate shard %d -> %s: %v", h.pos, ev.shard, target, err)
-		if err != nil {
-			// A migration interrupted by an earlier/concurrent fault must
-			// not leave the shard wedged: clear any lingering drain on the
-			// survivors (MigrateShard resumes the source itself when it
-			// can still reach it; this covers the cases where it cannot).
-			for _, m := range rs.ms {
-				if m != nil {
-					_ = m.Resume()
-				}
-			}
+		for _, f := range res.Failures {
+			t.Errorf("invariant broken: %s", f)
 		}
 	}
 }
 
-// heal restarts everything and drives rounds until one completes with
-// every action acked on its first attempt — the certificate that both
-// shards are aligned at a round boundary with no outcome outstanding.
-func (h *chaosHarness) heal() bool {
-	for _, set := range h.sets {
-		for i := range set.ms {
-			if set.ms[i] == nil {
-				set.restartNode(i)
-			} else {
-				// A migration the schedule interrupted may have left a node
-				// draining; the heal phase lifts it (a restart clears the
-				// transient drain state anyway, so this only affects
-				// survivors).
-				_ = set.ms[i].Resume()
-			}
-		}
-	}
-	if !h.level() {
-		return false
-	}
-	for round := 0; round < 40; round++ {
-		// Settle the current (possibly half-done) occurrence first.
-		for !h.atBoundary() {
-			if !h.commit(h.word[h.pos%len(h.word)]) {
-				return false
-			}
-			h.advance()
-		}
-		clean := true
-		for _, name := range h.word {
-			if !h.commit(name) {
-				return false
-			}
-			clean = clean && h.occClean
-			h.advance()
-		}
-		if clean {
-			return true
-		}
-	}
-	return false
-}
-
-func (h *chaosHarness) atBoundary() bool { return h.pos%len(h.word) == 0 }
-
-// level drives every shard up to the driver's position before the heal
-// rounds run. Denial-triggered reconciliation cannot see a shard that is
-// a whole number of rounds behind — (b - c)* at step 10 accepts the same
-// word as at step 12 — and exactly that happens when commits whose
-// outcome stayed unknown (sync acks to a dead follower) later evaporate
-// with an epoch-fenced timeline discard: perfectly legal per-shard, but
-// it would silently shear the cross-shard alignment the round-boundary
-// assertion certifies. Leveling re-commits the authoritative timeline's
-// missing tail, with the usual acked/unknown accounting.
-func (h *chaosHarness) level() bool {
-	for s := range h.sets {
-		leveled := false
-		for attempt := 0; attempt < 20; attempt++ {
-			st, ok := h.authoritative(s)
-			if !ok {
-				return false // shard fully down
-			}
-			auth, want := int(st.Steps), h.expectedSteps(s)
-			if auth >= want {
-				leveled = true
-				break
-			}
-			missing := shardActionAt(s, auth)
-			ctx, cancel := context.WithTimeout(bg, 5*time.Second)
-			err := h.gw.Shards()[s].Request(ctx, act(missing))
-			cancel()
-			h.tracef("heal level shard %d (auth %d, want %d) commit %s: %v", s, auth, want, missing, err)
-			if err == nil {
-				h.acked[s][missing]++
-			} else if !errors.Is(err, manager.ErrDenied) {
-				h.unknown[s][missing]++
-			}
-		}
-		if !leveled {
-			return false
-		}
-	}
-	return true
-}
-
-// TestChaosFailover runs the seeded schedules.
+// TestChaosFailover runs the seeded kill/restart/promote/drop schedules.
 func TestChaosFailover(t *testing.T) {
 	seeds := chaosSeeds
 	if testing.Short() {
@@ -413,7 +50,7 @@ func TestChaosFailover(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			runChaosSchedule(t, int64(seed), chaosFailoverEvent)
+			runTCPChaos(t, int64(seed), "failover")
 		})
 	}
 }
@@ -434,149 +71,7 @@ func TestChaosMigration(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			runChaosSchedule(t, int64(seed), chaosMigrationEvent)
+			runTCPChaos(t, int64(seed), "migration")
 		})
-	}
-}
-
-// chaosFailoverEvent is the PR 4 fault mix.
-func chaosFailoverEvent(p int) int {
-	switch {
-	case p < 25:
-		return 1
-	case p < 40:
-		return 2
-	case p < 65:
-		return 3
-	case p < 75:
-		return 4
-	case p < 90:
-		return 5
-	}
-	return 0
-}
-
-// chaosMigrationEvent biases the mix towards migrations while keeping
-// every PR 4 fault in play (migration-during-kill schedules).
-func chaosMigrationEvent(p int) int {
-	switch {
-	case p < 15:
-		return 1
-	case p < 25:
-		return 2
-	case p < 45:
-		return 3
-	case p < 52:
-		return 4
-	case p < 62:
-		return 5
-	case p < 92:
-		return 6
-	}
-	return 0
-}
-
-func runChaosSchedule(t *testing.T, seed int64, eventKind func(p int) int) {
-	rng := rand.New(rand.NewSource(seed))
-	e := parse.MustParse("(a - b)* @ (b - c)*")
-	parts := Partition(e)
-
-	// Two replicas per shard, persistent (restarts recover from disk),
-	// strictly synchronous replication — the mode whose contract the
-	// zero-loss assertion tests.
-	sets := make([]*replSet, len(parts))
-	for i, part := range parts {
-		i := i
-		sets[i] = newReplSet(t, part, 2, func(j int, o *manager.Options) {
-			dir := t.TempDir()
-			o.LogPath = filepath.Join(dir, "actions.log")
-			o.SnapshotPath = filepath.Join(dir, "state.snap")
-			o.SnapshotEvery = 3
-			o.ReservationTimeout = 2 * time.Second
-		})
-	}
-	gw, err := NewReplicatedGateway(e, [][]string{sets[0].addrs, sets[1].addrs}, GatewayOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer gw.Close()
-
-	h := &chaosHarness{
-		t: t, seed: seed, gw: gw, reb: gw.Rebalancer(), sets: sets,
-		word:    []string{"a", "b", "c"},
-		acked:   []map[string]int{{}, {}},
-		unknown: []map[string]int{{}, {}},
-	}
-
-	// Pre-generate the whole schedule so the fault sequence is a pure
-	// function of the seed, whatever the outcomes.
-	const ops = 18
-	events := make([]chaosEvent, ops)
-	for i := range events {
-		p := rng.Intn(100)
-		events[i] = chaosEvent{kind: eventKind(p), shard: rng.Intn(len(parts))}
-	}
-
-	for i := 0; i < ops; i++ {
-		h.inject(events[i])
-		if !h.commit(h.word[h.pos%len(h.word)]) {
-			break // shard down until heal
-		}
-		h.advance()
-	}
-
-	if !h.heal() {
-		h.failf("cluster did not heal to a clean round")
-		return
-	}
-
-	// The final clean round ended in sync-acked commits on both shards:
-	// every replica is converged. Collect the survivors' positions.
-	steps := make([]uint64, len(sets))
-	for sIdx, set := range sets {
-		var keys []string
-		var stepsHere []uint64
-		for _, m := range set.ms {
-			if m == nil {
-				continue
-			}
-			st := m.Status()
-			keys = append(keys, m.StateKey())
-			stepsHere = append(stepsHere, st.Steps)
-		}
-		if len(keys) < 2 {
-			h.failf("shard %d: fewer than 2 live replicas after heal", sIdx)
-			return
-		}
-		for i := 1; i < len(keys); i++ {
-			if keys[i] != keys[0] || stepsHere[i] != stepsHere[0] {
-				h.failf("shard %d replicas diverged: steps %v", sIdx, stepsHere)
-				return
-			}
-		}
-		steps[sIdx] = stepsHere[0]
-
-		// Zero lost commits, zero double-applies: the step count is bounded
-		// by what the client saw.
-		var ackedSum, unkSum uint64
-		for _, n := range h.acked[sIdx] {
-			ackedSum += uint64(n)
-		}
-		for _, n := range h.unknown[sIdx] {
-			unkSum += uint64(n)
-		}
-		if steps[sIdx] < ackedSum {
-			h.failf("shard %d LOST commits: %d steps < %d acked", sIdx, steps[sIdx], ackedSum)
-		}
-		if steps[sIdx] > ackedSum+unkSum {
-			h.failf("shard %d over-applied: %d steps > %d acked + %d unknown", sIdx, steps[sIdx], ackedSum, unkSum)
-		}
-	}
-
-	// Global order at the round boundary: both shards interleaved the
-	// shared b with their private action in lockstep, so their histories
-	// have the same length — and an even one (full a·b / b·c pairs).
-	if steps[0] != steps[1] || steps[0]%2 != 0 {
-		h.failf("global-order invariant broken at round boundary: shard steps %v", steps)
 	}
 }

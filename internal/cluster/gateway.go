@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/expr"
 	"repro/internal/manager"
 	"repro/internal/obs"
@@ -37,6 +39,7 @@ type Gateway struct {
 	grants map[manager.Ticket]grantEntry
 
 	reg     *obs.Registry // nil: metrics disabled
+	clk     clock.Clock
 	gm      gatewayMetrics
 	traces  *traceRing // nil: grant tracing disabled
 	traceID atomic.Uint64
@@ -116,6 +119,13 @@ type GatewayOptions struct {
 	// TraceCapacity sizes the completed-grant trace ring. Zero means
 	// DefaultTraceCapacity; negative disables grant tracing.
 	TraceCapacity int
+	// Dialer replaces the TCP transport for every shard connection (see
+	// ShardOptions.Dialer). Nil means TCP.
+	Dialer func(addr string) (net.Conn, error)
+	// Clock injects the time source for grant TTL expiry, latency metrics
+	// and trace timestamps, and is handed to every shard client. Nil
+	// means the wall clock.
+	Clock clock.Clock
 }
 
 // NewGateway builds a gateway for e whose i-th coupling operand is served
@@ -145,6 +155,7 @@ func NewReplicatedGateway(e *expr.Expr, replicas [][]string, opts GatewayOptions
 	}
 	g := &Gateway{parts: parts, grants: make(map[manager.Ticket]grantEntry)}
 	g.reg = opts.Metrics
+	g.clk = clock.Or(opts.Clock)
 	g.gm = newGatewayMetrics(opts.Metrics)
 	tcap := opts.TraceCapacity
 	if tcap == 0 {
@@ -161,6 +172,8 @@ func NewReplicatedGateway(e *expr.Expr, replicas [][]string, opts GatewayOptions
 			DrainRetryDelay:   opts.DrainRetryDelay,
 			Metrics:           opts.Metrics,
 			Label:             strconv.Itoa(i),
+			Dialer:            opts.Dialer,
+			Clock:             opts.Clock,
 		}))
 	}
 	g.idx = manager.NewNameIndex(g.alphas)
@@ -180,7 +193,7 @@ func (g *Gateway) newTrace(a expr.Action) *GrantTrace {
 	return &GrantTrace{
 		ID:      g.traceID.Add(1),
 		Action:  a.String(),
-		Start:   time.Now(),
+		Start:   g.clk.Now(),
 		Outcome: OutcomePending,
 	}
 }
@@ -190,7 +203,7 @@ func (g *Gateway) finishTrace(tr *GrantTrace, outcome string) {
 	if tr == nil {
 		return
 	}
-	tr.End = time.Now()
+	tr.End = g.clk.Now()
 	tr.Outcome = outcome
 	g.traces.add(tr)
 }
@@ -250,9 +263,9 @@ func (g *Gateway) Ping(ctx context.Context) error {
 func (g *Gateway) askShards(ctx context.Context, a expr.Action, involved []int, tr *GrantTrace) ([]shardGrant, error) {
 	grants := make([]shardGrant, 0, len(involved))
 	for _, i := range involved {
-		start := time.Now()
+		start := g.clk.Now()
 		t, err := g.shards[i].Ask(ctx, a)
-		tr.event(PhaseReserve, i, t, start, err)
+		tr.event(PhaseReserve, i, t, start, g.clk.Since(start), err)
 		if err != nil {
 			g.gm.reserveRefusals.Inc()
 			g.abortGrants(grants, tr)
@@ -272,9 +285,9 @@ func (g *Gateway) abortGrants(grants []shardGrant, tr *GrantTrace) {
 	ctx, cancel := context.WithTimeout(context.Background(), shardSettleTimeout)
 	defer cancel()
 	for _, gr := range grants {
-		start := time.Now()
+		start := g.clk.Now()
 		err := g.shards[gr.shard].Abort(ctx, gr.ticket)
-		tr.event(PhaseAbort, gr.shard, gr.ticket, start, err)
+		tr.event(PhaseAbort, gr.shard, gr.ticket, start, g.clk.Since(start), err)
 	}
 }
 
@@ -292,9 +305,9 @@ func (g *Gateway) confirmGrants(ctx context.Context, a expr.Action, grants []sha
 	var firstErr error
 	var resume []int
 	for _, gr := range grants {
-		start := time.Now()
+		start := g.clk.Now()
 		err := g.shards[gr.shard].Confirm(ctx, gr.ticket)
-		tr.event(PhaseConfirm, gr.shard, gr.ticket, start, err)
+		tr.event(PhaseConfirm, gr.shard, gr.ticket, start, g.clk.Since(start), err)
 		if errors.Is(err, manager.ErrUnknownTicket) && g.shards[gr.shard].Generation() != gr.gen {
 			resume = append(resume, gr.shard)
 			continue
@@ -305,9 +318,9 @@ func (g *Gateway) confirmGrants(ctx context.Context, a expr.Action, grants []sha
 	}
 	for _, shard := range resume {
 		g.gm.resumes.Inc()
-		start := time.Now()
+		start := g.clk.Now()
 		err := g.shards[shard].Request(ctx, a)
-		tr.event(PhaseResume, shard, 0, start, err)
+		tr.event(PhaseResume, shard, 0, start, g.clk.Since(start), err)
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -337,7 +350,7 @@ func (g *Gateway) Ask(ctx context.Context, a expr.Action) (manager.Ticket, error
 		g.finishTrace(tr, OutcomeRefused)
 		return 0, err
 	}
-	now := time.Now()
+	now := g.clk.Now()
 	g.mu.Lock()
 	// Lazily expire grants abandoned by clients that died between Ask and
 	// Confirm/Abort, so the map stays bounded over a gateway's lifetime.
@@ -378,7 +391,7 @@ func (g *Gateway) Confirm(ctx context.Context, t manager.Ticket) error {
 	}
 	cerr := g.confirmGrants(ctx, e.act, e.grants, e.tr)
 	if cerr == nil {
-		g.gm.grantNs.Since(e.at)
+		g.gm.grantNs.ObserveDuration(g.clk.Since(e.at))
 		g.finishTrace(e.tr, OutcomeConfirmed)
 	} else {
 		g.finishTrace(e.tr, OutcomeFailed)
@@ -394,9 +407,9 @@ func (g *Gateway) Abort(ctx context.Context, t manager.Ticket) error {
 	}
 	var firstErr error
 	for _, gr := range e.grants {
-		start := time.Now()
+		start := g.clk.Now()
 		aerr := g.shards[gr.shard].Abort(ctx, gr.ticket)
-		e.tr.event(PhaseAbort, gr.shard, gr.ticket, start, aerr)
+		e.tr.event(PhaseAbort, gr.shard, gr.ticket, start, g.clk.Since(start), aerr)
 		if aerr != nil && firstErr == nil {
 			firstErr = aerr
 		}
@@ -417,7 +430,7 @@ func (g *Gateway) Request(ctx context.Context, a expr.Action) error {
 	case 1:
 		return g.shards[involved[0]].Request(ctx, a)
 	}
-	start := time.Now()
+	start := g.clk.Now()
 	tr := g.newTrace(a)
 	grants, err := g.askShards(ctx, a, involved, tr)
 	if err != nil {
@@ -426,7 +439,7 @@ func (g *Gateway) Request(ctx context.Context, a expr.Action) error {
 	}
 	err = g.confirmGrants(ctx, a, grants, tr)
 	if err == nil {
-		g.gm.grantNs.Since(start)
+		g.gm.grantNs.ObserveDuration(g.clk.Since(start))
 		g.finishTrace(tr, OutcomeConfirmed)
 	} else {
 		g.finishTrace(tr, OutcomeFailed)

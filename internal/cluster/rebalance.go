@@ -93,7 +93,7 @@ func (r *Rebalancer) Topology(ctx context.Context) ([]ShardTopology, error) {
 // metrics registry as ix_migrate_phase_ns{phase="..."} (no-op without a
 // registry — obs metrics are nil-safe).
 func (r *Rebalancer) observePhase(name string, start time.Time) {
-	r.gw.reg.Histogram(`ix_migrate_phase_ns{phase="` + name + `"}`).Since(start)
+	r.gw.reg.Histogram(`ix_migrate_phase_ns{phase="` + name + `"}`).ObserveDuration(r.gw.clk.Since(start))
 }
 
 // ShardStats pairs a shard's route info with its serving primary's stats
@@ -188,14 +188,14 @@ func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string,
 		rounds = defaultCatchupRounds
 	}
 	var tgt manager.ReplStatus
-	phaseStart := time.Now()
+	phaseStart := r.gw.clk.Now()
 	for i := 0; ; i++ {
 		if tgt, err = cl.Migrate(ctx, target); err != nil {
 			return fmt.Errorf("cluster: migrate shard %d: attach %s: %w", shard, target, err)
 		}
 		if i == 0 {
 			r.observePhase("attach", phaseStart)
-			phaseStart = time.Now()
+			phaseStart = r.gw.clk.Now()
 		}
 		src, err := cl.Role(ctx)
 		if err != nil {
@@ -220,14 +220,14 @@ func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string,
 		}
 		return err
 	}
-	phaseStart = time.Now()
+	phaseStart = r.gw.clk.Now()
 	if err := cl.Drain(ctx); err != nil {
 		return fail(fmt.Errorf("cluster: migrate shard %d: drain %s: %w", shard, source, err))
 	}
 	r.observePhase("drain", phaseStart)
 
 	// Step 4: final sync against the quiescent source.
-	phaseStart = time.Now()
+	phaseStart = r.gw.clk.Now()
 	src, err := cl.Role(ctx)
 	if err != nil {
 		return fail(fmt.Errorf("cluster: migrate shard %d: source role: %w", shard, err))
@@ -245,8 +245,8 @@ func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string,
 	// ErrReplGap — irrelevant: the demotion happens in the epoch adoption
 	// that precedes it, and ErrStaleEpoch means someone with an even
 	// higher epoch fenced the source already.
-	phaseStart = time.Now()
-	tcl, err := manager.Dial(target)
+	phaseStart = r.gw.clk.Now()
+	tcl, err := manager.DialWith(target, manager.DialOptions{Dialer: r.gw.shards[shard].opts.Dialer})
 	if err != nil {
 		return fail(fmt.Errorf("cluster: migrate shard %d: dial target: %w", shard, err))
 	}
@@ -269,7 +269,7 @@ func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string,
 	// every surviving endpoint except itself — and except the source when
 	// it is being retired — becomes a follower stream (attach is also
 	// what heals a stale follower, via its snapshot resync).
-	phaseStart = time.Now()
+	phaseStart = r.gw.clk.Now()
 	for _, addr := range sc.Addrs() {
 		if addr == target || (addr == source && opts.Retire) {
 			continue
@@ -284,7 +284,7 @@ func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string,
 	// serving connection pointed at the source, which routes still-open
 	// two-phase grants through the gateway's resume path.
 	if opts.Retire {
-		phaseStart = time.Now()
+		phaseStart = r.gw.clk.Now()
 		sc.RemoveAddr(source)
 		if err := tcl.Retire(ctx, source); err != nil && !errors.Is(err, manager.ErrClosed) {
 			// The new primary never streamed to the source; detach is a

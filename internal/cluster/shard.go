@@ -24,9 +24,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/expr"
 	"repro/internal/manager"
 	"repro/internal/obs"
@@ -54,6 +56,14 @@ type ShardOptions struct {
 	// Label distinguishes this shard's metrics inside a shared registry;
 	// empty leaves the names unlabeled (single-shard setups).
 	Label string
+	// Dialer replaces the TCP transport for every connection the client
+	// opens (elections, read offload, subscriptions). Nil means TCP; the
+	// deterministic simulator (internal/sim) injects its in-memory
+	// network here.
+	Dialer func(addr string) (net.Conn, error)
+	// Clock injects the time source for drain-retry pacing and
+	// resubscription backoff. Nil means the wall clock.
+	Clock clock.Clock
 }
 
 // shardMetrics caches the shard client's obs handles (nil-safe no-ops
@@ -92,6 +102,7 @@ func newShardMetrics(reg *obs.Registry, label string) shardMetrics {
 type ShardClient struct {
 	opts       ShardOptions
 	drainDelay time.Duration // resolved ErrDraining retry pacing
+	clk        clock.Clock
 	metrics    shardMetrics
 
 	mu     sync.Mutex
@@ -130,12 +141,18 @@ func NewShardClient(addr string) *ShardClient {
 // always could.
 func NewShardClientSet(addrs []string, opts ShardOptions) *ShardClient {
 	s := &ShardClient{addrs: addrs, opts: opts, drainDelay: opts.DrainRetryDelay,
-		smux: make(map[string]*subMux)}
+		clk: clock.Or(opts.Clock), smux: make(map[string]*subMux)}
 	if s.drainDelay == 0 {
 		s.drainDelay = drainRetryDelay
 	}
 	s.metrics = newShardMetrics(opts.Metrics, opts.Label)
 	return s
+}
+
+// dial opens one connection through the configured transport (TCP by
+// default, the simulator's in-memory network when injected).
+func (s *ShardClient) dial(addr string) (*manager.Client, error) {
+	return manager.DialWith(addr, manager.DialOptions{Dialer: s.opts.Dialer})
 }
 
 // Addr returns the shard's first endpoint (diagnostics).
@@ -271,7 +288,7 @@ func (s *ShardClient) client(ctx context.Context) (*manager.Client, error) {
 // has no primary left. Callers hold s.mu.
 func (s *ShardClient) electLocked(ctx context.Context) (*manager.Client, error) {
 	if len(s.addrs) == 1 {
-		cl, err := manager.Dial(s.addrs[0])
+		cl, err := s.dial(s.addrs[0])
 		if err != nil {
 			return nil, err
 		}
@@ -287,7 +304,7 @@ func (s *ShardClient) electLocked(ctx context.Context) (*manager.Client, error) 
 	var firstErr error
 	for off := 0; off < len(s.addrs); off++ {
 		idx := (s.cur + off) % len(s.addrs)
-		cl, err := manager.Dial(s.addrs[idx])
+		cl, err := s.dial(s.addrs[idx])
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -344,6 +361,28 @@ func (s *ShardClient) electLocked(ctx context.Context) (*manager.Client, error) 
 	s.cur = chosen.idx
 	s.cl = chosen.cl
 	return chosen.cl, nil
+}
+
+// BetterReplica reports whether replica status a outranks b in the
+// failover election order: highest epoch first (a deposed primary must
+// never win over the node that fenced it), then primaries over
+// followers, then the most commits. Exported for the chaos harnesses
+// (internal/sim), which pick the authoritative surviving replica with
+// exactly the client's ordering.
+func BetterReplica(a, b manager.ReplStatus) bool { return better(a, b) }
+
+// DropConn severs the client's current primary connection without
+// touching the server — a network blip between gateway and shard. The
+// next operation redials through the ordinary failover election. Fault
+// injection for the chaos harnesses (internal/sim).
+func (s *ShardClient) DropConn() {
+	s.mu.Lock()
+	cl := s.cl
+	s.cl = nil
+	s.mu.Unlock()
+	if cl != nil {
+		cl.Close()
+	}
 }
 
 // better orders replica candidates: epoch, then role, then position.
@@ -426,12 +465,12 @@ func (s *ShardClient) do(ctx context.Context, idempotent bool, op func(*manager.
 					return err
 				}
 				s.metrics.drainWaits.Inc()
-				t := time.NewTimer(s.drainDelay)
+				t := s.clk.NewTimer(s.drainDelay)
 				select {
 				case <-ctx.Done():
 					t.Stop()
 					return err
-				case <-t.C:
+				case <-t.C():
 				}
 				continue
 			}
@@ -577,7 +616,7 @@ func (s *ShardClient) readOffloaded(op func(*manager.Client) error) bool {
 			if idx == primary {
 				continue // the whole point is to not bother the primary
 			}
-			c, err := manager.Dial(addrs[idx])
+			c, err := s.dial(addrs[idx])
 			if err != nil {
 				continue
 			}
@@ -852,7 +891,7 @@ func (h *healingSub) resubscribe() bool {
 		select {
 		case <-h.ctx.Done():
 			return false
-		case <-time.After(backoff):
+		case <-h.s.clk.After(backoff):
 		}
 		if backoff *= 2; backoff > 250*time.Millisecond {
 			backoff = 250 * time.Millisecond

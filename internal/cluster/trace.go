@@ -54,13 +54,15 @@ type GrantTrace struct {
 	Events  []TraceEvent   `json:"events"`
 }
 
-// event appends one step. The trace is thread-confined while being
-// built (one goroutine runs the two-phase protocol), so no lock.
-func (t *GrantTrace) event(phase string, shard int, tk manager.Ticket, start time.Time, err error) {
+// event appends one step; dur is measured by the caller on the
+// gateway's clock (wall or simulated). The trace is thread-confined
+// while being built (one goroutine runs the two-phase protocol), so no
+// lock.
+func (t *GrantTrace) event(phase string, shard int, tk manager.Ticket, start time.Time, dur time.Duration, err error) {
 	if t == nil {
 		return
 	}
-	ev := TraceEvent{Phase: phase, Shard: shard, Ticket: tk, At: start, DurNs: time.Since(start).Nanoseconds()}
+	ev := TraceEvent{Phase: phase, Shard: shard, Ticket: tk, At: start, DurNs: dur.Nanoseconds()}
 	if err != nil {
 		ev.Err = err.Error()
 	}

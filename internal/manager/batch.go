@@ -139,7 +139,7 @@ func (m *Manager) committer() {
 			return
 		}
 		batch := append(make([]commitReq, 0, q.maxSize), first)
-		deadline := time.Now().Add(q.delay)
+		deadline := m.clk.Now().Add(q.delay)
 	collect:
 		for len(batch) < q.maxSize {
 			select {
@@ -148,7 +148,7 @@ func (m *Manager) committer() {
 				continue
 			default:
 			}
-			if time.Now().After(deadline) {
+			if m.clk.Now().After(deadline) {
 				break
 			}
 			// The queue is dry, but an admitted enqueuer may sit between
@@ -257,7 +257,7 @@ func (m *Manager) commitBatch(batch []commitReq, admitted bool) {
 			}
 			return
 		}
-		waitCond(m.cond, waitCtx, m.timeout)
+		waitCond(m.cond, waitCtx, m.clk, m.timeout)
 	}
 	applied := 0
 	batchBase := uint64(m.en.Steps())
@@ -302,7 +302,7 @@ func (m *Manager) commitBatch(batch []commitReq, admitted bool) {
 	if applied > 0 {
 		m.metrics.batchSize.Observe(uint64(applied))
 		if m.log != nil {
-			flushStart := time.Now()
+			flushStart := m.clk.Now()
 			if err := m.log.Commit(m.syncWrites); err != nil {
 				// The flush failed after the engine advanced: the in-memory
 				// state may be ahead of the durable log, exactly the exposure
@@ -316,7 +316,7 @@ func (m *Manager) commitBatch(batch []commitReq, admitted bool) {
 				}
 				return
 			}
-			m.metrics.flushNs.Since(flushStart)
+			m.metrics.flushNs.ObserveDuration(m.clk.Since(flushStart))
 		}
 		// One replication frame per batch: the followers pay one apply pass
 		// and one durability point for the whole group commit, exactly

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -128,7 +129,11 @@ func TestBatchedCloseInFlight(t *testing.T) {
 			}
 		}()
 	}
-	time.Sleep(2 * time.Millisecond)
+	// Close once load is demonstrably in flight (some commits landed,
+	// more requests still running) — a condition, not a timing guess.
+	for m.Steps() < 5 {
+		runtime.Gosched()
+	}
 	if err := m.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +235,12 @@ func TestBatchedContextCancelQueueFull(t *testing.T) {
 			}
 		}()
 	}
-	time.Sleep(10 * time.Millisecond) // let the committer park and the queue fill
+	// Wait until every request is admitted into the batch queue (the
+	// committer is parked on the reservation) — a condition, not a
+	// timing guess.
+	for m.batch.pending.Load() < backlog {
+		runtime.Gosched()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	done := make(chan error, 1)

@@ -67,7 +67,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		waitCond(m.cond, ctx, m.timeout)
+		waitCond(m.cond, ctx, m.clk, m.timeout)
 	}
 }
 

@@ -24,9 +24,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/state"
@@ -128,8 +130,16 @@ type Options struct {
 	// meters and latency histograms into the given registry (package
 	// obs). Nil leaves every instrumentation point a no-op.
 	Metrics *obs.Registry
-	// Clock, for tests; defaults to time.Now.
-	Clock func() time.Time
+	// Clock injects the time source for reservation timeouts, batch
+	// collection deadlines and replication ack waits. Nil means the wall
+	// clock (clock.Real). The deterministic simulator (internal/sim)
+	// injects a logical clock here so no commit- or failover-path wait
+	// depends on real time.
+	Clock clock.Clock
+	// Dialer injects the transport the replication streams dial their
+	// followers with. Nil means TCP (net.Dial); the simulator injects
+	// its in-memory network.
+	Dialer func(addr string) (net.Conn, error)
 }
 
 // Manager is a goroutine-safe interaction manager for one closed
@@ -152,7 +162,8 @@ type Manager struct {
 	epoch       uint64        // promotion epoch (replication fencing token)
 	commitEpoch uint64        // epoch of the most recent commit (log matching)
 	timeout     time.Duration
-	clock       func() time.Time
+	clk         clock.Clock
+	dialer      func(addr string) (net.Conn, error) // nil: TCP
 	stats       Stats
 	nextSubID   uint64
 	subs        map[uint64]*subGroup // subscription id → its action's group
@@ -204,7 +215,8 @@ type Stats struct {
 func New(e *expr.Expr, opts Options) (*Manager, error) {
 	m := &Manager{
 		timeout:    opts.ReservationTimeout,
-		clock:      opts.Clock,
+		clk:        clock.Or(opts.Clock),
+		dialer:     opts.Dialer,
 		subs:       make(map[uint64]*subGroup),
 		subsByAct:  make(map[string]*subGroup),
 		snapPath:   opts.SnapshotPath,
@@ -218,9 +230,6 @@ func New(e *expr.Expr, opts Options) (*Manager, error) {
 		m.role = roleFollower
 	}
 	m.cond = sync.NewCond(&m.mu)
-	if m.clock == nil {
-		m.clock = time.Now
-	}
 	// Recovery, step 1: restore the checkpointed state, if any.
 	if opts.SnapshotPath != "" {
 		en, snap, err := restoreFromSnapshot(e, opts.SnapshotPath)
@@ -313,7 +322,7 @@ func (m *Manager) Expr() *expr.Expr { return m.en.Expr() }
 
 // expireLocked aborts a reservation whose timeout elapsed.
 func (m *Manager) expireLocked() {
-	if m.reserved && m.timeout > 0 && m.clock().Sub(m.reservedAt) >= m.timeout {
+	if m.reserved && m.timeout > 0 && m.clk.Since(m.reservedAt) >= m.timeout {
 		m.reserved = false
 		m.stats.Aborts++
 		m.metrics.aborts.Inc()
@@ -352,7 +361,7 @@ func (m *Manager) Ask(ctx context.Context, a expr.Action) (Ticket, error) {
 		}
 		// Wake up periodically to observe context cancellation and
 		// reservation expiry even without other activity.
-		waitCond(m.cond, ctx, m.timeout)
+		waitCond(m.cond, ctx, m.clk, m.timeout)
 	}
 	if !m.en.Try(a) {
 		m.stats.Denies++
@@ -363,22 +372,23 @@ func (m *Manager) Ask(ctx context.Context, a expr.Action) (Ticket, error) {
 	m.nextTicket++
 	m.ticket = makeTicket(m.epoch, uint64(m.nextTicket))
 	m.reservedAct = a
-	m.reservedAt = m.clock()
+	m.reservedAt = m.clk.Now()
 	m.stats.Grants++
 	m.metrics.grants.Inc()
 	return m.ticket, nil
 }
 
 // waitCond waits on c, and additionally arranges wakeups on context
-// cancellation and (optionally) after the reservation timeout.
-func waitCond(c *sync.Cond, ctx context.Context, timeout time.Duration) {
+// cancellation and (optionally) after the reservation timeout, on the
+// manager's injected clock.
+func waitCond(c *sync.Cond, ctx context.Context, clk clock.Clock, timeout time.Duration) {
 	done := make(chan struct{})
 	go func() {
 		select {
 		case <-ctx.Done():
 		case <-done:
 			return
-		case <-timerC(timeout):
+		case <-timerC(clk, timeout):
 		}
 		c.Broadcast()
 	}()
@@ -386,11 +396,11 @@ func waitCond(c *sync.Cond, ctx context.Context, timeout time.Duration) {
 	close(done)
 }
 
-func timerC(d time.Duration) <-chan time.Time {
+func timerC(clk clock.Clock, d time.Duration) <-chan time.Time {
 	if d <= 0 {
 		return nil
 	}
-	return time.After(d)
+	return clk.After(d)
 }
 
 // Confirm implements steps 4+5: the client executed the action; the
@@ -522,7 +532,7 @@ func (m *Manager) requestSettle(ctx context.Context, a expr.Action) (func() erro
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		waitCond(m.cond, ctx, m.timeout)
+		waitCond(m.cond, ctx, m.clk, m.timeout)
 	}
 	if !m.en.Try(a) {
 		m.stats.Denies++
@@ -557,9 +567,9 @@ func (m *Manager) appendDurable(a expr.Action) error {
 		return err
 	}
 	if m.syncWrites {
-		start := time.Now()
+		start := m.clk.Now()
 		err := m.log.Sync()
-		m.metrics.flushNs.Since(start)
+		m.metrics.flushNs.ObserveDuration(m.clk.Since(start))
 		return err
 	}
 	return nil

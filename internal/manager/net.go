@@ -589,7 +589,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			defer handlers.Done()
 			var start time.Time
 			if s.sm.enabled {
-				start = time.Now()
+				start = time.Now() // wallclock-ok: op-latency metric, not a protocol decision
 			}
 			resp, skip := s.handle(req, cs, send)
 			if s.sm.enabled {
@@ -1017,6 +1017,10 @@ type DialOptions struct {
 	// default-protocol dial in the process (interop matrices, debugging
 	// captures with text tools).
 	Protocol string
+	// Dialer replaces the TCP dial with a custom transport — the
+	// deterministic simulator (internal/sim) injects its in-memory
+	// network here. Nil means net.Dial("tcp", addr).
+	Dialer func(addr string) (net.Conn, error)
 }
 
 // Dial connects to a manager server, negotiating the binary protocol.
@@ -1033,7 +1037,11 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 			proto = ProtoJSON
 		}
 	}
-	conn, err := net.Dial("tcp", addr)
+	dial := opts.Dialer
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("manager: dial: %w", err)
 	}
@@ -1073,7 +1081,7 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 // pre-v2 server answers "unknown op" (or anything else), and the client
 // simply stays on JSON lines. Transport errors fail the dial.
 func (c *Client) negotiate(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) error {
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(10 * time.Second) // wallclock-ok: socket I/O backstop on the negotiate handshake
 	_ = conn.SetDeadline(deadline)
 	defer conn.SetDeadline(time.Time{})
 	hello, err := json.Marshal(wireMsg{ID: 1, Op: opHello, Proto: ProtoBinary})

@@ -309,10 +309,11 @@ func (r *replicator) publish(f ReplFrame) func() error {
 		return nil
 	}
 	timeout := r.ackTimeout
+	clk := r.m.clk
 	return func() error {
-		deadline := time.Now().Add(timeout)
+		deadline := clk.Now().Add(timeout)
 		for _, ch := range acks {
-			remaining := time.Until(deadline)
+			remaining := deadline.Sub(clk.Now())
 			if remaining <= 0 {
 				return fmt.Errorf("%w: ack timeout", ErrUncertain)
 			}
@@ -321,7 +322,7 @@ func (r *replicator) publish(f ReplFrame) func() error {
 				if err != nil {
 					return fmt.Errorf("%w: %v", ErrUncertain, err)
 				}
-			case <-time.After(remaining):
+			case <-clk.After(remaining):
 				return fmt.Errorf("%w: ack timeout", ErrUncertain)
 			}
 		}
@@ -386,7 +387,7 @@ func (st *replStream) client() (*Client, error) {
 	if st.cl != nil {
 		return st.cl, nil
 	}
-	cl, err := Dial(st.addr)
+	cl, err := DialWith(st.addr, DialOptions{Dialer: st.r.m.dialer})
 	if err != nil {
 		return nil, err
 	}
@@ -417,12 +418,12 @@ func (st *replStream) ship(f ReplFrame) error {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), st.r.ackTimeout)
-		ackStart := time.Now()
+		ackStart := st.r.m.clk.Now()
 		ack, err := cl.Replicate(ctx, f)
 		cancel()
 		switch {
 		case err == nil:
-			st.r.m.metrics.replAckNs.Since(ackStart)
+			st.r.m.metrics.replAckNs.ObserveDuration(st.r.m.clk.Since(ackStart))
 			st.syncedTo, st.synced = ack.Steps, true
 			return nil
 		case errors.Is(err, ErrStaleEpoch):

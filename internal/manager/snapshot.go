@@ -168,7 +168,7 @@ func (m *Manager) applySnapshotMeta(snap *managerSnap) {
 	m.commitEpoch = snap.CommitEpoch
 	if r := snap.Reserved; r != nil {
 		at := time.Unix(0, r.At)
-		if m.timeout > 0 && m.clock().Sub(at) >= m.timeout {
+		if m.timeout > 0 && m.clk.Now().Sub(at) >= m.timeout {
 			m.stats.Aborts++
 			return
 		}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/expr"
 	"repro/internal/parse"
 )
@@ -174,7 +175,7 @@ func TestSnapshotExpiredReservationDropped(t *testing.T) {
 	}
 
 	opts2 := opts
-	opts2.Clock = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	opts2.Clock = clock.Func(func() time.Time { return time.Now().Add(2 * time.Hour) })
 	m2 := MustNew(e, opts2)
 	defer m2.Close()
 	if err := m2.Confirm(tk); err == nil {

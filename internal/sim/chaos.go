@@ -1,0 +1,642 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/expr"
+	"repro/internal/manager"
+	"repro/internal/parse"
+	"repro/internal/sim/check"
+)
+
+// The chaos scenario, ported from the cluster package's seeded TCP
+// harness (PR 4/5) onto the Transport seam: the same code drives the
+// sequential pipeline word a b c a b c ... through a replicated 2-shard
+// gateway ((a - b)* @ (b - c)*, so every b is a distributed two-phase
+// commit) while a schedule of primary kills, follower kills, restarts,
+// out-of-band promotions, connection drops and live migrations fires
+// between operations. Afterwards the cluster is healed to a clean round
+// and the check.Ledger verdicts run: zero lost acked actions, no
+// double-applies, replica convergence, global-order agreement.
+//
+// Every nondeterministic choice — the fault schedule — is drawn through
+// a Source, so each run emits a Journal that replays bit-identically.
+// Timing never decides correctness: faults are injected between
+// synchronous client operations and every wait is a protocol reply, so
+// the scenario is deterministic on the simulated transport and merely
+// racy-but-sound on TCP.
+
+// ChaosExpr is the pipeline expression the scenario shards.
+const ChaosExpr = "(a - b)* @ (b - c)*"
+
+// Mixes: percentage → fault kind, pre-generated per event from one
+// uniform draw in [0,100).
+const (
+	evNone = iota
+	evKillPrimary
+	evKillFollower
+	evRestartDead
+	evPromoteFollower
+	evDropConn
+	evMigrate
+)
+
+// MixFailover is the PR 4 fault mix: kills, restarts, promotions, drops.
+func MixFailover(p int) int {
+	switch {
+	case p < 25:
+		return evKillPrimary
+	case p < 40:
+		return evKillFollower
+	case p < 65:
+		return evRestartDead
+	case p < 75:
+		return evPromoteFollower
+	case p < 90:
+		return evDropConn
+	}
+	return evNone
+}
+
+// MixMigration biases towards live migrations while keeping every PR 4
+// fault in play (migration-during-kill schedules).
+func MixMigration(p int) int {
+	switch {
+	case p < 15:
+		return evKillPrimary
+	case p < 25:
+		return evKillFollower
+	case p < 45:
+		return evRestartDead
+	case p < 52:
+		return evPromoteFollower
+	case p < 62:
+		return evDropConn
+	case p < 92:
+		return evMigrate
+	}
+	return evNone
+}
+
+// Mixes maps mix names (as stored in journals) to their event functions.
+var Mixes = map[string]func(p int) int{
+	"failover":  MixFailover,
+	"migration": MixMigration,
+}
+
+// ChaosConfig parameterizes one schedule.
+type ChaosConfig struct {
+	// Seed drives the fault schedule (record mode).
+	Seed int64
+	// Events is the number of injected faults; 0 means 18 (the TCP
+	// harness's budget).
+	Events int
+	// Mix names the fault mix: "failover" (default) or "migration".
+	Mix string
+	// Transport runs the scenario over the given transport; nil builds a
+	// fresh SimTransport (closed when the run ends).
+	Transport Transport
+	// Dir holds the nodes' logs and snapshots; "" uses a temporary
+	// directory removed when the run ends.
+	Dir string
+	// Replay, if non-nil, ignores Seed/Events/Mix and re-executes the
+	// recorded schedule.
+	Replay *Journal
+}
+
+// ChaosResult is one schedule's outcome.
+type ChaosResult struct {
+	// Journal records every draw; on replay it must equal the input.
+	Journal *Journal
+	// Failures lists broken invariants (empty = schedule passed).
+	Failures []string
+	// Trace is the chronological schedule log (for artifacts).
+	Trace []string
+	// Steps is each shard's final step count.
+	Steps []uint64
+}
+
+// Failed reports whether any invariant broke.
+func (r *ChaosResult) Failed() bool { return len(r.Failures) > 0 }
+
+// scratchBase picks where schedules keep their nodes' logs and
+// snapshots: tmpfs when the host has one (each schedule fsyncs dozens of
+// times; on a real disk that is the dominant cost of a run), else the
+// default temp dir.
+func scratchBase() string {
+	if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
+		return "/dev/shm"
+	}
+	return ""
+}
+
+// RunChaos executes one seeded (or replayed) chaos schedule.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	tr := cfg.Transport
+	if tr == nil {
+		tr = NewSimTransport()
+		defer tr.Close()
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp(scratchBase(), "ixsim"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	events := cfg.Events
+	mixName := cfg.Mix
+	seed := cfg.Seed
+	if cfg.Replay != nil {
+		seed, events, mixName = cfg.Replay.Seed, cfg.Replay.Events, cfg.Replay.Mix
+	}
+	if events == 0 {
+		events = 18
+	}
+	if mixName == "" {
+		mixName = "failover"
+	}
+	mix, ok := Mixes[mixName]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown fault mix %q", mixName)
+	}
+
+	journal := &Journal{Seed: seed, Events: events, Mix: mixName, Transport: tr.Name()}
+	var src *Source
+	if cfg.Replay != nil {
+		src = NewReplaySource(cfg.Replay, journal)
+	} else {
+		src = NewSource(seed, journal)
+	}
+
+	e := parse.MustParse(ChaosExpr)
+	parts := cluster.Partition(e)
+	sets := make([]*ReplSet, len(parts))
+	for i, part := range parts {
+		var err error
+		sets[i], err = NewReplSet(part, 2, tr, fmt.Sprintf("%s/shard%d", dir, i), nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		for _, rs := range sets {
+			if rs != nil {
+				rs.Close()
+			}
+		}
+	}()
+	gw, err := cluster.NewReplicatedGateway(e, [][]string{sets[0].Addrs, sets[1].Addrs},
+		cluster.GatewayOptions{Dialer: tr.Dialer(), Clock: tr.Clock()})
+	if err != nil {
+		return nil, err
+	}
+	defer gw.Close()
+
+	h := &chaosHarness{
+		gw: gw, reb: gw.Rebalancer(), sets: sets,
+		word:   []string{"a", "b", "c"},
+		ledger: check.NewLedger(len(parts)),
+	}
+	h.ops, _ = tr.(opTracker)
+
+	// Pre-generate the whole schedule so the fault sequence is a pure
+	// function of the draws, whatever the outcomes.
+	type chaosEvent struct{ kind, shard int }
+	evs := make([]chaosEvent, events)
+	for i := range evs {
+		p := src.Intn(100)
+		evs[i] = chaosEvent{kind: mix(p), shard: src.Intn(len(parts))}
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < events; i++ {
+		h.inject(evs[i].kind, evs[i].shard)
+		if !h.commit(h.word[h.pos%len(h.word)]) {
+			break // shard down until heal
+		}
+		h.advance()
+	}
+
+	if !h.heal() {
+		h.failf("cluster did not heal to a clean round")
+	}
+
+	// Collect the survivors' final positions and run the verdicts. The
+	// final clean round ended in sync-acked commits on both shards, so
+	// every live replica must be converged.
+	res := &ChaosResult{Journal: journal, Trace: h.trace, Steps: make([]uint64, len(sets))}
+	if len(h.failures) == 0 {
+		final := make([]check.ShardFinal, len(sets))
+		for sIdx, rs := range sets {
+			for _, m := range rs.Managers() {
+				if m == nil {
+					continue
+				}
+				final[sIdx].Replicas = append(final[sIdx].Replicas,
+					check.Replica{StateKey: m.StateKey(), Steps: m.Status().Steps})
+			}
+			if len(final[sIdx].Replicas) > 0 {
+				res.Steps[sIdx] = final[sIdx].Replicas[0].Steps
+			}
+		}
+		for _, v := range h.ledger.Verify(final, 2, 2) {
+			h.failf("%s", v)
+		}
+	}
+	res.Failures = h.failures
+	if res.Failed() {
+		journal.Verdict = res.Failures[0]
+	} else {
+		journal.Verdict = "pass"
+	}
+	return res, nil
+}
+
+// chaosHarness drives one schedule (the library twin of the TCP test
+// harness).
+type chaosHarness struct {
+	gw       *cluster.Gateway
+	reb      *cluster.Rebalancer
+	sets     []*ReplSet
+	ops      opTracker // nil on TCP; sim brackets every synchronous driver action
+	word     []string
+	pos      int  // next occurrence index into the unbounded word
+	occClean bool // last occurrence acked on its first attempt
+	ledger   *check.Ledger
+	trace    []string
+	failures []string
+}
+
+// op brackets one synchronous driver action for the pacer: logical
+// timers may only fire while the driver is provably stuck inside one.
+func (h *chaosHarness) op(f func()) {
+	if h.ops != nil {
+		h.ops.OpBegin()
+		defer h.ops.OpEnd()
+	}
+	f()
+}
+
+var bg = context.Background()
+
+func act(name string) expr.Action { return expr.Act(name) }
+
+func (h *chaosHarness) tracef(format string, args ...any) {
+	h.trace = append(h.trace, fmt.Sprintf(format, args...))
+}
+
+func (h *chaosHarness) failf(format string, args ...any) {
+	h.failures = append(h.failures, fmt.Sprintf(format, args...))
+}
+
+// involvedShards mirrors the routing of the pipeline expression.
+func involvedShards(name string) []int {
+	switch name {
+	case "a":
+		return []int{0}
+	case "b":
+		return []int{0, 1}
+	default:
+		return []int{1}
+	}
+}
+
+func (h *chaosHarness) ack(name string) {
+	for _, s := range involvedShards(name) {
+		h.ledger.Ack(s, name)
+	}
+}
+
+func (h *chaosHarness) unk(name string) {
+	for _, s := range involvedShards(name) {
+		h.ledger.Unknown(s, name)
+	}
+}
+
+// commit settles one occurrence of name, tolerating faults: unknown
+// outcomes are retried, and a denial means the driver's position and
+// some shard's position disagree — an unknown attempt landed invisibly
+// (shard ahead) or an earlier un-acked commit evaporated with a failover
+// (shard behind; the legal async window of an unacknowledged outcome).
+// reconcile levels every involved shard against ground truth. Returns
+// false when the occurrence could not be settled yet (shard down until
+// the heal phase).
+func (h *chaosHarness) commit(name string) bool {
+	h.occClean = false
+	for attempt := 0; attempt < 10; attempt++ {
+		var err error
+		h.op(func() {
+			ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+			err = h.gw.Request(ctx, act(name))
+			cancel()
+		})
+		h.tracef("op %d %s attempt %d: %v", h.pos, name, attempt, err)
+		if err == nil {
+			h.ack(name)
+			h.occClean = attempt == 0
+			return true
+		}
+		if errors.Is(err, manager.ErrDenied) {
+			if h.reconcile(name) {
+				return true
+			}
+			continue
+		}
+		h.unk(name)
+	}
+	return false
+}
+
+// authoritative returns the ground-truth position of shard s: the steps
+// of the replica the election would settle on (highest epoch, then
+// primaries, then most commits).
+func (h *chaosHarness) authoritative(s int) (manager.ReplStatus, bool) {
+	var best manager.ReplStatus
+	found := false
+	for _, m := range h.sets[s].Managers() {
+		if m == nil {
+			continue
+		}
+		st := m.Status()
+		if !found || cluster.BetterReplica(st, best) {
+			best, found = st, true
+		}
+	}
+	return best, found
+}
+
+// shardActionAt is the pipeline's per-shard script: shard 0 alternates
+// a, b; shard 1 alternates b, c.
+func shardActionAt(s, steps int) string {
+	if s == 0 {
+		if steps%2 == 0 {
+			return "a"
+		}
+		return "b"
+	}
+	if steps%2 == 0 {
+		return "b"
+	}
+	return "c"
+}
+
+// expectedSteps is the position shard s should be at before the current
+// occurrence h.pos of the global word.
+func (h *chaosHarness) expectedSteps(s int) int {
+	full, rem := h.pos/3, h.pos%3
+	if s == 0 {
+		n := 2 * full
+		if rem >= 1 {
+			n++ // this round's a is done
+		}
+		if rem >= 2 {
+			n++ // this round's b is done
+		}
+		return n
+	}
+	n := 2 * full
+	if rem >= 2 {
+		n++ // this round's b is done
+	}
+	return n
+}
+
+// reconcile drives every shard involved in the current occurrence to the
+// position after it, committing whatever actions the authoritative
+// timeline is missing. The writes double as probes: a deposed primary
+// refuses them (ErrNotPrimary) and the retry elects the authoritative
+// replica — a read probe would instead trust the deposed node's
+// divergent, soon-to-be-discarded state. Returns false when a shard
+// stayed unreachable (the heal phase will retry).
+func (h *chaosHarness) reconcile(name string) bool {
+	for _, sIdx := range involvedShards(name) {
+		sc := h.gw.Shards()[sIdx]
+		settled := false
+		for attempt := 0; attempt < 10; attempt++ {
+			st, ok := h.authoritative(sIdx)
+			if !ok {
+				return false // shard fully down
+			}
+			auth, want := int(st.Steps), h.expectedSteps(sIdx)+1
+			if auth >= want {
+				if auth > want {
+					h.failf("shard %d ahead of the driver: %d steps, expected ≤ %d (duplicated commit)", sIdx, auth, want)
+				}
+				settled = true
+				break
+			}
+			missing := shardActionAt(sIdx, auth)
+			var err error
+			h.op(func() {
+				ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+				err = sc.Request(ctx, act(missing))
+				cancel()
+			})
+			h.tracef("op %d reconcile shard %d (auth %d, want %d) commit %s: %v", h.pos, sIdx, auth, want, missing, err)
+			if err == nil {
+				h.ledger.Ack(sIdx, missing)
+			} else if !errors.Is(err, manager.ErrDenied) {
+				h.ledger.Unknown(sIdx, missing)
+			}
+			// On denial the state moved under us (a deposed node's commit
+			// evaporated, or our own unknown attempt landed): re-read the
+			// ground truth and continue.
+		}
+		if !settled {
+			return false
+		}
+	}
+	return true
+}
+
+// advance moves to the next occurrence.
+func (h *chaosHarness) advance() { h.pos++ }
+
+// inject fires one pre-generated fault. The whole injection is one
+// driver op: node stops can strand in-flight replication acks and a
+// migration drains through logical-time pacing, both of which need the
+// pacer live.
+func (h *chaosHarness) inject(kind, shard int) {
+	h.op(func() { h.injectOne(kind, shard) })
+}
+
+func (h *chaosHarness) injectOne(kind, shard int) {
+	h.tracef("op %d inject kind=%d shard=%d", h.pos, kind, shard)
+	rs := h.sets[shard]
+	switch kind {
+	case evKillPrimary, evKillFollower:
+		wantPrimary := kind == evKillPrimary
+		for i, m := range rs.Managers() {
+			if m == nil {
+				continue
+			}
+			if (m.Status().Role == manager.RolePrimary) == wantPrimary {
+				rs.StopNode(i)
+				return
+			}
+		}
+		// No node in the wanted role: kill the first live one.
+		for i, m := range rs.Managers() {
+			if m != nil {
+				rs.StopNode(i)
+				return
+			}
+		}
+	case evRestartDead: // restart every dead node (as followers)
+		for _, set := range h.sets {
+			for i, m := range set.Managers() {
+				if m == nil {
+					if err := set.RestartNode(i); err != nil {
+						h.failf("restart node %d: %v", i, err)
+					}
+				}
+			}
+		}
+	case evPromoteFollower: // out-of-band promotion (split brain when a primary exists)
+		for _, m := range rs.Managers() {
+			if m != nil && m.Status().Role == manager.RoleFollower {
+				_, _ = m.Promote()
+				return
+			}
+		}
+	case evDropConn: // connection drop between gateway and shard
+		h.gw.Shards()[shard].DropConn()
+	case evMigrate: // live migration: ping-pong the primary onto a live follower
+		var target string
+		for i, m := range rs.Managers() {
+			if m != nil && m.Status().Role == manager.RoleFollower {
+				target = rs.Addrs[i]
+				break
+			}
+		}
+		if target == "" {
+			return // no live follower to migrate onto
+		}
+		ctx, cancel := context.WithTimeout(bg, 10*time.Second)
+		err := h.reb.MigrateShard(ctx, shard, target, cluster.MigrateOptions{})
+		cancel()
+		h.tracef("op %d migrate shard %d -> %s: %v", h.pos, shard, target, err)
+		if err != nil {
+			// A migration interrupted by an earlier/concurrent fault must
+			// not leave the shard wedged: clear any lingering drain on the
+			// survivors (MigrateShard resumes the source itself when it
+			// can still reach it; this covers the cases where it cannot).
+			for _, m := range rs.Managers() {
+				if m != nil {
+					_ = m.Resume()
+				}
+			}
+		}
+	}
+}
+
+// heal restarts everything and drives rounds until one completes with
+// every action acked on its first attempt — the certificate that both
+// shards are aligned at a round boundary with no outcome outstanding.
+func (h *chaosHarness) heal() bool {
+	for _, set := range h.sets {
+		for i, m := range set.Managers() {
+			if m == nil {
+				if err := set.RestartNode(i); err != nil {
+					h.failf("heal restart node %d: %v", i, err)
+					return false
+				}
+			} else {
+				// A migration the schedule interrupted may have left a node
+				// draining; the heal phase lifts it (a restart clears the
+				// transient drain state anyway, so this only affects
+				// survivors).
+				_ = m.Resume()
+			}
+		}
+	}
+	// Force a fresh election on every shard. A split brain can leave the
+	// gateway pinned to a stale, lower-epoch primary that answers — and
+	// denies — forever: application-level denials never trigger a
+	// re-election, so nothing would move the gateway onto the
+	// authoritative (highest-epoch) timeline the harness levels against.
+	// Dropping the conn makes the next request re-run the election, which
+	// settles on exactly the replica BetterReplica predicts.
+	for s := range h.sets {
+		h.gw.Shards()[s].DropConn()
+	}
+	if !h.level() {
+		return false
+	}
+	for round := 0; round < 40; round++ {
+		// Settle the current (possibly half-done) occurrence first.
+		for !h.atBoundary() {
+			if !h.commit(h.word[h.pos%len(h.word)]) {
+				return false
+			}
+			h.advance()
+		}
+		clean := true
+		for _, name := range h.word {
+			if !h.commit(name) {
+				return false
+			}
+			clean = clean && h.occClean
+			h.advance()
+		}
+		if clean {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *chaosHarness) atBoundary() bool { return h.pos%len(h.word) == 0 }
+
+// level drives every shard up to the driver's position before the heal
+// rounds run. Denial-triggered reconciliation cannot see a shard that is
+// a whole number of rounds behind — (b - c)* at step 10 accepts the same
+// word as at step 12 — and exactly that happens when commits whose
+// outcome stayed unknown (sync acks to a dead follower) later evaporate
+// with an epoch-fenced timeline discard: perfectly legal per-shard, but
+// it would silently shear the cross-shard alignment the round-boundary
+// assertion certifies. Leveling re-commits the authoritative timeline's
+// missing tail, with the usual acked/unknown accounting.
+func (h *chaosHarness) level() bool {
+	for s := range h.sets {
+		leveled := false
+		for attempt := 0; attempt < 20; attempt++ {
+			st, ok := h.authoritative(s)
+			if !ok {
+				return false // shard fully down
+			}
+			auth, want := int(st.Steps), h.expectedSteps(s)
+			if auth >= want {
+				leveled = true
+				break
+			}
+			missing := shardActionAt(s, auth)
+			var err error
+			h.op(func() {
+				ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+				err = h.gw.Shards()[s].Request(ctx, act(missing))
+				cancel()
+			})
+			h.tracef("heal level shard %d (auth %d, want %d) commit %s: %v", s, auth, want, missing, err)
+			if err == nil {
+				h.ledger.Ack(s, missing)
+			} else if !errors.Is(err, manager.ErrDenied) {
+				h.ledger.Unknown(s, missing)
+			}
+		}
+		if !leveled {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+// Package check is the exactly-once / linearizability checker behind
+// the chaos harnesses: a ground-truth ledger of what each shard's
+// clients were told (acked — the operation definitely committed; unknown
+// — the outcome was lost with a connection or a timeout) and the
+// invariant verdicts over the cluster's final state.
+//
+// The contract it certifies, per shard:
+//
+//   - no lost acked action and no double-apply: the surviving replicas'
+//     step count lies in [Σ acked, Σ acked + Σ unknown];
+//   - replica convergence: every live replica ends on the identical
+//     state key and step count;
+//   - global-order agreement at round boundaries: shards executing a
+//     lock-step pipeline finish with equal, round-aligned step counts —
+//     any lost, duplicated or reordered cross-shard commit breaks the
+//     equality.
+//
+// The harnesses (internal/sim, internal/cluster's TCP chaos suite) feed
+// it; its own unit tests pin the verdicts down.
+package check
+
+import "fmt"
+
+// Ledger tallies client-visible outcomes per shard per action name.
+type Ledger struct {
+	acked   []map[string]int
+	unknown []map[string]int
+}
+
+// NewLedger creates a ledger for n shards.
+func NewLedger(n int) *Ledger {
+	l := &Ledger{acked: make([]map[string]int, n), unknown: make([]map[string]int, n)}
+	for i := 0; i < n; i++ {
+		l.acked[i] = map[string]int{}
+		l.unknown[i] = map[string]int{}
+	}
+	return l
+}
+
+// Ack records a client-acknowledged commit of name on shard s.
+func (l *Ledger) Ack(s int, name string) { l.acked[s][name]++ }
+
+// Unknown records an attempt on shard s whose outcome the client could
+// not learn (it may or may not have committed).
+func (l *Ledger) Unknown(s int, name string) { l.unknown[s][name]++ }
+
+// AckedSum is the total acked count for shard s.
+func (l *Ledger) AckedSum(s int) uint64 { return sum(l.acked[s]) }
+
+// UnknownSum is the total unknown count for shard s.
+func (l *Ledger) UnknownSum(s int) uint64 { return sum(l.unknown[s]) }
+
+// Shards is the number of shards the ledger tracks.
+func (l *Ledger) Shards() int { return len(l.acked) }
+
+func sum(m map[string]int) uint64 {
+	var n uint64
+	for _, v := range m {
+		n += uint64(v)
+	}
+	return n
+}
+
+// Replica is one live replica's final position.
+type Replica struct {
+	StateKey string
+	Steps    uint64
+}
+
+// ShardFinal is a shard's final state: its live replicas.
+type ShardFinal struct {
+	Replicas []Replica
+}
+
+// Violation is one broken invariant.
+type Violation struct {
+	Shard int // -1 for cross-shard violations
+	Msg   string
+}
+
+func (v Violation) String() string {
+	if v.Shard < 0 {
+		return v.Msg
+	}
+	return fmt.Sprintf("shard %d: %s", v.Shard, v.Msg)
+}
+
+// Verify runs every invariant against the final cluster state.
+// minReplicas is the replica count each shard must end with (liveness of
+// the heal phase); roundLen > 0 additionally asserts the cross-shard
+// global-order agreement: all shards at the same step count, divisible
+// by roundLen.
+func (l *Ledger) Verify(final []ShardFinal, minReplicas int, roundLen uint64) []Violation {
+	var out []Violation
+	steps := make([]uint64, len(final))
+	for s, f := range final {
+		if len(f.Replicas) < minReplicas {
+			out = append(out, Violation{s, fmt.Sprintf("only %d live replicas, want ≥ %d", len(f.Replicas), minReplicas)})
+			continue
+		}
+		r0 := f.Replicas[0]
+		for _, r := range f.Replicas[1:] {
+			if r.StateKey != r0.StateKey || r.Steps != r0.Steps {
+				out = append(out, Violation{s, fmt.Sprintf("replicas diverged: %d/%s vs %d/%s", r.Steps, r.StateKey, r0.Steps, r0.StateKey)})
+			}
+		}
+		steps[s] = r0.Steps
+		acked, unk := l.AckedSum(s), l.UnknownSum(s)
+		if r0.Steps < acked {
+			out = append(out, Violation{s, fmt.Sprintf("LOST acked actions: %d steps < %d acked", r0.Steps, acked)})
+		}
+		if r0.Steps > acked+unk {
+			out = append(out, Violation{s, fmt.Sprintf("over-applied: %d steps > %d acked + %d unknown", r0.Steps, acked, unk)})
+		}
+	}
+	if roundLen > 0 && len(out) == 0 {
+		for s := 1; s < len(steps); s++ {
+			if steps[s] != steps[0] {
+				out = append(out, Violation{-1, fmt.Sprintf("global-order broken: shard steps %v differ", steps)})
+				break
+			}
+		}
+		if len(steps) > 0 && steps[0]%roundLen != 0 {
+			out = append(out, Violation{-1, fmt.Sprintf("global-order broken: %d steps not a whole number of %d-step rounds", steps[0], roundLen)})
+		}
+	}
+	return out
+}

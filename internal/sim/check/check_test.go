@@ -1,0 +1,133 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoShards(steps0, steps1 uint64) []ShardFinal {
+	return []ShardFinal{
+		{Replicas: []Replica{{StateKey: "k0", Steps: steps0}, {StateKey: "k0", Steps: steps0}}},
+		{Replicas: []Replica{{StateKey: "k1", Steps: steps1}, {StateKey: "k1", Steps: steps1}}},
+	}
+}
+
+func ackedN(l *Ledger, shard int, n int) {
+	for i := 0; i < n; i++ {
+		l.Ack(shard, "a")
+	}
+}
+
+func TestVerifyCleanPass(t *testing.T) {
+	l := NewLedger(2)
+	ackedN(l, 0, 4)
+	ackedN(l, 1, 4)
+	if vs := l.Verify(twoShards(4, 4), 2, 2); len(vs) != 0 {
+		t.Fatalf("clean state flagged: %v", vs)
+	}
+}
+
+func TestVerifyUnknownWindow(t *testing.T) {
+	// 3 acked + 2 unknown: any step count in [3,5] is legal.
+	for steps := uint64(3); steps <= 5; steps++ {
+		l := NewLedger(1)
+		ackedN(l, 0, 3)
+		l.Unknown(0, "a")
+		l.Unknown(0, "a")
+		final := []ShardFinal{{Replicas: []Replica{{StateKey: "k", Steps: steps}, {StateKey: "k", Steps: steps}}}}
+		if vs := l.Verify(final, 2, 0); len(vs) != 0 {
+			t.Fatalf("steps=%d inside the unknown window flagged: %v", steps, vs)
+		}
+	}
+}
+
+func TestVerifyLostAcked(t *testing.T) {
+	l := NewLedger(1)
+	ackedN(l, 0, 5)
+	final := []ShardFinal{{Replicas: []Replica{{StateKey: "k", Steps: 4}, {StateKey: "k", Steps: 4}}}}
+	vs := l.Verify(final, 2, 0)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "LOST") {
+		t.Fatalf("want a LOST violation, got %v", vs)
+	}
+}
+
+func TestVerifyOverApplied(t *testing.T) {
+	l := NewLedger(1)
+	ackedN(l, 0, 2)
+	l.Unknown(0, "a")
+	final := []ShardFinal{{Replicas: []Replica{{StateKey: "k", Steps: 4}, {StateKey: "k", Steps: 4}}}}
+	vs := l.Verify(final, 2, 0)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "over-applied") {
+		t.Fatalf("want an over-applied violation, got %v", vs)
+	}
+}
+
+func TestVerifyDivergedReplicas(t *testing.T) {
+	l := NewLedger(1)
+	ackedN(l, 0, 2)
+	final := []ShardFinal{{Replicas: []Replica{{StateKey: "k", Steps: 2}, {StateKey: "other", Steps: 2}}}}
+	vs := l.Verify(final, 2, 0)
+	if len(vs) == 0 || !strings.Contains(vs[0].Msg, "diverged") {
+		t.Fatalf("want a divergence violation, got %v", vs)
+	}
+}
+
+func TestVerifyTooFewReplicas(t *testing.T) {
+	l := NewLedger(1)
+	final := []ShardFinal{{Replicas: []Replica{{StateKey: "k", Steps: 0}}}}
+	vs := l.Verify(final, 2, 0)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "live replicas") {
+		t.Fatalf("want a liveness violation, got %v", vs)
+	}
+}
+
+func TestVerifyGlobalOrderUnequalSteps(t *testing.T) {
+	l := NewLedger(2)
+	ackedN(l, 0, 4)
+	ackedN(l, 1, 6)
+	vs := l.Verify(twoShards(4, 6), 2, 2)
+	if len(vs) != 1 || vs[0].Shard != -1 || !strings.Contains(vs[0].Msg, "differ") {
+		t.Fatalf("want a cross-shard violation, got %v", vs)
+	}
+}
+
+func TestVerifyGlobalOrderRoundMisaligned(t *testing.T) {
+	l := NewLedger(2)
+	ackedN(l, 0, 3)
+	ackedN(l, 1, 3)
+	vs := l.Verify(twoShards(3, 3), 2, 2)
+	if len(vs) != 1 || vs[0].Shard != -1 || !strings.Contains(vs[0].Msg, "rounds") {
+		t.Fatalf("want a round-alignment violation, got %v", vs)
+	}
+}
+
+func TestVerifySkipsCrossShardAfterPerShardFailure(t *testing.T) {
+	// A per-shard violation makes cross-shard comparisons meaningless
+	// (the step counts are already suspect) — they must not stack.
+	l := NewLedger(2)
+	ackedN(l, 0, 9)
+	ackedN(l, 1, 4)
+	vs := l.Verify(twoShards(4, 4), 2, 2)
+	if len(vs) != 1 || vs[0].Shard != 0 {
+		t.Fatalf("want only the shard-0 violation, got %v", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	if got := (Violation{Shard: 1, Msg: "boom"}).String(); got != "shard 1: boom" {
+		t.Fatalf("got %q", got)
+	}
+	if got := (Violation{Shard: -1, Msg: "boom"}).String(); got != "boom" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLedgerSums(t *testing.T) {
+	l := NewLedger(2)
+	l.Ack(0, "a")
+	l.Ack(0, "b")
+	l.Unknown(1, "c")
+	if l.Shards() != 2 || l.AckedSum(0) != 2 || l.UnknownSum(0) != 0 || l.AckedSum(1) != 0 || l.UnknownSum(1) != 1 {
+		t.Fatal("ledger sums wrong")
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Clock is the simulator's logical time source, implementing
+// clock.Clock. Time never flows on its own: Now advances only when a
+// pending timer fires, either through an explicit Advance or through the
+// auto-advance pacer, which jumps straight to the earliest pending
+// deadline once the network is quiescent. Two properties follow:
+//
+//   - logical waits are free: a 2ms drain-retry pace or a 2s reservation
+//     timeout settles in microseconds of wall time, which is what lets
+//     ten thousand chaos schedules finish in seconds;
+//   - a timer can never fire "during" a delivery: the pacer only moves
+//     time when no byte is in flight, so timeouts race nothing.
+//
+// Timers at the same deadline fire in creation order (a deterministic
+// tiebreak), never concurrently.
+type Clock struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	timers timerHeap
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// simEpoch is the fixed instant every simulation starts at. Any constant
+// works; an arbitrary real date keeps formatted timestamps readable.
+var simEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// NewClock creates a simulated clock at the simulation epoch.
+func NewClock() *Clock {
+	return &Clock{now: simEpoch, stop: make(chan struct{})}
+}
+
+// Now returns the current logical time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Since returns the logical time elapsed since t.
+func (c *Clock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// After returns a channel that fires once d of logical time has passed.
+func (c *Clock) After(d time.Duration) <-chan time.Time { return c.NewTimer(d).C() }
+
+// NewTimer returns a stoppable logical timer.
+func (c *Clock) NewTimer(d time.Duration) clock.Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &simTimer{clk: c, ch: make(chan time.Time, 1), when: c.now.Add(d), seq: c.seq}
+	c.seq++
+	if d <= 0 {
+		t.fired = true
+		t.ch <- c.now
+		return t
+	}
+	heap.Push(&c.timers, t)
+	return t
+}
+
+// Advance moves logical time forward by d, firing every timer whose
+// deadline is reached, in deadline order.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	c.fireUntilLocked(target)
+	c.now = target
+	c.mu.Unlock()
+}
+
+// fireUntilLocked fires all timers due at or before target.
+func (c *Clock) fireUntilLocked(target time.Time) {
+	for len(c.timers) > 0 && !c.timers[0].when.After(target) {
+		t := heap.Pop(&c.timers).(*simTimer)
+		if t.stopped {
+			continue
+		}
+		c.now = t.when
+		t.fired = true
+		t.ch <- t.when
+	}
+}
+
+// AdvanceToPending jumps logical time to the earliest pending deadline
+// and fires it (plus any timer sharing the deadline), reporting whether
+// anything fired. The pacer (SimTransport) calls this when the system
+// is provably stuck waiting on logical time.
+func (c *Clock) AdvanceToPending() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.timers) > 0 && c.timers[0].stopped {
+		heap.Pop(&c.timers)
+	}
+	if len(c.timers) == 0 {
+		return false
+	}
+	c.fireUntilLocked(c.timers[0].when)
+	return true
+}
+
+type simTimer struct {
+	clk     *Clock
+	ch      chan time.Time
+	when    time.Time
+	seq     uint64
+	idx     int
+	stopped bool
+	fired   bool
+}
+
+func (t *simTimer) C() <-chan time.Time { return t.ch }
+
+func (t *simTimer) Stop() bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true // lazily removed from the heap
+	return true
+}
+
+// timerHeap orders timers by deadline, then creation sequence.
+type timerHeap []*simTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*simTimer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtEpoch(t *testing.T) {
+	c := NewClock()
+	if !c.Now().Equal(simEpoch) {
+		t.Fatalf("fresh clock at %v, want %v", c.Now(), simEpoch)
+	}
+	if c.Since(simEpoch) != 0 {
+		t.Fatal("no logical time may pass on its own")
+	}
+}
+
+func TestClockAdvanceFiresInDeadlineOrder(t *testing.T) {
+	c := NewClock()
+	late := c.NewTimer(2 * time.Second)
+	early := c.NewTimer(time.Second)
+	c.Advance(3 * time.Second)
+	e := <-early.C()
+	l := <-late.C()
+	if !e.Before(l) {
+		t.Fatalf("fire times out of order: early=%v late=%v", e, l)
+	}
+	if want := simEpoch.Add(3 * time.Second); !c.Now().Equal(want) {
+		t.Fatalf("now=%v want %v", c.Now(), want)
+	}
+}
+
+func TestClockSameDeadlineFiresInCreationOrder(t *testing.T) {
+	c := NewClock()
+	first := c.NewTimer(time.Second)
+	second := c.NewTimer(time.Second)
+	c.Advance(time.Second)
+	select {
+	case <-first.C():
+	default:
+		t.Fatal("first timer did not fire")
+	}
+	select {
+	case <-second.C():
+	default:
+		t.Fatal("second timer did not fire")
+	}
+}
+
+func TestClockTimerStop(t *testing.T) {
+	c := NewClock()
+	tm := c.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("stop of a pending timer should report true")
+	}
+	c.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if tm.Stop() {
+		t.Fatal("second stop should report false")
+	}
+}
+
+func TestClockZeroTimerFiresImmediately(t *testing.T) {
+	c := NewClock()
+	tm := c.NewTimer(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("zero-duration timer must fire immediately")
+	}
+}
+
+func TestClockAdvanceToPending(t *testing.T) {
+	c := NewClock()
+	if c.AdvanceToPending() {
+		t.Fatal("nothing pending, nothing to fire")
+	}
+	near := c.NewTimer(time.Second)
+	far := c.NewTimer(time.Minute)
+	if !c.AdvanceToPending() {
+		t.Fatal("expected the near deadline to fire")
+	}
+	select {
+	case <-near.C():
+	default:
+		t.Fatal("near timer did not fire")
+	}
+	select {
+	case <-far.C():
+		t.Fatal("far timer fired early")
+	default:
+	}
+	if want := simEpoch.Add(time.Second); !c.Now().Equal(want) {
+		t.Fatalf("now=%v want %v (jump to the earliest deadline only)", c.Now(), want)
+	}
+}
+
+func TestClockAdvanceToPendingSkipsStopped(t *testing.T) {
+	c := NewClock()
+	tm := c.NewTimer(time.Second)
+	tm.Stop()
+	if c.AdvanceToPending() {
+		t.Fatal("a stopped timer is not pending")
+	}
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// Journal is the record of every nondeterministic choice a simulated
+// schedule made: the seed, the scenario parameters, and the value of
+// each PRNG draw in order. Because the scenario is otherwise
+// deterministic (in-memory network, logical clock, synchronous driver),
+// the journal is a complete reproduction recipe: replaying it re-derives
+// the identical fault schedule and re-runs the identical scenario, and
+// re-recording during replay must produce byte-identical output — the
+// determinism contract ixcheck -replay and the contract test check.
+//
+// Encoding: length-prefixed binary records in the wire codec's style
+// (PR 7): magic, version, then for each record a uint32 length and a
+// tagged payload, everything little-endian.
+type Journal struct {
+	Seed      int64
+	Events    int
+	Mix       string // fault mix name ("failover", "migration", ...)
+	Transport string // "sim" or "tcp"
+	Draws     []uint64
+	Verdict   string // "" while running, "pass" or the failure text after
+}
+
+const (
+	journalMagic   = "IXSJ"
+	journalVersion = 1
+
+	recMeta    = 1
+	recDraw    = 2
+	recVerdict = 3
+)
+
+// AppendDraw records one PRNG draw.
+func (j *Journal) AppendDraw(v uint64) { j.Draws = append(j.Draws, v) }
+
+// Encode serializes the journal.
+func (j *Journal) Encode() []byte {
+	var out bytes.Buffer
+	out.WriteString(journalMagic)
+	out.WriteByte(journalVersion)
+
+	var meta bytes.Buffer
+	meta.WriteByte(recMeta)
+	binary.Write(&meta, binary.LittleEndian, j.Seed)
+	binary.Write(&meta, binary.LittleEndian, uint32(j.Events))
+	writeString(&meta, j.Mix)
+	writeString(&meta, j.Transport)
+	writeRecord(&out, meta.Bytes())
+
+	for _, d := range j.Draws {
+		var rec [9]byte
+		rec[0] = recDraw
+		binary.LittleEndian.PutUint64(rec[1:], d)
+		writeRecord(&out, rec[:])
+	}
+
+	if j.Verdict != "" {
+		var v bytes.Buffer
+		v.WriteByte(recVerdict)
+		writeString(&v, j.Verdict)
+		writeRecord(&out, v.Bytes())
+	}
+	return out.Bytes()
+}
+
+// WriteFile writes the encoded journal to path.
+func (j *Journal) WriteFile(path string) error {
+	return os.WriteFile(path, j.Encode(), 0o644)
+}
+
+// DecodeJournal parses an encoded journal.
+func DecodeJournal(data []byte) (*Journal, error) {
+	if len(data) < len(journalMagic)+1 || string(data[:len(journalMagic)]) != journalMagic {
+		return nil, fmt.Errorf("sim: not a journal (bad magic)")
+	}
+	if v := data[len(journalMagic)]; v != journalVersion {
+		return nil, fmt.Errorf("sim: journal version %d not supported", v)
+	}
+	data = data[len(journalMagic)+1:]
+	j := &Journal{}
+	sawMeta := false
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("sim: truncated journal record header")
+		}
+		n := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < n || n == 0 {
+			return nil, fmt.Errorf("sim: truncated journal record")
+		}
+		rec := data[:n]
+		data = data[n:]
+		switch rec[0] {
+		case recMeta:
+			rec = rec[1:]
+			if len(rec) < 12 {
+				return nil, fmt.Errorf("sim: short meta record")
+			}
+			j.Seed = int64(binary.LittleEndian.Uint64(rec))
+			j.Events = int(binary.LittleEndian.Uint32(rec[8:]))
+			rec = rec[12:]
+			var err error
+			if j.Mix, rec, err = readString(rec); err != nil {
+				return nil, err
+			}
+			if j.Transport, _, err = readString(rec); err != nil {
+				return nil, err
+			}
+			sawMeta = true
+		case recDraw:
+			if len(rec) != 9 {
+				return nil, fmt.Errorf("sim: bad draw record length %d", len(rec))
+			}
+			j.Draws = append(j.Draws, binary.LittleEndian.Uint64(rec[1:]))
+		case recVerdict:
+			var err error
+			if j.Verdict, _, err = readString(rec[1:]); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("sim: unknown journal record type %d", rec[0])
+		}
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("sim: journal has no meta record")
+	}
+	return j, nil
+}
+
+// ReadJournalFile reads and parses a journal file.
+func ReadJournalFile(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeJournal(data)
+}
+
+func writeRecord(out *bytes.Buffer, payload []byte) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(payload)))
+	out.Write(n[:])
+	out.Write(payload)
+}
+
+func writeString(out *bytes.Buffer, s string) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+	out.Write(n[:])
+	out.WriteString(s)
+}
+
+func readString(data []byte) (string, []byte, error) {
+	if len(data) < 4 {
+		return "", nil, fmt.Errorf("sim: truncated string")
+	}
+	n := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	if uint32(len(data)) < n {
+		return "", nil, fmt.Errorf("sim: truncated string body")
+	}
+	return string(data[:n]), data[n:], nil
+}

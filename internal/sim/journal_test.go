@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	j := &Journal{Seed: -7, Events: 18, Mix: "migration", Transport: "sim", Verdict: "pass"}
+	for _, d := range []uint64{0, 1, 99, 1 << 40} {
+		j.AppendDraw(d)
+	}
+	got, err := DecodeJournal(j.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, j) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, j)
+	}
+}
+
+func TestJournalFileRoundTrip(t *testing.T) {
+	j := &Journal{Seed: 42, Events: 6, Mix: "failover", Transport: "sim", Draws: []uint64{3, 1, 4}, Verdict: "pass"}
+	path := filepath.Join(t.TempDir(), "sched.ixj")
+	if err := j.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, j) {
+		t.Fatalf("file round trip mismatch:\n got %+v\nwant %+v", got, j)
+	}
+}
+
+func TestJournalDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     nil,
+		"bad magic": []byte("NOPE\x01"),
+		"truncated": func() []byte {
+			j := &Journal{Seed: 1, Events: 18, Mix: "failover", Transport: "sim", Draws: []uint64{5}}
+			enc := j.Encode()
+			return enc[:len(enc)-3]
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := DecodeJournal(data); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+func TestSourceRecordsDraws(t *testing.T) {
+	j := &Journal{}
+	src := NewSource(99, j)
+	var want []uint64
+	for i := 0; i < 10; i++ {
+		want = append(want, uint64(src.Intn(100)))
+	}
+	if !reflect.DeepEqual(j.Draws, want) {
+		t.Fatalf("journal %v != drawn %v", j.Draws, want)
+	}
+	if src.Err() != nil {
+		t.Fatalf("record mode must not error: %v", src.Err())
+	}
+}
+
+func TestReplaySourceRoundTrips(t *testing.T) {
+	rec := &Journal{}
+	src := NewSource(7, rec)
+	for i := 0; i < 6; i++ {
+		src.Intn(100)
+	}
+	out := &Journal{}
+	rep := NewReplaySource(rec, out)
+	for i := 0; i < 6; i++ {
+		if got, want := rep.Intn(100), int(rec.Draws[i]); got != want {
+			t.Fatalf("draw %d: %d != recorded %d", i, got, want)
+		}
+	}
+	if rep.Err() != nil {
+		t.Fatal(rep.Err())
+	}
+	if !reflect.DeepEqual(out.Draws, rec.Draws) {
+		t.Fatal("replay must re-emit the recorded draws")
+	}
+	// One draw past the end is a hard error.
+	rep.Intn(100)
+	if rep.Err() == nil {
+		t.Fatal("exhausted replay must error")
+	}
+}

@@ -1,0 +1,356 @@
+// In-memory network: the deterministic transport behind the simulator.
+// It implements the same net.Conn / net.Listener surface the wire layer
+// (internal/manager, internal/cluster) dials, so the whole cluster —
+// managers, replication streams, gateway, shard clients — runs unchanged
+// over buffered in-process pipes instead of kernel sockets. No kernel
+// buffering, no ephemeral ports, no TIME_WAIT: a schedule's network
+// behavior is a pure function of what the test injects (drops,
+// partitions), and Quiet reports when no byte is in flight — the
+// quiescence signal the simulated clock auto-advances on.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrRefused is returned by Dial for unknown or partitioned addresses.
+var ErrRefused = errors.New("sim: connection refused")
+
+// Network is one in-memory network namespace: a set of listeners keyed
+// by address and the connections between them.
+type Network struct {
+	mu        sync.Mutex
+	next      int
+	listeners map[string]*listener
+	parts     map[string]bool // partitioned addresses: dials refused, conns severed
+	conns     map[*conn]bool  // both halves of every open connection
+	activity  atomic.Uint64   // bumped on every dial, read, write and close
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		listeners: make(map[string]*listener),
+		parts:     make(map[string]bool),
+		conns:     make(map[*conn]bool),
+	}
+}
+
+// Listen binds a listener. An empty addr allocates a fresh address
+// ("sim-N"); a non-empty addr rebinds that exact address — the restart
+// path, where a node comes back on its stable endpoint.
+func (n *Network) Listen(addr string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr == "" {
+		n.next++
+		addr = fmt.Sprintf("sim-%d", n.next)
+	}
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("sim: address %s already bound", addr)
+	}
+	l := &listener{net: n, addr: addr, backlog: make(chan net.Conn, 64)}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to the listener bound at addr. Unknown and partitioned
+// addresses refuse — the in-memory equivalent of ECONNREFUSED, which the
+// wire client maps to ErrSendFailed (always safe to retry elsewhere).
+func (n *Network) Dial(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	if !ok || n.parts[addr] {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrRefused, addr)
+	}
+	c1, c2 := n.newPipe(addr)
+	n.mu.Unlock()
+	n.activity.Add(1)
+	if !l.send(c2) {
+		c1.Close()
+		c2.Close()
+		return nil, fmt.Errorf("%w: %s", ErrRefused, addr)
+	}
+	return c1, nil
+}
+
+// Dialer returns the dial function in the shape every Options seam
+// (manager.DialOptions, cluster.ShardOptions, ...) accepts.
+func (n *Network) Dialer() func(addr string) (net.Conn, error) { return n.Dial }
+
+// Partition isolates addr: new dials to it refuse and every open
+// connection touching it is severed. Heal reverses the dial refusal
+// (severed connections stay dead — reconnection is the client's job,
+// exactly as after a real partition).
+func (n *Network) Partition(addr string) {
+	n.mu.Lock()
+	n.parts[addr] = true
+	var victims []*conn
+	for c := range n.conns {
+		if c.listenerAddr == addr {
+			victims = append(victims, c)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// Heal lifts the partition of addr.
+func (n *Network) Heal(addr string) {
+	n.mu.Lock()
+	delete(n.parts, addr)
+	n.mu.Unlock()
+}
+
+// Activity is a monotonic counter bumped by every dial, read, write and
+// close. The pacer watches it to tell a genuine stall (counter frozen)
+// from a compute gap between wire events (counter moving): bytes alone
+// can't — the network is empty between a server reading a request and
+// writing its reply, yet the system is anything but idle.
+func (n *Network) Activity() uint64 { return n.activity.Load() }
+
+// Quiet reports whether no byte is buffered in any open connection —
+// every write has been read by its receiver. The simulated clock only
+// auto-advances on a quiet network, so a timer can never fire "while" a
+// frame is in flight.
+func (n *Network) Quiet() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for c := range n.conns {
+		if !c.rd.empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// newPipe builds a connected pair. Callers hold n.mu.
+func (n *Network) newPipe(listenerAddr string) (*conn, *conn) {
+	n.next++
+	client := fmt.Sprintf("sim-conn-%d", n.next)
+	a2b := newHalf()
+	b2a := newHalf()
+	c1 := &conn{net: n, local: client, remote: listenerAddr, listenerAddr: listenerAddr, rd: b2a, wr: a2b}
+	c2 := &conn{net: n, local: listenerAddr, remote: client, listenerAddr: listenerAddr, rd: a2b, wr: b2a}
+	c1.peer, c2.peer = c2, c1
+	n.conns[c1] = true
+	n.conns[c2] = true
+	return c1, c2
+}
+
+func (n *Network) forget(c *conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+type listener struct {
+	net     *Network
+	addr    string
+	backlog chan net.Conn
+	mu      sync.Mutex
+	closed  bool
+}
+
+// send enqueues an accepted conn, refusing when closed or the backlog
+// is full (both map to a refused dial, retryable by the client).
+func (l *listener) send(c net.Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	select {
+	case l.backlog <- c:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, ok := <-l.backlog
+	if !ok {
+		return nil, fmt.Errorf("sim: listener %s closed", l.addr)
+	}
+	return c, nil
+}
+
+func (l *listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.net.mu.Lock()
+	if l.net.listeners[l.addr] == l {
+		delete(l.net.listeners, l.addr)
+	}
+	l.net.mu.Unlock()
+	close(l.backlog)
+	// Pending never-accepted conns would leak their dialers; sever them.
+	for c := range l.backlog {
+		c.Close()
+	}
+	return nil
+}
+
+func (l *listener) Addr() net.Addr { return simAddr(l.addr) }
+
+type simAddr string
+
+func (a simAddr) Network() string { return "sim" }
+func (a simAddr) String() string  { return string(a) }
+
+// half is one direction of a connection: a buffered byte stream with
+// blocking reads, closable from either side, with deadline support (a
+// deadline only matters when a peer genuinely hangs; healthy sim paths
+// never touch it).
+type half struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []byte
+	closed   bool
+	deadline time.Time
+}
+
+func newHalf() *half {
+	h := &half{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *half) empty() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.buf) == 0
+}
+
+func (h *half) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, io.ErrClosedPipe
+	}
+	h.buf = append(h.buf, p...)
+	h.cond.Broadcast()
+	return len(p), nil
+}
+
+func (h *half) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.buf) == 0 {
+		if h.closed {
+			return 0, io.EOF
+		}
+		if !h.deadline.IsZero() && !time.Now().Before(h.deadline) { // wallclock-ok: deadline backstop
+			return 0, timeoutError{}
+		}
+		h.cond.Wait()
+	}
+	n := copy(p, h.buf)
+	h.buf = h.buf[n:]
+	if len(h.buf) == 0 {
+		h.buf = nil
+	}
+	return n, nil
+}
+
+func (h *half) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.buf = nil // RST semantics: in-flight bytes are dropped, not flushed
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+func (h *half) setDeadline(t time.Time, wake func()) {
+	h.mu.Lock()
+	h.deadline = t
+	h.mu.Unlock()
+	if !t.IsZero() {
+		// Arm a real timer to wake blocked readers when the deadline
+		// passes. Healthy schedules never reach it (the reply arrives or
+		// the conn closes first), so it adds no nondeterminism there.
+		d := time.Until(t) // wallclock-ok: deadline backstop
+		if d < 0 {
+			d = 0
+		}
+		time.AfterFunc(d, wake) // wallclock-ok: deadline backstop
+	}
+}
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "sim: i/o deadline exceeded" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// conn is one endpoint of an in-memory connection.
+type conn struct {
+	net          *Network
+	local        string
+	remote       string
+	listenerAddr string // the listening side's address (partition targeting)
+	peer         *conn
+	rd, wr       *half
+	closeOnce    sync.Once
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	n, err := c.rd.read(p)
+	c.net.activity.Add(1)
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	n, err := c.wr.write(p)
+	c.net.activity.Add(1)
+	return n, err
+}
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.net.activity.Add(1)
+		// Closing severs both directions on both ends, like a TCP RST:
+		// the peer's pending reads fail, its writes fail, and any
+		// buffered bytes are discarded — a dropped frame, which the wire
+		// client surfaces as ErrConnLost.
+		c.rd.close()
+		c.wr.close()
+		c.net.forget(c)
+		c.net.forget(c.peer)
+	})
+	return nil
+}
+
+func (c *conn) LocalAddr() net.Addr  { return simAddr(c.local) }
+func (c *conn) RemoteAddr() net.Addr { return simAddr(c.remote) }
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.rd.setDeadline(t, c.rd.wake)
+	return nil
+}
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.rd.setDeadline(t, c.rd.wake)
+	return nil
+}
+func (c *conn) SetWriteDeadline(t time.Time) error { return nil }
+
+func (h *half) wake() {
+	h.mu.Lock()
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}

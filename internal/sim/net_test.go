@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func pair(t *testing.T, n *Network) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c1, err := n.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c1, <-accepted
+}
+
+func TestNetworkDialAndTransfer(t *testing.T) {
+	n := NewNetwork()
+	c1, c2 := pair(t, n)
+	if _, err := c1.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	nr, err := c2.Read(buf)
+	if err != nil || string(buf[:nr]) != "hello" {
+		t.Fatalf("read %q, %v", buf[:nr], err)
+	}
+	if !n.Quiet() {
+		t.Fatal("network should be quiet after the read drained the buffer")
+	}
+}
+
+func TestNetworkDialUnknownRefused(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Dial("nowhere"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("got %v, want ErrRefused", err)
+	}
+}
+
+func TestNetworkRebindAfterClose(t *testing.T) {
+	n := NewNetwork()
+	ln, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	if _, err := n.Listen(addr); err == nil {
+		t.Fatal("double bind should fail")
+	}
+	ln.Close()
+	if _, err := n.Dial(addr); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial after close: got %v, want ErrRefused", err)
+	}
+	if _, err := n.Listen(addr); err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+}
+
+func TestNetworkCloseSeversBothEnds(t *testing.T) {
+	n := NewNetwork()
+	c1, c2 := pair(t, n)
+	c1.Write([]byte("in flight"))
+	c1.Close()
+	// The peer's pending buffered bytes are discarded (an RST, not a
+	// graceful FIN): reads fail, writes fail.
+	if _, err := c2.Read(make([]byte, 4)); err != io.EOF {
+		t.Fatalf("peer read after close: %v, want EOF", err)
+	}
+	if _, err := c2.Write([]byte("x")); err == nil {
+		t.Fatal("peer write after close should fail")
+	}
+	if !n.Quiet() {
+		t.Fatal("closed conns must not hold the network un-quiet")
+	}
+}
+
+func TestNetworkPartitionAndHeal(t *testing.T) {
+	n := NewNetwork()
+	c1, _ := pair(t, n)
+	addr := c1.RemoteAddr().String()
+	n.Partition(addr)
+	if _, err := c1.Write([]byte("x")); err == nil {
+		t.Fatal("write over a severed conn should fail")
+	}
+	if _, err := n.Dial(addr); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial into partition: %v, want ErrRefused", err)
+	}
+	n.Heal(addr)
+	c3, err := n.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c3.Close()
+}
+
+func TestNetworkReadDeadline(t *testing.T) {
+	n := NewNetwork()
+	c1, _ := pair(t, n)
+	c1.SetReadDeadline(time.Now().Add(5 * time.Millisecond)) // wallclock-ok: testing the deadline backstop itself
+	_, err := c1.Read(make([]byte, 1))
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("got %v, want a timeout net.Error", err)
+	}
+}
+
+func TestNetworkActivityAdvances(t *testing.T) {
+	n := NewNetwork()
+	before := n.Activity()
+	c1, c2 := pair(t, n)
+	c1.Write([]byte("x"))
+	c2.Read(make([]byte, 1))
+	c1.Close()
+	if n.Activity() <= before {
+		t.Fatal("dial+write+read+close must bump the activity counter")
+	}
+}

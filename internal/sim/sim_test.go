@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// simSeeds is the per-mix schedule count of a full run; override with
+// IX_SIM_SEEDS for deeper sweeps (the CI sim-schedule job runs tens of
+// thousands through cmd/ixcheck -explore instead).
+func simSeeds(t *testing.T) int {
+	if s := os.Getenv("IX_SIM_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("IX_SIM_SEEDS: %v", err)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 40
+	}
+	return 300
+}
+
+// runSeeds sweeps seeds [0,n) through one fault mix on the simulated
+// transport, oversubscribing the CPUs (schedules spend part of their
+// wall time in pacer stalls, which overlap across schedules).
+func runSeeds(t *testing.T, mix string, n int) {
+	t.Helper()
+	sem := make(chan struct{}, 2*runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for seed := 0; seed < n; seed++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(seed int64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := RunChaos(ChaosConfig{Seed: seed, Mix: mix})
+			if err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+				return
+			}
+			if res.Failed() {
+				var buf bytes.Buffer
+				for _, line := range res.Trace {
+					fmt.Fprintf(&buf, "  %s\n", line)
+				}
+				t.Errorf("seed %d: %v\n%s", seed, res.Failures, buf.String())
+			}
+		}(int64(seed))
+	}
+	wg.Wait()
+}
+
+// TestChaosFailover sweeps seeded kill/restart/promote/drop schedules
+// on the simulated transport.
+func TestChaosFailover(t *testing.T) { runSeeds(t, "failover", simSeeds(t)) }
+
+// TestChaosMigration sweeps the migration-biased mix.
+func TestChaosMigration(t *testing.T) { runSeeds(t, "migration", simSeeds(t)) }
+
+// TestDeterminismContract is the simulator's core promise: the same
+// seed produces a byte-identical journal AND an identical final cluster
+// state, run after run. The race-soak CI job repeats this under -race,
+// where goroutine scheduling is maximally perturbed — wall-clock timing
+// may differ wildly between runs, but the logical schedule must not.
+func TestDeterminismContract(t *testing.T) {
+	seeds := []int64{1, 7, 42, 651, 948} // 651/948 are the historical split-brain wedges
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			type run struct {
+				journal []byte
+				steps   []uint64
+				verdict string
+			}
+			var runs []run
+			for i := 0; i < 3; i++ {
+				res, err := RunChaos(ChaosConfig{Seed: seed})
+				if err != nil {
+					t.Fatalf("run %d: %v", i, err)
+				}
+				runs = append(runs, run{journal: res.Journal.Encode(), steps: res.Steps, verdict: res.Journal.Verdict})
+			}
+			for i := 1; i < len(runs); i++ {
+				if !bytes.Equal(runs[i].journal, runs[0].journal) {
+					t.Errorf("run %d journal differs from run 0", i)
+				}
+				if fmt.Sprint(runs[i].steps) != fmt.Sprint(runs[0].steps) {
+					t.Errorf("run %d final steps %v != run 0 %v", i, runs[i].steps, runs[0].steps)
+				}
+				if runs[i].verdict != runs[0].verdict {
+					t.Errorf("run %d verdict %q != run 0 %q", i, runs[i].verdict, runs[0].verdict)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayReproduces runs a recorded schedule back through the replay
+// source and demands a byte-identical journal and the same outcome —
+// the workflow ixcheck -replay gives a failing CI artifact.
+func TestReplayReproduces(t *testing.T) {
+	for _, mix := range []string{"failover", "migration"} {
+		mix := mix
+		t.Run(mix, func(t *testing.T) {
+			t.Parallel()
+			rec, err := RunChaos(ChaosConfig{Seed: 3, Mix: mix})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recEnc := rec.Journal.Encode()
+			rep, err := RunChaos(ChaosConfig{Replay: rec.Journal})
+			if err != nil {
+				t.Fatal(err)
+			}
+			repEnc := rep.Journal.Encode()
+			if !bytes.Equal(recEnc, repEnc) {
+				t.Errorf("replayed journal differs from recording")
+			}
+			if fmt.Sprint(rep.Steps) != fmt.Sprint(rec.Steps) {
+				t.Errorf("replayed final steps %v != recorded %v", rep.Steps, rec.Steps)
+			}
+		})
+	}
+}
+
+// TestReplayRejectsCorruptJournal: a journal whose draws no longer fit
+// the schedule surfaces a replay error instead of silently diverging.
+func TestReplayRejectsCorruptJournal(t *testing.T) {
+	rec, err := RunChaos(ChaosConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *rec.Journal
+	bad.Draws = append([]uint64(nil), rec.Journal.Draws...)
+	bad.Draws[0] = 1 << 40 // out of range for an Intn(100) draw
+	if _, err := RunChaos(ChaosConfig{Replay: &bad}); err == nil {
+		t.Fatal("expected replay error for out-of-range draw")
+	}
+	short := *rec.Journal
+	short.Draws = short.Draws[:1]
+	if _, err := RunChaos(ChaosConfig{Replay: &short}); err == nil {
+		t.Fatal("expected replay error for exhausted journal")
+	}
+}
+
+// TestUnknownMix rejects bad mix names up front.
+func TestUnknownMix(t *testing.T) {
+	if _, err := RunChaos(ChaosConfig{Seed: 1, Mix: "nope"}); err == nil {
+		t.Fatal("expected error for unknown mix")
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Source is the single faucet every nondeterministic choice of a
+// simulated schedule flows through. In record mode it draws from a
+// seeded PRNG and appends each result to the journal; in replay mode it
+// returns the journal's recorded values in order (and still appends to
+// the output journal, so a replay re-emits a byte-identical record —
+// the cheap, complete determinism check).
+type Source struct {
+	rng    *rand.Rand
+	j      *Journal
+	replay []uint64
+	pos    int
+	err    error
+}
+
+// NewSource creates a recording source: draws come from seed, results
+// are appended to j.
+func NewSource(seed int64, j *Journal) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed)), j: j}
+}
+
+// NewReplaySource creates a replaying source: draws come from the
+// recorded journal, results are appended to out (pass the same Journal
+// to round-trip).
+func NewReplaySource(recorded *Journal, out *Journal) *Source {
+	return &Source{replay: recorded.Draws, j: out}
+}
+
+// Intn draws an integer in [0, n).
+func (s *Source) Intn(n int) int {
+	if s.replay != nil {
+		if s.pos >= len(s.replay) {
+			s.fail(fmt.Errorf("sim: replay exhausted after %d draws", s.pos))
+			return 0
+		}
+		v := s.replay[s.pos]
+		s.pos++
+		if v >= uint64(n) {
+			s.fail(fmt.Errorf("sim: replayed draw %d out of range [0,%d)", v, n))
+			return 0
+		}
+		s.j.AppendDraw(v)
+		return int(v)
+	}
+	v := uint64(s.rng.Intn(n))
+	s.j.AppendDraw(v)
+	return int(v)
+}
+
+// Err reports the first replay mismatch (nil in record mode and on a
+// clean replay).
+func (s *Source) Err() error { return s.err }
+
+func (s *Source) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Wall-clock audit: commit, failover and drain decisions must flow
+# through the injected clock (internal/clock.Clock), or the
+# deterministic simulator (internal/sim) cannot control them and
+# schedules stop being reproducible. Any use of the wall clock in the
+# audited packages' production code must carry a `wallclock-ok:`
+# annotation naming why it cannot affect logical scheduling (metrics
+# measurement, socket I/O deadline backstop, the pacer's own
+# stuck-detector, ...).
+#
+# Run from the repository root; exits nonzero listing every offender.
+set -u
+
+AUDITED="internal/manager internal/cluster internal/sim"
+PATTERN='time\.(Now|Sleep|Since|Until|Tick|After|NewTimer|NewTicker|AfterFunc)\('
+
+offenders=$(grep -rEn "$PATTERN" --include='*.go' $AUDITED \
+  | grep -v '_test\.go:' \
+  | grep -v 'wallclock-ok') || true
+
+if [ -n "$offenders" ]; then
+  echo "wall-clock use without a 'wallclock-ok:' annotation in audited packages:" >&2
+  echo "$offenders" >&2
+  echo >&2
+  echo "route it through the injected clock (internal/clock.Clock), or" >&2
+  echo "annotate the line with '// wallclock-ok: <why this cannot affect logical scheduling>'" >&2
+  exit 1
+fi
+echo "wall-clock audit clean: $AUDITED"
