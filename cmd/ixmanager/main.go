@@ -10,7 +10,9 @@
 // back to JSON lines for pre-v2 clients; -protocol json pins the server
 // to JSON lines entirely. The ix package's Dial returns a typed client.
 // With -log the manager persists confirmed actions and recovers its
-// state from the log on restart. With -multi a top-level coupling
+// state from the log on restart; -storage-dir selects the segmented
+// storage engine instead (sealed log segments, background compaction,
+// delta checkpoints). With -multi a top-level coupling
 // ("x @ y @ z") is split into one manager per operand behind a shared
 // router — actions are granted iff every involved manager grants them.
 package main
@@ -35,7 +37,10 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7431", "listen address")
 		logPath  = flag.String("log", "", "action log for persistence/recovery")
 		snapPath = flag.String("snapshot", "", "snapshot file for checkpoint recovery (restart replays only the log tail)")
-		snapK    = flag.Int("snapshot-every", 1000, "write a checkpoint every K confirms (with -snapshot)")
+		snapK    = flag.Int("snapshot-every", 1000, "write a checkpoint every K confirms (with -snapshot or -storage-dir)")
+		storeDir = flag.String("storage-dir", "", "segmented storage directory (replaces -log/-snapshot): fixed-size sealed log segments, background compaction, delta checkpoints")
+		segBytes = flag.Int64("segment-bytes", 0, "seal log segments at this size (with -storage-dir; 0 = 1 MiB)")
+		deltaK   = flag.Int("delta-every", 8, "with -storage-dir, write a full checkpoint every K checkpoints and deltas in between (1 = always full)")
 		timeout  = flag.Duration("reservation-timeout", 10*time.Second,
 			"auto-abort asks not confirmed within this duration")
 		batchMax   = flag.Int("batch", 0, "group commit: coalesce up to N concurrent requests per commit (0/1 = off)")
@@ -80,18 +85,21 @@ func main() {
 	}
 	reg := ix.NewMetricsRegistry()
 	m, err := ix.NewManager(e, ix.ManagerOptions{
-		LogPath:            *logPath,
-		SnapshotPath:       *snapPath,
-		SnapshotEvery:      *snapK,
-		ReservationTimeout: *timeout,
-		BatchMaxSize:       *batchMax,
-		BatchMaxDelay:      *batchDelay,
-		SyncWrites:         *syncWrites,
-		MemoCapacity:       *memoCap,
-		Replicas:           replicas,
-		SyncReplicas:       *syncRepl,
-		Follower:           *follower,
-		Metrics:            reg,
+		LogPath:             *logPath,
+		SnapshotPath:        *snapPath,
+		SnapshotEvery:       *snapK,
+		StorageDir:          *storeDir,
+		SegmentBytes:        *segBytes,
+		FullCheckpointEvery: *deltaK,
+		ReservationTimeout:  *timeout,
+		BatchMaxSize:        *batchMax,
+		BatchMaxDelay:       *batchDelay,
+		SyncWrites:          *syncWrites,
+		MemoCapacity:        *memoCap,
+		Replicas:            replicas,
+		SyncReplicas:        *syncRepl,
+		Follower:            *follower,
+		Metrics:             reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -107,7 +115,10 @@ func main() {
 	defer srv.Close()
 
 	fmt.Printf("ixmanager: serving %q on %s", e, srv.Addr())
-	if *logPath != "" {
+	switch {
+	case *storeDir != "":
+		fmt.Printf(" (storage %s, %d actions recovered)", *storeDir, m.Steps())
+	case *logPath != "":
 		fmt.Printf(" (log %s, %d actions recovered)", *logPath, m.Steps())
 	}
 	if st := m.Status(); *follower || len(replicas) > 0 {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/storage"
 )
 
 // Group commit. The atomic request path (Request/RequestMany) is the
@@ -278,8 +279,9 @@ func (m *Manager) commitBatch(batch []commitReq, admitted bool) {
 			errs[i] = deniedErr(r.a)
 			continue
 		}
-		if m.log != nil {
-			if err := m.log.Buffer(uint64(m.en.Steps())+1, r.a); err != nil {
+		if m.store != nil {
+			le := storage.Entry{Name: r.a.Name, Args: r.a.Values(), Seq: uint64(m.en.Steps()) + 1}
+			if err := m.store.Buffer(le); err != nil {
 				errs[i] = err
 				continue
 			}
@@ -301,9 +303,9 @@ func (m *Manager) commitBatch(batch []commitReq, admitted bool) {
 	var wait func() error
 	if applied > 0 {
 		m.metrics.batchSize.Observe(uint64(applied))
-		if m.log != nil {
+		if m.store != nil {
 			flushStart := m.clk.Now()
-			if err := m.log.Commit(m.syncWrites); err != nil {
+			if err := m.store.Commit(m.syncWrites); err != nil {
 				// The flush failed after the engine advanced: the in-memory
 				// state may be ahead of the durable log, exactly the exposure
 				// any group commit has at its single durability point. Report

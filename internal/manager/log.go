@@ -1,207 +1,39 @@
 package manager
 
 import (
-	"bufio"
-	"encoding/json"
-	"fmt"
-	"io"
-	"os"
-	"sync"
-
-	"repro/internal/expr"
+	"repro/internal/storage"
 )
 
-// ActionLog is the manager's persistent, append-only log of confirmed
-// actions. Because the operational state is a deterministic function of
-// the action sequence, replaying the log reconstructs the manager state
-// exactly — the recovery strategy of Sec 7.
-type ActionLog struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
-	w    *bufio.Writer
-}
+// The manager's durability lives behind storage.Backend
+// (internal/storage): an append-only action log plus checkpoint
+// storage. openStore picks the backend from the options; the seed-era
+// ActionLog is storage.FileLog inside the Monolith backend now.
 
-// logEntry is the on-disk representation of one confirmed action. Seq is
-// the global confirm sequence number; it lets recovery skip entries that
-// a snapshot already covers even if the crash hit between writing the
-// snapshot and truncating the log. Logs written before snapshots existed
-// have no Seq; replay numbers those positionally.
-type logEntry struct {
-	Name string   `json:"a"`
-	Args []string `json:"v,omitempty"`
-	Seq  uint64   `json:"s,omitempty"`
-}
-
-// OpenActionLog opens or creates an action log file.
-func OpenActionLog(path string) (*ActionLog, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("manager: open log: %w", err)
-	}
-	return &ActionLog{path: path, f: f, w: bufio.NewWriter(f)}, nil
-}
-
-// Replay calls fn for every logged action in order together with its
-// sequence number, then positions the log for appending. Entries without
-// an explicit sequence number (pre-snapshot logs) are numbered 1, 2, ...
-// positionally. A torn final line (crash during append) is truncated
-// silently; anything else malformed is an error.
-func (l *ActionLog) Replay(fn func(seq uint64, a expr.Action) error) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("manager: log seek: %w", err)
-	}
-	sc := bufio.NewScanner(l.f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	var seq uint64
-	for sc.Scan() {
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+// openStore resolves the configured storage backend. The second result
+// reports whether checkpointing is available on it (the monolithic
+// layout checkpoints only with a SnapshotPath; injected and segmented
+// backends always do).
+//
+// Priority: an injected Backend wins (the simulator's in-memory
+// storage), then a StorageDir (segmented log + delta checkpoint
+// chains), then the seed-era LogPath/SnapshotPath pair. With none
+// configured the manager runs memory-only.
+func openStore(opts Options) (storage.Backend, bool, error) {
+	switch {
+	case opts.Storage != nil:
+		return opts.Storage, true, nil
+	case opts.StorageDir != "":
+		s, err := storage.OpenSegmented(opts.StorageDir, opts.SegmentBytes)
+		if err != nil {
+			return nil, false, err
 		}
-		var e logEntry
-		if err := json.Unmarshal(raw, &e); err != nil {
-			if !sc.Scan() { // torn tail
-				break
-			}
-			return fmt.Errorf("manager: corrupt log record: %v", err)
+		return s, true, nil
+	case opts.LogPath != "" || opts.SnapshotPath != "":
+		mb, err := storage.OpenMonolith(opts.LogPath, opts.SnapshotPath)
+		if err != nil {
+			return nil, false, err
 		}
-		if e.Seq != 0 {
-			seq = e.Seq
-		} else {
-			seq++
-		}
-		if err := fn(seq, expr.ConcreteAct(e.Name, e.Args...)); err != nil {
-			return err
-		}
+		return mb, opts.SnapshotPath != "", nil
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("manager: log replay: %w", err)
-	}
-	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
-		return fmt.Errorf("manager: log seek: %w", err)
-	}
-	return nil
-}
-
-// Append writes one confirmed action under its sequence number and
-// flushes it to the OS.
-func (l *ActionLog) Append(seq uint64, a expr.Action) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.bufferLocked(seq, a); err != nil {
-		return err
-	}
-	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("manager: log flush: %w", err)
-	}
-	return nil
-}
-
-// Buffer stages one confirmed action in the write buffer without flushing
-// it. The group-commit path buffers every action of a batch, then settles
-// them all with one Commit — one flush (and at most one fsync) per batch
-// instead of one per action.
-func (l *ActionLog) Buffer(seq uint64, a expr.Action) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.bufferLocked(seq, a)
-}
-
-func (l *ActionLog) bufferLocked(seq uint64, a expr.Action) error {
-	e := logEntry{Name: a.Name, Args: a.Values(), Seq: seq}
-	buf, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("manager: log marshal: %w", err)
-	}
-	if _, err := l.w.Write(buf); err != nil {
-		return fmt.Errorf("manager: log write: %w", err)
-	}
-	if err := l.w.WriteByte('\n'); err != nil {
-		return fmt.Errorf("manager: log write: %w", err)
-	}
-	return nil
-}
-
-// Commit flushes every buffered entry to the OS and, when sync is set,
-// fsyncs the file — the single durability point of one group commit.
-func (l *ActionLog) Commit(sync bool) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("manager: log flush: %w", err)
-	}
-	if sync {
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("manager: log sync: %w", err)
-		}
-	}
-	return nil
-}
-
-// Sync forces the appended entries to stable storage (fsync).
-func (l *ActionLog) Sync() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("manager: log sync: %w", err)
-	}
-	return nil
-}
-
-// Truncate discards the log's contents. The manager calls it right after
-// writing a snapshot: everything the log held is folded into the
-// snapshot, so the entries are dead weight. Recovery stays correct even
-// if a crash prevents the truncation, because entries carry sequence
-// numbers the snapshot cutoff filters on.
-func (l *ActionLog) Truncate() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("manager: log flush: %w", err)
-	}
-	if err := l.f.Truncate(0); err != nil {
-		return fmt.Errorf("manager: log truncate: %w", err)
-	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("manager: log seek: %w", err)
-	}
-	return nil
-}
-
-// Size returns the current byte size of the log file (diagnostics).
-func (l *ActionLog) Size() (int64, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.w.Flush(); err != nil {
-		return 0, err
-	}
-	st, err := l.f.Stat()
-	if err != nil {
-		return 0, err
-	}
-	return st.Size(), nil
-}
-
-// Close flushes and closes the log file.
-func (l *ActionLog) Close() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f == nil {
-		return nil
-	}
-	var firstErr error
-	if err := l.w.Flush(); err != nil {
-		firstErr = err
-	}
-	if err := l.f.Sync(); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	if err := l.f.Close(); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	l.f = nil
-	return firstErr
+	return nil, false, nil
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/state"
+	"repro/internal/storage"
 )
 
 // Common errors.
@@ -79,6 +80,28 @@ type Options struct {
 	// is written after every K-th confirmed action. Zero disables
 	// automatic checkpoints (Snapshot can still force one).
 	SnapshotEvery int
+	// StorageDir, if non-empty, selects the segmented storage engine
+	// (internal/storage): the action log is split into fixed-size sealed
+	// segments compacted in the background, and checkpoints form delta
+	// chains (a periodic full base plus pieces carrying only state nodes
+	// unseen since the previous checkpoint). Takes precedence over
+	// LogPath/SnapshotPath; SnapshotEvery still sets the checkpoint
+	// cadence.
+	StorageDir string
+	// SegmentBytes is the sealed-segment size threshold of the segmented
+	// engine. <= 0 selects storage.DefaultSegmentBytes.
+	SegmentBytes int64
+	// FullCheckpointEvery is the delta-chain length bound: every N-th
+	// checkpoint is a full base, the N-1 in between are deltas. 0 or 1
+	// makes every checkpoint full (the only mode the monolithic layout
+	// supports; forced there). Longer chains shrink checkpoint bytes but
+	// lengthen the restore chain a restart reads.
+	FullCheckpointEvery int
+	// Storage injects a storage backend directly, overriding every
+	// path-based option above. The deterministic simulator injects
+	// storage.NewMemory() here so chaos schedules exercise the real
+	// storage code paths without a filesystem.
+	Storage storage.Backend
 	// BatchMaxSize enables group commit for the atomic request path when
 	// > 1: up to BatchMaxSize concurrent Requests are coalesced into one
 	// batch that passes the critical-region admission check once and is
@@ -148,7 +171,7 @@ type Manager struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	en     *state.Engine
-	log    *ActionLog
+	store  storage.Backend // nil: memory-only, no durability
 	closed bool
 
 	reserved    bool // a granted ask is outstanding (critical region)
@@ -169,10 +192,13 @@ type Manager struct {
 	subs        map[uint64]*subGroup // subscription id → its action's group
 	subsByAct   map[string]*subGroup // action key → shared group
 
-	snapPath  string
+	ckptOn    bool // the backend stores checkpoints
 	snapEvery int
 	sinceSnap int
 	snapErr   error // first failed background checkpoint since last Snapshot
+	fullEvery int   // delta-chain length bound (1 = every checkpoint full)
+	sinceFull int   // delta pieces since the chain's full base
+	deltaM    *state.DeltaMarshaller // non-nil iff a delta chain is live
 
 	syncWrites bool
 	batch      *commitQueue // non-nil iff group commit is enabled
@@ -219,8 +245,8 @@ func New(e *expr.Expr, opts Options) (*Manager, error) {
 		dialer:     opts.Dialer,
 		subs:       make(map[uint64]*subGroup),
 		subsByAct:  make(map[string]*subGroup),
-		snapPath:   opts.SnapshotPath,
 		snapEvery:  opts.SnapshotEvery,
+		fullEvery:  opts.FullCheckpointEvery,
 		syncWrites: opts.SyncWrites,
 		confirmed:  newTicketWindow(),
 		syncRepl:   opts.SyncReplicas,
@@ -230,48 +256,54 @@ func New(e *expr.Expr, opts Options) (*Manager, error) {
 		m.role = roleFollower
 	}
 	m.cond = sync.NewCond(&m.mu)
-	// Recovery, step 1: restore the checkpointed state, if any.
-	if opts.SnapshotPath != "" {
-		en, snap, err := restoreFromSnapshot(e, opts.SnapshotPath)
-		if err != nil {
+	store, ckptOn, err := openStore(opts)
+	if err != nil {
+		return nil, err
+	}
+	m.store, m.ckptOn = store, ckptOn
+	if m.fullEvery < 1 || (m.store != nil && !m.store.SupportsDelta()) {
+		m.fullEvery = 1
+	}
+	// Recovery, step 1: restore the checkpoint chain, if any — the
+	// newest full checkpoint plus every delta after it, loaded oldest
+	// first through one DeltaRestorer.
+	if m.store != nil && m.ckptOn {
+		if err := m.restoreFromChain(e); err != nil {
+			m.store.Close()
 			return nil, err
-		}
-		if en != nil {
-			m.en = en
-			m.applySnapshotMeta(snap)
 		}
 	}
 	if m.en == nil {
 		en, err := state.NewEngine(e)
 		if err != nil {
+			if m.store != nil {
+				m.store.Close()
+			}
 			return nil, err
 		}
 		m.en = en
 	}
-	// Recovery, step 2: replay the log tail. Entries the snapshot already
-	// covers (seq ≤ steps at checkpoint time) are skipped, which keeps a
-	// crash between snapshot write and log truncation harmless.
-	if opts.LogPath != "" {
-		log, err := OpenActionLog(opts.LogPath)
-		if err != nil {
-			return nil, err
-		}
+	// Recovery, step 2: replay the log tail. Entries the checkpoint
+	// already covers (seq ≤ steps at checkpoint time) are skipped, which
+	// keeps a crash between checkpoint write and log compaction harmless.
+	if m.store != nil {
 		base := uint64(m.en.Steps())
 		replayed := 0
-		if err := log.Replay(func(seq uint64, a expr.Action) error {
-			if seq <= base {
+		if err := m.store.Replay(func(le storage.Entry) error {
+			if le.Seq <= base {
 				return nil
 			}
+			a := expr.ConcreteAct(le.Name, le.Args...)
 			if err := m.en.Step(a); err != nil {
 				return fmt.Errorf("manager: recovery: logged action %s no longer permitted: %w", a, err)
 			}
 			replayed++
 			return nil
 		}); err != nil {
-			log.Close()
+			m.store.Close()
 			return nil, err
 		}
-		// A confirm logged after the snapshot proves the snapshotted
+		// A confirm logged after the checkpoint proves the checkpointed
 		// reservation was settled: confirms only happen with the critical
 		// region held, and it is freed on settlement. Keeping the phantom
 		// reservation would block every Ask (no timeout) or let a retried
@@ -279,7 +311,6 @@ func New(e *expr.Expr, opts Options) (*Manager, error) {
 		if replayed > 0 && m.reserved {
 			m.reserved = false
 		}
-		m.log = log
 	}
 	// Memoization attaches after recovery so the replay (one pass, mostly
 	// unique states) does not churn the memo of a shared cache. The batch
@@ -445,7 +476,7 @@ func (m *Manager) confirmSettle(t Ticket) (func() error, error) {
 		return nil, ErrUnknownTicket
 	}
 	a := m.reservedAct
-	if m.log != nil {
+	if m.store != nil {
 		if err := m.appendDurable(a); err != nil {
 			return nil, err
 		}
@@ -539,7 +570,7 @@ func (m *Manager) requestSettle(ctx context.Context, a expr.Action) (func() erro
 		m.metrics.denies.Inc()
 		return nil, fmt.Errorf("%w: %s", ErrDenied, a)
 	}
-	if m.log != nil {
+	if m.store != nil {
 		if err := m.appendDurable(a); err != nil {
 			return nil, err
 		}
@@ -563,12 +594,13 @@ func (m *Manager) requestSettle(ctx context.Context, a expr.Action) (func() erro
 // durability point (flush, plus fsync under SyncWrites). The group-commit
 // path uses Buffer/Commit instead, paying these once per batch.
 func (m *Manager) appendDurable(a expr.Action) error {
-	if err := m.log.Append(uint64(m.en.Steps())+1, a); err != nil {
+	e := storage.Entry{Name: a.Name, Args: a.Values(), Seq: uint64(m.en.Steps()) + 1}
+	if err := m.store.Append(e); err != nil {
 		return err
 	}
 	if m.syncWrites {
 		start := m.clk.Now()
-		err := m.log.Sync()
+		err := m.store.Sync()
 		m.metrics.flushNs.ObserveDuration(m.clk.Since(start))
 		return err
 	}
@@ -744,14 +776,14 @@ func (m *Manager) Close() error {
 	defer m.mu.Unlock()
 	var firstErr error
 	// A parting checkpoint makes the next restart replay nothing.
-	if m.snapPath != "" && m.sinceSnap > 0 {
+	if m.ckptOn && m.sinceSnap > 0 {
 		firstErr = m.snapshotLocked()
 	}
 	if firstErr == nil {
 		firstErr = m.snapErr
 	}
-	if m.log != nil {
-		if err := m.log.Close(); err != nil && firstErr == nil {
+	if m.store != nil {
+		if err := m.store.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/state"
+	"repro/internal/storage"
 )
 
 // Primary/follower replication. A manager with Options.Replicas streams
@@ -620,8 +621,9 @@ func (m *Manager) ApplyReplicated(f ReplFrame) (ReplStatus, error) {
 			// gap answer provokes.
 			return m.statusLocked(), fmt.Errorf("%w: replicated action %s rejected", ErrReplGap, a)
 		}
-		if m.log != nil {
-			if err := m.log.Buffer(uint64(m.en.Steps())+1, a); err != nil {
+		if m.store != nil {
+			le := storage.Entry{Name: a.Name, Args: a.Values(), Seq: uint64(m.en.Steps()) + 1}
+			if err := m.store.Buffer(le); err != nil {
 				return m.statusLocked(), err
 			}
 		}
@@ -636,8 +638,8 @@ func (m *Manager) ApplyReplicated(f ReplFrame) (ReplStatus, error) {
 		}
 		m.stats.Transits++
 	}
-	if m.log != nil && len(f.Actions) > 0 {
-		if err := m.log.Commit(m.syncWrites); err != nil {
+	if m.store != nil && len(f.Actions) > 0 {
+		if err := m.store.Commit(m.syncWrites); err != nil {
 			return m.statusLocked(), err
 		}
 	}
@@ -688,12 +690,21 @@ func (m *Manager) InstallReplSnapshot(s ReplSnapshot) (ReplStatus, error) {
 	// install — acking a resync whose disk state would resurrect the
 	// replaced timeline on restart would let the primary (and, under
 	// SyncReplicas, the client) believe a durability that is not there.
-	if m.snapPath != "" {
+	// The log is truncated explicitly (not just compacted through the
+	// checkpoint): the replaced timeline's sequence numbers may exceed
+	// the installed state's, so seq-based compaction could leave entries
+	// that a restart would replay on top of the new state. The delta
+	// chain restarts too — its encoder describes the replaced timeline.
+	if m.ckptOn {
+		m.resetDeltaChainLocked()
 		if err := m.snapshotLocked(); err != nil {
 			return m.statusLocked(), err
 		}
-	} else if m.log != nil {
-		if err := m.log.Truncate(); err != nil {
+		if err := m.store.TruncateLog(); err != nil {
+			return m.statusLocked(), err
+		}
+	} else if m.store != nil {
+		if err := m.store.TruncateLog(); err != nil {
 			return m.statusLocked(), err
 		}
 	}

@@ -1,0 +1,122 @@
+package manager
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/parse"
+)
+
+// BenchmarkCheckpointStorage compares the two durable-storage paths on
+// a parameterized workload whose hash-consed state DAG keeps growing:
+// 200 distinct interaction parties request and are acknowledged under
+// "all p: (req(p) - ack(p))*". Reported per variant:
+//
+//	full-ckpt-B   mean byte size of a full checkpoint (the whole DAG)
+//	delta-ckpt-B  mean byte size of a delta piece (segmented only —
+//	              just the nodes unseen since the previous piece)
+//	restart-ns    recovery time: New() on the stored directory
+//
+// The PR 9 acceptance gate holds the mean delta at ≤ 0.5x the mean
+// full checkpoint on this workload.
+func BenchmarkCheckpointStorage(b *testing.B) {
+	b.Run("monolithic", func(b *testing.B) { benchCheckpointStorage(b, false) })
+	b.Run("segmented-delta", func(b *testing.B) { benchCheckpointStorage(b, true) })
+}
+
+func benchCheckpointStorage(b *testing.B, segmented bool) {
+	const parties = 200
+	e := parse.MustParse("all p: (req(p) - ack(p))*")
+	var workload []expr.Action
+	for i := 0; i < parties; i++ {
+		workload = append(workload, expr.ConcreteAct("req", fmt.Sprintf("p%d", i)))
+	}
+	for i := 0; i < parties; i++ {
+		workload = append(workload, expr.ConcreteAct("ack", fmt.Sprintf("p%d", i)))
+	}
+
+	var fullB, deltaB, restartNs float64
+	var fullN, deltaN int
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		dir := b.TempDir()
+		opts := Options{SnapshotEvery: 20, BatchMaxSize: 16}
+		if segmented {
+			opts.StorageDir = filepath.Join(dir, "store")
+			opts.FullCheckpointEvery = 8
+		} else {
+			opts.LogPath = filepath.Join(dir, "actions.log")
+			opts.SnapshotPath = filepath.Join(dir, "state.snap")
+		}
+		m, err := New(e, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for at := 0; at < len(workload); at += 16 {
+			end := at + 16
+			if end > len(workload) {
+				end = len(workload)
+			}
+			for _, err := range m.RequestMany(context.Background(), workload[at:end]) {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := m.Close(); err != nil {
+			b.Fatal(err)
+		}
+
+		// Close waited out compaction: only the live restore chain (or
+		// the single snapshot file) remains on disk.
+		if segmented {
+			fullB += globBytes(b, &fullN, filepath.Join(opts.StorageDir, "*.full"))
+			deltaB += globBytes(b, &deltaN, filepath.Join(opts.StorageDir, "*.delta"))
+		} else {
+			fullB += globBytes(b, &fullN, opts.SnapshotPath)
+		}
+
+		start := time.Now()
+		m2, err := New(e, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		restartNs += float64(time.Since(start).Nanoseconds())
+		if err := m2.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if fullN > 0 {
+		b.ReportMetric(fullB/float64(fullN), "full-ckpt-B")
+	}
+	if segmented && deltaN > 0 {
+		b.ReportMetric(deltaB/float64(deltaN), "delta-ckpt-B")
+	}
+	b.ReportMetric(restartNs/float64(b.N), "restart-ns")
+}
+
+// globBytes sums the sizes of the files matching pattern, counting them
+// into n.
+func globBytes(b *testing.B, n *int, pattern string) float64 {
+	b.Helper()
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total float64
+	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += float64(st.Size())
+		*n++
+	}
+	return total
+}

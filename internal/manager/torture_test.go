@@ -14,6 +14,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/parse"
 	"repro/internal/state"
+	"repro/internal/storage"
 )
 
 // crashForTest simulates a process crash: the manager stops dead without
@@ -35,13 +36,8 @@ func (m *Manager) crashForTest() {
 		close(m.batch.stop)
 		<-m.batch.stopped
 	}
-	if m.log != nil {
-		m.log.mu.Lock()
-		if m.log.f != nil {
-			m.log.f.Close() // no flush, no sync: in-buffer data dies
-			m.log.f = nil
-		}
-		m.log.mu.Unlock()
+	if c, ok := m.store.(storage.Crasher); ok {
+		c.Crash() // no flush, no sync: in-buffer data dies
 	}
 }
 
@@ -162,6 +158,261 @@ func TestCrashRecoveryTorture(t *testing.T) {
 			}
 			if got := m2.en.StateKey(); got != refKeys[actions] {
 				t.Fatalf("mode %d: final state differs from uninterrupted run", mode)
+			}
+			if err := m2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTornTailDoubleRestart is the headline regression: a crash
+// mid-append leaves a torn final line; the first restart must TRUNCATE
+// it, not just skip it — otherwise the next append welds a fresh record
+// onto the torn bytes and the second restart dies on a mid-file
+// "corrupt log record". On main (before the fix) this test failed at
+// the second New.
+func TestTornTailDoubleRestart(t *testing.T) {
+	e := parse.MustParse("(a - b)*")
+	dir := t.TempDir()
+	opts := Options{LogPath: filepath.Join(dir, "actions.log")}
+
+	m := MustNew(e, opts)
+	for _, n := range []string{"a", "b"} {
+		if err := m.Request(context.Background(), expr.ConcreteAct(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.crashForTest()
+	// The crash hit mid-append: the log's final line is half a record.
+	f, err := os.OpenFile(opts.LogPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"a":"a","s":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// First restart drops the torn tail; commit more work on top.
+	m2, err := New(e, opts)
+	if err != nil {
+		t.Fatalf("first restart: %v", err)
+	}
+	if got := m2.Steps(); got != 2 {
+		t.Fatalf("first restart recovered %d steps, want 2", got)
+	}
+	for _, n := range []string{"a", "b"} {
+		if err := m2.Request(context.Background(), expr.ConcreteAct(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second restart: before the fix, replay hit the welded record here.
+	m3, err := New(e, opts)
+	if err != nil {
+		t.Fatalf("second restart after torn-tail recovery: %v", err)
+	}
+	if got := m3.Steps(); got != 4 {
+		t.Fatalf("second restart recovered %d steps, want 4", got)
+	}
+	if err := m3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentedDeltaCrashTorture is the segmented-storage twin of
+// TestCrashRecoveryTorture: randomized crash points over a manager on
+// the segmented backend with tiny segments (every trial spans several
+// seals) and delta-checkpoint chains (FullCheckpointEvery > 1 makes the
+// snapshot-then-crash mode land between a full base and its deltas).
+// After every restart the recovered state must be byte-identical — same
+// StateKey, same marshalled state — to the monolithic path's at the
+// same confirm count.
+func TestSegmentedDeltaCrashTorture(t *testing.T) {
+	const trials = 24
+	const actions = 40
+	e := parse.MustParse("(a - b)*")
+	workload := make([]expr.Action, actions)
+	for i := range workload {
+		if i%2 == 0 {
+			workload[i] = expr.ConcreteAct("a")
+		} else {
+			workload[i] = expr.ConcreteAct("b")
+		}
+	}
+	// Reference: the monolithic path's state at every prefix (the plain
+	// engine IS the monolithic recovery target; TestCrashRecoveryTorture
+	// pins the monolithic path to it).
+	refKeys := make([]string, actions+1)
+	refSnaps := make([][]byte, actions+1)
+	ref := state.MustEngine(e)
+	for i := 0; ; i++ {
+		refKeys[i] = ref.StateKey()
+		if refSnaps[i] = mustMarshal(t, ref); i == actions {
+			break
+		}
+		if err := ref.Step(workload[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rnd := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := Options{
+				StorageDir:          filepath.Join(dir, "store"),
+				SegmentBytes:        int64(1 + rnd.Intn(256)),
+				SnapshotEvery:       1 + rnd.Intn(5),
+				FullCheckpointEvery: 1 + rnd.Intn(4),
+				BatchMaxSize:        1 + rnd.Intn(8),
+				BatchMaxDelay:       time.Duration(rnd.Intn(200)) * time.Microsecond,
+				SyncWrites:          rnd.Intn(2) == 0,
+			}
+			crashAt := 1 + rnd.Intn(actions-1)
+			mode := rnd.Intn(3)
+
+			m := MustNew(e, opts)
+			confirmed := 0
+			for confirmed < crashAt {
+				n := 1 + rnd.Intn(4)
+				if confirmed+n > crashAt {
+					n = crashAt - confirmed
+				}
+				for i, err := range m.RequestMany(context.Background(), workload[confirmed:confirmed+n]) {
+					if err != nil {
+						t.Fatalf("confirm %d: %v", confirmed+i, err)
+					}
+				}
+				confirmed += n
+			}
+
+			switch mode {
+			case 0:
+				// Crash right after the last group commit: recovery is
+				// chain restore + log-tail replay across segments.
+				m.crashForTest()
+			case 1:
+				// Crash right after a checkpoint piece lands. With
+				// FullCheckpointEvery > 1 the piece is a delta (or the
+				// base of a new chain) — recovery restores the whole
+				// chain plus whatever log tail compaction left.
+				if err := m.Snapshot(); err != nil {
+					t.Fatal(err)
+				}
+				m.crashForTest()
+			case 2:
+				// Crash mid-append: torn tail in the active segment.
+				m.crashForTest()
+				open, _ := filepath.Glob(filepath.Join(opts.StorageDir, "*.open"))
+				if len(open) != 1 {
+					t.Fatalf("%d open segments, want 1", len(open))
+				}
+				f, err := os.OpenFile(open[0], os.O_APPEND|os.O_WRONLY, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteString(`{"a":"a","s":`); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+
+			m2, err := New(e, opts)
+			if err != nil {
+				t.Fatalf("recovery failed (mode %d): %v", mode, err)
+			}
+			if got := m2.Steps(); got != confirmed {
+				t.Fatalf("mode %d: recovered %d confirms, want %d", mode, got, confirmed)
+			}
+			if got := m2.en.StateKey(); got != refKeys[confirmed] {
+				t.Fatalf("mode %d: recovered state differs from monolithic path at %d confirms:\n got %s\nwant %s",
+					mode, confirmed, got, refKeys[confirmed])
+			}
+			if got := mustMarshal(t, m2.en); string(got) != string(refSnaps[confirmed]) {
+				t.Fatalf("mode %d: recovered state does not marshal byte-identically to the monolithic path", mode)
+			}
+			// Finish the workload and crash-recover once more: the delta
+			// chain continued after a restore must still converge.
+			for i, err := range m2.RequestMany(context.Background(), workload[confirmed:]) {
+				if err != nil {
+					t.Fatalf("post-recovery confirm %d: %v", confirmed+i, err)
+				}
+			}
+			m2.crashForTest()
+			m3, err := New(e, opts)
+			if err != nil {
+				t.Fatalf("second recovery failed: %v", err)
+			}
+			if got := m3.Steps(); got != actions {
+				t.Fatalf("second recovery: %d confirms, want %d", got, actions)
+			}
+			if got := m3.en.StateKey(); got != refKeys[actions] {
+				t.Fatalf("final state differs from monolithic path")
+			}
+			if err := m3.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func mustMarshal(t *testing.T, en *state.Engine) []byte {
+	t.Helper()
+	buf, err := en.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestDeltaChainCrashSweep walks a checkpoint-per-step manager through
+// every crash point of a short workload with FullCheckpointEvery=3, so
+// recovery sees every chain shape in turn: bare base, base+1 delta,
+// base+2 deltas, fresh base again. Each restart must land exactly on
+// the uninterrupted state.
+func TestDeltaChainCrashSweep(t *testing.T) {
+	const actions = 9
+	e := parse.MustParse("(a - b)*")
+	ref := state.MustEngine(e)
+	refKeys := make([]string, actions+1)
+	refKeys[0] = ref.StateKey()
+	names := []string{"a", "b"}
+	for i := 0; i < actions; i++ {
+		if err := ref.Step(expr.ConcreteAct(names[i%2])); err != nil {
+			t.Fatal(err)
+		}
+		refKeys[i+1] = ref.StateKey()
+	}
+	for crashAt := 1; crashAt <= actions; crashAt++ {
+		crashAt := crashAt
+		t.Run(fmt.Sprintf("crashAt=%d", crashAt), func(t *testing.T) {
+			opts := Options{
+				StorageDir:          filepath.Join(t.TempDir(), "store"),
+				SnapshotEvery:       1, // checkpoint after every confirm
+				FullCheckpointEvery: 3,
+			}
+			m := MustNew(e, opts)
+			for i := 0; i < crashAt; i++ {
+				if err := m.Request(context.Background(), expr.ConcreteAct(names[i%2])); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m.crashForTest()
+			m2, err := New(e, opts)
+			if err != nil {
+				t.Fatalf("recovery at %d confirms: %v", crashAt, err)
+			}
+			if got := m2.Steps(); got != crashAt {
+				t.Fatalf("recovered %d confirms, want %d", got, crashAt)
+			}
+			if got := m2.en.StateKey(); got != refKeys[crashAt] {
+				t.Fatalf("recovered state differs at %d confirms", crashAt)
 			}
 			if err := m2.Close(); err != nil {
 				t.Fatal(err)

@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/storage"
 )
 
 // Msg is one queued message.
@@ -131,21 +133,29 @@ func (q *Queue) replay() error {
 	sc := bufio.NewScanner(q.f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
+	var good int64 // byte offset just past the last well-formed record
+	torn := false
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
+			good++
 			continue
 		}
 		var r record
 		if err := json.Unmarshal(raw, &r); err != nil {
 			// A torn final write (crash mid-append) is tolerated and
-			// truncated away; a corrupt record elsewhere is an error.
+			// truncated away — leaving the torn bytes in place would let
+			// the next append weld a record onto them, turning a benign
+			// torn tail into a mid-file corrupt record that fails every
+			// later recovery. A corrupt record elsewhere is an error.
 			if !sc.Scan() {
+				torn = true
 				break
 			}
 			return fmt.Errorf("mq: corrupt record at line %d: %v", line, err)
 		}
+		good += int64(len(raw)) + 1
 		switch {
 		case r.Enq != nil:
 			msgs = append(msgs, *r.Enq)
@@ -158,6 +168,11 @@ func (q *Queue) replay() error {
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("mq: replay: %w", err)
+	}
+	if torn {
+		if err := q.f.Truncate(good); err != nil {
+			return fmt.Errorf("mq: truncate torn tail: %w", err)
+		}
 	}
 	for _, m := range msgs {
 		if !q.acked[m.Seq] {
@@ -333,6 +348,12 @@ func (q *Queue) Compact() error {
 		return fmt.Errorf("mq: compact: %w", err)
 	}
 	if err := os.Rename(tmp, q.path); err != nil {
+		return fmt.Errorf("mq: compact: %w", err)
+	}
+	// Make the rename itself durable: without the directory fsync a
+	// machine crash can lose the directory entry swap wholesale and
+	// resurrect the pre-compaction log.
+	if err := storage.SyncDir(filepath.Dir(q.path)); err != nil {
 		return fmt.Errorf("mq: compact: %w", err)
 	}
 	// Swap the file handle to the compacted log.

@@ -137,6 +137,48 @@ func TestReplayToleratesTornTail(t *testing.T) {
 	}
 }
 
+// TestTornTailSurvivesAppendAndRestart is the double-restart regression:
+// crash mid-append, reopen, enqueue more, reopen again. Before the torn
+// tail was truncated on replay, the post-crash enqueue welded its record
+// onto the torn bytes and the second open failed with a mid-file corrupt
+// record — the queue was permanently unopenable.
+func TestTornTailSurvivesAppendAndRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.log")
+	q, _ := Open(path, Options{})
+	q.Enqueue([]byte("before"))
+	q.Close()
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.WriteString(`{"enq":{"seq":99,"pay`) // crash mid-append
+	f.Close()
+
+	q2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("first reopen: %v", err)
+	}
+	if _, err := q2.Enqueue([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	q2.Close()
+
+	q3, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("second reopen after post-crash append: %v", err)
+	}
+	defer q3.Close()
+	var got []string
+	for {
+		m, ok := q3.Dequeue()
+		if !ok {
+			break
+		}
+		got = append(got, string(m.Payload))
+		q3.Ack(m.Seq)
+	}
+	if len(got) != 2 || got[0] != "before" || got[1] != "after" {
+		t.Errorf("recovered messages: got %v, want [before after]", got)
+	}
+}
+
 func TestCompact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "q.log")
 	q, _ := Open(path, Options{})

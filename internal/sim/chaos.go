@@ -12,6 +12,7 @@ import (
 	"repro/internal/manager"
 	"repro/internal/parse"
 	"repro/internal/sim/check"
+	"repro/internal/storage"
 )
 
 // The chaos scenario, ported from the cluster package's seeded TCP
@@ -104,6 +105,13 @@ type ChaosConfig struct {
 	// Dir holds the nodes' logs and snapshots; "" uses a temporary
 	// directory removed when the run ends.
 	Dir string
+	// MemStorage swaps every node's file-backed log and snapshot for an
+	// in-memory storage backend (with delta checkpoints) that models
+	// process-crash durability without touching the filesystem. The flag
+	// changes only where durable bytes live, never the schedule, so it is
+	// not recorded in journals: a journal recorded with MemStorage replays
+	// bit-identically without it and vice versa.
+	MemStorage bool
 	// Replay, if non-nil, ignores Seed/Events/Mix and re-executes the
 	// recorded schedule.
 	Replay *Journal
@@ -176,12 +184,28 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		src = NewSource(seed, journal)
 	}
 
+	// With MemStorage every node keeps one Memory backend for the whole
+	// schedule: StopNode models a process crash (buffered-but-uncommitted
+	// entries die), RestartNode recovers from the surviving durable log
+	// and delta-checkpoint chain of the same backend.
+	// The hook runs once per node and the ReplSet retains the resulting
+	// Options across restarts, so each node's Memory backend persists for
+	// the whole schedule.
+	var custom func(i int, o *manager.Options)
+	if cfg.MemStorage {
+		custom = func(i int, o *manager.Options) {
+			o.Storage = storage.NewMemory()
+			o.LogPath, o.SnapshotPath = "", ""
+			o.FullCheckpointEvery = 4
+		}
+	}
+
 	e := parse.MustParse(ChaosExpr)
 	parts := cluster.Partition(e)
 	sets := make([]*ReplSet, len(parts))
 	for i, part := range parts {
 		var err error
-		sets[i], err = NewReplSet(part, 2, tr, fmt.Sprintf("%s/shard%d", dir, i), nil)
+		sets[i], err = NewReplSet(part, 2, tr, fmt.Sprintf("%s/shard%d", dir, i), custom)
 		if err != nil {
 			return nil, err
 		}

@@ -103,6 +103,42 @@ func TestDeterminismContract(t *testing.T) {
 	}
 }
 
+// TestChaosMemStorage sweeps chaos schedules with every node on the
+// in-memory storage backend (delta-checkpoint chains, simulated crash
+// durability) instead of file-backed logs: the same invariants must
+// hold, and because the flag changes only where durable bytes live the
+// journal of a seed must be byte-identical to the file-backed run's.
+func TestChaosMemStorage(t *testing.T) {
+	seeds := []int64{0, 1, 7, 42, 651, 948}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			mem, err := RunChaos(ChaosConfig{Seed: seed, MemStorage: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mem.Failed() {
+				var buf bytes.Buffer
+				for _, line := range mem.Trace {
+					fmt.Fprintf(&buf, "  %s\n", line)
+				}
+				t.Fatalf("mem-storage run failed: %v\n%s", mem.Failures, buf.String())
+			}
+			file, err := RunChaos(ChaosConfig{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(mem.Journal.Encode(), file.Journal.Encode()) {
+				t.Errorf("mem-storage journal differs from file-backed run")
+			}
+			if fmt.Sprint(mem.Steps) != fmt.Sprint(file.Steps) {
+				t.Errorf("mem-storage final steps %v != file-backed %v", mem.Steps, file.Steps)
+			}
+		})
+	}
+}
+
 // TestReplayReproduces runs a recorded schedule back through the replay
 // source and demands a byte-identical journal and the same outcome —
 // the workflow ixcheck -replay gives a failing CI artifact.

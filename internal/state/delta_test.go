@@ -1,0 +1,275 @@
+package state
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/parse"
+)
+
+// driveDeltaChain steps an engine through a growing all-quantifier
+// workload, checkpointing every "every" steps (full base first, deltas
+// after), and returns the pieces plus the engine.
+func driveDeltaChain(t *testing.T, steps, every int) (*expr.Expr, *Engine, [][]byte) {
+	t.Helper()
+	e := parse.MustParse("all p: (call(p) - perform(p))*")
+	en := MustEngine(e)
+	dm := NewDeltaMarshaller()
+	var chain [][]byte
+	for i := 0; i < steps; i++ {
+		a, err := expr.ParseActionString(fmt.Sprintf("call(p%d)", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := en.Step(a); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if (i+1)%every != 0 {
+			continue
+		}
+		var data []byte
+		if len(chain) == 0 {
+			data, err = dm.MarshalBase(en)
+		} else {
+			data, err = dm.MarshalDelta(en)
+		}
+		if err != nil {
+			t.Fatalf("marshal piece %d: %v", len(chain), err)
+		}
+		chain = append(chain, data)
+	}
+	return e, en, chain
+}
+
+func restoreChain(t *testing.T, e *expr.Expr, chain [][]byte) *DeltaRestorer {
+	t.Helper()
+	dr, err := NewDeltaRestorer(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, data := range chain {
+		if err := dr.Load(data); err != nil {
+			t.Fatalf("load piece %d: %v", i, err)
+		}
+	}
+	return dr
+}
+
+// TestDeltaChainRoundTrip: restoring base+deltas reproduces the exact
+// engine state (key, steps, finality) at every checkpoint, and the
+// delta pieces stay a fraction of what a full snapshot would be.
+func TestDeltaChainRoundTrip(t *testing.T) {
+	e, en, chain := driveDeltaChain(t, 24, 4)
+	if len(chain) < 3 {
+		t.Fatalf("want >= 3 pieces, got %d", len(chain))
+	}
+	dr := restoreChain(t, e, chain)
+	re, err := dr.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := re.StateKey(), en.StateKey(); got != want {
+		t.Fatalf("state key mismatch:\n got  %s\n want %s", got, want)
+	}
+	if re.Steps() != en.Steps() {
+		t.Fatalf("steps: got %d want %d", re.Steps(), en.Steps())
+	}
+
+	// The last delta must be dramatically smaller than a standalone full
+	// snapshot of the same state: the quantifier's earlier branches are
+	// all back-references into prior pieces.
+	full, err := en.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := chain[len(chain)-1]
+	if len(last)*2 > len(full) {
+		t.Fatalf("delta piece not compact: %dB delta vs %dB full snapshot", len(last), len(full))
+	}
+}
+
+// TestDeltaChainIntermediatePieces: every chain prefix restores the
+// state at that checkpoint, verified against standalone snapshots taken
+// at the same instants.
+func TestDeltaChainIntermediatePieces(t *testing.T) {
+	e := parse.MustParse("all p: (call(p) - perform(p))*")
+	en := MustEngine(e)
+	dm := NewDeltaMarshaller()
+	var chain [][]byte
+	var wantKeys []string
+	for i := 0; i < 12; i++ {
+		a, _ := expr.ParseActionString(fmt.Sprintf("call(p%d)", i))
+		if err := en.Step(a); err != nil {
+			t.Fatal(err)
+		}
+		var data []byte
+		var err error
+		if len(chain) == 0 {
+			data, err = dm.MarshalBase(en)
+		} else {
+			data, err = dm.MarshalDelta(en)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain = append(chain, data)
+		wantKeys = append(wantKeys, en.StateKey())
+	}
+	dr, err := NewDeltaRestorer(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, data := range chain {
+		if err := dr.Load(data); err != nil {
+			t.Fatalf("load piece %d: %v", i, err)
+		}
+		re, err := dr.Engine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re.StateKey() != wantKeys[i] {
+			t.Fatalf("piece %d: state key mismatch", i)
+		}
+	}
+}
+
+// TestDeltaRestorerContinuation: after a restore, Marshaller() extends
+// the recovered chain — the new delta references nodes persisted before
+// the restart, and the longer chain still restores exactly.
+func TestDeltaRestorerContinuation(t *testing.T) {
+	e, en, chain := driveDeltaChain(t, 16, 4)
+	dr := restoreChain(t, e, chain)
+	re, err := dr.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := dr.Marshaller()
+	// "The restart": drive the restored engine further, checkpoint with
+	// the continuation marshaller.
+	for i := 0; i < 4; i++ {
+		a, _ := expr.ParseActionString(fmt.Sprintf("call(q%d)", i))
+		if err := re.Step(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delta, err := dm.MarshalDelta(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain = append(chain, delta)
+	// Mirror the walk on the original engine for the reference key.
+	for i := 0; i < 4; i++ {
+		a, _ := expr.ParseActionString(fmt.Sprintf("call(q%d)", i))
+		if err := en.Step(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dr2 := restoreChain(t, e, chain)
+	re2, err := dr2.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := re2.StateKey(), en.StateKey(); got != want {
+		t.Fatalf("state key mismatch after continuation:\n got  %s\n want %s", got, want)
+	}
+}
+
+// TestDeltaChainValidation: broken chains fail loudly.
+func TestDeltaChainValidation(t *testing.T) {
+	e, _, chain := driveDeltaChain(t, 16, 4)
+
+	newDR := func() *DeltaRestorer {
+		dr, err := NewDeltaRestorer(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dr
+	}
+
+	// Delta as first piece: no base to reference into.
+	if err := newDR().Load(chain[1]); err == nil || !strings.Contains(err.Error(), "delta chain broken") {
+		t.Fatalf("delta-first load: got %v, want chain-broken error", err)
+	}
+	// Skipped piece: indices no longer sequential.
+	dr := newDR()
+	if err := dr.Load(chain[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dr.Load(chain[2]); err == nil || !strings.Contains(err.Error(), "delta chain broken") {
+		t.Fatalf("skip-piece load: got %v, want chain-broken error", err)
+	}
+	// Wrong expression.
+	other, err := NewDeltaRestorer(parse.MustParse("a - b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Load(chain[0]); err == nil || !strings.Contains(err.Error(), "snapshot is for") {
+		t.Fatalf("wrong-expr load: got %v, want expr mismatch error", err)
+	}
+	// MarshalDelta before any base.
+	if _, err := NewDeltaMarshaller().MarshalDelta(MustEngine(e)); err == nil {
+		t.Fatal("MarshalDelta without base should fail")
+	}
+	// Engine() before any load.
+	if _, err := newDR().Engine(); err == nil {
+		t.Fatal("Engine() before load should fail")
+	}
+}
+
+// TestDeltaStandaloneBase: a plain MarshalState (format 2) snapshot
+// seeds a chain, and a continuation delta on top restores exactly.
+func TestDeltaStandaloneBase(t *testing.T) {
+	e := parse.MustParse("all p: (call(p) - perform(p))*")
+	en := MustEngine(e)
+	for i := 0; i < 6; i++ {
+		a, _ := expr.ParseActionString(fmt.Sprintf("call(p%d)", i))
+		if err := en.Step(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base, err := en.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := NewDeltaRestorer(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dr.Load(base); err != nil {
+		t.Fatal(err)
+	}
+	re, err := dr.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := dr.Marshaller()
+	a, _ := expr.ParseActionString("perform(p3)")
+	if err := re.Step(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.Step(a); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := dm.MarshalDelta(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr2, err := NewDeltaRestorer(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][]byte{base, delta} {
+		if err := dr2.Load(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re2, err := dr2.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := re2.StateKey(), en.StateKey(); got != want {
+		t.Fatalf("state key mismatch:\n got  %s\n want %s", got, want)
+	}
+}

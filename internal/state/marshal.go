@@ -501,9 +501,17 @@ func (d *decoder) stateBody(n *snapNode) (State, error) {
 
 // engineSnap is the serialized form of an Engine. V is the state-node
 // format version: 0/absent is the legacy tree encoding, 2 the shared DAG
-// encoding with back-references.
+// encoding with back-references, 3 the delta-chain encoding (same DAG
+// node format, but back-references may reach nodes emitted by earlier
+// pieces of the chain — see delta.go). Idx and Ord only appear in
+// version 3: Idx is the piece's position in its chain (0 = full base)
+// and Ord the number of node ordinals all earlier pieces assigned,
+// which a loader checks before decoding so a mismatched or reordered
+// chain fails loudly instead of resolving references wrongly.
 type engineSnap struct {
 	V     int       `json:"v,omitempty"`
+	Idx   int       `json:"idx,omitempty"`
+	Ord   int       `json:"ord,omitempty"`
 	Expr  string    `json:"expr"`
 	Steps int       `json:"steps"`
 	State *snapNode `json:"state"`
@@ -527,27 +535,18 @@ func (en *Engine) MarshalState() ([]byte, error) {
 	})
 }
 
-// RestoreEngine rebuilds an engine for e from a snapshot produced by
-// MarshalState. The restored engine is behaviourally identical to the one
-// that was snapshotted: same state key, same permissible actions.
+// RestoreEngine rebuilds an engine for e from a standalone snapshot
+// produced by MarshalState (or a chain-starting full base produced by a
+// DeltaMarshaller). The restored engine is behaviourally identical to
+// the one that was snapshotted: same state key, same permissible
+// actions. Delta pieces need their whole chain; use DeltaRestorer.
 func RestoreEngine(e *expr.Expr, data []byte) (*Engine, error) {
-	var snap engineSnap
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("state: decode snapshot: %w", err)
-	}
-	if snap.V != 0 && snap.V != snapFormatVersion {
-		return nil, fmt.Errorf("state: snapshot format version %d not supported (want 0 or %d)", snap.V, snapFormatVersion)
-	}
-	if snap.Expr != e.String() {
-		return nil, fmt.Errorf("state: snapshot is for %q, not %q", snap.Expr, e)
-	}
-	if !e.Closed() {
-		return nil, fmt.Errorf("state: expression has free parameters: %s", e)
-	}
-	d := &decoder{exprs: make(map[string]*expr.Expr)}
-	cur, err := d.state(snap.State)
+	dr, err := NewDeltaRestorer(e)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{e: e, cur: cur, steps: snap.Steps}, nil
+	if err := dr.Load(data); err != nil {
+		return nil, err
+	}
+	return dr.Engine()
 }

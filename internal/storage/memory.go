@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"sync"
+)
+
+// Memory is the in-memory twin of the file backends, built for
+// internal/sim: it supports delta chains, sequence-based compaction and
+// simulated crashes, so deterministic chaos schedules exercise the same
+// manager storage code paths without a filesystem. It models the
+// process/machine boundary the way the file backends behave with
+// SyncWrites off: Append and Commit move entries to the durable set
+// (they survive a simulated crash, like data flushed to the OS page
+// cache survives a process kill), while Buffer-staged entries die on
+// Crash. The value deliberately survives Close and Crash so a restarted
+// simulated node reopens the same "disk".
+type Memory struct {
+	mu      sync.Mutex
+	durable []Entry
+	buf     []Entry
+	chain   []Checkpoint
+}
+
+// NewMemory returns an empty in-memory backend.
+func NewMemory() *Memory { return &Memory{} }
+
+// RestoreChain returns the live checkpoint chain (newest full piece
+// onward), oldest first.
+func (m *Memory) RestoreChain() ([]Checkpoint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := -1
+	for i := len(m.chain) - 1; i >= 0; i-- {
+		if m.chain[i].Full {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil, nil
+	}
+	out := make([]Checkpoint, len(m.chain)-start)
+	copy(out, m.chain[start:])
+	return out, nil
+}
+
+// Replay calls fn for every durable entry in order.
+func (m *Memory) Replay(fn func(Entry) error) error {
+	m.mu.Lock()
+	entries := append([]Entry(nil), m.durable...)
+	m.mu.Unlock()
+	var seq uint64
+	for _, e := range entries {
+		if e.Seq == 0 {
+			seq++
+			e.Seq = seq
+		} else {
+			seq = e.Seq
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append adds one entry to the durable set.
+func (m *Memory) Append(e Entry) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.durable = append(m.durable, e)
+	return nil
+}
+
+// Buffer stages one entry; it is lost on Crash until Commit runs.
+func (m *Memory) Buffer(e Entry) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.buf = append(m.buf, e)
+	return nil
+}
+
+// Commit moves every buffered entry to the durable set.
+func (m *Memory) Commit(sync bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.durable = append(m.durable, m.buf...)
+	m.buf = nil
+	return nil
+}
+
+// Sync is a no-op: durable means durable here.
+func (m *Memory) Sync() error { return nil }
+
+// SaveCheckpoint appends one piece to the chain.
+func (m *Memory) SaveCheckpoint(c Checkpoint) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c.Data = append([]byte(nil), c.Data...)
+	m.chain = append(m.chain, c)
+	return nil
+}
+
+// CompactThrough drops durable entries with Seq <= seq and checkpoint
+// pieces older than the newest full base.
+func (m *Memory) CompactThrough(seq uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	live := m.durable[:0]
+	for _, e := range m.durable {
+		if e.Seq > seq {
+			live = append(live, e)
+		}
+	}
+	m.durable = live
+	for i := len(m.chain) - 1; i >= 0; i-- {
+		if m.chain[i].Full {
+			m.chain = append([]Checkpoint(nil), m.chain[i:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// TruncateLog drops every entry, durable and buffered.
+func (m *Memory) TruncateLog() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.durable = nil
+	m.buf = nil
+	return nil
+}
+
+// SupportsDelta reports true.
+func (m *Memory) SupportsDelta() bool { return true }
+
+// LogBytes approximates the log size as the durable entry count (the
+// unit only matters for relative diagnostics).
+func (m *Memory) LogBytes() (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.durable)), nil
+}
+
+// CheckpointBytes returns the total payload size of the live chain.
+func (m *Memory) CheckpointBytes() (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, c := range m.chain {
+		total += int64(len(c.Data))
+	}
+	return total, nil
+}
+
+// Close commits buffered entries (a clean shutdown flushes) and keeps
+// the data: a restarted simulated node reopens the same "disk".
+func (m *Memory) Close() error { return m.Commit(false) }
+
+// Crash drops buffered entries, exactly as a process kill loses an
+// unflushed write buffer. Durable entries and checkpoints survive.
+func (m *Memory) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.buf = nil
+}

@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Monolith is the seed-era storage layout: one JSON-lines action log
+// file plus one full-state snapshot file, either of which may be absent
+// (log-only durability, or snapshot-only). It stays byte-compatible
+// with logs and snapshots written before the storage engine existed,
+// and serves as the convergence comparator for the segmented backend's
+// torture tests. Delta checkpoints are not supported: every checkpoint
+// fully replaces the snapshot file.
+type Monolith struct {
+	mu       sync.Mutex
+	log      *FileLog // nil when no log path was configured
+	snapPath string   // "" when no snapshot path was configured
+}
+
+// OpenMonolith opens the monolithic backend. Either path may be empty.
+func OpenMonolith(logPath, snapPath string) (*Monolith, error) {
+	m := &Monolith{snapPath: snapPath}
+	if logPath != "" {
+		l, err := OpenFileLog(logPath)
+		if err != nil {
+			return nil, err
+		}
+		m.log = l
+	}
+	return m, nil
+}
+
+// RestoreChain returns the snapshot file as a single full piece, or nil
+// when no snapshot exists. The covered sequence number is embedded in
+// the payload, not known to the backend; Seq is left zero and the
+// manager derives the cutoff from the decoded snapshot.
+func (m *Monolith) RestoreChain() ([]Checkpoint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.snapPath == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(m.snapPath)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read snapshot: %w", err)
+	}
+	return []Checkpoint{{Full: true, Data: data}}, nil
+}
+
+// Replay replays the action log; see FileLog.Replay.
+func (m *Monolith) Replay(fn func(Entry) error) error {
+	if m.log == nil {
+		return nil
+	}
+	return m.log.Replay(fn)
+}
+
+// Append logs one entry; a no-op without a log path.
+func (m *Monolith) Append(e Entry) error {
+	if m.log == nil {
+		return nil
+	}
+	return m.log.Append(e)
+}
+
+// Buffer stages one entry; a no-op without a log path.
+func (m *Monolith) Buffer(e Entry) error {
+	if m.log == nil {
+		return nil
+	}
+	return m.log.Buffer(e)
+}
+
+// Commit settles buffered entries; a no-op without a log path.
+func (m *Monolith) Commit(sync bool) error {
+	if m.log == nil {
+		return nil
+	}
+	return m.log.Commit(sync)
+}
+
+// Sync fsyncs the log; a no-op without a log path.
+func (m *Monolith) Sync() error {
+	if m.log == nil {
+		return nil
+	}
+	return m.log.Sync()
+}
+
+// SaveCheckpoint atomically replaces the snapshot file. Delta pieces
+// are rejected: the monolithic layout has exactly one snapshot slot.
+func (m *Monolith) SaveCheckpoint(c Checkpoint) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !c.Full {
+		return ErrDeltaUnsupported
+	}
+	if m.snapPath == "" {
+		return fmt.Errorf("storage: no snapshot path configured")
+	}
+	return writeFileAtomic(m.snapPath, c.Data)
+}
+
+// CompactThrough truncates the whole log. The monolithic snapshot
+// always covers every confirmed action at the moment it is written and
+// the manager compacts under its own lock immediately after the save,
+// so whole-log truncation and seq-bounded dropping coincide.
+func (m *Monolith) CompactThrough(seq uint64) error {
+	return m.TruncateLog()
+}
+
+// TruncateLog drops every log entry.
+func (m *Monolith) TruncateLog() error {
+	if m.log == nil {
+		return nil
+	}
+	return m.log.Truncate()
+}
+
+// SupportsDelta reports false: one snapshot slot, no chains.
+func (m *Monolith) SupportsDelta() bool { return false }
+
+// LogBytes returns the log file size (0 without a log path).
+func (m *Monolith) LogBytes() (int64, error) {
+	if m.log == nil {
+		return 0, nil
+	}
+	return m.log.Size()
+}
+
+// CheckpointBytes returns the snapshot file size (0 when absent).
+func (m *Monolith) CheckpointBytes() (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.snapPath == "" {
+		return 0, nil
+	}
+	st, err := os.Stat(m.snapPath)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Close flushes and closes the log.
+func (m *Monolith) Close() error {
+	if m.log == nil {
+		return nil
+	}
+	return m.log.Close()
+}
+
+// Crash simulates a process crash; see FileLog.Crash.
+func (m *Monolith) Crash() {
+	if m.log != nil {
+		m.log.Crash()
+	}
+}

@@ -1,0 +1,685 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func ent(i int) Entry {
+	return Entry{Name: "act", Args: []string{fmt.Sprintf("p%d", i)}, Seq: uint64(i)}
+}
+
+type replayer interface {
+	Replay(fn func(Entry) error) error
+}
+
+func collect(t *testing.T, r replayer) []Entry {
+	t.Helper()
+	var out []Entry
+	if err := r.Replay(func(e Entry) error { out = append(out, e); return nil }); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func wantSeqs(t *testing.T, got []Entry, want ...uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d (%v)", len(got), len(want), got)
+	}
+	for i, e := range got {
+		if e.Seq != want[i] {
+			t.Fatalf("entry %d has seq %d, want %d", i, e.Seq, want[i])
+		}
+	}
+}
+
+// tear appends a half-written record — a crash mid-append — to path.
+func tear(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"a":"act","v":["to`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileLogTornTailDoubleRestart is the headline regression at the
+// storage layer: a torn tail must be truncated on replay, not merely
+// skipped — otherwise the next append welds onto the torn bytes and the
+// second restart fails on a mid-file corrupt record.
+func TestFileLogTornTailDoubleRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "actions.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := l.Append(ent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Crash()
+	tear(t, path)
+
+	// First restart: the torn tail is dropped...
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, collect(t, l2), 1, 2)
+	// ...and the next append must land on a clean boundary.
+	if err := l2.Append(ent(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second restart: before the truncate fix this failed with a
+	// mid-file corrupt record (the welded line).
+	l3, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, collect(t, l3), 1, 2, 3)
+	if err := l3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileLogBufferedEntriesDieOnCrash: Buffer stages without flushing,
+// so a crash loses the staged entries; Commit makes them survive.
+func TestFileLogBufferedEntriesDieOnCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "actions.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(ent(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Buffer(ent(2)); err != nil {
+		t.Fatal(err)
+	}
+	l.Crash()
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, collect(t, l2), 1)
+	if err := l2.Buffer(ent(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Commit(false); err != nil {
+		t.Fatal(err)
+	}
+	l2.Crash()
+
+	l3, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, collect(t, l3), 1, 2)
+	if err := l3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileLogCorruptMidFile: garbage anywhere but the final line is real
+// corruption, not a torn tail, and must fail replay loudly.
+func TestFileLogCorruptMidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "actions.log")
+	content := `{"a":"act","s":1}` + "\n" + `GARBAGE` + "\n" + `{"a":"act","s":2}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	err = l.Replay(func(Entry) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "corrupt log record") {
+		t.Fatalf("mid-file garbage: got %v, want corrupt log record", err)
+	}
+}
+
+// TestFileLogPositionalSeq: pre-PR-2 logs carry no sequence numbers;
+// replay numbers them 1, 2, ... positionally.
+func TestFileLogPositionalSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "actions.log")
+	content := `{"a":"a"}` + "\n" + `{"a":"b","v":["x"]}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	wantSeqs(t, collect(t, l), 1, 2)
+}
+
+// TestMonolithCheckpointRoundTrip: the monolithic backend restores the
+// single snapshot file as a one-piece full chain and rejects deltas.
+func TestMonolithCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	logPath, snapPath := filepath.Join(dir, "a.log"), filepath.Join(dir, "s.snap")
+	m, err := OpenMonolith(logPath, snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SupportsDelta() {
+		t.Fatal("monolith claims delta support")
+	}
+	if err := m.SaveCheckpoint(Checkpoint{Full: false, Data: []byte("x")}); !errors.Is(err, ErrDeltaUnsupported) {
+		t.Fatalf("delta checkpoint: got %v, want ErrDeltaUnsupported", err)
+	}
+	if err := m.SaveCheckpoint(Checkpoint{Full: true, Data: []byte("snapdata\n")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := OpenMonolith(logPath, snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	chain, err := m2.RestoreChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || !chain[0].Full || string(chain[0].Data) != "snapdata\n" {
+		t.Fatalf("restored chain %+v, want one full piece", chain)
+	}
+}
+
+// TestMonolithCompactTruncatesLog: with one file there is nothing to
+// drop selectively — compaction truncates the whole log (safe because
+// the manager compacts only right after a covering checkpoint).
+func TestMonolithCompactTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	m, err := OpenMonolith(filepath.Join(dir, "a.log"), filepath.Join(dir, "s.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 1; i <= 3; i++ {
+		if err := m.Append(ent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := m.LogBytes(); n == 0 {
+		t.Fatal("log empty after appends")
+	}
+	if err := m.CompactThrough(3); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := m.LogBytes(); n != 0 {
+		t.Fatalf("log holds %d bytes after compaction, want 0", n)
+	}
+	wantSeqs(t, collect(t, m))
+}
+
+// TestSegmentedSealRollover: a tiny threshold seals after every append;
+// sealed filenames record the covered sequence number and replay stays
+// in order across the segment boundary.
+func TestSegmentedSealRollover(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := s.Append(ent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) != 5 {
+		t.Fatalf("%d sealed segments, want 5: %v", len(segs), segs)
+	}
+	if want := filepath.Join(dir, "seg-00000004-00000000000000000005.seg"); segs[4] != want {
+		t.Fatalf("sealed name %s, want %s", segs[4], want)
+	}
+
+	s2, err := OpenSegmented(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	wantSeqs(t, collect(t, s2), 1, 2, 3, 4, 5)
+}
+
+// TestSegmentedGroupCommitNeverSplits: a batch buffered past the seal
+// threshold lands whole in one segment; the seal happens at the commit.
+func TestSegmentedGroupCommitNeverSplits(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 1; i <= 4; i++ {
+		if err := s.Buffer(ent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if segs, _ := filepath.Glob(filepath.Join(dir, "*.seg")); len(segs) != 0 {
+		t.Fatalf("buffering sealed %d segments before commit", len(segs))
+	}
+	if err := s.Commit(false); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("%d sealed segments after group commit, want 1 (batch split)", len(segs))
+	}
+}
+
+// TestSegmentedStaleTmpRemoved: interrupted atomic writes leave *.tmp
+// files; open removes them (the rename never happened, the content was
+// never live).
+func TestSegmentedStaleTmpRemoved(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "ckpt-00000000.full.tmp")
+	if err := os.WriteFile(tmp, []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenSegmented(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp survived open: %v", err)
+	}
+}
+
+// TestSegmentedRejectsForeignFiles: an unrecognized file in the storage
+// directory is corruption (or a misconfiguration) and fails open.
+func TestSegmentedRejectsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSegmented(dir, 0); err == nil {
+		t.Fatal("open accepted a foreign file")
+	}
+}
+
+// TestSegmentedTornActiveTailDoubleRestart: the headline torn-tail
+// regression on the segmented backend — truncate, append, restart again.
+func TestSegmentedTornActiveTailDoubleRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := s.Append(ent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Crash()
+	open, _ := filepath.Glob(filepath.Join(dir, "*.open"))
+	if len(open) != 1 {
+		t.Fatalf("%d open segments, want 1", len(open))
+	}
+	tear(t, open[0])
+
+	s2, err := OpenSegmented(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, collect(t, s2), 1, 2)
+	if err := s2.Append(ent(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s3, err := OpenSegmented(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	wantSeqs(t, collect(t, s3), 1, 2, 3)
+}
+
+// TestSegmentedTornSealedSegmentFails: sealed segments were fsynced
+// before the seal rename, so a torn record there is real corruption.
+func TestSegmentedTornSealedSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(ent(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("%d sealed segments, want 1", len(segs))
+	}
+	tear(t, segs[0])
+
+	s2, err := OpenSegmented(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	err = s2.Replay(func(Entry) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "torn record in sealed segment") {
+		t.Fatalf("torn sealed segment: got %v, want torn-record error", err)
+	}
+}
+
+// TestSegmentedCheckpointChain: RestoreChain returns the newest full
+// base plus every piece after it; older pieces are inert.
+func TestSegmentedCheckpointChain(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pieces := []Checkpoint{
+		{Full: true, Data: []byte("base0")},
+		{Full: false, Data: []byte("delta1")},
+		{Full: false, Data: []byte("delta2")},
+	}
+	for _, c := range pieces {
+		if err := s.SaveCheckpoint(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSegmented(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := s2.RestoreChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("chain has %d pieces, want 3", len(chain))
+	}
+	for i, c := range chain {
+		if c.Full != pieces[i].Full || string(c.Data) != string(pieces[i].Data) {
+			t.Fatalf("piece %d = {%v %q}, want {%v %q}", i, c.Full, c.Data, pieces[i].Full, pieces[i].Data)
+		}
+	}
+	// A newer full base supersedes the whole prior chain.
+	if err := s2.SaveCheckpoint(Checkpoint{Full: true, Data: []byte("base3")}); err != nil {
+		t.Fatal(err)
+	}
+	chain, err = s2.RestoreChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || !chain[0].Full || string(chain[0].Data) != "base3" {
+		t.Fatalf("chain after new base: %+v, want just base3", chain)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentedChainCorruptionDetected: a hole inside the live chain,
+// or deltas whose base is gone, must error rather than restore a wrong
+// state.
+func TestSegmentedChainCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Checkpoint{
+		{Full: true, Data: []byte("base")},
+		{Full: false, Data: []byte("d1")},
+		{Full: false, Data: []byte("d2")},
+	} {
+		if err := s.SaveCheckpoint(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hole: remove the middle delta.
+	if err := os.Remove(filepath.Join(dir, "ckpt-00000001.delta")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenSegmented(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.RestoreChain(); err == nil || !strings.Contains(err.Error(), "chain broken") {
+		t.Fatalf("chain hole: got %v, want chain-broken error", err)
+	}
+	s2.Close()
+
+	// No base: remove the full piece too.
+	if err := os.Remove(filepath.Join(dir, "ckpt-00000000.full")); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := OpenSegmented(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if _, err := s3.RestoreChain(); err == nil || !strings.Contains(err.Error(), "no full base") {
+		t.Fatalf("orphan deltas: got %v, want no-full-base error", err)
+	}
+}
+
+// TestSegmentedCompaction: a checkpoint at sequence S makes sealed
+// segments with lastSeq <= S and chain pieces before the newest full
+// base dead; the background pass unlinks exactly those.
+func TestSegmentedCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 1; i <= 6; i++ {
+		if err := s.Append(ent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []Checkpoint{
+		{Full: true, Data: []byte("old base")},
+		{Full: false, Data: []byte("old delta")},
+		{Full: true, Data: []byte("new base")},
+	} {
+		if err := s.SaveCheckpoint(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CompactThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WaitCompaction(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) != 2 {
+		t.Fatalf("%d sealed segments survive compaction through 4, want 2: %v", len(segs), segs)
+	}
+	wantSeqs(t, collect(t, s), 5, 6)
+	ckpts, _ := filepath.Glob(filepath.Join(dir, "ckpt-*"))
+	if len(ckpts) != 1 || !strings.HasSuffix(ckpts[0], "ckpt-00000002.full") {
+		t.Fatalf("chain files after compaction: %v, want just the new base", ckpts)
+	}
+}
+
+// TestSegmentedInterruptedCompactionRecovery: a crash mid-pass leaves a
+// prefix of the dead files unlinked; recovery treats the leftovers as
+// inert and the next pass finishes the job.
+func TestSegmentedInterruptedCompactionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if err := s.Append(ent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SaveCheckpoint(Checkpoint{Full: true, Data: []byte("base covers 1-4")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: the pass unlinks dead segments in index order,
+	// so an interruption leaves a prefix removed — here 2 of the 4
+	// segments a checkpoint at sequence 4 covers.
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) != 6 {
+		t.Fatalf("%d sealed segments, want 6", len(segs))
+	}
+	for _, p := range segs[:2] {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := OpenSegmented(dir, 1)
+	if err != nil {
+		t.Fatalf("open after interrupted compaction: %v", err)
+	}
+	defer s2.Close()
+	chain, err := s2.RestoreChain()
+	if err != nil || len(chain) != 1 {
+		t.Fatalf("chain after interrupted compaction: %v, %v", chain, err)
+	}
+	// The survivors replay with their original sequence numbers — the
+	// caller's checkpoint-cutoff filter (seq <= 4) renders 3 and 4 inert.
+	wantSeqs(t, collect(t, s2), 3, 4, 5, 6)
+	// The next pass finishes the job.
+	if err := s2.CompactThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WaitCompaction(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ = filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) != 2 {
+		t.Fatalf("%d sealed segments after the finishing pass, want 2: %v", len(segs), segs)
+	}
+}
+
+// TestSegmentedTruncateLog: resync drops the whole log — sealed
+// segments and active contents — regardless of sequence numbers.
+func TestSegmentedTruncateLog(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 1; i <= 4; i++ {
+		if err := s.Append(ent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.TruncateLog(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.LogBytes(); err != nil || n != 0 {
+		t.Fatalf("log holds %d bytes after truncate (%v), want 0", n, err)
+	}
+	wantSeqs(t, collect(t, s))
+	if segs, _ := filepath.Glob(filepath.Join(dir, "*.seg")); len(segs) != 0 {
+		t.Fatalf("sealed segments survive truncate: %v", segs)
+	}
+}
+
+// TestMemoryCrashDurability: the in-memory backend models process-crash
+// durability — appends and commits survive Crash, buffered entries die.
+func TestMemoryCrashDurability(t *testing.T) {
+	m := NewMemory()
+	if err := m.Append(ent(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Buffer(ent(2)); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	wantSeqs(t, collect(t, m), 1)
+
+	if err := m.Buffer(ent(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(false); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	wantSeqs(t, collect(t, m), 1, 2)
+}
+
+// TestMemoryChainAndCompaction: checkpoint chains and sequence-based
+// compaction mirror the segmented backend's semantics.
+func TestMemoryChainAndCompaction(t *testing.T) {
+	m := NewMemory()
+	if !m.SupportsDelta() {
+		t.Fatal("memory backend should support deltas")
+	}
+	for i := 1; i <= 4; i++ {
+		if err := m.Append(ent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []Checkpoint{
+		{Full: true, Data: []byte("old")},
+		{Full: true, Data: []byte("base"), Seq: 2},
+		{Full: false, Data: []byte("delta"), Seq: 3},
+	} {
+		if err := m.SaveCheckpoint(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.CompactThrough(2); err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, collect(t, m), 3, 4)
+	chain, err := m.RestoreChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || !chain[0].Full || string(chain[0].Data) != "base" || chain[0].Seq != 2 {
+		t.Fatalf("chain after compaction: %+v, want base+delta", chain)
+	}
+	if err := m.TruncateLog(); err != nil {
+		t.Fatal(err)
+	}
+	wantSeqs(t, collect(t, m))
+}
