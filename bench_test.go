@@ -22,6 +22,7 @@ import (
 	"repro/internal/manager"
 	"repro/internal/obs"
 	"repro/internal/paper"
+	"repro/internal/placement"
 	"repro/internal/semantics"
 	"repro/internal/state"
 	"repro/ix"
@@ -937,6 +938,82 @@ func BenchmarkShardMigration(b *testing.B) {
 		run(b, gw)
 		close(stop)
 		<-done
+	})
+}
+
+// --- E25: control plane on the data-plane hot path --------------------------
+
+// BenchmarkRoutePlane (E25, PR 10): the request hot path of a gateway
+// serving from a shared placement.RouteTable versus one serving from a
+// pinned private address list, and the same table-attached gateway with
+// the autopilot control loop polling while traffic runs. The route table
+// only fans out on topology *changes* — the hot path reads the same
+// shard-client state either way — so CI gates "shared-table" at ≥95% of
+// "pinned" confirms/s, and "autopilot-on" (a controller polling Stats
+// every 10ms, hot detection disabled by an unreachable score floor so no
+// migration fires mid-measurement) at ≥95% of "shared-table".
+func BenchmarkRoutePlane(b *testing.B) {
+	setup := func(b *testing.B, useTable bool) *cluster.Gateway {
+		e := ix.MustParse("(a | b)*")
+		m := manager.MustNew(e, manager.Options{BatchMaxSize: 64, BatchMaxDelay: 100 * time.Microsecond})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := manager.NewServer(m, ln)
+		b.Cleanup(func() { srv.Close(); m.Close() })
+		var gw *cluster.Gateway
+		if useTable {
+			gw, err = cluster.NewReplicatedGateway(e, nil, cluster.GatewayOptions{
+				RouteTable: placement.MustRouteTable([][]string{{srv.Addr()}}),
+			})
+		} else {
+			gw, err = cluster.NewReplicatedGateway(e, [][]string{{srv.Addr()}}, cluster.GatewayOptions{})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { gw.Close() })
+		if err := gw.Ping(bg); err != nil {
+			b.Fatal(err)
+		}
+		return gw
+	}
+	run := func(b *testing.B, gw *cluster.Gateway) {
+		a := expr.ConcreteAct("a")
+		lats := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if err := gw.Request(bg, a); err != nil {
+				b.Fatalf("request %d: %v", i, err)
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "confirms/s")
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		idx := len(lats) * 99 / 100
+		if idx >= len(lats) {
+			idx = len(lats) - 1
+		}
+		b.ReportMetric(float64(lats[idx].Microseconds()), "p99-us")
+	}
+	b.Run("pinned", func(b *testing.B) { run(b, setup(b, false)) })
+	b.Run("shared-table", func(b *testing.B) { run(b, setup(b, true)) })
+	b.Run("autopilot-on", func(b *testing.B) {
+		gw := setup(b, true)
+		reb := gw.Rebalancer()
+		ctrl := placement.NewController(reb, reb, placement.ControllerOptions{
+			Interval: 10 * time.Millisecond,
+			// No spares and an unreachable floor: the loop polls, scores and
+			// holds — its steady-state cost is what this variant measures.
+			MinScore: 1e18,
+		})
+		ctx, cancel := context.WithCancel(bg)
+		defer cancel()
+		go ctrl.Run(ctx)
+		run(b, gw)
 	})
 }
 

@@ -145,12 +145,15 @@ func waitPort(t *testing.T, addr string) {
 
 // adminReply mirrors ixgateway's admin response shape.
 type adminReply struct {
-	Op       string             `json:"op"`
-	OK       bool               `json:"ok"`
-	Err      string             `json:"error"`
-	Topology []ix.ShardTopology `json:"topology"`
-	Stats    []ix.ShardStats    `json:"stats"`
-	Traces   []ix.GrantTrace    `json:"traces"`
+	Op        string                `json:"op"`
+	OK        bool                  `json:"ok"`
+	Err       string                `json:"error"`
+	Topology  []ix.ShardTopology    `json:"topology"`
+	Stats     []ix.ShardStats       `json:"stats"`
+	Traces    []ix.GrantTrace       `json:"traces"`
+	Routes    *ix.RouteSnapshot     `json:"routes"`
+	Autopilot *ix.AutopilotStatus   `json:"autopilot"`
+	Plan      *ix.AutopilotDecision `json:"plan"`
 }
 
 // TestIxgatewayAdminEndpoint spins up a two-shard cluster as real
@@ -178,7 +181,8 @@ func TestIxgatewayAdminEndpoint(t *testing.T) {
 	startProc(t, gwBin,
 		"-e", "(a - b)* @ (a - c)*",
 		"-shards", shard0+","+shard1,
-		"-addr", gwAddr, "-admin", admAddr, "-metrics", metAddr, "-trace", "16")
+		"-addr", gwAddr, "-admin", admAddr, "-metrics", metAddr, "-trace", "16",
+		"-autopilot-dry-run")
 	waitPort(t, gwAddr)
 	waitPort(t, admAddr)
 	waitPort(t, metAddr)
@@ -259,6 +263,36 @@ func TestIxgatewayAdminEndpoint(t *testing.T) {
 		t.Errorf("no confirmed grant trace: %+v", rep.Traces)
 	}
 
+	// The versioned route table: one row per shard, every row at its
+	// starting generation.
+	rep = roundTrip(`{"op":"routes"}`)
+	if !rep.OK || rep.Routes == nil || len(rep.Routes.Shards) != 2 {
+		t.Fatalf("routes: %+v", rep)
+	}
+	genBefore := rep.Routes.Gen
+	if r, ok := rep.Routes.Route(0); !ok || len(r.Addrs) != 1 || r.Addrs[0] != shard0 {
+		t.Errorf("route 0: %+v", rep.Routes)
+	}
+
+	// Autopilot control: status (dry-run mode), pause/resume round-trip,
+	// plan, and the unknown-cmd error path.
+	rep = roundTrip(`{"op":"autopilot"}`)
+	if !rep.OK || rep.Autopilot == nil || !rep.Autopilot.DryRun || rep.Autopilot.Paused {
+		t.Fatalf("autopilot status: %+v", rep)
+	}
+	if rep := roundTrip(`{"op":"autopilot","cmd":"pause"}`); !rep.OK || rep.Autopilot == nil || !rep.Autopilot.Paused {
+		t.Errorf("autopilot pause: %+v", rep)
+	}
+	if rep := roundTrip(`{"op":"autopilot","cmd":"resume"}`); !rep.OK || rep.Autopilot == nil || rep.Autopilot.Paused {
+		t.Errorf("autopilot resume: %+v", rep)
+	}
+	if rep := roundTrip(`{"op":"autopilot","cmd":"plan"}`); !rep.OK || rep.Plan == nil {
+		t.Errorf("autopilot plan: %+v", rep)
+	}
+	if rep := roundTrip(`{"op":"autopilot","cmd":"bogus"}`); rep.OK || !strings.Contains(rep.Err, "unknown autopilot cmd") {
+		t.Errorf("autopilot bad cmd: %+v", rep)
+	}
+
 	// Error paths: a malformed line gets an error reply and the
 	// connection keeps working; an unknown op is rejected by name.
 	if rep := roundTrip(`{not json`); rep.Err == "" || !strings.Contains(rep.Err, "malformed") {
@@ -281,6 +315,15 @@ func TestIxgatewayAdminEndpoint(t *testing.T) {
 	if rep := roundTrip(`{"op":"topology"}`); !rep.OK ||
 		len(rep.Topology[0].Addrs) != 1 || rep.Topology[0].Addrs[0] != target {
 		t.Errorf("topology after migrate: %+v", rep)
+	}
+	// The migration repointed the shared route table and bumped its
+	// generation.
+	rep = roundTrip(`{"op":"routes"}`)
+	if !rep.OK || rep.Routes == nil || rep.Routes.Gen <= genBefore {
+		t.Fatalf("routes after migrate: %+v", rep)
+	}
+	if r, ok := rep.Routes.Route(0); !ok || len(r.Addrs) != 1 || r.Addrs[0] != target {
+		t.Errorf("route 0 after migrate: %+v", rep.Routes)
 	}
 	// The migrated shard still serves: finish the round through it.
 	b, _ := ix.ParseAction("b")

@@ -25,13 +25,25 @@
 //
 // With -admin the gateway additionally serves a JSON-lines admin
 // endpoint for elastic rebalancing and observability: live shard
-// migration, topology inspection, per-shard load stats and grant traces,
-// no restart required. One request per line:
+// migration, topology inspection, the versioned route table, per-shard
+// load stats, grant traces and autopilot control, no restart required.
+// One request per line:
 //
 //	{"op":"topology"}
 //	{"op":"migrate","shard":0,"target":"127.0.0.1:7451","retire":true}
 //	{"op":"stats"}
 //	{"op":"trace"}
+//	{"op":"routes"}
+//	{"op":"autopilot","cmd":"status"}   (also: pause, resume, plan)
+//
+// With -autopilot the gateway runs the placement controller: it polls
+// every shard's load signals (asks/s, queue depth, memo hit rate),
+// scores them with an EWMA, and live-migrates a persistently hot shard
+// onto one of its spares from -autopilot-spares (same syntax as
+// -shards: one comma-separated slot per shard, '/' between spares,
+// empty slot = no spares for that shard). -autopilot-dry-run plans the
+// moves without executing them; pause/resume/plan are served on the
+// admin endpoint.
 //
 // With -metrics the gateway serves its registry (wire traffic, per-shard
 // ask rates, two-phase grant outcomes and latencies, migration phase
@@ -70,6 +82,10 @@ func main() {
 		metricAddr = flag.String("metrics", "", "serve Prometheus-text metrics over HTTP on this address (path /metrics)")
 		traceCap   = flag.Int("trace", 0, "grant trace ring capacity (0 = default 256, negative = tracing off)")
 		protocol   = flag.String("protocol", "binary", "wire protocol: binary (negotiate v2 framing, JSON fallback) or json (JSON lines only)")
+		autopilot    = flag.Bool("autopilot", false, "run the autopilot placement controller (hot shards migrate onto -autopilot-spares)")
+		autoSpares   = flag.String("autopilot-spares", "", "per-shard spare follower addresses, same syntax as -shards (empty slot = no spares for that shard)")
+		autoInterval = flag.Duration("autopilot-interval", 0, "autopilot poll interval (0 = default 2s)")
+		autoDryRun   = flag.Bool("autopilot-dry-run", false, "autopilot plans migrations without executing them (implies -autopilot)")
 	)
 	flag.Parse()
 	if *protocol != "binary" && *protocol != ix.ProtoJSON {
@@ -102,8 +118,16 @@ func main() {
 		}
 	}
 
+	// The gateway serves from a shared, versioned route table (the admin
+	// "routes" op dumps it); the autopilot repoints it through live
+	// migrations.
+	table, err := ix.NewRouteTable(replicas)
+	if err != nil {
+		fatal(err)
+	}
 	reg := ix.NewMetricsRegistry()
-	gw, err := ix.NewReplicatedGateway(e, replicas, ix.GatewayOptions{
+	gw, err := ix.NewReplicatedGateway(e, nil, ix.GatewayOptions{
+		RouteTable:        table,
 		ReadFromFollowers: *readRepls,
 		Metrics:           reg,
 		TraceCapacity:     *traceCap,
@@ -133,13 +157,36 @@ func main() {
 		fmt.Printf("  shard %d at %s: %s\n", i, strings.Join(replicas[i], "/"), p)
 	}
 
+	var ctrl *ix.Autopilot
+	if *autopilot || *autoDryRun {
+		spares, err := parseSpares(*autoSpares, len(replicas))
+		if err != nil {
+			fatal(err)
+		}
+		reb := gw.Rebalancer()
+		ctrl = ix.NewAutopilot(reb, reb, ix.AutopilotOptions{
+			Interval: *autoInterval,
+			Spares:   spares,
+			DryRun:   *autoDryRun,
+			Metrics:  reg,
+		})
+		actx, acancel := context.WithCancel(context.Background())
+		defer acancel()
+		go ctrl.Run(actx)
+		mode := "live"
+		if *autoDryRun {
+			mode = "dry-run"
+		}
+		fmt.Printf("ixgateway: autopilot on (%s)\n", mode)
+	}
+
 	if *adminAddr != "" {
 		aln, err := net.Listen("tcp", *adminAddr)
 		if err != nil {
 			fatal(err)
 		}
 		defer aln.Close()
-		go serveAdmin(aln, gw)
+		go serveAdmin(aln, gw, ctrl)
 		fmt.Printf("ixgateway: admin endpoint on %s\n", aln.Addr())
 	}
 
@@ -159,24 +206,74 @@ func main() {
 	fmt.Println("ixgateway: shutting down")
 }
 
+// parseSpares parses the -autopilot-spares flag: one comma-separated
+// slot per shard, '/' between a slot's spare addresses, an empty slot
+// meaning no spares for that shard. An empty flag means no spares at
+// all (the autopilot observes and holds).
+func parseSpares(spec string, shards int) ([][]string, error) {
+	spares := make([][]string, shards)
+	if spec == "" {
+		return spares, nil
+	}
+	slots := strings.Split(spec, ",")
+	if len(slots) != shards {
+		return nil, fmt.Errorf("-autopilot-spares has %d slots, want one per shard (%d)", len(slots), shards)
+	}
+	for i, slot := range slots {
+		for _, a := range strings.Split(slot, "/") {
+			if a = strings.TrimSpace(a); a != "" {
+				spares[i] = append(spares[i], a)
+			}
+		}
+	}
+	return spares, nil
+}
+
 // adminMsg is one admin request or reply (JSON lines, one per op).
 type adminMsg struct {
 	Op     string `json:"op"`
 	Shard  int    `json:"shard,omitempty"`
 	Target string `json:"target,omitempty"`
 	Retire bool   `json:"retire,omitempty"`
+	Cmd    string `json:"cmd,omitempty"`
 
-	OK       bool               `json:"ok,omitempty"`
-	Err      string             `json:"error,omitempty"`
-	Topology []ix.ShardTopology `json:"topology,omitempty"`
-	Stats    []ix.ShardStats    `json:"stats,omitempty"`
-	Traces   []ix.GrantTrace    `json:"traces,omitempty"`
+	OK        bool                  `json:"ok,omitempty"`
+	Err       string                `json:"error,omitempty"`
+	Topology  []ix.ShardTopology    `json:"topology,omitempty"`
+	Stats     []ix.ShardStats       `json:"stats,omitempty"`
+	Traces    []ix.GrantTrace       `json:"traces,omitempty"`
+	Routes    *ix.RouteSnapshot     `json:"routes,omitempty"`
+	Autopilot *ix.AutopilotStatus   `json:"autopilot,omitempty"`
+	Plan      *ix.AutopilotDecision `json:"plan,omitempty"`
 }
 
-// serveAdmin answers migrate/topology/stats/trace requests, one JSON
-// line each. Requests are read line-wise so a malformed line earns an
-// error reply instead of poisoning the connection.
-func serveAdmin(ln net.Listener, gw *ix.Gateway) {
+// adminAutopilot serves the autopilot admin op: status (the default),
+// pause, resume and plan.
+func adminAutopilot(ctrl *ix.Autopilot, cmd string) (*ix.AutopilotStatus, *ix.AutopilotDecision, string) {
+	if ctrl == nil {
+		return nil, nil, "autopilot not enabled (run ixgateway with -autopilot or -autopilot-dry-run)"
+	}
+	switch cmd {
+	case "", "status":
+	case "pause":
+		ctrl.Pause()
+	case "resume":
+		ctrl.Resume()
+	case "plan":
+		d := ctrl.Plan()
+		return nil, &d, ""
+	default:
+		return nil, nil, fmt.Sprintf("unknown autopilot cmd %q (want status, pause, resume or plan)", cmd)
+	}
+	st := ctrl.Status()
+	return &st, nil, ""
+}
+
+// serveAdmin answers migrate/topology/stats/trace/routes/autopilot
+// requests, one JSON line each. Requests are read line-wise so a
+// malformed line earns an error reply instead of poisoning the
+// connection.
+func serveAdmin(ln net.Listener, gw *ix.Gateway, ctrl *ix.Autopilot) {
 	reb := gw.Rebalancer()
 	for {
 		conn, err := ln.Accept()
@@ -229,6 +326,17 @@ func serveAdmin(ln net.Listener, gw *ix.Gateway) {
 				case "trace":
 					resp.Traces = gw.Traces()
 					resp.OK = true
+				case "routes":
+					if table := gw.RouteTable(); table != nil {
+						snap := table.Snapshot()
+						resp.Routes = &snap
+						resp.OK = true
+					} else {
+						resp.Err = "no route table attached"
+					}
+				case "autopilot":
+					resp.Autopilot, resp.Plan, resp.Err = adminAutopilot(ctrl, req.Cmd)
+					resp.OK = resp.Err == ""
 				default:
 					resp.Err = fmt.Sprintf("unknown admin op %q", req.Op)
 				}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/manager"
 	"repro/internal/obs"
+	"repro/internal/placement"
 )
 
 // Gateway coordinates one coupled interaction expression across N remote
@@ -43,6 +44,13 @@ type Gateway struct {
 	gm      gatewayMetrics
 	traces  *traceRing // nil: grant tracing disabled
 	traceID atomic.Uint64
+
+	// table, when non-nil, is the shared control-plane route table this
+	// gateway follows; unfollow detaches it on Close. Route mutations
+	// (migration add/retire) then go through the table so every gateway
+	// of the fleet converges, not just this one.
+	table    *placement.RouteTable
+	unfollow func()
 }
 
 // gatewayMetrics counts two-phase protocol outcomes (nil handles no-op).
@@ -126,6 +134,14 @@ type GatewayOptions struct {
 	// and trace timestamps, and is handed to every shard client. Nil
 	// means the wall clock.
 	Clock clock.Clock
+	// RouteTable attaches the gateway to a shared control-plane route
+	// table (internal/placement): the gateway's initial shard addresses
+	// come from the table (the replicas argument may be nil), every later
+	// table change is applied to this gateway before the mutating call
+	// returns, and the gateway's own route mutations (migration
+	// add/retire) go through the table so the whole fleet converges. The
+	// table must route exactly the expression's shard count.
+	RouteTable *placement.RouteTable
 }
 
 // NewGateway builds a gateway for e whose i-th coupling operand is served
@@ -150,6 +166,21 @@ func NewGateway(e *expr.Expr, addrs []string) (*Gateway, error) {
 // ticket after a failover re-reserves and commits on the new primary.
 func NewReplicatedGateway(e *expr.Expr, replicas [][]string, opts GatewayOptions) (*Gateway, error) {
 	parts := Partition(e)
+	if opts.RouteTable != nil {
+		if got := opts.RouteTable.Shards(); got != len(parts) {
+			return nil, fmt.Errorf("cluster: expression has %d shards, route table has %d", len(parts), got)
+		}
+		// The table is authoritative; a replicas argument is redundant at
+		// best and stale at worst, so the attached form takes nil.
+		if replicas != nil {
+			return nil, fmt.Errorf("cluster: pass nil replicas with RouteTable (the table owns the addresses)")
+		}
+		snap := opts.RouteTable.Snapshot()
+		replicas = make([][]string, len(snap.Shards))
+		for i, row := range snap.Shards {
+			replicas[i] = row.Addrs
+		}
+	}
 	if len(parts) != len(replicas) {
 		return nil, fmt.Errorf("cluster: expression has %d shards, got %d replica sets", len(parts), len(replicas))
 	}
@@ -177,7 +208,55 @@ func NewReplicatedGateway(e *expr.Expr, replicas [][]string, opts GatewayOptions
 		}))
 	}
 	g.idx = manager.NewNameIndex(g.alphas)
+	if opts.RouteTable != nil {
+		// Register as a follower: the initial full apply resynchronizes the
+		// gateway against any table change that landed since the snapshot
+		// above, and every later change reaches it before the mutating call
+		// returns.
+		unfollow, err := opts.RouteTable.Follow(g)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		g.table, g.unfollow = opts.RouteTable, unfollow
+	}
 	return g, nil
+}
+
+// RouteTable returns the shared route table the gateway follows (nil
+// when it owns its addresses privately).
+func (g *Gateway) RouteTable() *placement.RouteTable { return g.table }
+
+// routeAdd adds an endpoint to a shard's route — through the shared
+// table (converging the whole fleet) when attached, else privately.
+func (g *Gateway) routeAdd(shard int, addr string) error {
+	if g.table != nil {
+		return g.table.Add(shard, addr)
+	}
+	g.shards[shard].AddAddr(addr)
+	return nil
+}
+
+// routeRemove drops an endpoint from a shard's route (see routeAdd).
+func (g *Gateway) routeRemove(shard int, addr string) error {
+	if g.table != nil {
+		return g.table.Remove(shard, addr)
+	}
+	g.shards[shard].RemoveAddr(addr)
+	return nil
+}
+
+// migrateLock takes the shard's migration exclusion: fleet-wide via the
+// shared table when attached (two gateways promoting the same shard
+// concurrently would mint two primaries of the same epoch — split
+// brain), else this gateway's private per-shard lock.
+func (g *Gateway) migrateLock(shard int) func() {
+	if g.table != nil {
+		return g.table.MigrateLock(shard)
+	}
+	sc := g.shards[shard]
+	sc.migrateMu.Lock()
+	return sc.migrateMu.Unlock
 }
 
 // MetricsRegistry exposes the gateway's obs registry (nil when metrics
@@ -624,10 +703,15 @@ func (g *Gateway) Subscribe(a expr.Action) (<-chan manager.Inform, func(), error
 	return out, cancelAll, nil
 }
 
-// Close releases all shard connections. Outstanding gateway tickets
-// become unknown; their shard reservations fall to the managers'
-// reservation timeouts.
+// Close releases all shard connections (detaching from the shared route
+// table first, so no further fan-out reaches a closed gateway).
+// Outstanding gateway tickets become unknown; their shard reservations
+// fall to the managers' reservation timeouts.
 func (g *Gateway) Close() error {
+	if g.unfollow != nil {
+		g.unfollow()
+		g.unfollow = nil
+	}
 	var firstErr error
 	for _, sc := range g.shards {
 		if err := sc.Close(); err != nil && firstErr == nil {

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/manager"
+	"repro/internal/placement"
 )
 
 // Live shard migration. A shard born on one server set is not pinned to
@@ -37,9 +39,15 @@ import (
 // Failure at any step before promotion resumes the source, so an
 // aborted migration never wedges the shard.
 
-// Rebalancer drives live migrations against a gateway's shards.
+// Rebalancer drives live migrations against a gateway's shards. It is
+// also the control plane's data-plane adapter: it satisfies
+// placement.LoadSource (Loads) and placement.Mover (Move), so a
+// placement.Controller autopilots migrations through it.
 type Rebalancer struct {
 	gw *Gateway
+	// StatsTimeout bounds each shard's readout within Stats/Loads. Zero
+	// means defaultStatsTimeout.
+	StatsTimeout time.Duration
 }
 
 // Rebalancer returns a migration driver for the gateway's shards.
@@ -107,30 +115,78 @@ type ShardStats struct {
 	Err     string                `json:"err,omitempty"`
 }
 
-// Stats collects every shard primary's stats snapshot (best effort: an
-// unreachable shard reports its error and the first failure is returned
-// alongside the partial result).
+// defaultStatsTimeout bounds one shard's readout within Stats. The
+// autopilot polls Stats on a cadence, so a single unreachable shard must
+// cost one bounded timeout — not stall the whole fleet's readout.
+const defaultStatsTimeout = 2 * time.Second
+
+// Stats collects every shard primary's stats snapshot, all shards
+// concurrently with a bounded per-shard timeout (best effort: an
+// unreachable shard reports its error in its slot and the lowest-shard
+// failure is returned alongside the partial result).
 func (r *Rebalancer) Stats(ctx context.Context) ([]ShardStats, error) {
+	timeout := r.StatsTimeout
+	if timeout <= 0 {
+		timeout = defaultStatsTimeout
+	}
 	out := make([]ShardStats, len(r.gw.shards))
-	var firstErr error
+	var wg sync.WaitGroup
 	for i, sc := range r.gw.shards {
-		out[i] = ShardStats{Shard: i, Addrs: sc.Addrs()}
-		cl, addr, err := sc.primaryConn(ctx)
-		if err == nil {
-			out[i].Primary = addr
-			var st manager.StatsSnapshot
-			if st, err = cl.Stats(ctx); err == nil {
-				out[i].Stats = st
+		wg.Add(1)
+		go func(i int, sc *ShardClient) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			out[i] = ShardStats{Shard: i, Addrs: sc.Addrs()}
+			cl, addr, err := sc.primaryConn(sctx)
+			if err == nil {
+				out[i].Primary = addr
+				var st manager.StatsSnapshot
+				if st, err = cl.Stats(sctx); err == nil {
+					out[i].Stats = st
+				}
 			}
-		}
-		if err != nil {
-			out[i].Err = err.Error()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("cluster: shard %d stats: %w", i, err)
+			if err != nil {
+				out[i].Err = err.Error()
 			}
+		}(i, sc)
+	}
+	wg.Wait()
+	var firstErr error
+	for i := range out {
+		if out[i].Err != "" {
+			firstErr = fmt.Errorf("cluster: shard %d stats: %s", i, out[i].Err)
+			break
 		}
 	}
 	return out, firstErr
+}
+
+// Loads satisfies placement.LoadSource: the Stats readout reduced to the
+// control plane's three signals (plus identity), errors carried per
+// shard so the controller can skip unreadable shards without losing the
+// rest of the fleet.
+func (r *Rebalancer) Loads(ctx context.Context) ([]placement.ShardLoad, error) {
+	stats, err := r.Stats(ctx)
+	out := make([]placement.ShardLoad, len(stats))
+	for i, s := range stats {
+		out[i] = placement.ShardLoad{
+			Shard:       s.Shard,
+			Primary:     s.Primary,
+			AskRate:     s.Stats.AskRate,
+			QueueDepth:  s.Stats.QueueDepth,
+			MemoHitRate: s.Stats.MemoHitRate,
+			Steps:       uint64(s.Stats.Steps),
+			Err:         s.Err,
+		}
+	}
+	return out, err
+}
+
+// Move satisfies placement.Mover: one live migration, retiring the
+// source when asked.
+func (r *Rebalancer) Move(ctx context.Context, shard int, target string, retire bool) error {
+	return r.MigrateShard(ctx, shard, target, MigrateOptions{Retire: retire})
 }
 
 // primaryConn returns the shard's elected serving connection and its
@@ -162,18 +218,22 @@ func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string,
 		return fmt.Errorf("cluster: shard %d out of range (%d shards)", shard, len(r.gw.shards))
 	}
 	sc := r.gw.shards[shard]
-	// One migration per shard at a time, across every Rebalancer over
-	// this gateway: two concurrent promotions from the same epoch would
-	// mint two primaries of epoch E+1 — a split brain whose loser's
-	// acked writes die with its timeline.
-	sc.migrateMu.Lock()
-	defer sc.migrateMu.Unlock()
+	// One migration per shard at a time — across every Rebalancer over
+	// this gateway, and across the whole gateway fleet when a shared
+	// route table is attached: two concurrent promotions from the same
+	// epoch would mint two primaries of epoch E+1 — a split brain whose
+	// loser's acked writes die with its timeline.
+	unlock := r.gw.migrateLock(shard)
+	defer unlock()
 
 	// Step 0: the target joins the route table up front. Safe mid-flight:
 	// a follower never wins the election while the live primary holds the
 	// highest epoch, and after the promotion this very entry is what the
-	// failover election repoints clients to.
-	sc.AddAddr(target)
+	// failover election repoints clients to. Through the shared table the
+	// entry reaches every gateway of the fleet.
+	if err := r.gw.routeAdd(shard, target); err != nil {
+		return fmt.Errorf("cluster: migrate shard %d: route %s: %w", shard, target, err)
+	}
 	cl, source, err := sc.primaryConn(ctx)
 	if err != nil {
 		return fmt.Errorf("cluster: migrate shard %d: no primary: %w", shard, err)
@@ -285,7 +345,9 @@ func (r *Rebalancer) MigrateShard(ctx context.Context, shard int, target string,
 	// two-phase grants through the gateway's resume path.
 	if opts.Retire {
 		phaseStart = r.gw.clk.Now()
-		sc.RemoveAddr(source)
+		if err := r.gw.routeRemove(shard, source); err != nil {
+			return fmt.Errorf("cluster: migrate shard %d: unroute %s: %w", shard, source, err)
+		}
 		if err := tcl.Retire(ctx, source); err != nil && !errors.Is(err, manager.ErrClosed) {
 			// The new primary never streamed to the source; detach is a
 			// no-op there, but surface real failures.

@@ -146,6 +146,10 @@ func NewShardClientSet(addrs []string, opts ShardOptions) *ShardClient {
 		s.drainDelay = drainRetryDelay
 	}
 	s.metrics = newShardMetrics(opts.Metrics, opts.Label)
+	// The ask meter's rate window runs on the injected clock, so
+	// per-shard client-side ask rates are deterministic under the
+	// simulator's logical clock.
+	obs.SetMeterClock(s.metrics.asks, func() int64 { return s.clk.Now().Unix() })
 	return s
 }
 

@@ -72,6 +72,10 @@ func (m *Manager) initMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	// The ask meter's rate window runs on the manager's clock, not the
+	// wall clock, so StatsSnapshot.AskRate — the autopilot's primary load
+	// signal — is deterministic under the simulator's logical clock.
+	obs.SetMeterClock(m.metrics.askMeter, func() int64 { return m.clk.Now().Unix() })
 	reg.GaugeFunc(mSteps, func() int64 { return int64(m.Steps()) })
 	if m.batch != nil {
 		q := m.batch

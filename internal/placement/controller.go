@@ -1,0 +1,532 @@
+package placement
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+)
+
+// ShardLoad is one shard's load readout, the control plane's view of
+// manager.StatsSnapshot: the three autopilot signals plus identity.
+type ShardLoad struct {
+	Shard       int     `json:"shard"`
+	Primary     string  `json:"primary,omitempty"`
+	AskRate     float64 `json:"ask_rate"`
+	QueueDepth  int64   `json:"queue_depth"`
+	MemoHitRate float64 `json:"memo_hit_rate"`
+	Steps       uint64  `json:"steps"`
+	// Err marks a shard whose readout failed (unreachable primary); its
+	// score is carried over unchanged and it is never picked for a move.
+	Err string `json:"err,omitempty"`
+}
+
+// LoadSource polls per-shard load. cluster.Rebalancer satisfies it
+// (Loads fans Stats out to every shard primary concurrently, best
+// effort). Implementations must return one entry per shard, errored
+// shards marked via ShardLoad.Err, and may return partial results
+// alongside a non-nil error.
+type LoadSource interface {
+	Loads(ctx context.Context) ([]ShardLoad, error)
+}
+
+// Mover executes one live migration. cluster.Rebalancer satisfies it
+// with the full attach→drain→promote→retire pipeline.
+type Mover interface {
+	Move(ctx context.Context, shard int, target string, retire bool) error
+}
+
+// Decision actions, in Decision.Action.
+const (
+	// DecisionNone: no shard qualifies as hot.
+	DecisionNone = "none"
+	// DecisionHold: a shard is hot but hysteresis is still counting.
+	DecisionHold = "hold-hysteresis"
+	// DecisionCooldown: a shard is eligible but the last migration is
+	// too recent.
+	DecisionCooldown = "hold-cooldown"
+	// DecisionNoSpare: a shard is eligible but has no spare to move to.
+	DecisionNoSpare = "hold-no-spare"
+	// DecisionPaused: the controller is paused; it polled and scored but
+	// will not act.
+	DecisionPaused = "paused"
+	// DecisionPlan: dry-run mode; the move was planned, not executed.
+	DecisionPlan = "plan"
+	// DecisionMigrate: a migration was executed (Err records failure).
+	DecisionMigrate = "migrate"
+	// DecisionPollFailed: the load poll returned no usable shard data.
+	DecisionPollFailed = "poll-failed"
+)
+
+// Decision is one control-loop step's outcome: the scores it computed
+// and what it did (or held back from doing) about them.
+type Decision struct {
+	At     time.Time `json:"at"`
+	Action string    `json:"action"`
+	// Shard/Source/Target describe the (planned or executed) move for
+	// plan/migrate and the eligible shard for the hold actions; Shard is
+	// -1 when no shard is hot.
+	Shard  int    `json:"shard"`
+	Source string `json:"source,omitempty"`
+	Target string `json:"target,omitempty"`
+	// Scores are the post-EWMA per-shard scores; Mean their average.
+	Scores []float64 `json:"scores"`
+	Mean   float64   `json:"mean"`
+	Err    string    `json:"error,omitempty"`
+}
+
+// ControllerOptions tune the autopilot.
+type ControllerOptions struct {
+	// Interval is Run's poll cadence. Zero means 2s.
+	Interval time.Duration
+	// Alpha is the EWMA smoothing factor in (0, 1]: score =
+	// Alpha*load + (1-Alpha)*score. Zero means 0.5.
+	Alpha float64
+	// QueueWeight scales queue depth into the load score. Zero means 1.
+	QueueWeight float64
+	// MissWeight scales the memo-miss share of the ask rate into the
+	// load score (a shard whose cache misses pays full transition cost
+	// for every ask). Zero means 0.5; negative disables the term.
+	MissWeight float64
+	// HotRatio marks a shard hot when its score exceeds HotRatio times
+	// the fleet mean. Zero means 1.5. (Values ≥ 2 are unreachable on a
+	// two-shard fleet: one score can never exceed twice the mean of two.)
+	HotRatio float64
+	// MinScore is the absolute score floor below which no shard is ever
+	// hot — an idle cluster must not migrate on ratio noise. Zero means 1.
+	MinScore float64
+	// HotPolls is the hysteresis: a shard must stay hot for this many
+	// consecutive polls before a move is scheduled. Zero means 3.
+	HotPolls int
+	// Cooldown is the minimum time between two migrations. Zero means 60s.
+	Cooldown time.Duration
+	// Spares lists, per shard, idle follower endpoints the shard may be
+	// migrated onto (a spare must already run as an empty or stale
+	// follower serving the shard's expression). A shard with no spares
+	// holds instead of moving.
+	Spares [][]string
+	// RecycleSources returns a retired migration source to its shard's
+	// spare pool (the node keeps running and can take the shard back
+	// later). Off, a used source leaves the pool for the operator.
+	RecycleSources bool
+	// DryRun plans moves (Decision/Plans record them) without executing.
+	DryRun bool
+	// Clock injects the time source (the simulator drives the controller
+	// on its logical clock). Nil means the wall clock.
+	Clock clock.Clock
+	// Metrics, if non-nil, registers the controller's decision metrics.
+	Metrics *obs.Registry
+	// PlanCapacity bounds the retained decision log. Zero means 64.
+	PlanCapacity int
+}
+
+// controllerMetrics counts decisions (nil-safe when Metrics is nil).
+type controllerMetrics struct {
+	polls      *obs.Counter
+	pollErrs   *obs.Counter
+	holds      *obs.Counter
+	plans      *obs.Counter
+	migrations *obs.Counter
+	failures   *obs.Counter
+	migrateNs  *obs.Histogram
+}
+
+// Controller is the autopilot: a clock-injected control loop that turns
+// the fleet's load signals into migration decisions. Drive it with Run
+// (a goroutine polling every Interval) or call Tick directly — the
+// deterministic simulator does the latter, so a chaos schedule owns
+// exactly when the control loop observes and acts.
+type Controller struct {
+	src  LoadSource
+	mv   Mover
+	opts ControllerOptions
+	clk  clock.Clock
+	cm   controllerMetrics
+
+	mu        sync.Mutex
+	scores    []float64
+	hotFor    []int
+	spares    [][]string
+	paused    bool
+	migrating bool
+	lastMove  time.Time
+	moved     bool // lastMove is meaningful
+	last      Decision
+	decided   bool // last is meaningful
+	plans     []Decision
+	nPolls    uint64
+	nMoves    uint64
+	nFailures uint64
+}
+
+// NewController builds an autopilot over a load source and a mover
+// (both typically one cluster.Rebalancer).
+func NewController(src LoadSource, mv Mover, opts ControllerOptions) *Controller {
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Second
+	}
+	if opts.Alpha <= 0 || opts.Alpha > 1 {
+		opts.Alpha = 0.5
+	}
+	if opts.QueueWeight == 0 {
+		opts.QueueWeight = 1
+	}
+	if opts.MissWeight == 0 {
+		opts.MissWeight = 0.5
+	}
+	if opts.HotRatio <= 0 {
+		opts.HotRatio = 1.5
+	}
+	if opts.MinScore == 0 {
+		opts.MinScore = 1
+	}
+	if opts.HotPolls <= 0 {
+		opts.HotPolls = 3
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 60 * time.Second
+	}
+	if opts.PlanCapacity <= 0 {
+		opts.PlanCapacity = 64
+	}
+	c := &Controller{src: src, mv: mv, opts: opts, clk: clock.Or(opts.Clock)}
+	c.spares = make([][]string, len(opts.Spares))
+	for i, s := range opts.Spares {
+		c.spares[i] = append([]string(nil), s...)
+	}
+	if reg := opts.Metrics; reg != nil {
+		c.cm = controllerMetrics{
+			polls:      reg.Counter("ix_autopilot_polls_total"),
+			pollErrs:   reg.Counter("ix_autopilot_poll_errors_total"),
+			holds:      reg.Counter("ix_autopilot_holds_total"),
+			plans:      reg.Counter("ix_autopilot_plans_total"),
+			migrations: reg.Counter("ix_autopilot_migrations_total"),
+			failures:   reg.Counter("ix_autopilot_migration_failures_total"),
+			migrateNs:  reg.Histogram("ix_autopilot_migrate_ns"),
+		}
+		reg.GaugeFunc("ix_autopilot_paused", func() int64 {
+			if c.Paused() {
+				return 1
+			}
+			return 0
+		})
+		reg.GaugeFunc("ix_autopilot_score_spread_x1000", func() int64 {
+			return int64(c.Status().ScoreSpread * 1000)
+		})
+	}
+	return c
+}
+
+// Run polls every Interval until ctx is canceled. A Tick that executes
+// a migration runs long — that is the one-migration-at-a-time budget:
+// the loop cannot schedule a second move while one is in flight.
+func (c *Controller) Run(ctx context.Context) {
+	for {
+		t := c.clk.NewTimer(c.opts.Interval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C():
+		}
+		c.Tick(ctx)
+	}
+}
+
+// load folds one shard readout into the scalar load score: asks/s,
+// surcharged by the memo-miss share (a missing cache pays full
+// transition cost per ask), plus the queue backlog.
+func (c *Controller) load(l ShardLoad) float64 {
+	miss := c.opts.MissWeight
+	if miss < 0 {
+		miss = 0
+	}
+	return l.AskRate*(1+miss*(1-l.MemoHitRate)) + c.opts.QueueWeight*float64(l.QueueDepth)
+}
+
+// Tick runs one control step: poll loads, fold them into the EWMA
+// scores, and either schedule a migration or record why not. Migrations
+// run synchronously inside the tick (the budget is one at a time by
+// construction). The returned Decision is also retained in Plans.
+func (c *Controller) Tick(ctx context.Context) Decision {
+	loads, err := c.src.Loads(ctx)
+	c.cm.polls.Inc()
+	if err != nil {
+		c.cm.pollErrs.Inc()
+	}
+
+	c.mu.Lock()
+	c.nPolls++
+	now := c.clk.Now()
+	d := Decision{At: now, Shard: -1}
+	if len(loads) == 0 {
+		d.Action = DecisionPollFailed
+		if err != nil {
+			d.Err = err.Error()
+		}
+		c.recordLocked(d)
+		c.mu.Unlock()
+		return d
+	}
+	if len(c.scores) < len(loads) {
+		c.scores = append(c.scores, make([]float64, len(loads)-len(c.scores))...)
+		c.hotFor = append(c.hotFor, make([]int, len(loads)-len(c.hotFor))...)
+	}
+	// EWMA update; an errored shard keeps its score (stale beats zero —
+	// a zeroed score would read as "cold" exactly when the shard is in
+	// trouble) and cannot be picked this tick.
+	usable := 0
+	var sum float64
+	for i, l := range loads {
+		if l.Err == "" {
+			c.scores[i] = c.opts.Alpha*c.load(l) + (1-c.opts.Alpha)*c.scores[i]
+			usable++
+		}
+		sum += c.scores[i]
+	}
+	d.Scores = append([]float64(nil), c.scores...)
+	d.Mean = sum / float64(len(c.scores))
+	if usable == 0 {
+		d.Action = DecisionPollFailed
+		if err != nil {
+			d.Err = err.Error()
+		}
+		c.recordLocked(d)
+		c.mu.Unlock()
+		return d
+	}
+
+	// Hot detection with hysteresis: the hottest usable shard must clear
+	// both the ratio over the fleet mean and the absolute floor, for
+	// HotPolls consecutive ticks.
+	hot := -1
+	for i := range c.scores {
+		if loads[i].Err != "" {
+			c.hotFor[i] = 0
+			continue
+		}
+		if c.scores[i] > c.opts.MinScore && c.scores[i] > c.opts.HotRatio*d.Mean {
+			c.hotFor[i]++
+			if hot < 0 || c.scores[i] > c.scores[hot] {
+				hot = i
+			}
+		} else {
+			c.hotFor[i] = 0
+		}
+	}
+
+	switch {
+	case hot < 0:
+		d.Action = DecisionNone
+	case c.paused:
+		d.Shard, d.Source = hot, loads[hot].Primary
+		d.Action = DecisionPaused
+	case c.hotFor[hot] < c.opts.HotPolls:
+		d.Shard, d.Source = hot, loads[hot].Primary
+		d.Action = DecisionHold
+		c.cm.holds.Inc()
+	case c.migrating || (c.moved && now.Sub(c.lastMove) < c.opts.Cooldown):
+		d.Shard, d.Source = hot, loads[hot].Primary
+		d.Action = DecisionCooldown
+		c.cm.holds.Inc()
+	case hot >= len(c.spares) || len(c.spares[hot]) == 0:
+		d.Shard, d.Source = hot, loads[hot].Primary
+		d.Action = DecisionNoSpare
+		c.cm.holds.Inc()
+	default:
+		d.Shard, d.Source = hot, loads[hot].Primary
+		d.Target = c.spares[hot][0]
+		if c.opts.DryRun {
+			d.Action = DecisionPlan
+			c.cm.plans.Inc()
+			break
+		}
+		d.Action = DecisionMigrate
+		c.spares[hot] = c.spares[hot][1:]
+		c.migrating = true
+	}
+
+	if d.Action != DecisionMigrate {
+		c.recordLocked(d)
+		c.mu.Unlock()
+		return d
+	}
+	c.mu.Unlock()
+
+	start := c.clk.Now()
+	moveErr := c.mv.Move(ctx, d.Shard, d.Target, true)
+	c.cm.migrateNs.ObserveDuration(c.clk.Since(start))
+
+	c.mu.Lock()
+	c.migrating = false
+	c.lastMove, c.moved = c.clk.Now(), true
+	c.hotFor[d.Shard] = 0
+	if moveErr != nil {
+		d.Err = moveErr.Error()
+		c.nFailures++
+		c.cm.failures.Inc()
+		// The move failed before the promotion (MigrateShard resumes the
+		// source on every pre-promotion failure), so the target is still
+		// a usable spare.
+		c.spares[d.Shard] = append([]string{d.Target}, c.spares[d.Shard]...)
+	} else {
+		c.nMoves++
+		c.cm.migrations.Inc()
+		if c.opts.RecycleSources && d.Source != "" {
+			c.spares[d.Shard] = append(c.spares[d.Shard], d.Source)
+		}
+	}
+	c.recordLocked(d)
+	c.mu.Unlock()
+	return d
+}
+
+// recordLocked retains d as the latest decision and appends it to the
+// bounded plan log. Callers hold c.mu.
+func (c *Controller) recordLocked(d Decision) {
+	c.last, c.decided = d, true
+	c.plans = append(c.plans, d)
+	if over := len(c.plans) - c.opts.PlanCapacity; over > 0 {
+		c.plans = append(c.plans[:0], c.plans[over:]...)
+	}
+}
+
+// Plan computes what the controller would do right now from the current
+// EWMA state — without polling, acting, or advancing hysteresis. The
+// admin "autopilot plan" op serves this.
+func (c *Controller) Plan() Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := Decision{At: c.clk.Now(), Shard: -1, Scores: append([]float64(nil), c.scores...)}
+	if len(c.scores) == 0 {
+		d.Action = DecisionNone
+		return d
+	}
+	var sum float64
+	for _, s := range c.scores {
+		sum += s
+	}
+	d.Mean = sum / float64(len(c.scores))
+	hot := -1
+	for i, s := range c.scores {
+		if s > c.opts.MinScore && s > c.opts.HotRatio*d.Mean && (hot < 0 || s > c.scores[hot]) {
+			hot = i
+		}
+	}
+	switch {
+	case hot < 0:
+		d.Action = DecisionNone
+	case c.paused:
+		d.Shard, d.Action = hot, DecisionPaused
+	case c.hotFor[hot] < c.opts.HotPolls:
+		d.Shard, d.Action = hot, DecisionHold
+	case c.migrating || (c.moved && c.clk.Now().Sub(c.lastMove) < c.opts.Cooldown):
+		d.Shard, d.Action = hot, DecisionCooldown
+	case hot >= len(c.spares) || len(c.spares[hot]) == 0:
+		d.Shard, d.Action = hot, DecisionNoSpare
+	default:
+		d.Shard, d.Target, d.Action = hot, c.spares[hot][0], DecisionPlan
+	}
+	return d
+}
+
+// Pause stops the controller from acting; it keeps polling and scoring
+// (the EWMAs stay warm) but every eligible move is recorded as paused.
+func (c *Controller) Pause() {
+	c.mu.Lock()
+	c.paused = true
+	c.mu.Unlock()
+}
+
+// Resume lifts a pause.
+func (c *Controller) Resume() {
+	c.mu.Lock()
+	c.paused = false
+	c.mu.Unlock()
+}
+
+// Paused reports whether the controller is paused.
+func (c *Controller) Paused() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.paused
+}
+
+// Plans returns the retained decision log, oldest first.
+func (c *Controller) Plans() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Decision(nil), c.plans...)
+}
+
+// ShardScore is one shard's control-plane view in a Status readout.
+type ShardScore struct {
+	Shard  int     `json:"shard"`
+	Score  float64 `json:"score"`
+	HotFor int     `json:"hot_for"`
+}
+
+// ControllerStatus is the autopilot's admin readout.
+type ControllerStatus struct {
+	Paused     bool         `json:"paused"`
+	DryRun     bool         `json:"dry_run,omitempty"`
+	Migrating  bool         `json:"migrating,omitempty"`
+	Polls      uint64       `json:"polls"`
+	Migrations uint64       `json:"migrations"`
+	Failures   uint64       `json:"failures"`
+	Scores     []ShardScore `json:"scores"`
+	// ScoreSpread is max/mean of the current scores (1 = perfectly even;
+	// 0 when unknown) — the load-balance health number.
+	ScoreSpread float64    `json:"score_spread"`
+	Spares      [][]string `json:"spares"`
+	Last        *Decision  `json:"last,omitempty"`
+}
+
+// Status returns the autopilot's current state.
+func (c *Controller) Status() ControllerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ControllerStatus{
+		Paused: c.paused, DryRun: c.opts.DryRun, Migrating: c.migrating,
+		Polls: c.nPolls, Migrations: c.nMoves, Failures: c.nFailures,
+	}
+	var sum, max float64
+	for i, s := range c.scores {
+		st.Scores = append(st.Scores, ShardScore{Shard: i, Score: s, HotFor: c.hotFor[i]})
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+	if len(c.scores) > 0 && sum > 0 {
+		st.ScoreSpread = max / (sum / float64(len(c.scores)))
+	}
+	st.Spares = make([][]string, len(c.spares))
+	for i, s := range c.spares {
+		st.Spares[i] = append([]string(nil), s...)
+	}
+	if c.decided {
+		d := c.last
+		st.Last = &d
+	}
+	return st
+}
+
+// String renders a decision for trace logs.
+func (d Decision) String() string {
+	switch d.Action {
+	case DecisionMigrate, DecisionPlan:
+		s := fmt.Sprintf("%s shard %d -> %s", d.Action, d.Shard, d.Target)
+		if d.Err != "" {
+			s += " (" + d.Err + ")"
+		}
+		return s
+	case DecisionNone, DecisionPollFailed:
+		return d.Action
+	default:
+		return fmt.Sprintf("%s (shard %d)", d.Action, d.Shard)
+	}
+}

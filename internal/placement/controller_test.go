@@ -1,0 +1,397 @@
+package placement
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+)
+
+// scriptSource replays a fixed sequence of load readouts; the last entry
+// repeats once the script runs out.
+type scriptSource struct {
+	mu     sync.Mutex
+	script [][]ShardLoad
+	err    error
+	calls  int
+}
+
+func (s *scriptSource) Loads(ctx context.Context) ([]ShardLoad, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.calls
+	s.calls++
+	if len(s.script) == 0 {
+		return nil, s.err
+	}
+	if i >= len(s.script) {
+		i = len(s.script) - 1
+	}
+	return s.script[i], s.err
+}
+
+type recMover struct {
+	mu    sync.Mutex
+	err   error
+	moves []string // "shard->target"
+}
+
+func (m *recMover) Move(ctx context.Context, shard int, target string, retire bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !retire {
+		panic("controller must retire sources")
+	}
+	m.moves = append(m.moves, shardMove(shard, target))
+	return m.err
+}
+
+func (m *recMover) all() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.moves...)
+}
+
+func shardMove(shard int, target string) string {
+	return string(rune('0'+shard)) + "->" + target
+}
+
+// testClock is a manually advanced clock (timers still real, unused by Tick).
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *testClock) clock() clock.Clock {
+	return clock.Func(func() time.Time {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.now
+	})
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func load(shard int, rate float64) ShardLoad {
+	return ShardLoad{Shard: shard, Primary: "p" + string(rune('0'+shard)), AskRate: rate, MemoHitRate: 1}
+}
+
+// hotCold is a steady readout with shard 0 hot and shard 1 cold.
+func hotCold() []ShardLoad { return []ShardLoad{load(0, 100), load(1, 1)} }
+
+func newTestController(src LoadSource, mv Mover, tc *testClock, mut func(*ControllerOptions)) *Controller {
+	opts := ControllerOptions{
+		Alpha:    1, // no smoothing: tests script exact loads
+		HotPolls: 2,
+		Cooldown: 10 * time.Second,
+		Spares:   [][]string{{"spare0a", "spare0b"}, {"spare1a"}},
+		Clock:    tc.clock(),
+	}
+	if mut != nil {
+		mut(&opts)
+	}
+	return NewController(src, mv, opts)
+}
+
+func TestControllerDetectsAndMigrates(t *testing.T) {
+	tc := &testClock{}
+	src := &scriptSource{script: [][]ShardLoad{hotCold()}}
+	mv := &recMover{}
+	reg := obs.NewRegistry()
+	c := newTestController(src, mv, tc, func(o *ControllerOptions) { o.Metrics = reg })
+
+	d := c.Tick(context.Background())
+	if d.Action != DecisionHold || d.Shard != 0 || d.Source != "p0" {
+		t.Fatalf("poll 1 = %+v, want hold on shard 0", d)
+	}
+	if !strings.Contains(d.String(), "shard 0") {
+		t.Fatalf("String() = %q", d.String())
+	}
+
+	d = c.Tick(context.Background())
+	if d.Action != DecisionMigrate || d.Target != "spare0a" || d.Err != "" {
+		t.Fatalf("poll 2 = %+v, want migrate to spare0a", d)
+	}
+	if got := mv.all(); len(got) != 1 || got[0] != shardMove(0, "spare0a") {
+		t.Fatalf("moves = %v", got)
+	}
+
+	st := c.Status()
+	if st.Migrations != 1 || st.Failures != 0 || st.Polls != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	if len(st.Spares[0]) != 1 || st.Spares[0][0] != "spare0b" {
+		t.Fatalf("spare not consumed: %+v", st.Spares)
+	}
+	if st.Last == nil || st.Last.Action != DecisionMigrate {
+		t.Fatalf("Last = %+v", st.Last)
+	}
+	if st.ScoreSpread <= 1 {
+		t.Fatalf("skewed scores must have spread > 1, got %v", st.ScoreSpread)
+	}
+	if reg.Snapshot().Counters["ix_autopilot_migrations_total"] != 1 {
+		t.Fatal("migration counter not incremented")
+	}
+
+	// The move reset hysteresis; once it is satisfied again, cooldown
+	// still holds the next move until the clock advances.
+	d = c.Tick(context.Background())
+	if d.Action != DecisionHold {
+		t.Fatalf("post-migrate tick = %+v, want hold", d)
+	}
+	d = c.Tick(context.Background())
+	if d.Action != DecisionCooldown {
+		t.Fatalf("eligible-again tick = %+v, want cooldown", d)
+	}
+	tc.advance(11 * time.Second)
+	d = c.Tick(context.Background())
+	if d.Action != DecisionMigrate || d.Target != "spare0b" {
+		t.Fatalf("second migrate = %+v", d)
+	}
+
+	// Spares exhausted: hold, don't crash.
+	tc.advance(11 * time.Second)
+	c.Tick(context.Background())
+	d = c.Tick(context.Background())
+	if d.Action != DecisionNoSpare {
+		t.Fatalf("exhausted spares = %+v, want no-spare", d)
+	}
+}
+
+func TestControllerHysteresisNoFlap(t *testing.T) {
+	tc := &testClock{}
+	// A single noisy spike, then back to even: hotFor must reset and no
+	// migration ever fires.
+	even := []ShardLoad{load(0, 10), load(1, 10)}
+	src := &scriptSource{script: [][]ShardLoad{even, {load(0, 100), load(1, 1)}, even, even}}
+	mv := &recMover{}
+	c := newTestController(src, mv, tc, func(o *ControllerOptions) { o.HotPolls = 3 })
+
+	var actions []string
+	for i := 0; i < 6; i++ {
+		actions = append(actions, c.Tick(context.Background()).Action)
+	}
+	if got := mv.all(); len(got) != 0 {
+		t.Fatalf("noisy trace migrated: %v (actions %v)", got, actions)
+	}
+	if actions[1] != DecisionHold || actions[2] != DecisionNone {
+		t.Fatalf("actions = %v, want spike held then reset", actions)
+	}
+}
+
+func TestControllerIdleFloor(t *testing.T) {
+	tc := &testClock{}
+	// Skewed but tiny: MinScore keeps an idle cluster still.
+	src := &scriptSource{script: [][]ShardLoad{{load(0, 0.4), load(1, 0.01)}}}
+	mv := &recMover{}
+	c := newTestController(src, mv, tc, func(o *ControllerOptions) { o.MinScore = 1 })
+	for i := 0; i < 4; i++ {
+		if d := c.Tick(context.Background()); d.Action != DecisionNone {
+			t.Fatalf("idle tick = %+v, want none", d)
+		}
+	}
+}
+
+func TestControllerPauseResumePlanDryRun(t *testing.T) {
+	tc := &testClock{}
+	src := &scriptSource{script: [][]ShardLoad{hotCold()}}
+	mv := &recMover{}
+	c := newTestController(src, mv, tc, nil)
+
+	if p := c.Plan(); p.Action != DecisionNone || len(p.Scores) != 0 {
+		t.Fatalf("pre-poll Plan = %+v", p)
+	}
+
+	c.Pause()
+	if !c.Paused() {
+		t.Fatal("Paused() = false after Pause")
+	}
+	for i := 0; i < 4; i++ {
+		if d := c.Tick(context.Background()); d.Action != DecisionPaused {
+			t.Fatalf("paused tick = %+v", d)
+		}
+	}
+	if p := c.Plan(); p.Action != DecisionPaused {
+		t.Fatalf("paused Plan = %+v", p)
+	}
+	if len(mv.all()) != 0 {
+		t.Fatal("paused controller migrated")
+	}
+
+	c.Resume()
+	// Paused ticks kept the EWMA warm and hysteresis satisfied: Plan now
+	// proposes (without acting), the next tick executes.
+	if p := c.Plan(); p.Action != DecisionPlan || p.Target != "spare0a" {
+		t.Fatalf("post-resume Plan = %+v", p)
+	}
+	if len(mv.all()) != 0 {
+		t.Fatal("Plan must not execute")
+	}
+	if d := c.Tick(context.Background()); d.Action != DecisionMigrate {
+		t.Fatalf("post-resume tick = %+v", d)
+	}
+
+	// Dry-run: plans, never moves, spare not consumed.
+	src2 := &scriptSource{script: [][]ShardLoad{hotCold()}}
+	mv2 := &recMover{}
+	c2 := newTestController(src2, mv2, tc, func(o *ControllerOptions) { o.DryRun = true })
+	c2.Tick(context.Background())
+	d := c2.Tick(context.Background())
+	if d.Action != DecisionPlan || d.Target != "spare0a" {
+		t.Fatalf("dry-run tick = %+v", d)
+	}
+	d = c2.Tick(context.Background())
+	if d.Action != DecisionPlan || d.Target != "spare0a" {
+		t.Fatalf("dry-run must not consume spares: %+v", d)
+	}
+	if len(mv2.all()) != 0 {
+		t.Fatal("dry-run migrated")
+	}
+	if st := c2.Status(); !st.DryRun {
+		t.Fatal("Status().DryRun = false")
+	}
+}
+
+func TestControllerMoveFailureRestoresSpare(t *testing.T) {
+	tc := &testClock{}
+	src := &scriptSource{script: [][]ShardLoad{hotCold()}}
+	mv := &recMover{err: errBoom}
+	c := newTestController(src, mv, tc, nil)
+
+	c.Tick(context.Background())
+	d := c.Tick(context.Background())
+	if d.Action != DecisionMigrate || d.Err != "boom" {
+		t.Fatalf("failed migrate = %+v", d)
+	}
+	st := c.Status()
+	if st.Failures != 1 || st.Migrations != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	if len(st.Spares[0]) != 2 || st.Spares[0][0] != "spare0a" {
+		t.Fatalf("failed move must restore the spare: %+v", st.Spares)
+	}
+	if !strings.Contains(d.String(), "boom") {
+		t.Fatalf("String() = %q", d.String())
+	}
+
+	// After cooldown the same spare is retried.
+	mv.err = nil
+	tc.advance(11 * time.Second)
+	c.Tick(context.Background())
+	d = c.Tick(context.Background())
+	if d.Action != DecisionMigrate || d.Target != "spare0a" || d.Err != "" {
+		t.Fatalf("retry = %+v", d)
+	}
+}
+
+func TestControllerRecycleSources(t *testing.T) {
+	tc := &testClock{}
+	src := &scriptSource{script: [][]ShardLoad{hotCold()}}
+	mv := &recMover{}
+	c := newTestController(src, mv, tc, func(o *ControllerOptions) { o.RecycleSources = true })
+	c.Tick(context.Background())
+	c.Tick(context.Background())
+	st := c.Status()
+	if len(st.Spares[0]) != 2 || st.Spares[0][1] != "p0" {
+		t.Fatalf("retired source not recycled: %+v", st.Spares)
+	}
+}
+
+func TestControllerErroredShardSkipped(t *testing.T) {
+	tc := &testClock{}
+	// Shard 0 is hot, then its readout fails: the stale score survives
+	// but the shard is never picked while errored.
+	hot := hotCold()
+	errored := []ShardLoad{{Shard: 0, Err: "unreachable"}, load(1, 1)}
+	src := &scriptSource{script: [][]ShardLoad{hot, errored, errored}}
+	mv := &recMover{}
+	c := newTestController(src, mv, tc, func(o *ControllerOptions) { o.HotPolls = 1 })
+
+	if d := c.Tick(context.Background()); d.Action != DecisionMigrate {
+		t.Fatalf("tick 1 = %+v", d)
+	}
+	tc.advance(11 * time.Second)
+	d := c.Tick(context.Background())
+	if d.Action != DecisionNone {
+		t.Fatalf("errored-shard tick = %+v, want none", d)
+	}
+	if d.Scores[0] == 0 {
+		t.Fatal("errored shard's score must carry over, not zero")
+	}
+
+	// All shards errored: poll-failed.
+	allErr := []ShardLoad{{Shard: 0, Err: "x"}, {Shard: 1, Err: "y"}}
+	src2 := &scriptSource{script: [][]ShardLoad{allErr}, err: errBoom}
+	c2 := newTestController(src2, mv, tc, nil)
+	if d := c2.Tick(context.Background()); d.Action != DecisionPollFailed || d.Err != "boom" {
+		t.Fatalf("all-errored tick = %+v", d)
+	}
+}
+
+func TestControllerPollFailed(t *testing.T) {
+	tc := &testClock{}
+	src := &scriptSource{err: errBoom}
+	c := newTestController(src, &recMover{}, tc, nil)
+	d := c.Tick(context.Background())
+	if d.Action != DecisionPollFailed || d.Err != "boom" {
+		t.Fatalf("tick = %+v", d)
+	}
+	if d.String() != DecisionPollFailed {
+		t.Fatalf("String() = %q", d.String())
+	}
+	if st := c.Status(); st.Polls != 1 || st.Last == nil {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestControllerMissAndQueueWeights(t *testing.T) {
+	c := NewController(nil, nil, ControllerOptions{QueueWeight: 2, MissWeight: 1})
+	// rate 10 with 0% hit → 10*(1+1) = 20; plus queue 3*2 = 26.
+	got := c.load(ShardLoad{AskRate: 10, MemoHitRate: 0, QueueDepth: 3})
+	if got != 26 {
+		t.Fatalf("load = %v, want 26", got)
+	}
+	// Negative MissWeight disables the miss surcharge.
+	c2 := NewController(nil, nil, ControllerOptions{MissWeight: -1})
+	if got := c2.load(ShardLoad{AskRate: 10, MemoHitRate: 0}); got != 10 {
+		t.Fatalf("load = %v, want 10", got)
+	}
+}
+
+func TestControllerPlansLogBounded(t *testing.T) {
+	tc := &testClock{}
+	src := &scriptSource{script: [][]ShardLoad{{load(0, 1), load(1, 1)}}}
+	c := newTestController(src, &recMover{}, tc, func(o *ControllerOptions) { o.PlanCapacity = 3 })
+	for i := 0; i < 10; i++ {
+		c.Tick(context.Background())
+	}
+	if got := c.Plans(); len(got) != 3 {
+		t.Fatalf("plan log len = %d, want 3", len(got))
+	}
+}
+
+func TestControllerRun(t *testing.T) {
+	src := &scriptSource{script: [][]ShardLoad{{load(0, 1), load(1, 1)}}}
+	c := NewController(src, &recMover{}, ControllerOptions{Interval: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { c.Run(ctx); close(done) }()
+	deadline := time.After(5 * time.Second)
+	for c.Status().Polls < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("Run never polled")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+}

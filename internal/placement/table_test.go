@@ -1,0 +1,316 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// recApplier records every SetShardAddrs call and can reject shards out
+// of its configured range, mimicking a gateway built for fewer shards.
+type recApplier struct {
+	mu     sync.Mutex
+	shards int // reject shard >= shards when > 0
+	calls  []ShardRoute
+}
+
+func (a *recApplier) SetShardAddrs(shard int, addrs []string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.shards > 0 && shard >= a.shards {
+		return fmt.Errorf("no shard %d", shard)
+	}
+	a.calls = append(a.calls, ShardRoute{Shard: shard, Addrs: append([]string(nil), addrs...)})
+	return nil
+}
+
+func (a *recApplier) take() []ShardRoute {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.calls
+	a.calls = nil
+	return c
+}
+
+func newTestTable(t *testing.T) *RouteTable {
+	t.Helper()
+	return MustRouteTable([][]string{{"a0", "a1"}, {"b0"}})
+}
+
+func TestRouteTableNew(t *testing.T) {
+	tb := newTestTable(t)
+	if got := tb.Shards(); got != 2 {
+		t.Fatalf("Shards() = %d, want 2", got)
+	}
+	if got := tb.Gen(); got != 1 {
+		t.Fatalf("Gen() = %d, want 1", got)
+	}
+	addrs, err := tb.Addrs(0)
+	if err != nil || !reflect.DeepEqual(addrs, []string{"a0", "a1"}) {
+		t.Fatalf("Addrs(0) = %v, %v", addrs, err)
+	}
+	if _, err := tb.Addrs(2); err == nil {
+		t.Fatal("Addrs(2) should be out of range")
+	}
+	if _, err := tb.Addrs(-1); err == nil {
+		t.Fatal("Addrs(-1) should be out of range")
+	}
+	if _, err := NewRouteTable([][]string{{"x"}, {}}); err == nil {
+		t.Fatal("NewRouteTable should reject an empty row")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("MustRouteTable should panic on an empty row")
+			}
+		}()
+		MustRouteTable([][]string{{}})
+	}()
+}
+
+func TestRouteTableSetAddRemove(t *testing.T) {
+	tb := newTestTable(t)
+
+	if err := tb.Set(0, []string{"a0", "a1"}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Gen() != 1 {
+		t.Fatalf("equal Set must not bump gen, got %d", tb.Gen())
+	}
+	if err := tb.Set(0, nil); err == nil {
+		t.Fatal("Set with no endpoints should fail")
+	}
+	if err := tb.Set(5, []string{"x"}); err == nil {
+		t.Fatal("Set out of range should fail")
+	}
+
+	if err := tb.Set(0, []string{"a1", "a2"}); err != nil {
+		t.Fatal(err)
+	}
+	snap := tb.Snapshot()
+	if snap.Gen != 2 {
+		t.Fatalf("table gen = %d, want 2", snap.Gen)
+	}
+	r0, ok := snap.Route(0)
+	if !ok || r0.Gen != 2 || !reflect.DeepEqual(r0.Addrs, []string{"a1", "a2"}) {
+		t.Fatalf("Route(0) = %+v, %v", r0, ok)
+	}
+	if r1, _ := snap.Route(1); r1.Gen != 1 {
+		t.Fatalf("untouched shard 1 gen = %d, want 1", r1.Gen)
+	}
+	if _, ok := snap.Route(9); ok {
+		t.Fatal("Route(9) should report missing")
+	}
+
+	if err := tb.Add(0, "a2"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Gen() != 2 {
+		t.Fatal("Add of a listed addr must be a no-op")
+	}
+	if err := tb.Add(1, "b1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Add(7, "x"); err == nil {
+		t.Fatal("Add out of range should fail")
+	}
+	addrs, _ := tb.Addrs(1)
+	if !reflect.DeepEqual(addrs, []string{"b0", "b1"}) {
+		t.Fatalf("Addrs(1) = %v", addrs)
+	}
+
+	if err := tb.Remove(1, "nope"); err != nil {
+		t.Fatal("Remove of an unlisted addr must be a no-op")
+	}
+	if err := tb.Remove(1, "b0"); err != nil {
+		t.Fatal(err)
+	}
+	addrs, _ = tb.Addrs(1)
+	if !reflect.DeepEqual(addrs, []string{"b1"}) {
+		t.Fatalf("Addrs(1) after remove = %v", addrs)
+	}
+	if err := tb.Remove(1, "b1"); err == nil {
+		t.Fatal("removing the last endpoint should fail")
+	}
+	if err := tb.Remove(7, "x"); err == nil {
+		t.Fatal("Remove out of range should fail")
+	}
+}
+
+func TestRouteTableFollow(t *testing.T) {
+	tb := newTestTable(t)
+	ap := &recApplier{}
+	unfollow, err := tb.Follow(ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registration applies the full current table.
+	initial := ap.take()
+	if len(initial) != 2 || initial[0].Shard != 0 || initial[1].Shard != 1 {
+		t.Fatalf("initial apply = %+v", initial)
+	}
+
+	// A mutation fans out only the changed row, before Set returns.
+	if err := tb.Set(1, []string{"b9"}); err != nil {
+		t.Fatal(err)
+	}
+	got := ap.take()
+	if len(got) != 1 || got[0].Shard != 1 || !reflect.DeepEqual(got[0].Addrs, []string{"b9"}) {
+		t.Fatalf("fan-out = %+v", got)
+	}
+
+	unfollow()
+	if err := tb.Set(0, []string{"z"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ap.take(); len(got) != 0 {
+		t.Fatalf("unfollowed applier still received %+v", got)
+	}
+
+	// An applier that rejects the initial apply is not registered.
+	bad := &recApplier{shards: 1}
+	if _, err := tb.Follow(bad); err == nil {
+		t.Fatal("Follow should fail when the initial apply fails")
+	}
+	if err := tb.Set(1, []string{"b10"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range bad.take() {
+		if c.Shard == 1 {
+			t.Fatal("rejected follower still received fan-out")
+		}
+	}
+}
+
+func TestRouteTableApply(t *testing.T) {
+	tb := newTestTable(t)
+	ap := &recApplier{}
+	if _, err := tb.Follow(ap); err != nil {
+		t.Fatal(err)
+	}
+	ap.take()
+
+	// Newer rows win; stale/equal rows are ignored.
+	n, err := tb.Apply(Snapshot{Shards: []ShardRoute{
+		{Shard: 0, Gen: 5, Addrs: []string{"n0"}},
+		{Shard: 1, Gen: 1, Addrs: []string{"stale"}},
+	}})
+	if err != nil || n != 1 {
+		t.Fatalf("Apply = %d, %v; want 1 row", n, err)
+	}
+	addrs, _ := tb.Addrs(0)
+	if !reflect.DeepEqual(addrs, []string{"n0"}) {
+		t.Fatalf("Addrs(0) = %v", addrs)
+	}
+	addrs, _ = tb.Addrs(1)
+	if !reflect.DeepEqual(addrs, []string{"b0"}) {
+		t.Fatalf("stale row applied: %v", addrs)
+	}
+	if got := ap.take(); len(got) != 1 || got[0].Shard != 0 {
+		t.Fatalf("fan-out = %+v", got)
+	}
+	// Local per-shard gen jumped to the row's — a re-apply is a no-op.
+	if n, err := tb.Apply(Snapshot{Shards: []ShardRoute{{Shard: 0, Gen: 5, Addrs: []string{"n0"}}}}); err != nil || n != 0 {
+		t.Fatalf("re-Apply = %d, %v; want 0 rows", n, err)
+	}
+
+	if _, err := tb.Apply(Snapshot{Shards: []ShardRoute{{Shard: 9, Gen: 9, Addrs: []string{"x"}}}}); err == nil {
+		t.Fatal("Apply should reject an out-of-range shard")
+	}
+	if _, err := tb.Apply(Snapshot{Shards: []ShardRoute{{Shard: 0, Gen: 9}}}); err == nil {
+		t.Fatal("Apply should reject an empty row")
+	}
+}
+
+func TestRouteTableWatch(t *testing.T) {
+	tb := newTestTable(t)
+	ch, cancel := tb.Watch()
+
+	// Two quick changes: a slow watcher sees only the newest snapshot.
+	if err := tb.Set(0, []string{"v1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Set(0, []string{"v2"}); err != nil {
+		t.Fatal(err)
+	}
+	snap := <-ch
+	r0, _ := snap.Route(0)
+	if !reflect.DeepEqual(r0.Addrs, []string{"v2"}) {
+		t.Fatalf("watch delivered stale snapshot %+v", r0)
+	}
+
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("canceled watch channel should be closed")
+	}
+	cancel() // double-cancel is safe
+
+	// Mutations after cancel don't panic on the closed channel.
+	if err := tb.Set(0, []string{"v3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteTableMigrateLock(t *testing.T) {
+	tb := newTestTable(t)
+	unlock := tb.MigrateLock(0)
+	acquired := make(chan struct{})
+	go func() {
+		u := tb.MigrateLock(0)
+		close(acquired)
+		u()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second MigrateLock(0) acquired while held")
+	default:
+	}
+	// A different shard's lock is independent.
+	tb.MigrateLock(1)()
+	unlock()
+	<-acquired
+}
+
+func TestRouteTableConcurrentMutations(t *testing.T) {
+	tb := MustRouteTable([][]string{{"s0"}, {"s1"}, {"s2"}, {"s3"}})
+	ap := &recApplier{}
+	if _, err := tb.Follow(ap); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := tb.Set(g, []string{fmt.Sprintf("s%d-%d", g, i)}); err != nil {
+					panic(err)
+				}
+				_ = tb.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tb.Gen(); got != 1+4*25 {
+		t.Fatalf("table gen = %d, want %d", got, 1+4*25)
+	}
+	for g := 0; g < 4; g++ {
+		addrs, _ := tb.Addrs(g)
+		if want := fmt.Sprintf("s%d-24", g); addrs[0] != want {
+			t.Fatalf("shard %d ends at %v, want %s", g, addrs, want)
+		}
+	}
+}
+
+func TestEqualAddrs(t *testing.T) {
+	if !equalAddrs([]string{"a", "b"}, []string{"a", "b"}) {
+		t.Fatal("equal lists reported unequal")
+	}
+	if equalAddrs([]string{"a"}, []string{"a", "b"}) || equalAddrs([]string{"a"}, []string{"b"}) {
+		t.Fatal("unequal lists reported equal")
+	}
+}
+
+var errBoom = errors.New("boom")

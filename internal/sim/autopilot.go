@@ -1,0 +1,394 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/manager"
+	"repro/internal/obs"
+	"repro/internal/parse"
+	"repro/internal/placement"
+	"repro/internal/sim/check"
+)
+
+// The autopilot scenario: the end-to-end proof that the control plane
+// closes the loop. A fleet of stateless gateways shares one
+// placement.RouteTable over a two-shard cluster; the driver skews the
+// traffic so shard 0's ask rate runs hot, and a placement.Controller —
+// ticked explicitly by the schedule, on the simulator's logical clock —
+// must detect the hot shard from the live StatsSnapshot signals,
+// schedule one live migration onto the shard's spare, and hold still
+// through a noisy-but-balanced aftermath (hysteresis and cooldown must
+// prevent flapping). A gateway is killed mid-schedule to prove the
+// serving tier survives fleet shrink. The check.Ledger closes the book:
+// zero lost acked actions, exact step accounting (the schedule is
+// fault-free from the client's view, so steps == acked exactly), and
+// replica convergence on every route-listed node.
+//
+// Determinism: traffic is round-based (every commit is a synchronous
+// driver op), the controller runs between rounds, meters advance on
+// Clock.Advance, and the only randomness — the noisy load trace — is
+// drawn from the config's seed. Two runs with one config produce
+// byte-identical traces.
+
+// AutopilotExpr is the scenario expression. Both operands iterate
+// freely, so no commit is ever denied: a routes to shard 0 only, c to
+// shard 1 only, s is coupled (a cross-shard two-phase grant).
+const AutopilotExpr = "(a | s)* @ (c | s)*"
+
+// AutopilotConfig parameterizes one autopilot schedule.
+type AutopilotConfig struct {
+	// Seed drives the noisy-phase load jitter.
+	Seed int64
+	// Gateways is the serving-tier size; 0 means 3 (the minimum).
+	Gateways int
+	// WarmRounds is the balanced warm-up; 0 means 5.
+	WarmRounds int
+	// SkewRounds bounds the hot phase; 0 means 12. The phase ends early
+	// once the controller migrates.
+	SkewRounds int
+	// NoisyRounds is the post-migration noisy-balanced phase; 0 means 25.
+	NoisyRounds int
+	// Transport runs the scenario over the given transport; nil builds a
+	// fresh SimTransport (closed when the run ends). The transport's
+	// clock must be the simulated one.
+	Transport Transport
+}
+
+// AutopilotResult is one schedule's outcome.
+type AutopilotResult struct {
+	// Decisions is every controller tick's decision, in order.
+	Decisions []placement.Decision
+	// Migrations counts executed (successful) migrations.
+	Migrations int
+	// Spread is the controller's final score spread (max/mean; 1 = even).
+	Spread float64
+	// Trace is the chronological schedule log (byte-identical across
+	// runs with one config).
+	Trace []string
+	// Failures lists broken invariants (empty = schedule passed).
+	Failures []string
+	// Steps is each shard's final step count.
+	Steps []uint64
+}
+
+// Failed reports whether any invariant broke.
+func (r *AutopilotResult) Failed() bool { return len(r.Failures) > 0 }
+
+// autopilot load shapes, in commits per round: {a, c, s}.
+var (
+	autoWarmLoad = [3]int{3, 3, 1}
+	autoSkewLoad = [3]int{20, 2, 1}
+)
+
+// RunAutopilot executes one seeded autopilot schedule.
+func RunAutopilot(cfg AutopilotConfig) (*AutopilotResult, error) {
+	tr := cfg.Transport
+	if tr == nil {
+		st := NewSimTransport()
+		defer st.Close()
+		tr = st
+	}
+	clk, ok := tr.Clock().(*Clock)
+	if !ok {
+		return nil, fmt.Errorf("sim: the autopilot scenario needs the simulated clock")
+	}
+	nGw := cfg.Gateways
+	if nGw == 0 {
+		nGw = 3
+	}
+	if nGw < 3 {
+		return nil, fmt.Errorf("sim: the autopilot scenario needs ≥ 3 gateways, got %d", nGw)
+	}
+	warm, skew, noisy := cfg.WarmRounds, cfg.SkewRounds, cfg.NoisyRounds
+	if warm == 0 {
+		warm = 5
+	}
+	if skew == 0 {
+		skew = 12
+	}
+	if noisy == 0 {
+		noisy = 25
+	}
+
+	// Two shards, two replicas each (primary + sync follower). The
+	// follower doubles as the shard's migration spare: the controller
+	// moves a hot shard's primary onto it, retiring the old server.
+	e := parse.MustParse(AutopilotExpr)
+	parts := cluster.Partition(e)
+	sets := make([]*ReplSet, len(parts))
+	rows := make([][]string, len(parts))
+	for i, part := range parts {
+		var err error
+		// Each node carries its own obs registry: StatsSnapshot.AskRate —
+		// the controller's primary signal — reads the node's ask meter,
+		// which runs on the injected logical clock (deterministic rates).
+		metrics := func(_ int, o *manager.Options) { o.Metrics = obs.NewRegistry() }
+		if sets[i], err = NewReplSet(part, 2, tr, "", metrics); err != nil {
+			return nil, err
+		}
+		rows[i] = sets[i].Addrs
+	}
+	defer func() {
+		for _, rs := range sets {
+			if rs != nil {
+				rs.Close()
+			}
+		}
+	}()
+
+	table, err := placement.NewRouteTable(rows)
+	if err != nil {
+		return nil, err
+	}
+	gws := make([]*cluster.Gateway, nGw)
+	for i := range gws {
+		if gws[i], err = cluster.NewReplicatedGateway(e, nil, cluster.GatewayOptions{
+			Dialer: tr.Dialer(), Clock: tr.Clock(), RouteTable: table,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		for _, gw := range gws {
+			if gw != nil {
+				gw.Close()
+			}
+		}
+	}()
+
+	// The controller autopilots through gateway 0's Rebalancer (any
+	// gateway works — the shared table converges the whole fleet; the
+	// schedule kills the last gateway, never this one).
+	reb := gws[0].Rebalancer()
+	ctrl := placement.NewController(reb, reb, placement.ControllerOptions{
+		Alpha:    0.5,
+		HotPolls: 2,
+		HotRatio: 1.5,
+		MinScore: 1,
+		Cooldown: 10 * time.Second,
+		Spares:   [][]string{{sets[0].Addrs[1]}, {sets[1].Addrs[1]}},
+		Clock:    tr.Clock(),
+	})
+
+	h := &autoHarness{gws: gws, ledger: check.NewLedger(len(parts))}
+	h.ops, _ = tr.(opTracker)
+	for i := range gws {
+		h.live = append(h.live, i)
+	}
+	res := &AutopilotResult{Steps: make([]uint64, len(parts))}
+	tick := func() placement.Decision {
+		var d placement.Decision
+		h.op(func() { d = ctrl.Tick(bg) })
+		res.Decisions = append(res.Decisions, d)
+		h.tracef("tick %d: %s scores=%.4f", len(res.Decisions)-1, d, d.Scores)
+		return d
+	}
+
+	// Phase 1 — balanced warm-up: the controller must sit still.
+	for r := 0; r < warm; r++ {
+		h.round(autoWarmLoad)
+		clk.Advance(time.Second)
+		if d := tick(); d.Action == placement.DecisionMigrate {
+			h.failf("warm-up migration: %s", d)
+		}
+	}
+
+	// Phase 2 — skewed load heats shard 0; a gateway dies mid-phase. The
+	// controller must detect the hot shard and execute exactly one
+	// migration onto its spare.
+	target := sets[0].Addrs[1]
+	migrated := false
+	for r := 0; r < skew && !migrated; r++ {
+		if r == 2 {
+			h.killGateway(len(gws) - 1)
+		}
+		h.round(autoSkewLoad)
+		clk.Advance(time.Second)
+		d := tick()
+		if d.Action != placement.DecisionMigrate {
+			continue
+		}
+		if d.Err != "" {
+			h.failf("migration failed: %s", d)
+			break
+		}
+		if d.Shard != 0 || d.Target != target {
+			h.failf("migrated the wrong way: %s (want shard 0 -> %s)", d, target)
+		}
+		migrated = true
+		res.Migrations++
+	}
+	if !migrated && len(h.failures) == 0 {
+		h.failf("controller never migrated the hot shard (decisions: %d)", len(res.Decisions))
+	}
+
+	if migrated {
+		// Every surviving gateway converged to the new route before the
+		// migrating call returned — the synchronous fan-out contract.
+		for _, i := range h.live {
+			if addrs := gws[i].Shards()[0].Addrs(); len(addrs) != 1 || addrs[0] != target {
+				h.failf("gateway %d route after migrate: %v, want [%s]", i, addrs, target)
+			}
+		}
+		// Decommission the retired source for good: traffic must not
+		// need it.
+		sets[0].StopNode(0)
+	}
+
+	// Phase 3 — noisy but balanced aftermath: seeded jitter plus
+	// single-round spikes. Hysteresis (HotPolls consecutive hot polls)
+	// and cooldown must hold — any further migration is flapping.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for r := 0; r < noisy && len(h.failures) == 0; r++ {
+		load := [3]int{4 + rng.Intn(4), 4 + rng.Intn(4), 1}
+		if r%7 == 3 {
+			load[0] = 18 // one-round spike; the EWMA must not chase it
+		}
+		h.round(load)
+		clk.Advance(time.Second)
+		if d := tick(); d.Action == placement.DecisionMigrate {
+			h.failf("flapping: second migration %s at noisy round %d", d, r)
+		}
+	}
+
+	// Verdicts. The schedule is fault-free from the client's view (the
+	// gateway kill is a clean close between rounds), so every commit
+	// acked: unknown must be zero and steps must equal acked exactly.
+	st := ctrl.Status()
+	res.Spread = st.ScoreSpread
+	if len(h.failures) == 0 && (st.ScoreSpread > 1.5 || st.ScoreSpread == 0) {
+		h.failf("post-migration score spread %.3f, want (0, 1.5]", st.ScoreSpread)
+	}
+	for s := range sets {
+		if n := h.ledger.UnknownSum(s); n != 0 {
+			h.failf("shard %d: %d unknown outcomes in a fault-free schedule", s, n)
+		}
+	}
+	if len(h.failures) == 0 {
+		final := make([]check.ShardFinal, len(sets))
+		for sIdx, rs := range sets {
+			listed := map[string]bool{}
+			if addrs, err := table.Addrs(sIdx); err == nil {
+				for _, a := range addrs {
+					listed[a] = true
+				}
+			}
+			for i, m := range rs.Managers() {
+				// Only route-listed nodes count: a retired source is fenced
+				// and deliberately behind.
+				if m == nil || !listed[rs.Addrs[i]] {
+					continue
+				}
+				final[sIdx].Replicas = append(final[sIdx].Replicas,
+					check.Replica{StateKey: m.StateKey(), Steps: m.Status().Steps})
+			}
+			if len(final[sIdx].Replicas) > 0 {
+				res.Steps[sIdx] = final[sIdx].Replicas[0].Steps
+			}
+		}
+		for _, v := range h.ledger.Verify(final, 1, 0) {
+			h.failf("%s", v)
+		}
+		for s := range sets {
+			if got, want := res.Steps[s], h.ledger.AckedSum(s); got != want {
+				h.failf("shard %d: %d steps != %d acked (fault-free schedule must balance exactly)", s, got, want)
+			}
+		}
+	}
+	res.Trace = h.trace
+	res.Failures = h.failures
+	return res, nil
+}
+
+// autoHarness drives the autopilot schedule's traffic across the
+// gateway fleet.
+type autoHarness struct {
+	gws      []*cluster.Gateway
+	live     []int // indices of still-open gateways, round-robined
+	rr       int
+	ops      opTracker
+	ledger   *check.Ledger
+	trace    []string
+	failures []string
+}
+
+func (h *autoHarness) op(f func()) {
+	if h.ops != nil {
+		h.ops.OpBegin()
+		defer h.ops.OpEnd()
+	}
+	f()
+}
+
+func (h *autoHarness) tracef(format string, args ...any) {
+	h.trace = append(h.trace, fmt.Sprintf(format, args...))
+}
+
+func (h *autoHarness) failf(format string, args ...any) {
+	h.failures = append(h.failures, fmt.Sprintf(format, args...))
+}
+
+// autoShards mirrors the scenario expression's routing.
+func autoShards(name string) []int {
+	switch name {
+	case "a":
+		return []int{0}
+	case "c":
+		return []int{1}
+	default: // s, the coupled action
+		return []int{0, 1}
+	}
+}
+
+// commit settles one occurrence of name through the next live gateway.
+// The scenario iterates freely, so any error is an invariant failure;
+// its outcome is still ledgered as unknown to keep the book sound.
+func (h *autoHarness) commit(name string) {
+	gw := h.gws[h.live[h.rr%len(h.live)]]
+	h.rr++
+	var err error
+	h.op(func() {
+		ctx, cancel := context.WithTimeout(bg, 10*time.Second)
+		err = gw.Request(ctx, act(name))
+		cancel()
+	})
+	for _, s := range autoShards(name) {
+		if err == nil {
+			h.ledger.Ack(s, name)
+		} else {
+			h.ledger.Unknown(s, name)
+		}
+	}
+	if err != nil {
+		h.failf("commit %s: %v", name, err)
+	}
+}
+
+// round drives one second's traffic: load[0] a's, load[1] c's, load[2]
+// coupled s's, round-robined across the live gateways.
+func (h *autoHarness) round(load [3]int) {
+	h.tracef("round a=%d c=%d s=%d gws=%d", load[0], load[1], load[2], len(h.live))
+	for i, name := range []string{"a", "c", "s"} {
+		for j := 0; j < load[i]; j++ {
+			h.commit(name)
+		}
+	}
+}
+
+// killGateway closes one gateway mid-schedule (clean fleet shrink: the
+// table unfollows it, the rest keep serving and converging).
+func (h *autoHarness) killGateway(idx int) {
+	h.tracef("kill gateway %d", idx)
+	h.op(func() { _ = h.gws[idx].Close() })
+	kept := h.live[:0]
+	for _, i := range h.live {
+		if i != idx {
+			kept = append(kept, i)
+		}
+	}
+	h.live = kept
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/placement"
+)
+
+// TestAutopilotEndToEnd is the acceptance schedule: skewed load heats
+// shard 0, the controller detects it from live StatsSnapshot signals
+// (with hysteresis observed — at least one hold before the move),
+// executes exactly one migration onto the spare while a gateway dies
+// mid-schedule, and holds still through the noisy aftermath; the ledger
+// balances exactly.
+func TestAutopilotEndToEnd(t *testing.T) {
+	res, err := RunAutopilot(AutopilotConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		tail := res.Trace
+		if len(tail) > 25 {
+			tail = tail[len(tail)-25:]
+		}
+		t.Fatalf("failures:\n  %s\ntrace tail:\n  %s",
+			strings.Join(res.Failures, "\n  "), strings.Join(tail, "\n  "))
+	}
+	if res.Migrations != 1 {
+		t.Fatalf("migrations = %d, want exactly 1", res.Migrations)
+	}
+	// Hysteresis must be visible: a hold decision strictly before the
+	// migration (the controller did not fire on the first hot poll).
+	sawHold, sawMigrate := false, false
+	for _, d := range res.Decisions {
+		switch d.Action {
+		case placement.DecisionHold:
+			if !sawMigrate {
+				sawHold = true
+			}
+		case placement.DecisionMigrate:
+			sawMigrate = true
+		}
+	}
+	if !sawHold || !sawMigrate {
+		t.Fatalf("decision stream lacks hold-then-migrate: %+v", res.Decisions)
+	}
+	if res.Spread <= 0 || res.Spread > 1.5 {
+		t.Fatalf("final score spread = %v, want (0, 1.5]", res.Spread)
+	}
+	for s, steps := range res.Steps {
+		if steps == 0 {
+			t.Fatalf("shard %d ended at 0 steps", s)
+		}
+	}
+}
+
+// TestAutopilotDeterministic: one config, two runs, byte-identical
+// traces (decisions, scores, routing — everything the schedule logs).
+func TestAutopilotDeterministic(t *testing.T) {
+	run := func() *AutopilotResult {
+		res, err := RunAutopilot(AutopilotConfig{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed() {
+			t.Fatalf("failures: %s", strings.Join(res.Failures, "; "))
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace diverges at %d:\n  %s\n  %s", i, a.Trace[i], b.Trace[i])
+		}
+	}
+	if a.Migrations != b.Migrations || a.Spread != b.Spread {
+		t.Fatalf("outcomes diverge: %d/%v vs %d/%v", a.Migrations, a.Spread, b.Migrations, b.Spread)
+	}
+}

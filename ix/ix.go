@@ -42,6 +42,7 @@ import (
 	"repro/internal/mq"
 	"repro/internal/obs"
 	"repro/internal/parse"
+	"repro/internal/placement"
 	"repro/internal/semantics"
 	"repro/internal/state"
 )
@@ -140,6 +141,42 @@ type (
 	GrantTrace = cluster.GrantTrace
 	// TraceEvent is one shard-side step of a grant trace.
 	TraceEvent = cluster.TraceEvent
+	// RouteTable is the control plane's shared, versioned shard →
+	// replica-set mapping; N gateways follow one table and every
+	// topology change fans out to the whole fleet.
+	RouteTable = placement.RouteTable
+	// RouteSnapshot is an atomic copy of a route table.
+	RouteSnapshot = placement.Snapshot
+	// ShardRoute is one shard's route-table row (endpoints + generation).
+	ShardRoute = placement.ShardRoute
+	// ShardLoad is one shard's load readout, the autopilot's input.
+	ShardLoad = placement.ShardLoad
+	// LoadSource polls per-shard load; Rebalancer satisfies it.
+	LoadSource = placement.LoadSource
+	// ShardMover executes one live migration; Rebalancer satisfies it.
+	ShardMover = placement.Mover
+	// Autopilot is the placement controller: a control loop that scores
+	// per-shard load and schedules live migrations under hysteresis,
+	// cooldown and a one-migration-at-a-time budget.
+	Autopilot = placement.Controller
+	// AutopilotOptions tune the placement controller.
+	AutopilotOptions = placement.ControllerOptions
+	// AutopilotDecision is one control-loop step's outcome.
+	AutopilotDecision = placement.Decision
+	// AutopilotStatus is the controller's admin readout.
+	AutopilotStatus = placement.ControllerStatus
+)
+
+// Autopilot decision actions (AutopilotDecision.Action).
+const (
+	DecisionNone       = placement.DecisionNone
+	DecisionHold       = placement.DecisionHold
+	DecisionCooldown   = placement.DecisionCooldown
+	DecisionNoSpare    = placement.DecisionNoSpare
+	DecisionPaused     = placement.DecisionPaused
+	DecisionPlan       = placement.DecisionPlan
+	DecisionMigrate    = placement.DecisionMigrate
+	DecisionPollFailed = placement.DecisionPollFailed
 )
 
 // Word verdicts (Fig 9 of the paper).
@@ -373,6 +410,23 @@ func NewGateway(e *Expr, addrs []string) (*Gateway, error) {
 // and follower promotion.
 func NewReplicatedGateway(e *Expr, replicas [][]string, opts GatewayOptions) (*Gateway, error) {
 	return cluster.NewReplicatedGateway(e, replicas, opts)
+}
+
+// NewRouteTable builds a shared route table with one row per shard;
+// pass it via GatewayOptions.RouteTable (with nil replicas) to attach a
+// gateway to it.
+func NewRouteTable(addrs [][]string) (*RouteTable, error) {
+	return placement.NewRouteTable(addrs)
+}
+
+// MustRouteTable is NewRouteTable that panics on error.
+var MustRouteTable = placement.MustRouteTable
+
+// NewAutopilot builds a placement controller over a load source and a
+// mover — typically both the same Rebalancer of a table-attached
+// gateway. Drive it with Run (a polling goroutine) or Tick.
+func NewAutopilot(src LoadSource, mv ShardMover, opts AutopilotOptions) *Autopilot {
+	return placement.NewController(src, mv, opts)
 }
 
 // NewShardClient returns a reconnecting client for one shard server.
